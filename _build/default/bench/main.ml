@@ -1,0 +1,186 @@
+(* The benchmark harness: one regenerator per table and figure of the
+   paper (see DESIGN.md's experiment index), plus a Bechamel
+   micro-benchmark suite for the primitive costs that motivate the
+   virtual cost model.
+
+   Usage:  dune exec bench/main.exe [-- section ...]
+   Sections: micro table1 figure1 figure2 figure3 figure4 figure5 acid
+             recovery packet-loss nondet wan ablation all (default) *)
+
+open Bechamel
+open Toolkit
+
+(* --- micro benchmarks (P1) --- *)
+
+let kb = String.make 1024 'x'
+
+let micro_tests () =
+  let rng = Util.Rng.create 1 in
+  let rabin = Crypto.Rabin.generate rng ~bits:384 in
+  let rabin_pk = Crypto.Rabin.public rabin in
+  let rabin_sig = Crypto.Rabin.sign rabin kb in
+  let mac_key = Crypto.Mac.fresh_key rng in
+  let auth_keys = List.init 4 (fun i -> (i, Crypto.Mac.fresh_key rng)) in
+  let pages = Statemgr.Pages.create ~page_size:4096 ~num_pages:64 () in
+  let merkle = Statemgr.Merkle.build pages in
+  let sql = Relsql.Database.open_db (Relsql.Vfs.in_memory ~acid:true ~seed:1 ()) in
+  ignore (Relsql.Database.exec_exn sql Relsql.Pbft_service.vote_schema);
+  let counter = ref 0 in
+  let sample_msg =
+    {
+      Pbft.Message.payload =
+        Pbft.Message.Pre_prepare
+          {
+            pp_view = 0;
+            pp_seq = 42;
+            pp_batch =
+              List.init 12 (fun i ->
+                  Pbft.Message.Digest_of
+                    {
+                      bd_client = i;
+                      bd_id = i;
+                      bd_digest = Crypto.Sha256.digest (string_of_int i);
+                      bd_readonly = false;
+                    });
+            pp_nondet = "nd";
+          };
+      auth = Pbft.Message.Authenticated (Crypto.Authenticator.compute ~keys:auth_keys "pb");
+    }
+  in
+  let wire = Pbft.Message.encode sample_msg in
+  [
+    Test.make ~name:"sha256 1KiB" (Staged.stage (fun () -> Crypto.Sha256.digest kb));
+    Test.make ~name:"hmac 1KiB" (Staged.stage (fun () -> Crypto.Hmac.mac ~key:mac_key kb));
+    Test.make ~name:"mac tag 1KiB" (Staged.stage (fun () -> Crypto.Mac.compute ~key:mac_key kb));
+    Test.make ~name:"authenticator n=4"
+      (Staged.stage (fun () -> Crypto.Authenticator.compute ~keys:auth_keys kb));
+    Test.make ~name:"rabin-384 sign" (Staged.stage (fun () -> Crypto.Rabin.sign rabin kb));
+    Test.make ~name:"rabin-384 verify"
+      (Staged.stage (fun () -> Crypto.Rabin.verify rabin_pk kb rabin_sig));
+    Test.make ~name:"merkle update 1 page"
+      (Staged.stage (fun () ->
+           incr counter;
+           Statemgr.Pages.write pages ~pos:0 (string_of_int !counter);
+           Statemgr.Merkle.update merkle pages [ 0 ]));
+    Test.make ~name:"sql insert (in-memory)"
+      (Staged.stage (fun () ->
+           incr counter;
+           Relsql.Database.exec sql
+             (Printf.sprintf
+                "INSERT INTO votes (voter, choice, ts, nonce) VALUES ('b%d','c',NOW(),RANDOM())"
+                !counter)));
+    Test.make ~name:"message encode (pre-prepare, batch 12)"
+      (Staged.stage (fun () -> Pbft.Message.encode sample_msg));
+    Test.make ~name:"message decode" (Staged.stage (fun () -> Pbft.Message.decode wire));
+  ]
+
+let run_micro () =
+  print_endline "== P1 — primitive costs (Bechamel, host CPU time per op) ==";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name result ->
+          let v = Analyze.one ols Instance.monotonic_clock result in
+          match Analyze.OLS.estimates v with
+          | Some [ est ] -> Printf.printf "  %-42s %12.0f ns/op\n%!" name est
+          | Some _ | None -> Printf.printf "  %-42s (no estimate)\n%!" name)
+        raw)
+    (micro_tests ())
+
+(* --- experiment regenerators --- *)
+
+let duration = ref 1.5
+let seed = ref 1
+
+let banner name = Printf.printf "\n######## %s ########\n%!" name
+
+let sections : (string * (unit -> unit)) list =
+  [
+    ("micro", run_micro);
+    ( "figure1",
+      fun () ->
+        banner "Figure 1 — normal-case operation";
+        print_string (Harness.Experiments.figure1 ~seed:!seed ()) );
+    ( "figure2",
+      fun () ->
+        banner "Figure 2 — dynamic client join";
+        print_string (Harness.Experiments.figure2 ~seed:!seed ()) );
+    ( "figure3",
+      fun () ->
+        banner "Figure 3 — SQLite-VFS inside PBFT";
+        print_string (Harness.Experiments.figure3 ~seed:!seed ()) );
+    ( "table1",
+      fun () ->
+        banner "Table 1";
+        print_string
+          (Harness.Report.render (Harness.Experiments.table1 ~seed:!seed ~duration:!duration ()))
+    );
+    ( "figure4",
+      fun () ->
+        banner "Figure 4";
+        print_string
+          (Harness.Report.render (Harness.Experiments.figure4 ~seed:!seed ~duration:!duration ()))
+    );
+    ( "figure5",
+      fun () ->
+        banner "Figure 5";
+        print_string
+          (Harness.Report.render (Harness.Experiments.figure5 ~seed:!seed ~duration:!duration ()))
+    );
+    ( "acid",
+      fun () ->
+        banner "ACID vs No-ACID (§4.2)";
+        print_string
+          (Harness.Report.render
+             (Harness.Experiments.acid_comparison ~seed:!seed ~duration:!duration ())) );
+    ( "recovery",
+      fun () ->
+        banner "Recovery vs rebroadcast period (§2.3)";
+        print_string (Harness.Report.render (Harness.Experiments.recovery ~seed:!seed ())) );
+    ( "packet-loss",
+      fun () ->
+        banner "Single datagram loss (§2.4)";
+        print_string (Harness.Report.render (Harness.Experiments.packet_loss ~seed:!seed ())) );
+    ( "nondet",
+      fun () ->
+        banner "Non-determinism validation vs replay (§2.5)";
+        print_string
+          (Harness.Report.render (Harness.Experiments.nondet_validation ~seed:!seed ())) );
+    ( "wan",
+      fun () ->
+        banner "Wide-area deployment (§3.3.3)";
+        print_string
+          (Harness.Report.render (Harness.Experiments.wan ~seed:!seed ~duration:!duration ())) );
+    ( "sizes",
+      fun () ->
+        banner "Payload size sweep (§4.1)";
+        print_string
+          (Harness.Report.render
+             (Harness.Experiments.payload_sweep ~seed:!seed ~duration:!duration ())) );
+    ( "loss",
+      fun () ->
+        banner "Loss sweep (robustness vs optimization)";
+        print_string
+          (Harness.Report.render (Harness.Experiments.loss_sweep ~seed:!seed ())) );
+    ( "ablation",
+      fun () ->
+        banner "Batching ablation";
+        print_string
+          (Harness.Report.render
+             (Harness.Experiments.batching_ablation ~seed:!seed ~duration:!duration ())) );
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let wanted = List.filter (fun a -> a <> "all") args in
+  let run_all = wanted = [] in
+  (* figure4 duplicates table1's sweep; skip it in the default run. *)
+  let default_skip = [ "figure4" ] in
+  List.iter
+    (fun (name, f) ->
+      if (run_all && not (List.mem name default_skip)) || List.mem name wanted then f ())
+    sections

@@ -1,0 +1,1 @@
+examples/dynamic_clients.ml: Array Client Cluster Config List Membership Pbft Printf Replica Service Simnet String

@@ -1,0 +1,1 @@
+examples/dynamic_clients.mli:

@@ -1,0 +1,1 @@
+examples/evoting_demo.ml: Array Certificate Client Cluster Config Evoting List Option Pbft Printf Simnet String

@@ -1,0 +1,1 @@
+examples/evoting_demo.mli:

@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Array Client Cluster Config Pbft Printf Replica Simnet String Types

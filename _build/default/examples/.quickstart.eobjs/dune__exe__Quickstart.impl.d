@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Client Cluster Config Pbft Printf Replica Service

@@ -1,0 +1,1 @@
+examples/sql_kvstore.ml: Array Client Cluster Config Pbft Printf Relsql Replica Statemgr String Util

@@ -1,0 +1,1 @@
+examples/web_voting.ml: Client Cluster Config Costmodel Crypto Evoting List Pbft Printf Replica String Util Webgate

@@ -1,0 +1,59 @@
+(* §3.3.3 realized: a browser-hosted voter. The browser speaks only JSON;
+   each replica hosts a WebSocket/JSON bridge (no centralized component),
+   and the browser signs with a browser-available public-key scheme.
+
+   Run with:  dune exec examples/web_voting.exe *)
+
+open Pbft
+
+let () =
+  let cfg = { (Config.default ~f:1) with Config.dynamic_clients = true } in
+  let cluster = Cluster.create ~seed:13 ~num_clients:1 ~service:(Evoting.service ()) cfg in
+  let engine = Cluster.engine cluster in
+  let net = Cluster.net cluster in
+
+  (* One JSON bridge per replica — co-located, not a central agent. *)
+  let bridges =
+    List.init cfg.Config.n (fun i ->
+        Webgate.Gateway.Bridge.attach ~cfg ~costs:Costmodel.default ~engine ~net ~replica:i)
+  in
+
+  (* The native client plays election official; the browser is a voter. *)
+  let official = Cluster.client cluster 0 in
+  let rng = Util.Rng.create 4 in
+  let browser =
+    Webgate.Gateway.Browser.create ~cfg ~costs:Costmodel.default ~engine ~net ~addr:7001
+      ~signer:(Crypto.Keychain.make Crypto.Keychain.Simulated rng ~id:7001)
+      ~registry:{ Replica.reg_verifiers = [||]; reg_group_secret = ""; reg_static_clients = [] }
+      ()
+  in
+
+  Client.join official ~idbuf:"official:pw" (fun _ ->
+      Client.invoke official (Evoting.create_election_sql ~name:"referendum") (fun r ->
+          Printf.printf "official creates election -> %s\n" (String.trim r)));
+  Cluster.run cluster ~seconds:3.0;
+
+  Webgate.Gateway.Browser.join browser ~idbuf:"webvoter:pw" (function
+    | Some id -> Printf.printf "browser joined over JSON as client %d\n" id
+    | None -> print_endline "browser join denied");
+  Cluster.run cluster ~seconds:3.0;
+
+  (* The browser's vote: a JSON frame per replica, translated by the
+     bridges into native protocol datagrams. *)
+  Webgate.Gateway.Browser.invoke browser
+    (Evoting.cast_vote_sql ~election:1 ~voter:"webvoter" ~choice:"yes")
+    (fun r ->
+      Printf.printf "browser casts vote -> %s\n"
+        (if Evoting.vote_accepted r then "accepted" else "rejected");
+      Webgate.Gateway.Browser.invoke browser ~readonly:true (Evoting.tally_sql ~election:1)
+        (fun r ->
+          print_endline "browser reads tally over JSON:";
+          print_string r));
+  Cluster.run cluster ~seconds:5.0;
+
+  List.iteri
+    (fun i b ->
+      Printf.printf "bridge %d translated %d frames (%d rejected)\n" i
+        (Webgate.Gateway.Bridge.frames_translated b)
+        (Webgate.Gateway.Bridge.rejected b))
+    bridges

@@ -1,0 +1,1 @@
+lib/bignum/prime.ml: List Nat

@@ -1,0 +1,1 @@
+lib/bignum/prime.mli: Nat Util

@@ -1,0 +1,64 @@
+let small_primes =
+  [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61; 67; 71; 73; 79; 83; 89;
+    97; 101; 103; 107; 109; 113; 127; 131; 137; 139; 149; 151; 157; 163; 167; 173; 179; 181;
+    191; 193; 197; 199; 211; 223; 227; 229; 233; 239; 241; 251 ]
+
+let divisible_by_small n =
+  List.exists
+    (fun p ->
+      let pn = Nat.of_int p in
+      Nat.compare n pn > 0 && Nat.is_zero (Nat.rem n pn))
+    small_primes
+
+let miller_rabin_round rng n d s =
+  let n_minus_1 = Nat.sub n Nat.one in
+  let a = Nat.add Nat.two (Nat.random_below rng (Nat.sub n (Nat.of_int 3))) in
+  let x = ref (Nat.mod_exp a d n) in
+  if Nat.equal !x Nat.one || Nat.equal !x n_minus_1 then true
+  else begin
+    let witness = ref false in
+    (let r = ref 1 in
+     while (not !witness) && !r < s do
+       x := Nat.mod_mul !x !x n;
+       if Nat.equal !x n_minus_1 then witness := true;
+       incr r
+     done);
+    !witness
+  end
+
+let is_probable_prime ?(rounds = 25) rng n =
+  if Nat.compare n Nat.two < 0 then false
+  else if List.exists (fun p -> Nat.equal n (Nat.of_int p)) small_primes then true
+  else if Nat.is_even n || divisible_by_small n then false
+  else begin
+    (* n - 1 = d * 2^s with d odd. *)
+    let n_minus_1 = Nat.sub n Nat.one in
+    let rec split d s = if Nat.is_even d then split (Nat.shift_right d 1) (s + 1) else (d, s) in
+    let d, s = split n_minus_1 0 in
+    let rec rounds_pass i = i >= rounds || (miller_rabin_round rng n d s && rounds_pass (i + 1)) in
+    rounds_pass 0
+  end
+
+let candidate rng ~bits =
+  let v = Nat.random_bits rng (bits - 2) in
+  (* Force the top two bits (so p*q has exactly 2·bits bits) and oddness. *)
+  let high = Nat.shift_left (Nat.of_int 3) (bits - 2) in
+  let v = Nat.add high v in
+  if Nat.is_even v then Nat.add v Nat.one else v
+
+let generate rng ~bits =
+  if bits < 4 then invalid_arg "Prime.generate: too few bits";
+  let rec go () =
+    let c = candidate rng ~bits in
+    if is_probable_prime rng c then c else go ()
+  in
+  go ()
+
+let generate_blum rng ~bits =
+  let rec go () =
+    let c = candidate rng ~bits in
+    (* Adjust to ≡ 3 (mod 4). *)
+    let c = if Nat.rem c (Nat.of_int 4) |> Nat.to_int = 3 then c else Nat.add c Nat.two in
+    if is_probable_prime rng c then c else go ()
+  in
+  go ()

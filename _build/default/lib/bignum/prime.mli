@@ -1,0 +1,12 @@
+(** Probabilistic primality testing and prime generation for Rabin keys. *)
+
+val is_probable_prime : ?rounds:int -> Util.Rng.t -> Nat.t -> bool
+(** Miller–Rabin with trial division by small primes first. The error
+    probability is at most 4^-rounds (default 25 rounds). *)
+
+val generate : Util.Rng.t -> bits:int -> Nat.t
+(** Random probable prime of exactly [bits] bits. *)
+
+val generate_blum : Util.Rng.t -> bits:int -> Nat.t
+(** Random probable prime ≡ 3 (mod 4) — the form required by Rabin
+    signing, where square roots are computed as [m^((p+1)/4) mod p]. *)

@@ -1,0 +1,1 @@
+lib/crypto/authenticator.ml: List Mac String Util

@@ -1,0 +1,1 @@
+lib/crypto/authenticator.mli: Mac Util

@@ -1,0 +1,1 @@
+lib/crypto/keychain.ml: Bignum Bytes Hmac Option Printf Rabin Sha256 String Util

@@ -1,0 +1,1 @@
+lib/crypto/keychain.mli: Util

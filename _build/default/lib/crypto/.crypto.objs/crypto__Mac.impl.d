@@ -1,0 +1,1 @@
+lib/crypto/mac.ml: Bytes Char Hmac String Util

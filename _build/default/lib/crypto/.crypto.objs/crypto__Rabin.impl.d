@@ -1,0 +1,1 @@
+lib/crypto/rabin.ml: Bignum Nat Prime Printf Sha256 Util

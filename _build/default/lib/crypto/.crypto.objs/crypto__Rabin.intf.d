@@ -1,0 +1,1 @@
+lib/crypto/rabin.mli: Bignum Util

@@ -1,0 +1,1 @@
+lib/crypto/sha256.ml: Array Bytes Int32 Int64 List String Util

@@ -1,0 +1,1 @@
+lib/crypto/shamir.ml: Bignum List Nat Prime

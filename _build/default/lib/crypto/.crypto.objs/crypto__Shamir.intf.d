@@ -1,0 +1,1 @@
+lib/crypto/shamir.mli: Bignum Util

@@ -1,0 +1,1 @@
+lib/crypto/threshold.ml: Bignum Hashtbl List Nat Prime Sha256 Shamir Util

@@ -1,0 +1,1 @@
+lib/crypto/threshold.mli: Bignum Util

@@ -1,0 +1,24 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let b = Bytes.make block_size '\000' in
+  Bytes.blit_string key 0 b 0 (String.length key);
+  Bytes.to_string b
+
+let xor_with s c = String.map (fun x -> Char.chr (Char.code x lxor c)) s
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.digest (xor_with key 0x36 ^ msg) in
+  Sha256.digest (xor_with key 0x5c ^ inner)
+
+let verify ~key msg ~tag =
+  let expected = mac ~key msg in
+  (* Fold over all bytes rather than early-exit, mirroring constant-time
+     comparison discipline. *)
+  String.length expected = String.length tag
+  &&
+  let diff = ref 0 in
+  String.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code tag.[i])) expected;
+  !diff = 0

@@ -1,0 +1,7 @@
+(** HMAC-SHA256 (RFC 2104). *)
+
+val mac : key:string -> string -> string
+(** 32-byte authentication tag. *)
+
+val verify : key:string -> string -> tag:string -> bool
+(** Constant-shape comparison of the expected tag against [tag]. *)

@@ -1,0 +1,87 @@
+type mode =
+  | Real of int
+  | Simulated
+
+(* Simulated signatures are HMAC tags under a key derived from the node id
+   and a per-run secret, padded to the nominal signature size so the
+   network byte accounting matches the Real mode. *)
+let simulated_signature_size = 68 (* ≈ 512-bit Rabin root + counter byte overhead *)
+
+type signer =
+  | Real_signer of int * Rabin.keypair
+  | Sim_signer of int * string
+
+type verifier =
+  | Real_verifier of int * Rabin.public_key
+  | Sim_verifier of int * string
+
+let derive_sim_key rng id =
+  let seed = Bytes.to_string (Util.Rng.bytes rng 16) in
+  Sha256.digest (Printf.sprintf "simkey|%d|%s" id seed)
+
+let make mode rng ~id =
+  match mode with
+  | Real bits -> Real_signer (id, Rabin.generate rng ~bits)
+  | Simulated -> Sim_signer (id, derive_sim_key rng id)
+
+let verifier_of = function
+  | Real_signer (id, kp) -> Real_verifier (id, Rabin.public kp)
+  | Sim_signer (id, key) -> Sim_verifier (id, key)
+
+let pad_to size s = if String.length s >= size then s else s ^ String.make (size - String.length s) '\000'
+
+let sign signer msg =
+  match signer with
+  | Real_signer (_, kp) -> Rabin.signature_to_string (Rabin.sign kp msg)
+  | Sim_signer (_, key) -> pad_to simulated_signature_size (Hmac.mac ~key msg)
+
+let verify verifier msg ~signature =
+  match verifier with
+  | Real_verifier (_, pk) -> begin
+    match Rabin.signature_of_string signature with
+    | None -> false
+    | Some s -> Rabin.verify pk msg s
+  end
+  | Sim_verifier (_, key) ->
+    String.length signature = simulated_signature_size
+    && Hmac.verify ~key msg ~tag:(String.sub signature 0 32)
+
+let signature_size = function
+  | Real_verifier (_, pk) ->
+    (* counter varint + length prefix + root bytes *)
+    4 + String.length (Bignum.Nat.to_bytes_be (Rabin.modulus pk))
+  | Sim_verifier _ -> simulated_signature_size
+
+let verifier_to_string = function
+  | Real_verifier (id, pk) ->
+    Util.Codec.encode
+      (fun w () ->
+        Util.Codec.W.u8 w 0;
+        Util.Codec.W.varint w id;
+        Util.Codec.W.lstring w (Rabin.public_to_string pk))
+      ()
+  | Sim_verifier (id, key) ->
+    Util.Codec.encode
+      (fun w () ->
+        Util.Codec.W.u8 w 1;
+        Util.Codec.W.varint w id;
+        Util.Codec.W.lstring w key)
+      ()
+
+let verifier_of_string s =
+  match
+    Util.Codec.decode
+      (fun r ->
+        let tag = Util.Codec.R.u8 r in
+        let id = Util.Codec.R.varint r in
+        let body = Util.Codec.R.lstring r in
+        (tag, id, body))
+      s
+  with
+  | exception Util.Codec.R.Truncated -> None
+  | 0, id, body -> Option.map (fun pk -> Real_verifier (id, pk)) (Rabin.public_of_string body)
+  | 1, id, body -> Some (Sim_verifier (id, body))
+  | _ -> None
+
+let signer_id = function Real_signer (id, _) | Sim_signer (id, _) -> id
+let verifier_id = function Real_verifier (id, _) | Sim_verifier (id, _) -> id

@@ -1,0 +1,39 @@
+(** Node signing identities, in two interchangeable flavours.
+
+    [Real] runs the actual Rabin arithmetic: tests and small examples use
+    it to exercise the true code path. [Simulated] produces
+    structurally identical, correctly-sized signatures from a keyed hash;
+    large throughput experiments use it so that host CPU time is not spent
+    on bignum arithmetic that the *virtual* cost model already accounts
+    for (DESIGN.md, "Substitutions"). The two modes are indistinguishable
+    to the protocol layer. *)
+
+type mode =
+  | Real of int (** key size in bits *)
+  | Simulated
+
+type signer
+type verifier
+
+val make : mode -> Util.Rng.t -> id:int -> signer
+(** Create a signing identity for node [id]. *)
+
+val verifier_of : signer -> verifier
+(** The public half, distributable to other nodes. *)
+
+val sign : signer -> string -> string
+(** Signature bytes over the message. *)
+
+val verify : verifier -> string -> signature:string -> bool
+
+val signature_size : verifier -> int
+(** Nominal wire size of one signature (for the network size model). *)
+
+val verifier_to_string : verifier -> string
+(** Wire encoding of the public half, e.g. for Join requests and the
+    membership table. *)
+
+val verifier_of_string : string -> verifier option
+
+val signer_id : signer -> int
+val verifier_id : verifier -> int

@@ -1,0 +1,15 @@
+type key = string
+
+let tag_size = 8
+
+let compute ~key msg = String.sub (Hmac.mac ~key msg) 0 tag_size
+
+let verify ~key msg ~tag =
+  String.length tag = tag_size
+  &&
+  let expected = compute ~key msg in
+  let diff = ref 0 in
+  String.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code tag.[i])) expected;
+  !diff = 0
+
+let fresh_key rng = Bytes.to_string (Util.Rng.bytes rng 16)

@@ -1,0 +1,22 @@
+(** SHA-256, implemented from scratch (FIPS 180-4).
+
+    The paper's PBFT code base uses MD5 for digests; we substitute SHA-256
+    (see DESIGN.md) — the digest's role (request identity, Merkle hashing,
+    checkpoint digests) only needs collision resistance. *)
+
+val digest_size : int
+(** 32 bytes. *)
+
+val digest : string -> string
+(** [digest msg] is the 32-byte SHA-256 of [msg]. *)
+
+val hex : string -> string
+(** Convenience: lowercase hex of [digest msg]. *)
+
+type ctx
+(** Streaming interface for hashing large state pages without copying. *)
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val feed_bytes : ctx -> bytes -> pos:int -> len:int -> unit
+val finalize : ctx -> string

@@ -1,0 +1,82 @@
+open Bignum
+
+type share = { index : int; value : Nat.t }
+
+(* Evaluate the polynomial with the given coefficients (constant first) at
+   x, all arithmetic mod field, by Horner's rule. *)
+let eval_poly ~field coeffs x =
+  List.fold_left (fun acc c -> Nat.mod_add (Nat.mod_mul acc x field) c field) Nat.zero
+    (List.rev coeffs)
+
+let split rng ~field ~threshold ~shares secret =
+  if threshold < 1 || shares < threshold then invalid_arg "Shamir.split: bad threshold";
+  if Nat.compare (Nat.of_int shares) field >= 0 then invalid_arg "Shamir.split: field too small";
+  if Nat.compare secret field >= 0 then invalid_arg "Shamir.split: secret exceeds field";
+  let coeffs = secret :: List.init (threshold - 1) (fun _ -> Nat.random_below rng field) in
+  List.init shares (fun i ->
+      let index = i + 1 in
+      { index; value = eval_poly ~field coeffs (Nat.of_int index) })
+
+(* Lagrange basis at zero: λ_i = Π_{j≠i} x_j / (x_j - x_i), in the field. *)
+let lagrange_at_zero ~field shares i =
+  let xi = Nat.of_int (List.nth shares i).index in
+  List.fold_left
+    (fun acc (j, s) ->
+      if j = i then acc
+      else begin
+        let xj = Nat.of_int s.index in
+        let denom = Nat.mod_sub xj xi field in
+        match Nat.mod_inverse denom field with
+        | None -> invalid_arg "Shamir.combine: duplicate share indices"
+        | Some inv -> Nat.mod_mul acc (Nat.mod_mul xj inv field) field
+      end)
+    Nat.one
+    (List.mapi (fun j s -> (j, s)) shares)
+
+let combine ~field shares =
+  match shares with
+  | [] -> invalid_arg "Shamir.combine: no shares"
+  | _ ->
+    List.fold_left
+      (fun (acc, i) s ->
+        let li = lagrange_at_zero ~field shares i in
+        (Nat.mod_add acc (Nat.mod_mul s.value li field) field, i + 1))
+      (Nat.zero, 0) shares
+    |> fst
+
+module Feldman = struct
+  type group = { p : Nat.t; q : Nat.t; g : Nat.t }
+
+  let generate_group rng ~bits =
+    (* Search for a Sophie Germain pair: q prime with 2q + 1 also prime. *)
+    let rec go () =
+      let q = Prime.generate rng ~bits in
+      let p = Nat.add (Nat.shift_left q 1) Nat.one in
+      if Prime.is_probable_prime ~rounds:20 rng p then (p, q) else go ()
+    in
+    let p, q = go () in
+    (* g = h² is a generator of the order-q subgroup for any h ∉ {±1}. *)
+    let rec gen () =
+      let h = Nat.add Nat.two (Nat.random_below rng (Nat.sub p (Nat.of_int 4))) in
+      let g = Nat.mod_mul h h p in
+      if Nat.equal g Nat.one then gen () else g
+    in
+    { p; q; g = gen () }
+
+  type commitments = Nat.t list
+
+  let commit group coeffs = List.map (fun c -> Nat.mod_exp group.g c group.p) coeffs
+
+  let verify_share group commitments share =
+    let x = Nat.of_int share.index in
+    (* Π C_j^{x^j}, computing x^j incrementally mod q (exponents live in
+       the order-q subgroup). *)
+    let expected, _ =
+      List.fold_left
+        (fun (acc, xj) c ->
+          let acc = Nat.mod_mul acc (Nat.mod_exp c xj group.p) group.p in
+          (acc, Nat.mod_mul xj x group.q))
+        (Nat.one, Nat.one) commitments
+    in
+    Nat.equal (Nat.mod_exp group.g share.value group.p) expected
+end

@@ -1,0 +1,45 @@
+(* The schema runs exactly once per replica boot on a fresh region, so no
+   IF NOT EXISTS qualifiers are needed. *)
+let schema =
+  String.concat ";\n"
+    [
+      "CREATE TABLE IF NOT EXISTS elections (eid INTEGER PRIMARY KEY, name TEXT, open_flag INTEGER)";
+      "CREATE TABLE IF NOT EXISTS choices (cid INTEGER PRIMARY KEY, eid INTEGER, label TEXT)";
+      "CREATE TABLE IF NOT EXISTS ballots (bid INTEGER PRIMARY KEY, eid INTEGER, voter TEXT, \
+       choice TEXT, ts REAL, nonce INTEGER)";
+      "CREATE INDEX idx_ballots_eid ON ballots(eid)";
+    ]
+
+let service ?(acid = true) () = Relsql.Pbft_service.service ~acid ~schema ()
+
+let create_election_sql ~name =
+  Printf.sprintf "INSERT INTO elections (name, open_flag) VALUES ('%s', 1)" name
+
+let add_choice_sql ~election ~choice =
+  Printf.sprintf "INSERT INTO choices (eid, label) VALUES (%d, '%s')" election choice
+
+(* One ballot per (election, voter): the ballot's INTEGER PRIMARY KEY is a
+   stable hash of the pair, so a second cast trips the UNIQUE constraint
+   identically on every replica. *)
+let ballot_id ~election ~voter =
+  let d = Crypto.Sha256.digest (Printf.sprintf "ballot|%d|%s" election voter) in
+  let v = ref 0 in
+  for i = 0 to 6 do
+    v := (!v lsl 8) lor Char.code d.[i]
+  done;
+  !v
+
+let cast_vote_sql ~election ~voter ~choice =
+  Printf.sprintf
+    "INSERT INTO ballots (bid, eid, voter, choice, ts, nonce) VALUES (%d, %d, '%s', '%s', NOW(), \
+     RANDOM())"
+    (ballot_id ~election ~voter) election voter choice
+
+let tally_sql ~election =
+  Printf.sprintf
+    "SELECT choice, COUNT(*) votes FROM ballots WHERE eid = %d GROUP BY choice ORDER BY votes DESC"
+    election
+
+let turnout_sql ~election = Printf.sprintf "SELECT COUNT(*) turnout FROM ballots WHERE eid = %d" election
+
+let vote_accepted reply = String.length reply >= 3 && String.sub reply 0 3 = "ok:"

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Buffer List Option Pbft Printf Relsql Report Scenario Simnet String

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Buffer Float List Printf String

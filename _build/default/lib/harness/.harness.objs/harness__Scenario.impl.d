@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Array Pbft Printf Simnet String Util

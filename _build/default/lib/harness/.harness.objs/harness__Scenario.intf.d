@@ -1,0 +1,1 @@
+lib/harness/scenario.mli: Pbft Simnet

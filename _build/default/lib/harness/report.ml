@@ -1,0 +1,28 @@
+type row = { name : string; paper : float option; measured : float; unit_ : string; note : string }
+type t = { title : string; rows : row list; commentary : string list }
+
+let row ?paper ?(note = "") ?(unit_ = "TPS") name measured = { name; paper; measured; unit_; note }
+
+let fmt_num v =
+  if Float.abs v >= 1000.0 then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 10.0 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.3f" v
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  let name_w =
+    List.fold_left (fun acc r -> max acc (String.length r.name)) 24 t.rows
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s %12s %12s %6s  %s\n" name_w "configuration" "paper" "measured" "unit"
+       "note");
+  List.iter
+    (fun r ->
+      let paper = match r.paper with Some p -> fmt_num p | None -> "-" in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s %12s %12s %6s  %s\n" name_w r.name paper (fmt_num r.measured)
+           r.unit_ r.note))
+    t.rows;
+  List.iter (fun c -> Buffer.add_string buf ("  " ^ c ^ "\n")) t.commentary;
+  Buffer.contents buf

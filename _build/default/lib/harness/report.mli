@@ -1,0 +1,15 @@
+(** Uniform experiment reports: paper value vs measured value per row,
+    rendered as aligned text tables for EXPERIMENTS.md and the CLI. *)
+
+type row = {
+  name : string;
+  paper : float option;  (** the paper's reported number, if it gives one *)
+  measured : float;
+  unit_ : string;
+  note : string;
+}
+
+type t = { title : string; rows : row list; commentary : string list }
+
+val row : ?paper:float -> ?note:string -> ?unit_:string -> string -> float -> row
+val render : t -> string

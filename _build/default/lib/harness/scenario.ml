@@ -1,0 +1,127 @@
+type spec = {
+  cfg : Pbft.Config.t;
+  seed : int;
+  num_clients : int;
+  service : Pbft.Service.t;
+  profile : Simnet.Net.profile;
+  warmup : float;
+  duration : float;
+  op : client:int -> seq:int -> string;
+  readonly : bool;
+  think_time : float;
+}
+
+let default_spec cfg =
+  {
+    cfg;
+    seed = 1;
+    num_clients = 12;
+    service = Pbft.Service.null ();
+    profile = Simnet.Net.lan_profile;
+    warmup = 0.5;
+    duration = 2.0;
+    op = (fun ~client:_ ~seq:_ -> String.make 1024 'q');
+    readonly = false;
+    think_time = 0.0;
+  }
+
+type outcome = {
+  tps : float;
+  completed : int;
+  mean_latency : float;
+  p50_latency : float;
+  p99_latency : float;
+  retransmissions : int;
+  view_changes : int;
+  state_transfers : int;
+  auth_failures : int;
+  nondet_rejects : int;
+}
+
+let join_all cluster =
+  (* Dynamic mode: every client performs the two-phase join before the
+     workload begins. *)
+  let clients = Pbft.Cluster.clients cluster in
+  let joined = ref 0 in
+  Array.iteri
+    (fun i cl ->
+      Pbft.Client.join cl
+        ~idbuf:(Printf.sprintf "user%d:password%d" (i + 1) (i + 1))
+        (function
+          | Some _ -> incr joined
+          | None -> ()))
+    clients;
+  let deadline = Simnet.Engine.now (Pbft.Cluster.engine cluster) +. 30.0 in
+  while
+    !joined < Array.length clients && Simnet.Engine.now (Pbft.Cluster.engine cluster) < deadline
+  do
+    Simnet.Engine.run
+      ~until:(Simnet.Engine.now (Pbft.Cluster.engine cluster) +. 0.1)
+      (Pbft.Cluster.engine cluster)
+  done;
+  if !joined < Array.length clients then failwith "Scenario: dynamic join did not complete"
+
+let run_cluster ?hook spec =
+  let cluster =
+    Pbft.Cluster.create ~seed:spec.seed ~profile:spec.profile ~num_clients:spec.num_clients
+      ~service:spec.service spec.cfg
+  in
+  Simnet.Trace.set_enabled (Pbft.Cluster.trace cluster) false;
+  (match hook with Some h -> h cluster | None -> ());
+  if spec.cfg.Pbft.Config.dynamic_clients then join_all cluster;
+  let engine = Pbft.Cluster.engine cluster in
+  let stop = ref false in
+  let drive i cl =
+    let seq = ref 0 in
+    let rec next () =
+      if not !stop then begin
+        incr seq;
+        Pbft.Client.invoke cl ~readonly:spec.readonly (spec.op ~client:i ~seq:!seq) (fun _ ->
+            if spec.think_time > 0.0 then Simnet.Engine.schedule engine ~delay:spec.think_time next
+            else next ())
+      end
+    in
+    next ()
+  in
+  Array.iteri drive (Pbft.Cluster.clients cluster);
+  Pbft.Cluster.run cluster ~seconds:spec.warmup;
+  let base_completed = Pbft.Cluster.total_completed cluster in
+  let measure_start = Simnet.Engine.now engine in
+  Pbft.Cluster.run cluster ~seconds:spec.duration;
+  let measured = Pbft.Cluster.total_completed cluster - base_completed in
+  stop := true;
+  (* Latency sample: per-client means over the whole run (warmup
+     included); at steady state the distributions coincide. *)
+  let all = Util.Stats.create () in
+  Array.iter
+    (fun cl ->
+      let s = Pbft.Client.latency_stats cl in
+      if Util.Stats.count s > 0 then Util.Stats.add all (Util.Stats.mean s))
+    (Pbft.Cluster.clients cluster);
+  let span = Simnet.Engine.now engine -. measure_start in
+  let reps = Pbft.Cluster.replicas cluster in
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 reps in
+  let outcome =
+    {
+      tps = (if span > 0.0 then float_of_int measured /. span else 0.0);
+      completed = measured;
+      mean_latency = (if Util.Stats.count all > 0 then Util.Stats.mean all else 0.0);
+      p50_latency =
+        (let s = Pbft.Client.latency_stats (Pbft.Cluster.client cluster 0) in
+         if Util.Stats.count s > 0 then Util.Stats.percentile s 50.0 else 0.0);
+      p99_latency =
+        (let s = Pbft.Client.latency_stats (Pbft.Cluster.client cluster 0) in
+         if Util.Stats.count s > 0 then Util.Stats.percentile s 99.0 else 0.0);
+      retransmissions =
+        Array.fold_left
+          (fun acc cl -> acc + Pbft.Client.retransmissions cl)
+          0 (Pbft.Cluster.clients cluster);
+      view_changes = sum Pbft.Replica.view_changes;
+      state_transfers = sum Pbft.Replica.state_transfers;
+      auth_failures = sum Pbft.Replica.auth_failures;
+      nondet_rejects = sum Pbft.Replica.nondet_rejects;
+    }
+  in
+  (outcome, cluster)
+
+let run ?hook spec = fst (run_cluster ?hook spec)

@@ -1,0 +1,43 @@
+(** Experiment driver: the role of the paper's Python/netcat controller
+    (§4) — build a cluster, coordinate clients, run a timed workload and
+    aggregate the measurements. *)
+
+type spec = {
+  cfg : Pbft.Config.t;
+  seed : int;
+  num_clients : int;
+  service : Pbft.Service.t;
+  profile : Simnet.Net.profile;
+  warmup : float;  (** seconds before measurement starts *)
+  duration : float;  (** measured seconds *)
+  op : client:int -> seq:int -> string;  (** operation generator *)
+  readonly : bool;  (** submit operations as read-only *)
+  think_time : float;  (** client delay between requests; 0 = closed loop *)
+}
+
+val default_spec : Pbft.Config.t -> spec
+(** 12 clients, null service, LAN profile, 0.5 s warmup, 2 s measurement,
+    1024-byte null ops, seed 1. *)
+
+type outcome = {
+  tps : float;
+  completed : int;
+  mean_latency : float;
+  p50_latency : float;
+  p99_latency : float;
+  retransmissions : int;
+  view_changes : int;
+  state_transfers : int;
+  auth_failures : int;
+  nondet_rejects : int;
+}
+
+val run : ?hook:(Pbft.Cluster.t -> unit) -> spec -> outcome
+(** Build the cluster (joining clients first in dynamic mode), run the
+    warmup, measure for [duration], and aggregate. [hook] runs after
+    construction and before the workload — the place to schedule fault
+    injections on the cluster's engine. *)
+
+val run_cluster : ?hook:(Pbft.Cluster.t -> unit) -> spec -> outcome * Pbft.Cluster.t
+(** Like {!run} but also hands back the cluster for post-hoc inspection
+    (per-replica counters, traces). *)

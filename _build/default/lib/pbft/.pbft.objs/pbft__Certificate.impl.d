@@ -1,0 +1,1 @@
+lib/pbft/certificate.ml: Crypto List Printf

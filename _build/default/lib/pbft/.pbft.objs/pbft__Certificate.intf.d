@@ -1,0 +1,1 @@
+lib/pbft/certificate.mli: Crypto Types

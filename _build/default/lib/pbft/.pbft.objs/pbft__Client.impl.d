@@ -1,0 +1,1 @@
+lib/pbft/client.ml: Array Bytes Certificate Config Costmodel Crypto Hashtbl List Message Option Replica Simnet String Types Util

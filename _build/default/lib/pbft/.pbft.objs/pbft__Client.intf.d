@@ -1,0 +1,1 @@
+lib/pbft/client.mli: Config Costmodel Crypto Replica Simnet Types Util

@@ -1,0 +1,1 @@
+lib/pbft/cluster.ml: Array Bytes Client Config Costmodel Crypto List Option Replica Service Simnet Types Util

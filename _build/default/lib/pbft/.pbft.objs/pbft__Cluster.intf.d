@@ -1,0 +1,1 @@
+lib/pbft/cluster.mli: Client Config Costmodel Crypto Replica Service Simnet Types

@@ -1,0 +1,1 @@
+lib/pbft/config.ml: Printf

@@ -1,0 +1,1 @@
+lib/pbft/log.ml: Hashtbl List Message Types

@@ -1,0 +1,1 @@
+lib/pbft/log.mli: Hashtbl Message Types

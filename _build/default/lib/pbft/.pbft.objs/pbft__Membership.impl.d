@@ -1,0 +1,1 @@
+lib/pbft/membership.ml: Hashtbl List Types Util

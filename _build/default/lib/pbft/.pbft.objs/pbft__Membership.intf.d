@@ -1,0 +1,1 @@
+lib/pbft/membership.mli: Types

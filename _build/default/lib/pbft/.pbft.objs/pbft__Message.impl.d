@@ -1,0 +1,1 @@
+lib/pbft/message.ml: Crypto List Printf String Types Util

@@ -1,0 +1,1 @@
+lib/pbft/message.mli: Crypto Types

@@ -1,0 +1,1 @@
+lib/pbft/nondet.ml: Config Float Option Util

@@ -1,0 +1,1 @@
+lib/pbft/nondet.mli: Config Util

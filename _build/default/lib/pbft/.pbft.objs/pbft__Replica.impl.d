@@ -1,0 +1,1 @@
+lib/pbft/replica.ml: Array Certificate Char Config Costmodel Crypto Float Hashtbl List Log Membership Message Nondet Option Printf Queue Service Simnet Statemgr String Types Util

@@ -1,0 +1,1 @@
+lib/pbft/replica.mli: Config Costmodel Crypto Membership Service Simnet Statemgr Types

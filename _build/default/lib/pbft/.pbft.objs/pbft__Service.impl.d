@@ -1,0 +1,1 @@
+lib/pbft/service.ml: List Option Printf Session_state Statemgr String Types Util

@@ -1,0 +1,1 @@
+lib/pbft/service.mli: Statemgr Types

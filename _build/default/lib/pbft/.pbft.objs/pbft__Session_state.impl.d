@@ -1,0 +1,1 @@
+lib/pbft/session_state.ml: List Printf Statemgr String Types Util

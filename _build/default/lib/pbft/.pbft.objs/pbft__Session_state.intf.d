@@ -1,0 +1,1 @@
+lib/pbft/session_state.mli: Statemgr Types

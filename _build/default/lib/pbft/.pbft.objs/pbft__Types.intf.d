@@ -1,0 +1,1 @@
+lib/pbft/types.mli:

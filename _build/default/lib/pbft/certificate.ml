@@ -1,0 +1,17 @@
+let signed_payload ~client ~rq_id ~result =
+  Printf.sprintf "reply-cert|%d|%d|%s" client rq_id (Crypto.Sha256.digest result)
+
+let partial pk share ~client ~rq_id ~result =
+  Crypto.Threshold.partial_to_string
+    (Crypto.Threshold.partial_sign pk share (signed_payload ~client ~rq_id ~result))
+
+let combine pk ~client ~rq_id ~result wires =
+  let partials = List.filter_map Crypto.Threshold.partial_of_string wires in
+  match Crypto.Threshold.combine pk (signed_payload ~client ~rq_id ~result) partials with
+  | Some s -> Some (Crypto.Threshold.signature_to_string s)
+  | None -> None
+
+let verify pk ~client ~rq_id ~result wire =
+  match Crypto.Threshold.signature_of_string wire with
+  | None -> false
+  | Some s -> Crypto.Threshold.verify pk (signed_payload ~client ~rq_id ~result) s

@@ -1,0 +1,420 @@
+open Types
+
+type outstanding = {
+  o_rq : Message.request;
+  o_multicast : bool;
+  o_start : float;
+  o_replies : (replica_id, string * bool) Hashtbl.t;
+  o_partials : (replica_id, string * string) Hashtbl.t;
+      (** replica -> (result it reported, its wire partial) *)
+  o_callback : string -> string option -> unit;
+  mutable o_timer : Simnet.Engine.timer option;
+}
+
+type join_state = {
+  j_nonce : string;
+  j_idbuf : string;
+  j_challenges : (replica_id, string) Hashtbl.t;
+  j_replies : (replica_id, client_id) Hashtbl.t;
+  j_callback : client_id option -> unit;
+  mutable j_responded : bool;
+  mutable j_timer : Simnet.Engine.timer option;
+}
+
+type t = {
+  cfg : Config.t;
+  costs : Costmodel.t;
+  engine : Simnet.Engine.t;
+  net : Simnet.Net.t;
+  cpu : Simnet.Cpu.t;
+  rng : Util.Rng.t;
+  caddr : int;
+  signer : Crypto.Keychain.signer;
+  registry : Replica.registry;
+  threshold_public : Crypto.Threshold.public option;
+  keys : (replica_id, Crypto.Mac.key) Hashtbl.t;
+  mutable cid : client_id option;
+  mutable next_rq_id : int;
+  mutable view_guess : view;
+  mutable out : outstanding option;
+  mutable joining : join_state option;
+  mutable rebroadcast : Simnet.Engine.timer option;
+  mutable n_completed : int;
+  mutable n_retrans : int;
+  latencies : Util.Stats.t;
+  mutable alive : bool;
+}
+
+let addr t = t.caddr
+let client_id t = t.cid
+let verifier_string t = Crypto.Keychain.verifier_to_string (Crypto.Keychain.verifier_of t.signer)
+let completed t = t.n_completed
+let retransmissions t = t.n_retrans
+let latency_stats t = t.latencies
+let now t = Simnet.Engine.now t.engine
+
+let send_cost t bytes = Costmodel.send t.costs bytes
+let recv_cost t bytes = Costmodel.recv t.costs bytes
+
+let charge t cost k = Simnet.Cpu.execute t.cpu ~cost k
+
+let session_key_for t replica =
+  match Hashtbl.find_opt t.keys replica with
+  | Some k -> k
+  | None ->
+    let k = Crypto.Mac.fresh_key t.rng in
+    Hashtbl.replace t.keys replica k;
+    k
+
+let replica_ids t = List.init t.cfg.n (fun i -> i)
+
+let send_payload t ~dst payload ~signed =
+  let pb = Message.payload_bytes payload in
+  let auth, auth_cost =
+    if signed || not t.cfg.use_macs then
+      (Message.Signed (Crypto.Keychain.sign t.signer pb), t.costs.sign)
+    else begin
+      let key = session_key_for t dst in
+      ( Message.Authenticated (Crypto.Authenticator.compute ~keys:[ (dst, key) ] pb),
+        t.costs.mac_gen )
+    end
+  in
+  let wire = Message.encode { payload; auth } in
+  charge t
+    (auth_cost +. send_cost t (String.length wire))
+    (fun () ->
+      Simnet.Net.send t.net ~label:(Message.label payload) ~detail:(Message.describe payload)
+        ~src:t.caddr ~dst wire)
+
+(* Multicast with a shared authenticator: authentication generated once,
+   one datagram per replica. *)
+let multicast_payload t payload ~signed =
+  let pb = Message.payload_bytes payload in
+  let auth, auth_cost =
+    if signed || not t.cfg.use_macs then
+      (Message.Signed (Crypto.Keychain.sign t.signer pb), t.costs.sign)
+    else begin
+      let keys = List.map (fun r -> (r, session_key_for t r)) (replica_ids t) in
+      ( Message.Authenticated (Crypto.Authenticator.compute ~keys pb),
+        float_of_int t.cfg.n *. t.costs.mac_gen )
+    end
+  in
+  let wire = Message.encode { payload; auth } in
+  charge t
+    (auth_cost +. (float_of_int t.cfg.n *. send_cost t (String.length wire)))
+    (fun () ->
+      List.iter
+        (fun dst ->
+          Simnet.Net.send t.net ~label:(Message.label payload)
+            ~detail:(Message.describe payload) ~src:t.caddr ~dst wire)
+        (replica_ids t))
+
+let announce_session_keys t =
+  List.iter
+    (fun replica ->
+      let key = session_key_for t replica in
+      send_payload t ~dst:replica ~signed:true
+        (Message.Session_key { sk_sender = t.caddr; sk_target = replica; sk_key_box = key }))
+    (replica_ids t)
+
+(* ------------------------------------------------------------------ *)
+(* Requests.                                                            *)
+
+let is_big t op = t.cfg.all_requests_big || String.length op > t.cfg.big_request_threshold
+
+let transmit t o ~to_all =
+  let payload = Message.Request_msg o.o_rq in
+  if to_all then multicast_payload t payload ~signed:false
+  else send_payload t ~dst:(primary_of_view ~n:t.cfg.n t.view_guess) payload ~signed:false
+
+let rec arm_retransmit t o =
+  o.o_timer <-
+    Some
+      (Simnet.Engine.timer t.engine ~delay:t.cfg.client_timeout (fun () ->
+           let still_out = match t.out with Some o' -> o' == o | None -> false in
+           if t.alive && still_out then begin
+             t.n_retrans <- t.n_retrans + 1;
+             (* On timeout PBFT clients multicast to all replicas, which
+                both reaches a correct primary and triggers the backups'
+                view-change watchdogs. *)
+             transmit t o ~to_all:true;
+             arm_retransmit t o
+           end))
+
+let invoke_certified t ?(readonly = false) op callback =
+  (match t.out with Some _ -> failwith "Client.invoke: request already outstanding" | None -> ());
+  let cid = match t.cid with Some c -> c | None -> failwith "Client.invoke: no identity" in
+  t.next_rq_id <- t.next_rq_id + 1;
+  let rq =
+    {
+      Message.rq_client = cid;
+      rq_id = t.next_rq_id;
+      rq_op = op;
+      rq_readonly = readonly;
+      rq_timestamp = now t;
+    }
+  in
+  let multicast = readonly || is_big t op in
+  let o =
+    {
+      o_rq = rq;
+      o_multicast = multicast;
+      o_start = now t;
+      o_replies = Hashtbl.create 8;
+      o_partials = Hashtbl.create 8;
+      o_callback = callback;
+      o_timer = None;
+    }
+  in
+  t.out <- Some o;
+  transmit t o ~to_all:multicast;
+  arm_retransmit t o
+
+let invoke t ?readonly op callback = invoke_certified t ?readonly op (fun r _ -> callback r)
+
+(* Quorum rules (§2.1): f+1 matching stable replies, or 2f+1 matching
+   tentative replies; read-only requests always need 2f+1. *)
+let check_quorum t o =
+  let counts = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ (result, tentative) ->
+      let key = (result, tentative) in
+      Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    o.o_replies;
+  let stable_needed = quorum_f1 ~f:t.cfg.f in
+  let tentative_needed = quorum_2f1 ~f:t.cfg.f in
+  Hashtbl.fold
+    (fun (result, tentative) c acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        if (tentative && c >= tentative_needed) || ((not tentative) && c >= stable_needed) then
+          Some result
+        else None)
+    counts None
+
+(* Combine the partials from replicas that reported the accepted result
+   into one service certificate (§3.3.1). *)
+let build_certificate t o result =
+  match t.threshold_public with
+  | None -> None
+  | Some pk ->
+    let wires =
+      Hashtbl.fold
+        (fun _ (res, wire) acc -> if String.equal res result then wire :: acc else acc)
+        o.o_partials []
+    in
+    Certificate.combine pk ~client:o.o_rq.Message.rq_client ~rq_id:o.o_rq.Message.rq_id ~result
+      wires
+
+let handle_reply t ~src ~r_view ~r_id ~r_replica ~r_result ~r_tentative ~r_partial =
+  match t.out with
+  | None -> ()
+  | Some o ->
+    if r_id = o.o_rq.rq_id && r_replica = src then begin
+      t.view_guess <- max t.view_guess r_view;
+      (* Tentative and stable replies are tracked together; a stable reply
+         from the same replica supersedes its tentative one. *)
+      (match Hashtbl.find_opt o.o_replies src with
+      | Some (_, false) -> ()
+      | Some (_, true) | None -> Hashtbl.replace o.o_replies src (r_result, r_tentative));
+      (match r_partial with
+      | Some wire -> Hashtbl.replace o.o_partials src (r_result, wire)
+      | None -> ());
+      match check_quorum t o with
+      | None -> ()
+      | Some result ->
+        (match o.o_timer with Some timer -> Simnet.Engine.cancel timer | None -> ());
+        t.out <- None;
+        t.n_completed <- t.n_completed + 1;
+        Util.Stats.add t.latencies (now t -. o.o_start);
+        let cert = build_certificate t o result in
+        (* Combining is a handful of modular exponentiations. *)
+        let cost = match cert with Some _ -> t.costs.sign | None -> 0.0 in
+        charge t cost (fun () -> o.o_callback result cert)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Join / leave (§3.1).                                                 *)
+
+let join_op_request_timeout = 1.0
+
+let rec send_join_phase1 t js =
+  multicast_payload t ~signed:true
+    (Message.Join_request
+       { j_addr = t.caddr; j_pubkey = verifier_string t; j_nonce = js.j_nonce });
+  js.j_timer <-
+    Some
+      (Simnet.Engine.timer t.engine ~delay:join_op_request_timeout (fun () ->
+           let active = match t.joining with Some js' -> js' == js | None -> false in
+           if t.alive && active && t.cid = None then
+             if js.j_responded then send_join_phase2 t js else send_join_phase1 t js))
+
+and send_join_phase2 t js =
+  match Hashtbl.fold (fun _ c _acc -> Some c) js.j_challenges None with
+  | None -> send_join_phase1 t js
+  | Some challenge ->
+    js.j_responded <- true;
+    multicast_payload t ~signed:true
+      (Message.Join_response
+         {
+           jr_addr = t.caddr;
+           jr_proof = js.j_nonce ^ "|" ^ challenge;
+           jr_pubkey = verifier_string t;
+           jr_idbuf = js.j_idbuf;
+         });
+    js.j_timer <-
+      Some
+        (Simnet.Engine.timer t.engine ~delay:join_op_request_timeout (fun () ->
+             let active = match t.joining with Some js' -> js' == js | None -> false in
+             if t.alive && active && t.cid = None then send_join_phase2 t js))
+
+let join t ~idbuf callback =
+  if not t.cfg.dynamic_clients then failwith "Client.join: static configuration";
+  let js =
+    {
+      (* Hex-encoded so the nonce|challenge proof framing stays parseable. *)
+      j_nonce = Util.Hexdump.of_string (Bytes.to_string (Util.Rng.bytes t.rng 16));
+      j_idbuf = idbuf;
+      j_challenges = Hashtbl.create 8;
+      j_replies = Hashtbl.create 8;
+      j_callback = callback;
+      j_responded = false;
+      j_timer = None;
+    }
+  in
+  t.joining <- Some js;
+  send_join_phase1 t js
+
+let handle_join_challenge t ~src (jc : string) =
+  match t.joining with
+  | None -> ()
+  | Some js ->
+    Hashtbl.replace js.j_challenges src jc;
+    (* Challenges are deterministic, so matching values from f+1 replicas
+       prove the group issued them. *)
+    let counts = Hashtbl.create 4 in
+    Hashtbl.iter
+      (fun _ c ->
+        Hashtbl.replace counts c (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+      js.j_challenges;
+    let confirmed = Hashtbl.fold (fun _ c acc -> acc || c >= quorum_f1 ~f:t.cfg.f) counts false in
+    if confirmed && not js.j_responded then send_join_phase2 t js
+
+let handle_join_reply t ~src (client, ok) =
+  match t.joining with
+  | None -> ()
+  | Some js ->
+    if not ok then begin
+      (match js.j_timer with Some timer -> Simnet.Engine.cancel timer | None -> ());
+      t.joining <- None;
+      js.j_callback None
+    end
+    else begin
+      Hashtbl.replace js.j_replies src client;
+      let counts = Hashtbl.create 4 in
+      Hashtbl.iter
+        (fun _ c ->
+          Hashtbl.replace counts c (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+        js.j_replies;
+      let winner =
+        Hashtbl.fold (fun c n acc -> if n >= quorum_f1 ~f:t.cfg.f then Some c else acc) counts None
+      in
+      match winner with
+      | None -> ()
+      | Some client ->
+        (match js.j_timer with Some timer -> Simnet.Engine.cancel timer | None -> ());
+        t.joining <- None;
+        t.cid <- Some client;
+        if t.cfg.use_macs then announce_session_keys t;
+        js.j_callback (Some client)
+    end
+
+let leave t =
+  match t.cid with
+  | None -> ()
+  | Some c ->
+    multicast_payload t ~signed:true (Message.Leave_msg { lv_client = c });
+    t.cid <- None
+
+(* ------------------------------------------------------------------ *)
+(* Receive path.                                                        *)
+
+let verify_reply_auth t ~src (msg : Message.t) =
+  let pb = Message.payload_bytes msg.payload in
+  match msg.auth with
+  | Message.No_auth -> (0.0, false)
+  | Message.Signed s -> begin
+    if src < Array.length t.registry.reg_verifiers then
+      ( t.costs.sig_verify,
+        Crypto.Keychain.verify t.registry.reg_verifiers.(src) pb ~signature:s )
+    else (0.0, false)
+  end
+  | Message.Authenticated a -> begin
+    match Hashtbl.find_opt t.keys src with
+    | None -> (0.0, false)
+    | Some key -> (t.costs.mac_verify, Crypto.Authenticator.check ~key ~replica:t.caddr pb a)
+  end
+
+let on_datagram t ~src wire =
+  if t.alive then begin
+    charge t (recv_cost t (String.length wire)) (fun () ->
+        match Message.decode wire with
+        | None -> ()
+        | Some msg ->
+          let cost, ok = verify_reply_auth t ~src msg in
+          charge t cost (fun () ->
+              if ok then begin
+                match msg.payload with
+                | Message.Reply r ->
+                  handle_reply t ~src ~r_view:r.r_view ~r_id:r.r_id ~r_replica:r.r_replica
+                    ~r_result:r.r_result ~r_tentative:r.r_tentative ~r_partial:r.r_partial
+                | Message.Join_challenge jc ->
+                  if jc.jc_addr = t.caddr then handle_join_challenge t ~src jc.jc_nonce
+                | Message.Join_reply jl -> handle_join_reply t ~src (jl.jl_client, jl.jl_ok)
+                | _ -> ()
+              end))
+  end
+
+let create ~cfg ~costs ~engine ~net ~addr ~signer ~registry ?threshold_public ?client_id () =
+  let t =
+    {
+      cfg;
+      costs;
+      engine;
+      net;
+      cpu = Simnet.Cpu.create engine;
+      rng = Util.Rng.split (Simnet.Engine.rng engine);
+      caddr = addr;
+      signer;
+      registry;
+      threshold_public;
+      keys = Hashtbl.create 8;
+      cid = client_id;
+      next_rq_id = 0;
+      view_guess = 0;
+      out = None;
+      joining = None;
+      rebroadcast = None;
+      n_completed = 0;
+      n_retrans = 0;
+      latencies = Util.Stats.create ();
+      alive = true;
+    }
+  in
+  Simnet.Net.register net addr (fun ~src wire -> on_datagram t ~src wire);
+  Simnet.Net.set_backlog_probe net addr (fun () -> Simnet.Cpu.queue_length t.cpu);
+  if cfg.use_macs then
+    t.rebroadcast <-
+      Some
+        (Simnet.Engine.periodic engine ~interval:cfg.authenticator_rebroadcast (fun () ->
+             if t.alive && t.cid <> None then announce_session_keys t));
+  t
+
+let shutdown t =
+  t.alive <- false;
+  Simnet.Net.unregister t.net t.caddr;
+  (match t.rebroadcast with Some timer -> Simnet.Engine.cancel timer | None -> ());
+  match t.out with
+  | Some o -> ( match o.o_timer with Some timer -> Simnet.Engine.cancel timer | None -> ())
+  | None -> ()

@@ -1,0 +1,65 @@
+(** A PBFT client.
+
+    Implements the client side of the protocol: request transmission to
+    the primary (or multicast for big and read-only requests), reply
+    quorum collection — f+1 matching stable replies, or 2f+1 matching
+    tentative replies when the tentative-execution optimization is in
+    play — retransmission to all replicas on timeout, MAC session-key
+    establishment with periodic blind rebroadcast (§2.3), and the
+    two-phase dynamic Join / Leave of §3.1.
+
+    A client has at most one outstanding request (the PBFT rule that
+    makes batching capture cross-client parallelism). *)
+
+open Types
+
+type t
+
+val create :
+  cfg:Config.t ->
+  costs:Costmodel.t ->
+  engine:Simnet.Engine.t ->
+  net:Simnet.Net.t ->
+  addr:int ->
+  signer:Crypto.Keychain.signer ->
+  registry:Replica.registry ->
+  ?threshold_public:Crypto.Threshold.public ->
+  ?client_id:client_id ->
+  unit ->
+  t
+(** [client_id] is required for static-membership deployments; dynamic
+    clients acquire one by {!join}. *)
+
+val addr : t -> int
+val client_id : t -> client_id option
+val verifier_string : t -> string
+(** Wire form of this client's public key (for the static table). *)
+
+val session_key_for : t -> replica_id -> Crypto.Mac.key
+(** The MAC key this client chose for the given replica (created on
+    demand); static-mode setup installs these into replicas directly. *)
+
+val announce_session_keys : t -> unit
+(** Send Session_key messages to every replica now (also runs
+    periodically in MAC mode). *)
+
+val join : t -> idbuf:string -> (client_id option -> unit) -> unit
+(** Dynamic two-phase join; the callback receives the assigned client id,
+    or [None] if the service denied or timed out the join. *)
+
+val leave : t -> unit
+
+val invoke : t -> ?readonly:bool -> string -> (string -> unit) -> unit
+(** Submit one operation; the callback fires with the accepted result.
+    Raises [Failure] if a request is already outstanding or the client
+    has no identity yet. *)
+
+val invoke_certified : t -> ?readonly:bool -> string -> (string -> string option -> unit) -> unit
+(** Like {!invoke}, but when the deployment carries a threshold service
+    key (§3.3.1) the callback also receives the combined reply
+    certificate — verifiable offline with {!Certificate.verify}. *)
+
+val completed : t -> int
+val retransmissions : t -> int
+val latency_stats : t -> Util.Stats.t
+val shutdown : t -> unit

@@ -1,0 +1,79 @@
+type nondet_validation =
+  | No_validation
+  | Delta of float
+  | Delta_skip_on_recovery of float
+
+type t = {
+  f : int;
+  n : int;
+  use_macs : bool;
+  all_requests_big : bool;
+  big_request_threshold : int;
+  batching : bool;
+  congestion_window : int;
+  max_batch_bytes : int;
+  batch_delay : float;
+  dynamic_clients : bool;
+  max_clients : int;
+  session_stale_threshold : float;
+  checkpoint_interval : int;
+  log_window : int;
+  client_timeout : float;
+  view_change_timeout : float;
+  status_period : float;
+  authenticator_rebroadcast : float;
+  tentative_execution : bool;
+  read_only_optimization : bool;
+  fetch_missing_bodies : bool;
+  fetch_missing_entries : bool;
+  nondet : nondet_validation;
+  sign_bits : int;
+}
+
+let default ~f =
+  {
+    f;
+    n = (3 * f) + 1;
+    use_macs = true;
+    all_requests_big = true;
+    big_request_threshold = 0;
+    batching = true;
+    congestion_window = 1;
+    max_batch_bytes = 8 * 1024;
+    batch_delay = 80e-6;
+    dynamic_clients = false;
+    max_clients = 64;
+    session_stale_threshold = 30.0;
+    checkpoint_interval = 128;
+    log_window = 256;
+    client_timeout = 0.150;
+    view_change_timeout = 5.0;
+    status_period = 0.25;
+    authenticator_rebroadcast = 2.0;
+    tentative_execution = true;
+    read_only_optimization = true;
+    fetch_missing_bodies = false;
+    fetch_missing_entries = false;
+    nondet = No_validation;
+    sign_bits = 512;
+  }
+
+let robust ~f =
+  { (default ~f) with use_macs = false; all_requests_big = false; big_request_threshold = 8192 }
+
+let validate t =
+  if t.n <> (3 * t.f) + 1 then Error "n must equal 3f+1"
+  else if t.f < 1 then Error "f must be at least 1"
+  else if t.checkpoint_interval <= 0 then Error "checkpoint_interval must be positive"
+  else if t.log_window < 2 * t.checkpoint_interval then
+    Error "log_window must be at least two checkpoint intervals"
+  else if t.congestion_window < 1 then Error "congestion_window must be at least 1"
+  else if t.max_clients < 1 then Error "max_clients must be at least 1"
+  else Ok ()
+
+let name t =
+  Printf.sprintf "%s_%s_%s_%s"
+    (if t.dynamic_clients then "nosta" else "sta")
+    (if t.use_macs then "mac" else "nomac")
+    (if t.all_requests_big then "allbig" else "noallbig")
+    (if t.batching then "batch" else "nobatch")

@@ -1,0 +1,76 @@
+(** Protocol and library configuration.
+
+    The boolean triple (MAC authenticators, all-requests-big, batching)
+    plus static-vs-dynamic client management spans exactly the
+    configuration matrix of the paper's Table 1; the remaining fields are
+    the tunables the PBFT code base exposes (checkpoint interval,
+    watermark window, congestion window, timers). *)
+
+type nondet_validation =
+  | No_validation  (** trust the primary's non-deterministic data *)
+  | Delta of float
+      (** accept iff |local clock − proposed timestamp| ≤ delta — the
+          scheme whose interaction with recovery replay §2.5 dissects *)
+  | Delta_skip_on_recovery of float
+      (** same, but validation is skipped for requests replayed during
+          recovery — the fix §2.5 proposes *)
+
+type t = {
+  f : int;  (** tolerated Byzantine faults *)
+  n : int;  (** replica count, 3f + 1 *)
+  use_macs : bool;  (** MAC authenticators instead of signatures *)
+  all_requests_big : bool;  (** big-request threshold forced to 0 (§2.1) *)
+  big_request_threshold : int;  (** bytes above which a request is big *)
+  batching : bool;
+  congestion_window : int;
+      (** max requests received-but-not-executed at the primary before it
+          withholds pre-prepares to batch (§2.1) *)
+  max_batch_bytes : int;  (** datagram budget for one pre-prepare *)
+  batch_delay : float;
+      (** how long the primary lingers after the window frees before
+          issuing the next pre-prepare, gathering straggler requests into
+          the batch (models the catch-up-on-execution aggregation of
+          §2.1); 0 disables *)
+  dynamic_clients : bool;  (** the paper's §3.1 extension *)
+  max_clients : int;  (** node-table capacity *)
+  session_stale_threshold : float;  (** §3.1 stale-session cleanup *)
+  checkpoint_interval : int;  (** executions per checkpoint *)
+  log_window : int;  (** high − low watermark distance *)
+  client_timeout : float;  (** client retransmission period *)
+  view_change_timeout : float;
+  status_period : float;
+      (** period of the status gossip that drives retransmission of lost
+          protocol messages; 0 disables (a faithful rendering of a PBFT
+          build without its retransmission machinery) *)
+  authenticator_rebroadcast : float;
+      (** period of the blind session-key rebroadcast that unblocks a
+          recovering replica (§2.3) *)
+  tentative_execution : bool;
+  read_only_optimization : bool;
+  fetch_missing_bodies : bool;
+      (** remedy for §2.4: a replica missing a big-request body asks its
+          peers for it instead of stalling until the next checkpoint.
+          Off by default — the paper's PBFT stalls. *)
+  fetch_missing_entries : bool;
+      (** remedy for §2.5/§2.4: a replica that sees f+1 commits for a
+          sequence it has no pre-prepare for fetches the entry (with its
+          original non-deterministic data) from a peer — the log-replay
+          path whose interaction with delta validation §2.5 dissects.
+          Off by default. *)
+  nondet : nondet_validation;
+  sign_bits : int;  (** Rabin key size when [use_macs] is false *)
+}
+
+val default : f:int -> t
+(** Castro's preferred configuration: MACs, all-big, batching, tentative
+    execution — the first row of Table 1. *)
+
+val robust : f:int -> t
+(** The "most robust" configuration of §4.1: signatures instead of MACs,
+    big-request handling off. *)
+
+val validate : t -> (unit, string) result
+(** Check internal consistency (n = 3f+1, positive intervals, ...). *)
+
+val name : t -> string
+(** Table 1 style name, e.g. "sta_mac_allbig_batch". *)

@@ -1,0 +1,41 @@
+type t = {
+  mac_gen : float;
+  mac_verify : float;
+  sign : float;
+  sig_verify : float;
+  digest_base : float;
+  digest_per_byte : float;
+  msg_fixed : float;
+  msg_per_byte : float;
+  exec_null : float;
+  log_bookkeeping : float;
+}
+
+let default =
+  {
+    mac_gen = 1.2e-6;
+    mac_verify = 1.2e-6;
+    sign = 400e-6;
+    sig_verify = 20e-6;
+    digest_base = 0.4e-6;
+    digest_per_byte = 2.4e-9;
+    msg_fixed = 6e-6;
+    msg_per_byte = 4e-9;
+    exec_null = 0.5e-6;
+    log_bookkeeping = 1.0e-6;
+  }
+
+let auth_gen t (cfg : Config.t) =
+  if cfg.use_macs then float_of_int (cfg.n - 1) *. t.mac_gen else t.sign
+
+let auth_verify t (cfg : Config.t) = if cfg.use_macs then t.mac_verify else t.sig_verify
+let digest t n = t.digest_base +. (t.digest_per_byte *. float_of_int n)
+
+(* Datagrams above the Ethernet MTU fragment; each fragment costs a fixed
+   stack traversal. Sends are DMA-assisted (no per-byte CPU charge; the
+   NIC serialization delay lives in the network model); receives pay the
+   interrupt plus a per-byte copy. *)
+let mtu_payload = 1472
+let fragments n = max 1 ((n + 28 + mtu_payload - 1) / mtu_payload)
+let send t n = float_of_int (fragments n) *. t.msg_fixed
+let recv t n = (float_of_int (fragments n) *. t.msg_fixed) +. (t.msg_per_byte *. float_of_int n)

@@ -1,0 +1,39 @@
+(** Virtual CPU cost model.
+
+    Calibrated so that the simulated cluster reproduces the *shape* of the
+    paper's Table 1 / Figures 4–5 on the authors' hardware (2.4 GHz Xeon
+    E5620 / Core 2 Duo, 1 GbE): MAC operations are a few microseconds,
+    Rabin signing is hundreds of microseconds while Rabin verification is
+    one modular multiplication, per-datagram UDP stack traversal costs tens
+    of microseconds plus a per-byte copy charge. EXPERIMENTS.md records the
+    calibration against the paper's reported numbers. *)
+
+type t = {
+  mac_gen : float;  (** generate one 8-byte MAC tag *)
+  mac_verify : float;
+  sign : float;  (** Rabin signature generation (two modexps) *)
+  sig_verify : float;  (** Rabin verification (one modular multiply) *)
+  digest_base : float;  (** fixed cost of one SHA digest *)
+  digest_per_byte : float;
+  msg_fixed : float;  (** per-datagram send or receive stack cost *)
+  msg_per_byte : float;  (** per-byte copy cost on send and receive *)
+  exec_null : float;  (** executing a null operation *)
+  log_bookkeeping : float;  (** per-protocol-message log maintenance *)
+}
+
+val default : t
+
+val auth_gen : t -> Config.t -> float
+(** Cost of authenticating one outgoing protocol message: [n − 1] MAC
+    tags in MAC mode, one signature otherwise. *)
+
+val auth_verify : t -> Config.t -> float
+(** Cost of checking one incoming message's authentication. *)
+
+val digest : t -> int -> float
+(** Cost of digesting [n] bytes. *)
+
+val send : t -> int -> float
+(** CPU cost of pushing an [n]-byte datagram into the stack. *)
+
+val recv : t -> int -> float

@@ -1,0 +1,79 @@
+open Types
+
+type entry = {
+  seq : seqno;
+  mutable pp_view : view;
+  mutable batch : Message.batch_item list option;
+  mutable nondet : string;
+  mutable batch_digest : digest;
+  mutable prepares : (replica_id, unit) Hashtbl.t;
+  mutable commits : (replica_id, unit) Hashtbl.t;
+  mutable prepared : bool;
+  mutable committed : bool;
+  mutable executed : bool;
+  mutable tentatively_executed : bool;
+  mutable missing_bodies : digest list;
+}
+
+type cached_reply = {
+  cr_id : int;
+  cr_result : string;
+  cr_view : view;
+  cr_tentative : bool;
+  cr_timestamp : float;
+}
+
+type t = {
+  slots : (seqno, entry) Hashtbl.t;
+  mutable low : seqno;
+  replies : (client_id, cached_reply) Hashtbl.t;
+}
+
+let create () = { slots = Hashtbl.create 256; low = 0; replies = Hashtbl.create 64 }
+let low_watermark t = t.low
+
+let set_low_watermark t mark =
+  t.low <- mark;
+  Hashtbl.iter (fun seq _ -> if seq <= mark then Hashtbl.remove t.slots seq) (Hashtbl.copy t.slots)
+
+let fresh_entry seq =
+  {
+    seq;
+    pp_view = -1;
+    batch = None;
+    nondet = "";
+    batch_digest = "";
+    prepares = Hashtbl.create 8;
+    commits = Hashtbl.create 8;
+    prepared = false;
+    committed = false;
+    executed = false;
+    tentatively_executed = false;
+    missing_bodies = [];
+  }
+
+let entry t seq =
+  match Hashtbl.find_opt t.slots seq with
+  | Some e -> e
+  | None ->
+    let e = fresh_entry seq in
+    Hashtbl.add t.slots seq e;
+    e
+
+let find t seq = Hashtbl.find_opt t.slots seq
+let record_prepare e r = Hashtbl.replace e.prepares r ()
+let record_commit e r = Hashtbl.replace e.commits r ()
+let prepare_count e = Hashtbl.length e.prepares
+let commit_count e = Hashtbl.length e.commits
+
+let entries_between t ~lo ~hi =
+  let acc = Hashtbl.fold (fun seq e l -> if seq > lo && seq <= hi then e :: l else l) t.slots [] in
+  List.sort (fun a b -> compare a.seq b.seq) acc
+
+let prepared_above t seq =
+  let acc = Hashtbl.fold (fun s e l -> if s > seq && e.prepared then e :: l else l) t.slots [] in
+  List.sort (fun a b -> compare a.seq b.seq) acc
+
+let cached_reply t c = Hashtbl.find_opt t.replies c
+let cache_reply t c r = Hashtbl.replace t.replies c r
+let drop_client t c = Hashtbl.remove t.replies c

@@ -1,0 +1,59 @@
+(** The agreement log: per-sequence-number protocol state between the low
+    and high watermarks, plus the per-client reply cache (§2.1). *)
+
+open Types
+
+type entry = {
+  seq : seqno;
+  mutable pp_view : view;  (** view of the accepted pre-prepare *)
+  mutable batch : Message.batch_item list option;  (** None until pre-prepared *)
+  mutable nondet : string;
+  mutable batch_digest : digest;
+  mutable prepares : (replica_id, unit) Hashtbl.t;
+  mutable commits : (replica_id, unit) Hashtbl.t;
+  mutable prepared : bool;
+  mutable committed : bool;
+  mutable executed : bool;
+  mutable tentatively_executed : bool;
+  mutable missing_bodies : digest list;
+      (** big-request digests in the batch whose bodies this replica does
+          not hold — the §2.4 stall condition *)
+}
+
+type t
+
+val create : unit -> t
+
+val low_watermark : t -> seqno
+val set_low_watermark : t -> seqno -> unit
+(** Garbage-collects entries at or below the new mark. *)
+
+val entry : t -> seqno -> entry
+(** Get-or-create the log slot. *)
+
+val find : t -> seqno -> entry option
+val record_prepare : entry -> replica_id -> unit
+val record_commit : entry -> replica_id -> unit
+val prepare_count : entry -> int
+val commit_count : entry -> int
+
+val entries_between : t -> lo:seqno -> hi:seqno -> entry list
+(** Existing entries with [lo < seq <= hi], ascending. *)
+
+val prepared_above : t -> seqno -> entry list
+(** Entries above the given sequence number that reached prepared status
+    (for view-change messages). *)
+
+(** {2 Reply cache} *)
+
+type cached_reply = {
+  cr_id : int;  (** request id the reply answers *)
+  cr_result : string;
+  cr_view : view;
+  cr_tentative : bool;
+  cr_timestamp : float;  (** primary-clock execution time (§3.1 staleness) *)
+}
+
+val cached_reply : t -> client_id -> cached_reply option
+val cache_reply : t -> client_id -> cached_reply -> unit
+val drop_client : t -> client_id -> unit

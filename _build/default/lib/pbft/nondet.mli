@@ -1,0 +1,21 @@
+(** Non-determinism handling (§2.5).
+
+    The primary attaches application-specific non-deterministic data (here:
+    its clock and a pseudo-random value) to each pre-prepare; replicas
+    execute with that shared data so results stay deterministic. BASE
+    added a validation upcall; the paper shows the obvious implementation
+    — accept iff the proposed timestamp is within a delta of the local
+    clock — breaks recovery, because requests replayed from the log
+    carry timestamps that are arbitrarily stale. [validate] reproduces
+    both the broken and the fixed (skip-during-recovery) policies. *)
+
+val produce : now:float -> Util.Rng.t -> string
+(** Primary upcall: encode (timestamp, random64) for a pre-prepare. *)
+
+val timestamp : string -> float option
+(** Decode the proposed timestamp; [None] on malformed data. *)
+
+val random_value : string -> int64 option
+
+val validate : Config.nondet_validation -> now:float -> recovering:bool -> string -> bool
+(** Replica upcall: is the primary's proposed data acceptable? *)

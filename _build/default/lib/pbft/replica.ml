@@ -1,0 +1,1548 @@
+open Types
+
+type registry = {
+  reg_verifiers : Crypto.Keychain.verifier array;
+  reg_group_secret : string;
+  reg_static_clients : (client_id * int * string) list;
+}
+
+(* State-transfer progress: which checkpoint we are pulling, from whom,
+   and which pages are still outstanding. *)
+type transfer = {
+  tr_seq : seqno;
+  tr_peer : replica_id;
+  tr_digest : digest option;
+      (** the quorum-certified checkpoint root; pages and metadata from
+          the serving peer are verified against it *)
+  mutable tr_leaves : digest array;
+  mutable tr_wanted : int list;
+  mutable tr_received : (int * string) list;
+}
+
+type t = {
+  cfg : Config.t;
+  costs : Costmodel.t;
+  engine : Simnet.Engine.t;
+  net : Simnet.Net.t;
+  cpu : Simnet.Cpu.t;
+  id : replica_id;
+  rng : Util.Rng.t;
+  signer : Crypto.Keychain.signer;
+  registry : registry;
+  threshold : (Crypto.Threshold.public * Crypto.Threshold.share) option;
+  service_spec : Service.t;
+  service : Service.instance;
+  mid_pages : int;  (** middleware partition size, pages *)
+  pages : Statemgr.Pages.t;
+  merkle : Statemgr.Merkle.t;
+  membership : Membership.t;
+  log : Log.t;
+  (* Transient MAC session keys — lost on restart (§2.3). *)
+  keys_i_chose : (int, Crypto.Mac.key) Hashtbl.t;
+  keys_peers_chose : (int, Crypto.Mac.key) Hashtbl.t;
+  bodies : (digest, Message.request) Hashtbl.t;
+  pending : Message.request Queue.t;
+  in_flight : (client_id * int, seqno) Hashtbl.t;  (** 0 until a pre-prepare assigns a sequence *)
+  waiting : (client_id * int, float) Hashtbl.t;  (** backup-side requests awaiting execution *)
+  body_requests : (digest, unit) Hashtbl.t;
+  entry_requests : (seqno, unit) Hashtbl.t;
+  checkpoints : (seqno, Statemgr.Checkpoint.t) Hashtbl.t;
+  ckpt_votes : (seqno, (replica_id, digest) Hashtbl.t) Hashtbl.t;
+  vc_msgs : (view, (replica_id, Message.payload) Hashtbl.t) Hashtbl.t;
+  mutable view : view;
+  mutable seq_counter : seqno;
+  mutable last_executed : seqno;
+  mutable last_committed_exec : seqno;
+  mutable undo : Statemgr.Checkpoint.t option;
+  mutable stable_ckpt : seqno;
+  mutable in_view_change : bool;
+  mutable vc_target : view;
+  mutable watchdog : Simnet.Engine.timer option;
+  mutable rebroadcast : Simnet.Engine.timer option;
+  mutable status_timer : Simnet.Engine.timer option;
+  mutable transfer : transfer option;
+  mutable pp_scheduled : bool;
+  mutable recovering : bool;
+  mutable recovery_done : float option;
+  mutable alive : bool;
+  mutable n_exec : int;
+  mutable n_vc : int;
+  mutable n_transfers : int;
+  mutable n_auth_fail : int;
+  mutable n_nondet_reject : int;
+}
+
+let id t = t.id
+let view t = t.view
+let is_primary t = primary_of_view ~n:t.cfg.n t.view = t.id
+let last_executed t = t.last_executed
+let stable_checkpoint t = t.stable_ckpt
+let executed_requests t = t.n_exec
+let view_changes t = t.n_vc
+let state_transfers t = t.n_transfers
+let auth_failures t = t.n_auth_fail
+let nondet_rejects t = t.n_nondet_reject
+let cpu t = t.cpu
+let pages t = t.pages
+let membership t = t.membership
+let is_recovering t = t.recovering
+let recovery_completed_at t = t.recovery_done
+let now t = Simnet.Engine.now t.engine
+
+(* ------------------------------------------------------------------ *)
+(* Middleware partition: page 0 holds the serialized membership table.  *)
+
+let sync_membership_to_pages t =
+  let image = Membership.serialize t.membership in
+  let cap = t.mid_pages * Statemgr.Pages.page_size t.pages in
+  if String.length image + 8 > cap then failwith "middleware partition full";
+  Statemgr.Pages.notify_modify t.pages ~pos:0 ~len:(8 + String.length image);
+  Statemgr.Pages.write t.pages ~pos:0 (Printf.sprintf "%07d " (String.length image));
+  Statemgr.Pages.write t.pages ~pos:8 image
+
+let load_membership_from_pages t =
+  let hdr = Statemgr.Pages.read t.pages ~pos:0 ~len:8 in
+  match int_of_string_opt (String.trim hdr) with
+  | Some len when len > 0 ->
+    Membership.load t.membership (Statemgr.Pages.read t.pages ~pos:8 ~len)
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Cost accounting helpers.                                             *)
+
+let send_cost t bytes = Costmodel.send t.costs bytes
+let recv_cost t bytes = Costmodel.recv t.costs bytes
+let charge t cost k = Simnet.Cpu.execute t.cpu ~cost k
+
+(* ------------------------------------------------------------------ *)
+(* Authentication.                                                      *)
+
+let replica_addrs t = List.init t.cfg.n (fun i -> i)
+
+let make_auth_multicast t payload_bytes =
+  if t.cfg.use_macs then begin
+    let keys =
+      List.filter_map
+        (fun peer ->
+          if peer = t.id then None
+          else
+            Option.map (fun k -> (peer, k)) (Hashtbl.find_opt t.keys_i_chose peer))
+        (replica_addrs t)
+    in
+    Message.Authenticated (Crypto.Authenticator.compute ~keys payload_bytes)
+  end
+  else Message.Signed (Crypto.Keychain.sign t.signer payload_bytes)
+
+let make_auth_to t payload_bytes dst =
+  if t.cfg.use_macs then begin
+    match Hashtbl.find_opt t.keys_i_chose dst with
+    | Some k ->
+      Message.Authenticated (Crypto.Authenticator.compute ~keys:[ (dst, k) ] payload_bytes)
+    | None -> Message.Signed (Crypto.Keychain.sign t.signer payload_bytes)
+  end
+  else Message.Signed (Crypto.Keychain.sign t.signer payload_bytes)
+
+let verifier_for_addr t addr =
+  if addr < t.cfg.n then Some t.registry.reg_verifiers.(addr)
+  else begin
+    match Membership.lookup_addr t.membership addr with
+    | None -> None
+    | Some client -> begin
+      match Membership.lookup t.membership client with
+      | None -> None
+      | Some e -> Crypto.Keychain.verifier_of_string e.me_pubkey
+    end
+  end
+
+(* Verify an incoming message's authentication; returns the CPU cost to
+   charge along with the verdict. Missing MAC session keys are the §2.3
+   recovery stall: the message cannot be validated at all. *)
+let check_auth t ~src (msg : Message.t) =
+  let pb = Message.payload_bytes msg.payload in
+  match msg.auth with
+  | Message.No_auth -> (0.0, false)
+  | Message.Signed s -> begin
+    (* Pre-join messages are self-certified by an embedded public key. *)
+    let v =
+      match msg.payload with
+      | Message.Join_request { j_pubkey; _ } -> Crypto.Keychain.verifier_of_string j_pubkey
+      | Message.Join_response { jr_pubkey; _ } -> Crypto.Keychain.verifier_of_string jr_pubkey
+      | _ -> verifier_for_addr t src
+    in
+    match v with
+    | None -> (t.costs.sig_verify, false)
+    | Some v -> (t.costs.sig_verify, Crypto.Keychain.verify v pb ~signature:s)
+  end
+  | Message.Authenticated a -> begin
+    match Hashtbl.find_opt t.keys_peers_chose src with
+    | None -> (0.0, false)
+    | Some key -> (t.costs.mac_verify, Crypto.Authenticator.check ~key ~replica:t.id pb a)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sending.                                                             *)
+
+let send_wire t ~dst ~already_charged (payload : Message.payload) auth =
+  let msg : Message.t = { payload; auth } in
+  let wire = Message.encode msg in
+  let label = Message.label payload and detail = Message.describe payload in
+  let go () = Simnet.Net.send t.net ~label ~detail ~src:t.id ~dst wire in
+  if already_charged then go () else charge t (send_cost t (String.length wire)) go
+
+let send_to t ?(already_charged = false) ~dst payload =
+  let pb = Message.payload_bytes payload in
+  let auth = make_auth_to t pb dst in
+  let auth_cost = if already_charged then 0.0 else Costmodel.auth_gen t.costs t.cfg in
+  if already_charged then send_wire t ~dst ~already_charged:true payload auth
+  else charge t auth_cost (fun () -> send_wire t ~dst ~already_charged:false payload auth)
+
+let multicast_replicas t ?(already_charged = false) payload =
+  let pb = Message.payload_bytes payload in
+  let auth = make_auth_multicast t pb in
+  let auth_cost = if already_charged then 0.0 else Costmodel.auth_gen t.costs t.cfg in
+  let go () =
+    List.iter
+      (fun peer -> if peer <> t.id then send_wire t ~dst:peer ~already_charged payload auth)
+      (replica_addrs t)
+  in
+  if already_charged then go () else charge t auth_cost go
+
+(* ------------------------------------------------------------------ *)
+(* Session keys.                                                        *)
+
+let install_session_key t ~addr key = Hashtbl.replace t.keys_peers_chose addr key
+
+let broadcast_session_keys t =
+  List.iter
+    (fun peer ->
+      if peer <> t.id then begin
+        let key =
+          match Hashtbl.find_opt t.keys_i_chose peer with
+          | Some k -> k
+          | None ->
+            let k = Crypto.Mac.fresh_key t.rng in
+            Hashtbl.replace t.keys_i_chose peer k;
+            k
+        in
+        let payload =
+          Message.Session_key { sk_sender = t.id; sk_target = peer; sk_key_box = key }
+        in
+        (* Key establishment always uses signatures (the MAC keys are what
+           is being distributed). *)
+        let pb = Message.payload_bytes payload in
+        let auth = Message.Signed (Crypto.Keychain.sign t.signer pb) in
+        charge t (t.costs.sign +. send_cost t (String.length pb + 80)) (fun () ->
+            send_wire t ~dst:peer ~already_charged:true payload auth)
+      end)
+    (replica_addrs t)
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog (view-change timer).                                        *)
+
+let rec arm_watchdog t =
+  match t.watchdog with
+  | Some _ -> ()
+  | None ->
+    if Hashtbl.length t.waiting > 0 && not t.in_view_change then begin
+      let timer =
+        Simnet.Engine.timer t.engine ~delay:t.cfg.view_change_timeout (fun () ->
+            t.watchdog <- None;
+            if t.alive then check_watchdog t)
+      in
+      t.watchdog <- Some timer
+    end
+
+and check_watchdog t =
+  let oldest = Hashtbl.fold (fun _ ts acc -> Float.min ts acc) t.waiting infinity in
+  if oldest +. t.cfg.view_change_timeout <= now t +. 1e-9 && not t.in_view_change then
+    start_view_change t (t.view + 1)
+  else arm_watchdog t
+
+(* ------------------------------------------------------------------ *)
+(* Execution.                                                           *)
+
+and client_addr_of t client =
+  match Membership.lookup t.membership client with
+  | Some e -> Some e.me_addr
+  | None -> None
+
+and resolve_item t (item : Message.batch_item) =
+  match item with
+  | Message.Full rq -> Some rq
+  | Message.Digest_of d -> Hashtbl.find_opt t.bodies d.bd_digest
+
+(* Execute one request within a batch. Returns the reply payload and the
+   virtual cost of the execution itself. *)
+and execute_request t rq ~nondet ~tentative =
+  let ts = Option.value ~default:(now t) (Nondet.timestamp nondet) in
+  let result, cost =
+    if String.length rq.Message.rq_op > 0 && rq.Message.rq_op.[0] = '\x01' then
+      (execute_system_op t rq ~ts, t.costs.exec_null)
+    else
+      t.service.execute ~op:rq.rq_op ~client:rq.rq_client ~timestamp:ts ~nondet
+        ~readonly:rq.rq_readonly
+  in
+  Membership.touch t.membership rq.rq_client ts;
+  (match Membership.lookup t.membership rq.rq_client with
+  | Some e -> if rq.rq_id > 0 then e.me_last_active <- ts
+  | None -> ());
+  Log.cache_reply t.log rq.rq_client
+    { cr_id = rq.rq_id; cr_result = result; cr_view = t.view; cr_tentative = tentative;
+      cr_timestamp = ts };
+  Hashtbl.remove t.in_flight (rq.rq_client, rq.rq_id);
+  Hashtbl.remove t.waiting (rq.rq_client, rq.rq_id);
+  (result, cost)
+
+(* System operations ordered through the normal request path (§3.1):
+   "\x01J..." = join, "\x01L..." = leave. *)
+and execute_system_op t rq ~ts =
+  let body = String.sub rq.rq_op 1 (String.length rq.rq_op - 1) in
+  match execute_system_op_body t ~ts body with
+  | result -> result
+  | exception Util.Codec.R.Truncated -> "error: bad system op"
+
+and execute_system_op_body t ~ts body =
+  begin
+    let r = Util.Codec.R.of_string body in
+    let kind = Util.Codec.R.u8 r in
+    if kind = Char.code 'J' then begin
+      let addr = Util.Codec.R.varint r in
+      let pubkey = Util.Codec.R.lstring r in
+      let idbuf = Util.Codec.R.lstring r in
+      match t.service.authorize_join ~idbuf with
+      | None ->
+        send_join_reply t ~addr ~client:0 ~ok:false;
+        "join-denied"
+      | Some identity -> begin
+        match
+          Membership.join t.membership ~addr ~pubkey ~identity ~now:ts
+            ~stale_threshold:t.cfg.session_stale_threshold
+        with
+        | Membership.Table_full ->
+          send_join_reply t ~addr ~client:0 ~ok:false;
+          "join-full"
+        | Membership.Joined { client; terminated } ->
+          List.iter
+            (fun c ->
+              Log.drop_client t.log c;
+              t.service.on_session_end c)
+            terminated;
+          sync_membership_to_pages t;
+          send_join_reply t ~addr ~client ~ok:true;
+          Printf.sprintf "joined:%d" client
+      end
+    end
+    else if kind = Char.code 'L' then begin
+      let client = Util.Codec.R.varint r in
+      let ok = Membership.leave t.membership client in
+      if ok then begin
+        Log.drop_client t.log client;
+        t.service.on_session_end client;
+        sync_membership_to_pages t
+      end;
+      if ok then "left" else "error: unknown client"
+    end
+    else "error: unknown system op"
+  end
+
+and send_join_reply t ~addr ~client ~ok =
+  send_to t ~dst:addr (Message.Join_reply { jl_replica = t.id; jl_client = client; jl_ok = ok })
+
+and send_reply t rq ~result ~tentative ~already_charged =
+  match client_addr_of t rq.Message.rq_client with
+  | None -> ()
+  | Some addr ->
+    let r_partial =
+      match t.threshold with
+      | None -> None
+      | Some (pk, share) ->
+        Some
+          (Certificate.partial pk share ~client:rq.Message.rq_client ~rq_id:rq.rq_id ~result)
+    in
+    send_to t ~already_charged ~dst:addr
+      (Message.Reply
+         {
+           r_view = t.view;
+           r_client = rq.rq_client;
+           r_id = rq.rq_id;
+           r_replica = t.id;
+           r_result = result;
+           r_tentative = tentative;
+           r_partial;
+         })
+
+and take_checkpoint t =
+  Statemgr.Merkle.update t.merkle t.pages (Statemgr.Pages.dirty t.pages);
+  Statemgr.Pages.clear_dirty t.pages;
+  let ck = Statemgr.Checkpoint.take ~seqno:t.last_executed t.pages t.merkle in
+  Hashtbl.replace t.checkpoints t.last_executed ck;
+  let root = Statemgr.Checkpoint.root ck in
+  record_ckpt_vote t ~seq:t.last_executed ~replica:t.id ~digest:root;
+  multicast_replicas t
+    (Message.Checkpoint_msg { ck_seq = t.last_executed; ck_digest = root; ck_replica = t.id });
+  check_ckpt_stable t t.last_executed
+
+and record_ckpt_vote t ~seq ~replica ~digest =
+  let votes =
+    match Hashtbl.find_opt t.ckpt_votes seq with
+    | Some v -> v
+    | None ->
+      let v = Hashtbl.create 8 in
+      Hashtbl.add t.ckpt_votes seq v;
+      v
+  in
+  Hashtbl.replace votes replica digest
+
+and check_ckpt_stable t seq =
+  match Hashtbl.find_opt t.ckpt_votes seq with
+  | None -> ()
+  | Some votes ->
+    (* Majority digest among votes. *)
+    let counts = Hashtbl.create 4 in
+    Hashtbl.iter
+      (fun _ d ->
+        Hashtbl.replace counts d (1 + Option.value ~default:0 (Hashtbl.find_opt counts d)))
+      votes;
+    let best =
+      Hashtbl.fold (fun d c acc ->
+          match acc with Some (_, c') when c' >= c -> acc | _ -> Some (d, c)) counts None
+    in
+    (match best with
+    | Some (digest, count) when count >= quorum_2f1 ~f:t.cfg.f ->
+      if seq > t.stable_ckpt then begin
+        t.stable_ckpt <- seq;
+        Log.set_low_watermark t.log seq;
+        (* Drop older snapshots and vote sets. *)
+        Hashtbl.iter
+          (fun s _ -> if s < seq then Hashtbl.remove t.checkpoints s)
+          (Hashtbl.copy t.checkpoints);
+        Hashtbl.iter (fun s _ -> if s < seq then Hashtbl.remove t.ckpt_votes s)
+          (Hashtbl.copy t.ckpt_votes)
+      end;
+      (* A replica that is behind this stable checkpoint — because it
+         lagged or is stuck on a missing big-request body (§2.4) — now
+         recovers by state transfer. *)
+      if t.last_executed < seq && t.transfer = None then begin
+        let holder =
+          Hashtbl.fold (fun r d acc -> if d = digest && r <> t.id then Some r else acc) votes None
+        in
+        match holder with
+        | Some peer -> start_state_transfer t ~seq ~peer ~digest:(Some digest)
+        | None -> ()
+      end
+    | Some _ | None -> ())
+
+and start_state_transfer t ~seq ~peer ~digest =
+  t.transfer <-
+    Some
+      { tr_seq = seq; tr_peer = peer; tr_digest = digest; tr_leaves = [||]; tr_wanted = [];
+        tr_received = [] };
+  t.n_transfers <- t.n_transfers + 1;
+  send_to t ~dst:peer (Message.Fetch_meta { fm_seq = seq; fm_replica = t.id });
+  arm_transfer_retry t
+
+(* Fetches are plain datagrams; when they or their replies are lost — or
+   cannot be authenticated yet, the §2.3 stall — the transfer must be
+   re-driven periodically. *)
+and arm_transfer_retry t =
+  let _ =
+    Simnet.Engine.timer t.engine ~delay:0.5 (fun () ->
+        if t.alive then begin
+          match t.transfer with
+          | None -> ()
+          | Some tr ->
+            (if tr.tr_wanted = [] then
+               send_to t ~dst:tr.tr_peer
+                 (Message.Fetch_meta { fm_seq = max 0 tr.tr_seq; fm_replica = t.id })
+             else begin
+               let have = List.map fst tr.tr_received in
+               let missing = List.filter (fun w -> not (List.mem w have)) tr.tr_wanted in
+               List.iter
+                 (fun page ->
+                   send_to t ~dst:tr.tr_peer
+                     (Message.Fetch_pages { fp_seq = tr.tr_seq; fp_pages = [ page ]; fp_replica = t.id }))
+                 missing
+             end);
+            arm_transfer_retry t
+        end)
+  in
+  ()
+
+(* Finalize committed prefixes of the tentative executions: entries at or
+   below last_executed that have since committed become stable, and once
+   nothing speculative remains the undo snapshot is dropped. *)
+and advance_committed t =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let next = t.last_committed_exec + 1 in
+    if next <= t.last_executed then begin
+      match Log.find t.log next with
+      | Some e when e.committed && (e.executed || e.tentatively_executed) ->
+        e.executed <- true;
+        t.last_committed_exec <- next;
+        progress := true
+      | Some _ | None -> ()
+    end
+  done;
+  if t.last_committed_exec >= t.last_executed then t.undo <- None
+
+(* Try to execute everything executable in sequence order. *)
+and try_execute t =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let next = t.last_executed + 1 in
+    match Log.find t.log next with
+    | None -> ()
+    | Some entry ->
+      let can_stable = entry.committed in
+      let can_tentative =
+        t.cfg.tentative_execution && entry.prepared && not t.in_view_change
+      in
+      if (can_stable || can_tentative) && not entry.executed then begin
+        match entry.batch with
+        | None -> ()
+        | Some items ->
+          (* All big-request bodies must be present (§2.4). *)
+          let resolved = List.map (fun it -> (it, resolve_item t it)) items in
+          let missing =
+            List.filter_map
+              (fun (it, r) -> if r = None then Some (Message.batch_item_digest it) else None)
+              resolved
+          in
+          if missing <> [] then begin
+            entry.missing_bodies <- missing;
+            (* §2.4 remedy, off by default: ask peers for the bodies
+               instead of stalling until the next checkpoint. *)
+            if t.cfg.fetch_missing_bodies then
+              List.iter
+                (fun d ->
+                  if not (Hashtbl.mem t.body_requests d) then begin
+                    Hashtbl.replace t.body_requests d ();
+                    List.iter
+                      (fun peer ->
+                        if peer <> t.id then
+                          send_to t ~dst:peer
+                            (Message.Fetch_body { fb_digest = d; fb_replica = t.id }))
+                      (replica_addrs t)
+                  end)
+                missing
+          end
+          else begin
+            entry.missing_bodies <- [];
+            let tentative = (not can_stable) && can_tentative in
+            begin
+              if tentative && t.undo = None then begin
+                (* Snapshot for rollback before speculative execution. *)
+                Statemgr.Merkle.update t.merkle t.pages (Statemgr.Pages.dirty t.pages);
+                t.undo <- Some (Statemgr.Checkpoint.take ~seqno:t.last_committed_exec t.pages t.merkle)
+              end;
+              let total_cost = ref t.costs.log_bookkeeping in
+              let replies = ref [] in
+              List.iter
+                (fun (_, r) ->
+                  match r with
+                  | None -> ()
+                  | Some rq ->
+                    let result, cost = execute_request t rq ~nondet:entry.nondet ~tentative in
+                    total_cost := !total_cost +. cost;
+                    if rq.Message.rq_client > 0 then replies := (rq, result) :: !replies)
+                resolved;
+              (* Reply I/O and authentication, charged as one block. *)
+              let partial_cost = match t.threshold with Some _ -> t.costs.sign | None -> 0.0 in
+              List.iter
+                (fun (_, result) ->
+                  total_cost :=
+                    !total_cost +. partial_cost
+                    +. Costmodel.auth_gen t.costs t.cfg
+                    +. send_cost t (String.length result + 64))
+                !replies;
+              let replies_now = List.rev !replies in
+              charge t !total_cost (fun () ->
+                  List.iter
+                    (fun (rq, result) ->
+                      send_reply t rq ~result ~tentative ~already_charged:true)
+                    replies_now);
+              if tentative then entry.tentatively_executed <- true
+              else begin
+                entry.executed <- true;
+                if t.last_committed_exec = next - 1 then t.last_committed_exec <- next
+              end;
+              t.last_executed <- next;
+              t.n_exec <- t.n_exec + List.length items;
+              if t.recovering && t.recovery_done = None then t.recovery_done <- Some (now t);
+              if t.last_executed mod t.cfg.checkpoint_interval = 0 then take_checkpoint t;
+              progress := true
+            end
+          end
+      end
+  done;
+  advance_committed t;
+  if Hashtbl.length t.waiting = 0 then begin
+    (match t.watchdog with
+    | Some timer ->
+      Simnet.Engine.cancel timer;
+      t.watchdog <- None
+    | None -> ());
+    (* A view change we started alone (no quorum joined) is abandoned once
+       everything we were waiting for has executed in the current view. *)
+    if t.in_view_change && primary_of_view ~n:t.cfg.n t.vc_target <> t.id then begin
+      t.in_view_change <- false;
+      t.vc_target <- t.view
+    end
+  end;
+  if is_primary t then try_emit_pre_prepare t
+
+(* ------------------------------------------------------------------ *)
+(* Primary: ordering.                                                   *)
+
+and try_emit_pre_prepare t =
+  if (not t.in_view_change) && is_primary t then begin
+    if t.cfg.batching && t.cfg.batch_delay > 0.0 then begin
+      (* Linger briefly once the window frees so straggling requests make
+         this batch instead of riding a singleton agreement round. *)
+      if
+        (not t.pp_scheduled)
+        && t.seq_counter - t.last_executed < t.cfg.congestion_window
+        && not (Queue.is_empty t.pending)
+      then begin
+        t.pp_scheduled <- true;
+        Simnet.Engine.schedule t.engine ~delay:t.cfg.batch_delay (fun () ->
+            t.pp_scheduled <- false;
+            if t.alive then emit_pre_prepares t)
+      end
+    end
+    else emit_pre_prepares t
+  end
+
+and emit_pre_prepares t =
+  if (not t.in_view_change) && is_primary t then begin
+    let continue = ref true in
+    while !continue do
+      continue := false;
+      let outstanding = t.seq_counter - t.last_executed in
+      if outstanding < t.cfg.congestion_window && not (Queue.is_empty t.pending) then begin
+        let batch = ref [] in
+        let bytes = ref 0 in
+        let take_one () =
+          let rq = Queue.pop t.pending in
+          let item =
+            let size = String.length rq.Message.rq_op in
+            let big = t.cfg.all_requests_big || size > t.cfg.big_request_threshold in
+            if big then begin
+              Hashtbl.replace t.bodies (Message.request_digest rq) rq;
+              Message.Digest_of
+                {
+                  bd_client = rq.rq_client;
+                  bd_id = rq.rq_id;
+                  bd_digest = Message.request_digest rq;
+                  bd_readonly = rq.rq_readonly;
+                }
+            end
+            else Message.Full rq
+          in
+          let item_bytes =
+            match item with Message.Digest_of _ -> 80 | Message.Full _ -> String.length rq.Message.rq_op + 64
+          in
+          bytes := !bytes + item_bytes;
+          batch := item :: !batch
+        in
+        take_one ();
+        if t.cfg.batching then begin
+          while (not (Queue.is_empty t.pending)) && !bytes < t.cfg.max_batch_bytes do
+            take_one ()
+          done
+        end;
+        let items = List.rev !batch in
+        t.seq_counter <- t.seq_counter + 1;
+        let seq = t.seq_counter in
+        let nondet = Nondet.produce ~now:(now t) t.rng in
+        let entry = Log.entry t.log seq in
+        entry.pp_view <- t.view;
+        entry.batch <- Some items;
+        entry.nondet <- nondet;
+        entry.batch_digest <- Message.batch_digest items;
+        List.iter
+          (fun item -> Hashtbl.replace t.in_flight (Message.batch_item_client_id item) seq)
+          items;
+        Log.record_prepare entry t.id;
+        let payload =
+          Message.Pre_prepare { pp_view = t.view; pp_seq = seq; pp_batch = items; pp_nondet = nondet }
+        in
+        let digest_cost =
+          List.fold_left (fun acc it -> acc +. Costmodel.digest t.costs (match it with
+              | Message.Full rq -> String.length rq.rq_op
+              | Message.Digest_of _ -> 32)) 0.0 items
+        in
+        charge t digest_cost (fun () -> multicast_replicas t payload);
+        continue := true
+      end
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Request intake.                                                      *)
+
+and handle_request t ~src rq =
+  let client = rq.Message.rq_client in
+  (* Redirection-table check: unknown identifiers are dismissed before any
+     signature work (§3.1). System client 0 is reserved. *)
+  match Membership.lookup t.membership client with
+  | None -> t.n_auth_fail <- t.n_auth_fail + 1
+  | Some entry ->
+    ignore entry;
+    ignore src;
+    let size = String.length rq.rq_op in
+    let big = t.cfg.all_requests_big || size > t.cfg.big_request_threshold in
+    if big then begin
+      let d = Message.request_digest rq in
+      Hashtbl.replace t.bodies d rq;
+      Hashtbl.remove t.body_requests d;
+      (* A stalled entry may have been waiting for exactly this body. *)
+      (match Log.find t.log (t.last_executed + 1) with
+      | Some e when List.mem d e.missing_bodies -> try_execute t
+      | Some _ | None -> ())
+    end;
+    (* Retransmission of an executed request: resend the cached reply. *)
+    (match Log.cached_reply t.log client with
+    | Some cr when cr.cr_id = rq.rq_id ->
+      send_reply t rq ~result:cr.cr_result ~tentative:cr.cr_tentative ~already_charged:false
+    | Some cr when cr.cr_id > rq.rq_id -> ()
+    | Some _ | None ->
+      if rq.rq_readonly && t.cfg.read_only_optimization then begin
+        (* Read-only path: execute immediately against the current state. *)
+        let result, cost =
+          t.service.execute ~op:rq.rq_op ~client ~timestamp:(now t) ~nondet:"" ~readonly:true
+        in
+        charge t cost (fun () ->
+            send_reply t rq ~result ~tentative:true ~already_charged:false)
+      end
+      else if Hashtbl.mem t.in_flight (client, rq.rq_id) then begin
+        (* Already being ordered. A retransmission means the client is not
+           getting replies: re-drive the agreement by re-multicasting the
+           pre-prepare (PBFT's lost-message recovery). *)
+        match Hashtbl.find_opt t.in_flight (client, rq.rq_id) with
+        | Some seq when seq > 0 && is_primary t -> begin
+          match Log.find t.log seq with
+          | Some entry when (not entry.executed) && entry.batch <> None ->
+            multicast_replicas t
+              (Message.Pre_prepare
+                 {
+                   pp_view = entry.pp_view;
+                   pp_seq = seq;
+                   pp_batch = Option.value ~default:[] entry.batch;
+                   pp_nondet = entry.nondet;
+                 })
+          | Some _ | None -> ()
+        end
+        | Some _ | None -> ()
+      end
+      else if is_primary t then begin
+        Hashtbl.replace t.in_flight (client, rq.rq_id) 0;
+        Queue.push rq t.pending;
+        try_emit_pre_prepare t
+      end
+      else begin
+        (* Backup. First copy: just remember it for the view-change
+           watchdog (for big requests the client multicast included the
+           primary). A second copy is a client retransmission — the
+           client timed out — so relay it to the primary, which is the
+           PBFT trigger for suspecting the primary. *)
+        if not (Hashtbl.mem t.waiting (client, rq.rq_id)) then begin
+          Hashtbl.replace t.waiting (client, rq.rq_id) (now t);
+          arm_watchdog t
+        end
+        else begin
+          let primary = primary_of_view ~n:t.cfg.n t.view in
+          send_to t ~dst:primary (Message.Request_msg rq)
+        end
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Agreement message handlers.                                          *)
+
+and handle_pre_prepare t ~src (pp_view, pp_seq, pp_batch, pp_nondet) =
+  let primary = primary_of_view ~n:t.cfg.n t.view in
+  if
+    pp_view = t.view && src = primary && (not (is_primary t)) && (not t.in_view_change)
+    && pp_seq > Log.low_watermark t.log
+    && pp_seq <= Log.low_watermark t.log + t.cfg.log_window
+  then begin
+    if not (Nondet.validate t.cfg.nondet ~now:(now t) ~recovering:t.recovering pp_nondet) then
+      t.n_nondet_reject <- t.n_nondet_reject + 1
+    else begin
+      let entry = Log.entry t.log pp_seq in
+      let digest = Message.batch_digest pp_batch in
+      let conflicting = entry.batch <> None && entry.batch_digest <> digest in
+      if not conflicting then begin
+        (* In MAC mode the embedded client requests must be validated; a
+           replica that lost its session keys (restart, §2.3) cannot and
+           must reject the pre-prepare. *)
+        let clients_ok =
+          List.for_all
+            (fun item ->
+              let client, _ = Message.batch_item_client_id item in
+              client = 0
+              ||
+              match Membership.lookup t.membership client with
+              | None -> false
+              | Some e ->
+                if not t.cfg.use_macs then true
+                else Hashtbl.mem t.keys_peers_chose e.me_addr)
+            pp_batch
+        in
+        if not clients_ok then t.n_auth_fail <- t.n_auth_fail + 1
+        else begin
+          entry.pp_view <- pp_view;
+          entry.batch <- Some pp_batch;
+          entry.nondet <- pp_nondet;
+          entry.batch_digest <- digest;
+          Log.record_prepare entry src;
+          Log.record_prepare entry t.id;
+          (* Track pending work for the watchdog. *)
+          List.iter
+            (fun item ->
+              let client, rid = Message.batch_item_client_id item in
+              if client > 0 && not (Hashtbl.mem t.waiting (client, rid)) then
+                Hashtbl.replace t.waiting (client, rid) (now t))
+            pp_batch;
+          arm_watchdog t;
+          maybe_fill_gap t ~src ~seen_seq:pp_seq;
+          let verify_cost =
+            float_of_int (List.length pp_batch) *. Costmodel.auth_verify t.costs t.cfg
+          in
+          charge t verify_cost (fun () ->
+              multicast_replicas t
+                (Message.Prepare
+                   { p_view = pp_view; p_seq = pp_seq; p_digest = digest; p_replica = t.id }));
+          (* If this was a retransmitted pre-prepare and we are already
+             prepared, our commit may have been lost too — resend it. *)
+          if entry.prepared then
+            multicast_replicas t
+              (Message.Commit
+                 { c_view = entry.pp_view; c_seq = pp_seq; c_digest = digest; c_replica = t.id });
+          check_prepared t entry
+        end
+      end
+    end
+  end
+
+and check_prepared t entry =
+  if (not entry.prepared) && entry.batch <> None
+     && Log.prepare_count entry >= quorum_2f1 ~f:t.cfg.f
+  then begin
+    entry.prepared <- true;
+    Log.record_commit entry t.id;
+    multicast_replicas t
+      (Message.Commit
+         { c_view = entry.pp_view; c_seq = entry.seq; c_digest = entry.batch_digest;
+           c_replica = t.id });
+    check_committed t entry;
+    try_execute t
+  end
+
+and check_committed t entry =
+  if (not entry.committed) && entry.prepared && Log.commit_count entry >= quorum_2f1 ~f:t.cfg.f
+  then begin
+    entry.committed <- true;
+    advance_committed t;
+    try_execute t
+  end
+
+and handle_prepare t ~src (p_view, p_seq, p_digest) =
+  if p_view <= t.view && not t.in_view_change then begin
+    let entry = Log.entry t.log p_seq in
+    if entry.batch = None || entry.batch_digest = p_digest then begin
+      Log.record_prepare entry src;
+      check_prepared t entry
+    end
+  end
+
+and handle_commit t ~src (c_view, c_seq, c_digest) =
+  if c_view <= t.view then begin
+    let entry = Log.entry t.log c_seq in
+    if entry.batch = None || entry.batch_digest = c_digest then begin
+      Log.record_commit entry src;
+      (* §2.5 log replay, off by default: a quorum is committing a
+         sequence we never saw the pre-prepare for; fetch it. *)
+      if
+        t.cfg.fetch_missing_entries && entry.batch = None
+        && Log.commit_count entry >= quorum_f1 ~f:t.cfg.f
+        && not (Hashtbl.mem t.entry_requests c_seq)
+      then begin
+        Hashtbl.replace t.entry_requests c_seq ();
+        send_to t ~dst:src (Message.Fetch_entry { fe_seq = c_seq; fe_replica = t.id })
+      end;
+      maybe_fill_gap t ~src ~seen_seq:c_seq;
+      check_committed t entry
+    end
+  end
+
+and maybe_fill_gap t ~src ~seen_seq =
+  if t.cfg.fetch_missing_entries then begin
+    let lo = max (t.last_executed + 1) (Log.low_watermark t.log + 1) in
+    let hi = min (seen_seq - 1) (lo + 512) in
+    for seq = lo to hi do
+      let entry = Log.entry t.log seq in
+      if entry.batch = None && not (Hashtbl.mem t.entry_requests seq) then begin
+        Hashtbl.replace t.entry_requests seq ();
+        send_to t ~dst:src (Message.Fetch_entry { fe_seq = seq; fe_replica = t.id })
+      end
+    done
+  end
+
+and handle_status t ~src (st_view, st_last_exec) =
+  ignore st_view;
+  if st_last_exec < t.last_executed then begin
+    if st_last_exec < t.stable_ckpt then
+      (* The gap starts below our stable checkpoint: the log is gone, so
+         re-vote the checkpoint to drive the peer's state transfer. *)
+      (match Hashtbl.find_opt t.checkpoints t.stable_ckpt with
+      | Some ck ->
+        send_to t ~dst:src
+          (Message.Checkpoint_msg
+             { ck_seq = t.stable_ckpt; ck_digest = Statemgr.Checkpoint.root ck; ck_replica = t.id })
+      | None -> ());
+    let hi = min t.last_executed (st_last_exec + 64) in
+    for seq = st_last_exec + 1 to hi do
+      match Log.find t.log seq with
+      | Some e when e.batch <> None ->
+        send_to t ~dst:src
+          (Message.Entry
+             {
+               en_seq = seq;
+               en_view = e.pp_view;
+               en_batch = Option.value ~default:[] e.batch;
+               en_nondet = e.nondet;
+             });
+        send_to t ~dst:src
+          (Message.Prepare
+             { p_view = e.pp_view; p_seq = seq; p_digest = e.batch_digest; p_replica = t.id });
+        send_to t ~dst:src
+          (Message.Commit
+             { c_view = e.pp_view; c_seq = seq; c_digest = e.batch_digest; c_replica = t.id })
+      | Some _ | None -> ()
+    done
+  end
+
+and handle_fetch_entry t ~src seq =
+  match Log.find t.log seq with
+  | Some e when e.batch <> None ->
+    send_to t ~dst:src
+      (Message.Entry
+         {
+           en_seq = seq;
+           en_view = e.pp_view;
+           en_batch = Option.value ~default:[] e.batch;
+           en_nondet = e.nondet;
+         })
+  | Some _ | None -> ()
+
+and handle_entry t ~src:_ (en_seq, en_view, en_batch, en_nondet) =
+  let entry = Log.entry t.log en_seq in
+  if entry.batch = None && en_seq > Log.low_watermark t.log then begin
+    (* A replayed request: the §2.5 validation trap. With plain delta
+       validation the original (stale) timestamp fails and recovery is
+       impeded; the skip-on-recovery policy accepts it. *)
+    if not (Nondet.validate t.cfg.nondet ~now:(now t) ~recovering:true en_nondet) then
+      t.n_nondet_reject <- t.n_nondet_reject + 1
+    else begin
+      entry.pp_view <- en_view;
+      entry.batch <- Some en_batch;
+      entry.nondet <- en_nondet;
+      entry.batch_digest <- Message.batch_digest en_batch;
+      Log.record_prepare entry t.id;
+      Hashtbl.remove t.entry_requests en_seq;
+      multicast_replicas t
+        (Message.Prepare
+           { p_view = en_view; p_seq = en_seq; p_digest = entry.batch_digest; p_replica = t.id });
+      check_prepared t entry;
+      check_committed t entry;
+      try_execute t
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* View changes.                                                        *)
+
+and rollback_tentative t =
+  (match t.undo with
+  | None -> ()
+  | Some snap ->
+    Statemgr.Merkle.update t.merkle t.pages (Statemgr.Pages.dirty t.pages);
+    Statemgr.Checkpoint.restore snap t.pages t.merkle;
+    load_membership_from_pages t;
+    t.undo <- None);
+  (* Speculative executions above the committed prefix are undone: their
+     flags must clear too, or a re-proposal would skip re-execution. *)
+  List.iter
+    (fun (e : Log.entry) -> e.tentatively_executed <- false)
+    (Log.entries_between t.log ~lo:t.last_committed_exec ~hi:(t.last_committed_exec + t.cfg.log_window));
+  t.last_executed <- t.last_committed_exec
+
+and start_view_change t v =
+  if v > t.vc_target then begin
+    t.vc_target <- v;
+    t.in_view_change <- true;
+    t.n_vc <- t.n_vc + 1;
+    rollback_tentative t;
+    (match t.watchdog with
+    | Some timer ->
+      Simnet.Engine.cancel timer;
+      t.watchdog <- None
+    | None -> ());
+    let stable_digest =
+      match Hashtbl.find_opt t.checkpoints t.stable_ckpt with
+      | Some ck -> Statemgr.Checkpoint.root ck
+      | None -> ""
+    in
+    let prepared =
+      List.map
+        (fun (e : Log.entry) ->
+          {
+            Message.pi_view = e.pp_view;
+            pi_seq = e.seq;
+            pi_digest = e.batch_digest;
+            pi_batch = Option.value ~default:[] e.batch;
+          })
+        (Log.prepared_above t.log t.stable_ckpt)
+    in
+    let payload =
+      Message.View_change
+        {
+          vc_new_view = v;
+          vc_stable_seq = t.stable_ckpt;
+          vc_stable_digest = stable_digest;
+          vc_prepared = prepared;
+          vc_replica = t.id;
+        }
+    in
+    record_view_change t ~src:t.id payload;
+    multicast_replicas t payload;
+    (* If the new primary is unresponsive too, move further. *)
+    let _ =
+      Simnet.Engine.timer t.engine ~delay:(t.cfg.view_change_timeout *. 2.0) (fun () ->
+          if t.alive && t.in_view_change && t.view < v then start_view_change t (v + 1))
+    in
+    check_new_view t v
+  end
+
+and record_view_change t ~src payload =
+  match payload with
+  | Message.View_change vc ->
+    let tbl =
+      match Hashtbl.find_opt t.vc_msgs vc.vc_new_view with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.add t.vc_msgs vc.vc_new_view tbl;
+        tbl
+    in
+    Hashtbl.replace tbl src payload
+  | _ -> ()
+
+and handle_view_change t ~src payload =
+  match payload with
+  | Message.View_change vc when vc.vc_new_view > t.view ->
+    record_view_change t ~src payload;
+    let count v = match Hashtbl.find_opt t.vc_msgs v with Some tbl -> Hashtbl.length tbl | None -> 0 in
+    (* Liveness: join a view change supported by f+1 others. *)
+    if (not t.in_view_change) && count vc.vc_new_view >= quorum_f1 ~f:t.cfg.f then
+      start_view_change t vc.vc_new_view;
+    check_new_view t vc.vc_new_view
+  | Message.View_change _ | _ -> ()
+
+and check_new_view t v =
+  if primary_of_view ~n:t.cfg.n v = t.id && t.vc_target <= v then begin
+    match Hashtbl.find_opt t.vc_msgs v with
+    | Some tbl when Hashtbl.length tbl >= quorum_2f1 ~f:t.cfg.f && t.view < v ->
+      (* Compute the re-proposal set O from the 2f+1 view-change messages. *)
+      let msgs = Hashtbl.fold (fun src p acc -> (src, p) :: acc) tbl [] in
+      let min_s =
+        List.fold_left
+          (fun acc (_, p) ->
+            match p with Message.View_change vc -> max acc vc.vc_stable_seq | _ -> acc)
+          0 msgs
+      in
+      let by_seq : (seqno, Message.prepared_info) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (_, p) ->
+          match p with
+          | Message.View_change vc ->
+            List.iter
+              (fun (pi : Message.prepared_info) ->
+                if pi.pi_seq > min_s then begin
+                  match Hashtbl.find_opt by_seq pi.pi_seq with
+                  | Some existing when existing.pi_view >= pi.pi_view -> ()
+                  | Some _ | None -> Hashtbl.replace by_seq pi.pi_seq pi
+                end)
+              vc.vc_prepared
+          | _ -> ())
+        msgs;
+      let max_s = Hashtbl.fold (fun s _ acc -> max s acc) by_seq min_s in
+      let reproposals =
+        List.filter_map
+          (fun seq ->
+            if seq <= min_s then None
+            else
+              match Hashtbl.find_opt by_seq seq with
+              | Some pi -> Some (seq, pi.pi_batch)
+              | None -> Some (seq, []) (* null request fills the gap *))
+          (List.init (max_s - min_s) (fun i -> min_s + 1 + i))
+      in
+      let vc_digests =
+        List.map (fun (src, p) -> (src, Message.digest_of_payload p)) msgs
+      in
+      t.view <- v;
+      t.in_view_change <- false;
+      t.vc_target <- v;
+      t.seq_counter <- max max_s t.seq_counter;
+      if t.last_executed < min_s then begin
+        (* We are behind the quorum's stable checkpoint; fetch it. *)
+        match
+          Hashtbl.fold (fun src p acc ->
+              match p with
+              | Message.View_change vc when vc.vc_stable_seq = min_s && src <> t.id ->
+                Some (src, vc.vc_stable_digest)
+              | _ -> acc)
+            tbl None
+        with
+        | Some (peer, d) ->
+          start_state_transfer t ~seq:min_s ~peer ~digest:(if d = "" then None else Some d)
+        | None -> ()
+      end;
+      (* Install the re-proposed batches locally. *)
+      List.iter
+        (fun (seq, batch) ->
+          let entry = Log.entry t.log seq in
+          entry.pp_view <- v;
+          entry.batch <- Some batch;
+          entry.nondet <- Nondet.produce ~now:(now t) t.rng;
+          entry.batch_digest <- Message.batch_digest batch;
+          Log.record_prepare entry t.id)
+        reproposals;
+      multicast_replicas t
+        (Message.New_view
+           { nv_view = v; nv_view_change_digests = vc_digests; nv_pre_prepares = reproposals });
+      try_emit_pre_prepare t
+    | Some _ | None -> ()
+  end
+
+and handle_new_view t ~src (nv_view, nv_pre_prepares) =
+  if src = primary_of_view ~n:t.cfg.n nv_view && nv_view >= t.view then begin
+    t.view <- nv_view;
+    t.in_view_change <- false;
+    t.vc_target <- nv_view;
+    List.iter
+      (fun (seq, batch) ->
+        if seq > t.last_executed then begin
+          let entry = Log.entry t.log seq in
+          entry.pp_view <- nv_view;
+          entry.batch <- Some batch;
+          entry.batch_digest <- Message.batch_digest batch;
+          Log.record_prepare entry src;
+          Log.record_prepare entry t.id;
+          multicast_replicas t
+            (Message.Prepare
+               { p_view = nv_view; p_seq = seq; p_digest = entry.batch_digest; p_replica = t.id });
+          check_prepared t entry
+        end)
+      nv_pre_prepares;
+    try_execute t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* State transfer handlers.                                             *)
+
+and handle_fetch_meta t ~src seq =
+  let seq = if seq <= 0 then t.stable_ckpt else seq in
+  match Hashtbl.find_opt t.checkpoints seq with
+  | None -> ()
+  | Some ck ->
+    let tree = Statemgr.Checkpoint.merkle ck in
+    let leaves = List.init (Statemgr.Merkle.num_leaves tree) (Statemgr.Merkle.leaf tree) in
+    send_to t ~dst:src (Message.State_meta { sm_seq = seq; sm_replica = t.id; sm_leaves = leaves })
+
+and handle_state_meta t ~src (seq, leaves) =
+  match t.transfer with
+  | Some tr when (tr.tr_seq = seq || tr.tr_seq < 0) && tr.tr_peer = src ->
+    (* A Byzantine peer must not be able to poison the transfer: when the
+       target digest is quorum-certified, the claimed page digests must
+       reproduce it. *)
+    let meta_ok =
+      match tr.tr_digest with
+      | None -> true
+      | Some d -> String.equal d (Statemgr.Merkle.root_of_leaves leaves)
+    in
+    if not meta_ok then t.n_auth_fail <- t.n_auth_fail + 1
+    else begin
+    Statemgr.Merkle.update t.merkle t.pages (Statemgr.Pages.dirty t.pages);
+    let wanted = ref [] in
+    List.iteri
+      (fun i leaf ->
+        if i < Statemgr.Merkle.num_leaves t.merkle && leaf <> Statemgr.Merkle.leaf t.merkle i then
+          wanted := i :: !wanted)
+      leaves;
+    let tr =
+      { tr with tr_seq = seq; tr_leaves = Array.of_list leaves; tr_wanted = List.rev !wanted }
+    in
+    t.transfer <- Some tr;
+    if tr.tr_wanted = [] then finish_transfer t tr
+    else begin
+      (* Fetch in chunks of 8 pages. *)
+      let rec chunks = function
+        | [] -> []
+        | l ->
+          let rec take n = function
+            | [] -> ([], [])
+            | x :: rest when n > 0 ->
+              let a, b = take (n - 1) rest in
+              (x :: a, b)
+            | rest -> ([], rest)
+          in
+          let chunk, rest = take 8 l in
+          chunk :: chunks rest
+      in
+      List.iter
+        (fun chunk ->
+          send_to t ~dst:src
+            (Message.Fetch_pages { fp_seq = seq; fp_pages = chunk; fp_replica = t.id }))
+        (chunks tr.tr_wanted)
+    end
+    end
+  | Some _ | None -> ()
+
+and handle_fetch_pages t ~src (seq, wanted) =
+  match Hashtbl.find_opt t.checkpoints seq with
+  | None -> ()
+  | Some ck ->
+    let pages = List.map (fun i -> (i, Statemgr.Checkpoint.page ck i)) wanted in
+    send_to t ~dst:src (Message.State_pages { sp_seq = seq; sp_replica = t.id; sp_pages = pages })
+
+and handle_state_pages t ~src (seq, got) =
+  match t.transfer with
+  | Some tr when tr.tr_seq = seq && tr.tr_peer = src ->
+    (* Each page must hash to the (already root-checked) claimed leaf. *)
+    let got =
+      List.filter
+        (fun (i, contents) ->
+          i < Array.length tr.tr_leaves
+          && String.equal (Statemgr.Merkle.page_digest contents) tr.tr_leaves.(i))
+        got
+    in
+    if got = [] then t.n_auth_fail <- t.n_auth_fail + 1;
+    tr.tr_received <- got @ tr.tr_received;
+    let have = List.map fst tr.tr_received in
+    if List.for_all (fun w -> List.mem w have) tr.tr_wanted then finish_transfer t tr
+  | Some _ | None -> ()
+
+and finish_transfer t tr =
+  List.iter (fun (i, contents) -> Statemgr.Pages.load_page t.pages i contents) tr.tr_received;
+  Statemgr.Merkle.update t.merkle t.pages (List.map fst tr.tr_received);
+  Statemgr.Pages.clear_dirty t.pages;
+  load_membership_from_pages t;
+  t.transfer <- None;
+  t.undo <- None;
+  if tr.tr_seq > t.last_executed then begin
+    t.last_executed <- tr.tr_seq;
+    t.last_committed_exec <- tr.tr_seq;
+    t.seq_counter <- max t.seq_counter tr.tr_seq
+  end;
+  t.stable_ckpt <- max t.stable_ckpt tr.tr_seq;
+  Log.set_low_watermark t.log tr.tr_seq;
+  (* Snapshot the transferred state as our own checkpoint so we can serve
+     transfers and votes for it. *)
+  Statemgr.Merkle.update t.merkle t.pages (Statemgr.Pages.dirty t.pages);
+  Statemgr.Pages.clear_dirty t.pages;
+  let ck = Statemgr.Checkpoint.take ~seqno:tr.tr_seq t.pages t.merkle in
+  Hashtbl.replace t.checkpoints tr.tr_seq ck;
+  if t.recovering && t.recovery_done = None then t.recovery_done <- Some (now t);
+  try_execute t
+
+(* ------------------------------------------------------------------ *)
+(* Join phase 1/2 (protocol level, before ordering).                    *)
+
+and join_challenge_value t ~addr ~pubkey ~nonce =
+  Crypto.Mac.compute ~key:t.registry.reg_group_secret
+    (Printf.sprintf "join|%d|%s|%s" addr pubkey nonce)
+
+and handle_join_request t ~src:_ (j_addr, j_pubkey, j_nonce) =
+  if t.cfg.dynamic_clients then begin
+    let challenge = join_challenge_value t ~addr:j_addr ~pubkey:j_pubkey ~nonce:j_nonce in
+    send_to t ~dst:j_addr
+      (Message.Join_challenge { jc_replica = t.id; jc_addr = j_addr; jc_nonce = challenge })
+  end
+
+and handle_join_response t ~src:_ (jr_addr, jr_proof, jr_pubkey, jr_idbuf) =
+  if t.cfg.dynamic_clients then begin
+    (* The proof must be the challenge we (deterministically) issued; any
+       replica can recompute it. The nonce is embedded in the proof check
+       by construction: proof = MAC(secret, addr|pubkey|nonce). We accept
+       any nonce the client chose, since the proof demonstrates it
+       received the challenge at its claimed address. *)
+    let valid =
+      (* The client sends back (nonce, proof) packed in jr_proof. *)
+      match String.index_opt jr_proof '|' with
+      | None -> false
+      | Some i ->
+        let nonce = String.sub jr_proof 0 i in
+        let proof = String.sub jr_proof (i + 1) (String.length jr_proof - i - 1) in
+        String.equal proof (join_challenge_value t ~addr:jr_addr ~pubkey:jr_pubkey ~nonce)
+    in
+    if valid then begin
+      let op =
+        "\x01"
+        ^ Util.Codec.encode
+            (fun w () ->
+              Util.Codec.W.u8 w (Char.code 'J');
+              Util.Codec.W.varint w jr_addr;
+              Util.Codec.W.lstring w jr_pubkey;
+              Util.Codec.W.lstring w jr_idbuf)
+            ()
+      in
+      let rq_id =
+        (* Deterministic id so all replicas deduplicate identically. *)
+        Char.code (Crypto.Sha256.digest op).[0]
+        lor (Char.code (Crypto.Sha256.digest op).[1] lsl 8)
+        lor (jr_addr lsl 16)
+      in
+      (* The system request must be bit-identical at every replica (its
+         digest is what the pre-prepare references), so its timestamp
+         field is fixed at zero; ordering time comes from the agreed
+         non-deterministic data instead. *)
+      let rq =
+        { Message.rq_client = 0; rq_id; rq_op = op; rq_readonly = false; rq_timestamp = 0.0 }
+      in
+      let d = Message.request_digest rq in
+      Hashtbl.replace t.bodies d rq;
+      (* The ordered batch may already be committed and waiting for
+         exactly this body (the copies fan out to replicas at different
+         times). *)
+      (match Log.find t.log (t.last_executed + 1) with
+      | Some e when List.mem d e.missing_bodies -> try_execute t
+      | Some _ | None -> ());
+      if is_primary t then begin
+        if not (Hashtbl.mem t.in_flight (0, rq_id)) then begin
+          Hashtbl.replace t.in_flight (0, rq_id) 0;
+          Queue.push rq t.pending;
+          try_emit_pre_prepare t
+        end
+      end
+      else begin
+        if not (Hashtbl.mem t.waiting (0, rq_id)) then begin
+          Hashtbl.replace t.waiting (0, rq_id) (now t);
+          arm_watchdog t
+        end
+      end
+    end
+  end
+
+and handle_leave t ~src (lv_client : client_id) =
+  match Membership.lookup t.membership lv_client with
+  | Some e when e.me_addr = src && t.cfg.dynamic_clients ->
+    let op =
+      "\x01"
+      ^ Util.Codec.encode
+          (fun w () ->
+            Util.Codec.W.u8 w (Char.code 'L');
+            Util.Codec.W.varint w lv_client)
+          ()
+    in
+    let rq_id = 0x4c000000 lor lv_client in
+    let rq =
+      { Message.rq_client = 0; rq_id; rq_op = op; rq_readonly = false; rq_timestamp = 0.0 }
+    in
+    let d = Message.request_digest rq in
+    Hashtbl.replace t.bodies d rq;
+    (match Log.find t.log (t.last_executed + 1) with
+    | Some e when List.mem d e.missing_bodies -> try_execute t
+    | Some _ | None -> ());
+    if is_primary t then begin
+      if not (Hashtbl.mem t.in_flight (0, rq_id)) then begin
+        Hashtbl.replace t.in_flight (0, rq_id) 0;
+        Queue.push rq t.pending;
+        try_emit_pre_prepare t
+      end
+    end
+    else begin
+      if not (Hashtbl.mem t.waiting (0, rq_id)) then begin
+        Hashtbl.replace t.waiting (0, rq_id) (now t);
+        arm_watchdog t
+      end
+    end
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch.                                                            *)
+
+and dispatch t ~src (msg : Message.t) =
+  match msg.payload with
+  | Message.Request_msg rq ->
+    let extra = if t.cfg.dynamic_clients then t.costs.log_bookkeeping else 0.0 in
+    charge t extra (fun () -> handle_request t ~src rq)
+  | Message.Body { b_request } -> handle_request t ~src b_request
+  | Message.Pre_prepare pp -> handle_pre_prepare t ~src (pp.pp_view, pp.pp_seq, pp.pp_batch, pp.pp_nondet)
+  | Message.Prepare p -> handle_prepare t ~src (p.p_view, p.p_seq, p.p_digest)
+  | Message.Commit c -> handle_commit t ~src (c.c_view, c.c_seq, c.c_digest)
+  | Message.Checkpoint_msg c ->
+    record_ckpt_vote t ~seq:c.ck_seq ~replica:c.ck_replica ~digest:c.ck_digest;
+    check_ckpt_stable t c.ck_seq
+  | Message.View_change _ -> handle_view_change t ~src msg.payload
+  | Message.New_view nv -> handle_new_view t ~src (nv.nv_view, nv.nv_pre_prepares)
+  | Message.Session_key sk ->
+    if sk.sk_target = t.id then install_session_key t ~addr:sk.sk_sender sk.sk_key_box
+  | Message.Join_request j -> handle_join_request t ~src (j.j_addr, j.j_pubkey, j.j_nonce)
+  | Message.Join_response jr ->
+    handle_join_response t ~src (jr.jr_addr, jr.jr_proof, jr.jr_pubkey, jr.jr_idbuf)
+  | Message.Leave_msg l -> handle_leave t ~src l.lv_client
+  | Message.Fetch_meta f -> handle_fetch_meta t ~src f.fm_seq
+  | Message.State_meta s -> handle_state_meta t ~src (s.sm_seq, s.sm_leaves)
+  | Message.Fetch_pages f -> handle_fetch_pages t ~src (f.fp_seq, f.fp_pages)
+  | Message.State_pages s -> handle_state_pages t ~src (s.sp_seq, s.sp_pages)
+  | Message.Fetch_body f -> begin
+    match Hashtbl.find_opt t.bodies f.fb_digest with
+    | Some rq -> send_to t ~dst:src (Message.Body { b_request = rq })
+    | None -> ()
+  end
+  | Message.Fetch_entry f -> handle_fetch_entry t ~src f.fe_seq
+  | Message.Entry e -> handle_entry t ~src (e.en_seq, e.en_view, e.en_batch, e.en_nondet)
+  | Message.Status st -> handle_status t ~src (st.st_view, st.st_last_exec)
+  | Message.Reply _ | Message.Join_challenge _ | Message.Join_reply _ ->
+    (* Client-bound messages; a replica ignores them. *)
+    ()
+
+and on_datagram t ~src wire =
+  if t.alive then begin
+    charge t (recv_cost t (String.length wire)) (fun () ->
+        match Message.decode wire with
+        | None -> t.n_auth_fail <- t.n_auth_fail + 1
+        | Some msg ->
+          let cost, ok = check_auth t ~src msg in
+          charge t cost (fun () ->
+              if ok then dispatch t ~src msg
+              else t.n_auth_fail <- t.n_auth_fail + 1))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction.                                                        *)
+
+let mid_partition_pages = 4
+
+let create ~cfg ~costs ~engine ~net ~id ~signer ~registry ~service:service_spec ?threshold () =
+  let rng = Util.Rng.split (Simnet.Engine.rng engine) in
+  let mid_pages = mid_partition_pages in
+  let num_pages = mid_pages + service_spec.Service.app_pages in
+  let pages =
+    Statemgr.Pages.create ~page_size:service_spec.Service.page_size ~num_pages ()
+  in
+  let merkle = Statemgr.Merkle.build pages in
+  let membership = Membership.create ~max_clients:cfg.Config.max_clients ~dynamic:cfg.dynamic_clients in
+  if not cfg.dynamic_clients then Membership.populate_static membership registry.reg_static_clients;
+  let service = service_spec.Service.make pages ~first_page:mid_pages in
+  let t =
+    {
+      cfg;
+      costs;
+      engine;
+      net;
+      cpu = Simnet.Cpu.create engine;
+      id;
+      rng;
+      signer;
+      registry;
+      threshold;
+      service_spec;
+      service;
+      mid_pages;
+      pages;
+      merkle;
+      membership;
+      log = Log.create ();
+      keys_i_chose = Hashtbl.create 16;
+      keys_peers_chose = Hashtbl.create 16;
+      bodies = Hashtbl.create 256;
+      pending = Queue.create ();
+      in_flight = Hashtbl.create 64;
+      waiting = Hashtbl.create 64;
+      body_requests = Hashtbl.create 16;
+      entry_requests = Hashtbl.create 16;
+      checkpoints = Hashtbl.create 8;
+      ckpt_votes = Hashtbl.create 8;
+      vc_msgs = Hashtbl.create 4;
+      view = 0;
+      seq_counter = 0;
+      last_executed = 0;
+      last_committed_exec = 0;
+      undo = None;
+      stable_ckpt = 0;
+      in_view_change = false;
+      vc_target = 0;
+      watchdog = None;
+      rebroadcast = None;
+      status_timer = None;
+      transfer = None;
+      pp_scheduled = false;
+      recovering = false;
+      recovery_done = None;
+      alive = true;
+      n_exec = 0;
+      n_vc = 0;
+      n_transfers = 0;
+      n_auth_fail = 0;
+      n_nondet_reject = 0;
+    }
+  in
+  sync_membership_to_pages t;
+  Statemgr.Merkle.update t.merkle t.pages (Statemgr.Pages.dirty t.pages);
+  Statemgr.Pages.clear_dirty t.pages;
+  (* Sequence 0 is the genesis checkpoint. *)
+  Hashtbl.replace t.checkpoints 0 (Statemgr.Checkpoint.take ~seqno:0 t.pages t.merkle);
+  Simnet.Net.register net id (fun ~src wire -> on_datagram t ~src wire);
+  Simnet.Net.set_backlog_probe net id (fun () -> Simnet.Cpu.queue_length t.cpu);
+  if cfg.status_period > 0.0 then
+    t.status_timer <-
+      Some
+        (Simnet.Engine.periodic engine ~interval:cfg.status_period (fun () ->
+             if t.alive then
+               multicast_replicas t
+                 (Message.Status
+                    { st_replica = t.id; st_view = t.view; st_last_exec = t.last_executed })));
+  if cfg.use_macs then begin
+    Simnet.Engine.schedule engine ~delay:0.0 (fun () -> broadcast_session_keys t);
+    t.rebroadcast <-
+      Some
+        (Simnet.Engine.periodic engine ~interval:cfg.authenticator_rebroadcast (fun () ->
+             if t.alive then broadcast_session_keys t))
+  end;
+  t
+
+let shutdown t =
+  t.alive <- false;
+  Simnet.Net.unregister t.net t.id;
+  (match t.watchdog with Some timer -> Simnet.Engine.cancel timer | None -> ());
+  (match t.rebroadcast with Some timer -> Simnet.Engine.cancel timer | None -> ());
+  (match t.status_timer with Some timer -> Simnet.Engine.cancel timer | None -> ())
+
+let restart t =
+  shutdown t;
+  let fresh =
+    create ~cfg:t.cfg ~costs:t.costs ~engine:t.engine ~net:t.net ~id:t.id ~signer:t.signer
+      ~registry:t.registry ~service:t.service_spec ?threshold:t.threshold ()
+  in
+  fresh.recovering <- true;
+  (* Ask peers for their latest stable checkpoint. The choice of peer is
+     arbitrary; take the next replica in ring order. *)
+  let peer = (t.id + 1) mod t.cfg.n in
+  Simnet.Engine.schedule t.engine ~delay:0.001 (fun () ->
+      if fresh.alive && fresh.transfer = None then begin
+        fresh.transfer <-
+          Some
+            { tr_seq = -1; tr_peer = peer; tr_digest = None; tr_leaves = [||]; tr_wanted = [];
+              tr_received = [] };
+        fresh.n_transfers <- fresh.n_transfers + 1;
+        (* fm_seq = 0 asks for the peer's latest stable checkpoint. *)
+        send_to fresh ~dst:peer (Message.Fetch_meta { fm_seq = 0; fm_replica = fresh.id });
+        arm_transfer_retry fresh
+      end);
+  fresh

@@ -1,0 +1,84 @@
+(** A PBFT replica: the complete server-side state machine.
+
+    Implements normal-case three-phase agreement with request batching
+    under the congestion window, the big-request and read-only
+    optimizations, tentative execution, checkpointing with Merkle-tree
+    state snapshots, state transfer for lagging replicas, view changes,
+    MAC-authenticator session management (with the transient-key recovery
+    stall of §2.3), the non-determinism upcalls of §2.5, and the paper's
+    dynamic client membership extension (§3.1).
+
+    A replica is driven entirely by the simulation: datagrams arrive via
+    the network, work is charged to the replica's virtual CPU, and timers
+    run on the engine. Restarting a replica (for the recovery
+    experiments) discards all transient state — agreement log, session
+    keys, memory state region — and keeps only what the deployment's
+    service made durable. *)
+
+open Types
+
+(** A-priori deployment knowledge every node ships with: replica
+    verifiers, the replica-group secret used for stateless join
+    challenges, and (in static mode) the client table. *)
+type registry = {
+  reg_verifiers : Crypto.Keychain.verifier array;
+  reg_group_secret : string;
+  reg_static_clients : (client_id * int * string) list;  (** (client, addr, pubkey) *)
+}
+
+type t
+
+val create :
+  cfg:Config.t ->
+  costs:Costmodel.t ->
+  engine:Simnet.Engine.t ->
+  net:Simnet.Net.t ->
+  id:replica_id ->
+  signer:Crypto.Keychain.signer ->
+  registry:registry ->
+  service:Service.t ->
+  ?threshold:Crypto.Threshold.public * Crypto.Threshold.share ->
+  unit ->
+  t
+(** Construct and register the replica on the network. When a threshold
+    share is supplied, every reply carries a partial signature that
+    clients combine into a reply certificate (§3.3.1, {!Certificate}). *)
+
+val id : t -> replica_id
+val view : t -> view
+val is_primary : t -> bool
+val last_executed : t -> seqno
+val stable_checkpoint : t -> seqno
+val executed_requests : t -> int
+val view_changes : t -> int
+val state_transfers : t -> int
+val auth_failures : t -> int
+(** Messages dropped for failed/unavailable authentication — nonzero on a
+    recovering replica before the key rebroadcast arrives (§2.3). *)
+
+val nondet_rejects : t -> int
+(** Pre-prepares / replayed entries rejected by non-determinism
+    validation (§2.5). *)
+
+val cpu : t -> Simnet.Cpu.t
+val pages : t -> Statemgr.Pages.t
+val membership : t -> Membership.t
+
+val install_session_key : t -> addr:int -> Crypto.Mac.key -> unit
+(** Out-of-band session-key installation used by static-mode setup; the
+    in-band path is the Session_key message. *)
+
+val shutdown : t -> unit
+(** Stop the replica: unregister from the network and cancel timers. The
+    object becomes inert (messages to its address vanish, like UDP). *)
+
+val restart : t -> t
+(** Build a fresh replica with the same identity and configuration but
+    empty transient state, re-registered on the network — the paper's
+    stop-and-restart recovery experiment (§2.3). The service state is
+    rebuilt through a state transfer from peers. *)
+
+val is_recovering : t -> bool
+val recovery_completed_at : t -> float option
+(** Virtual time at which the post-restart state transfer finished and
+    normal execution resumed; [None] if never restarted / not yet done. *)

@@ -1,0 +1,189 @@
+open Types
+
+type instance = {
+  execute :
+    op:string ->
+    client:client_id ->
+    timestamp:float ->
+    nondet:string ->
+    readonly:bool ->
+    string * float;
+  authorize_join : idbuf:string -> string option;
+  on_session_end : client_id -> unit;
+}
+
+let no_session_end (_ : client_id) = ()
+
+type t = {
+  name : string;
+  page_size : int;
+  app_pages : int;
+  make : Statemgr.Pages.t -> first_page:int -> instance;
+}
+
+(* Joins are authorized when the identification buffer parses as
+   "user:password" with a non-empty user; the identity is the user. Real
+   deployments would check credentials — the shape is what matters. *)
+let default_authorize ~idbuf =
+  match String.index_opt idbuf ':' with
+  | Some i when i > 0 -> Some (String.sub idbuf 0 i)
+  | Some _ | None -> None
+
+let null ?(reply_size = 1024) () =
+  {
+    name = "null";
+    page_size = 4096;
+    app_pages = 16;
+    make =
+      (fun _pages ~first_page:_ ->
+        let reply = String.make reply_size 'r' in
+        {
+          execute = (fun ~op:_ ~client:_ ~timestamp:_ ~nondet:_ ~readonly:_ -> (reply, 0.5e-6));
+          authorize_join = default_authorize;
+          on_session_end = no_session_end;
+        });
+  }
+
+let counter () =
+  {
+    name = "counter";
+    page_size = 4096;
+    app_pages = 1;
+    make =
+      (fun pages ~first_page ->
+        let base = first_page * Statemgr.Pages.page_size pages in
+        let read_counter () =
+          match int_of_string_opt (String.trim (Statemgr.Pages.read pages ~pos:base ~len:20)) with
+          | Some v -> v
+          | None -> 0
+        in
+        let write_counter v =
+          let s = Printf.sprintf "%019d " v in
+          Statemgr.Pages.notify_modify pages ~pos:base ~len:20;
+          Statemgr.Pages.write pages ~pos:base s
+        in
+        {
+          execute =
+            (fun ~op ~client:_ ~timestamp:_ ~nondet:_ ~readonly:_ ->
+              match String.trim op with
+              | "incr" ->
+                let v = read_counter () + 1 in
+                write_counter v;
+                (string_of_int v, 1e-6)
+              | "get" -> (string_of_int (read_counter ()), 1e-6)
+              | other -> ("error: unknown op " ^ other, 1e-6));
+          authorize_join = default_authorize;
+          on_session_end = no_session_end;
+        });
+  }
+
+(* The KV table lives in the region as a sorted association list rendered
+   with a tiny length-prefixed encoding; small and simple, but it means
+   every page it occupies participates in checkpoint digests and state
+   transfer like real application state. *)
+let kv_store () =
+  let page_size = 4096 in
+  let app_pages = 64 in
+  {
+    name = "kv";
+    page_size;
+    app_pages;
+    make =
+      (fun pages ~first_page ->
+        let base = first_page * page_size in
+        let capacity = app_pages * page_size in
+        let load () =
+          let hdr = Statemgr.Pages.read pages ~pos:base ~len:8 in
+          let len = int_of_string_opt (String.trim hdr) |> Option.value ~default:0 in
+          if len = 0 then []
+          else begin
+            let body = Statemgr.Pages.read pages ~pos:(base + 8) ~len in
+            match Util.Codec.decode (fun r -> Util.Codec.R.list r (fun r ->
+                let k = Util.Codec.R.lstring r in
+                let v = Util.Codec.R.lstring r in
+                (k, v))) body
+            with
+            | l -> l
+            | exception Util.Codec.R.Truncated -> []
+          end
+        in
+        let store assoc =
+          let body =
+            Util.Codec.encode
+              (fun w l ->
+                Util.Codec.W.list w
+                  (fun w (k, v) ->
+                    Util.Codec.W.lstring w k;
+                    Util.Codec.W.lstring w v)
+                  l)
+              assoc
+          in
+          let total = 8 + String.length body in
+          if total > capacity then failwith "kv_store: state region full";
+          Statemgr.Pages.notify_modify pages ~pos:base ~len:total;
+          Statemgr.Pages.write pages ~pos:base (Printf.sprintf "%07d " (String.length body));
+          Statemgr.Pages.write pages ~pos:(base + 8) body
+        in
+        let split_op op =
+          match String.split_on_char ' ' op with
+          | cmd :: rest -> (cmd, rest)
+          | [] -> ("", [])
+        in
+        {
+          execute =
+            (fun ~op ~client:_ ~timestamp:_ ~nondet:_ ~readonly:_ ->
+              match split_op op with
+              | "put", k :: vs ->
+                let v = String.concat " " vs in
+                let assoc = List.remove_assoc k (load ()) in
+                store (List.sort compare ((k, v) :: assoc));
+                ("ok", 8e-6)
+              | "get", [ k ] ->
+                ((match List.assoc_opt k (load ()) with Some v -> v | None -> "(nil)"), 8e-6)
+              | "del", [ k ] ->
+                let assoc = load () in
+                if List.mem_assoc k assoc then begin
+                  store (List.remove_assoc k assoc);
+                  ("ok", 8e-6)
+                end
+                else ("(nil)", 8e-6)
+              | "keys", _ -> (String.concat "," (List.map fst (load ())), 8e-6)
+              | _ -> ("error: bad op", 2e-6));
+          authorize_join = default_authorize;
+          on_session_end = no_session_end;
+        });
+  }
+
+(* A per-session private KV: the §3.3.2 subsystem in action. *)
+let session_kv () =
+  let page_size = 4096 in
+  let app_pages = Session_state.pages_needed in
+  {
+    name = "session-kv";
+    page_size;
+    app_pages;
+    make =
+      (fun pages ~first_page ->
+        let store = Session_state.create pages ~first_page ~pages:app_pages in
+        let split_op op =
+          match String.split_on_char ' ' op with cmd :: rest -> (cmd, rest) | [] -> ("", [])
+        in
+        {
+          execute =
+            (fun ~op ~client ~timestamp:_ ~nondet:_ ~readonly:_ ->
+              match split_op op with
+              | "sput", k :: vs ->
+                Session_state.set store ~client ~key:k (String.concat " " vs);
+                ("ok", 6e-6)
+              | "sget", [ k ] ->
+                ( (match Session_state.get store ~client ~key:k with
+                  | Some v -> v
+                  | None -> "(nil)"),
+                  6e-6 )
+              | "skeys", _ ->
+                (String.concat "," (Session_state.session_keys store ~client), 6e-6)
+              | _ -> ("error: bad op", 2e-6));
+          authorize_join = default_authorize;
+          on_session_end = (fun client -> Session_state.end_session store ~client);
+        });
+  }

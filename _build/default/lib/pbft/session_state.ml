@@ -1,0 +1,92 @@
+open Types
+
+(* The whole store serializes as one canonical sorted structure re-written
+   on every mutation: small, simple, and exactly as deterministic as the
+   rest of the execution path. The image lives behind a fixed-width
+   length header, mirroring the membership partition. *)
+
+type t = {
+  pages : Statemgr.Pages.t;
+  base : int;
+  capacity : int;
+  mutable table : (client_id * string * string) list;  (** sorted *)
+}
+
+let pages_needed = 8
+
+let encode table =
+  Util.Codec.encode
+    (fun w () ->
+      Util.Codec.W.list w
+        (fun w (c, k, v) ->
+          Util.Codec.W.varint w c;
+          Util.Codec.W.lstring w k;
+          Util.Codec.W.lstring w v)
+        table)
+    ()
+
+let decode image =
+  Util.Codec.decode
+    (fun r ->
+      Util.Codec.R.list r (fun r ->
+          let c = Util.Codec.R.varint r in
+          let k = Util.Codec.R.lstring r in
+          let v = Util.Codec.R.lstring r in
+          (c, k, v)))
+    image
+
+let load t =
+  let hdr = Statemgr.Pages.read t.pages ~pos:t.base ~len:8 in
+  match int_of_string_opt (String.trim hdr) with
+  | Some len when len > 0 -> begin
+    match decode (Statemgr.Pages.read t.pages ~pos:(t.base + 8) ~len) with
+    | table -> t.table <- table
+    | exception Util.Codec.R.Truncated -> t.table <- []
+  end
+  | Some _ | None -> t.table <- []
+
+let store t =
+  let image = encode t.table in
+  let total = 8 + String.length image in
+  if total > t.capacity then failwith "Session_state: partition full";
+  Statemgr.Pages.notify_modify t.pages ~pos:t.base ~len:total;
+  Statemgr.Pages.write t.pages ~pos:t.base (Printf.sprintf "%07d " (String.length image));
+  Statemgr.Pages.write t.pages ~pos:(t.base + 8) image
+
+let create pages ~first_page ~pages:npages =
+  let page_size = Statemgr.Pages.page_size pages in
+  let t =
+    { pages; base = first_page * page_size; capacity = npages * page_size; table = [] }
+  in
+  load t;
+  t
+
+let get t ~client ~key =
+  (* Re-read through the region so external rewrites (state transfer)
+     are always visible. *)
+  load t;
+  List.find_map (fun (c, k, v) -> if c = client && k = key then Some v else None) t.table
+
+let set t ~client ~key value =
+  load t;
+  let rest = List.filter (fun (c, k, _) -> not (c = client && k = key)) t.table in
+  t.table <- List.sort compare ((client, key, value) :: rest);
+  store t
+
+let remove t ~client ~key =
+  load t;
+  t.table <- List.filter (fun (c, k, _) -> not (c = client && k = key)) t.table;
+  store t
+
+let end_session t ~client =
+  load t;
+  t.table <- List.filter (fun (c, _, _) -> c <> client) t.table;
+  store t
+
+let session_keys t ~client =
+  load t;
+  List.filter_map (fun (c, k, _) -> if c = client then Some k else None) t.table
+
+let sessions t =
+  load t;
+  List.sort_uniq compare (List.map (fun (c, _, _) -> c) t.table)

@@ -1,0 +1,11 @@
+type replica_id = int
+type client_id = int
+type view = int
+type seqno = int
+type digest = string
+
+let client_addr_base = 1000
+let addr_of_client c = client_addr_base + c
+let primary_of_view ~n v = v mod n
+let quorum_2f1 ~f = (2 * f) + 1
+let quorum_f1 ~f = f + 1

@@ -1,0 +1,28 @@
+(** Shared identifiers and small helpers for the PBFT protocol suite. *)
+
+type replica_id = int
+(** Replicas are numbered [0 .. n-1]; the primary of view [v] is
+    [v mod n]. *)
+
+type client_id = int
+(** Client identifiers. In static-membership mode these are assigned at
+    configuration time; in dynamic mode they are arbitrary identifiers
+    issued at Join and translated through the redirection table (§3.1). *)
+
+type view = int
+type seqno = int
+
+type digest = string
+(** 32-byte SHA-256 digest. *)
+
+val client_addr_base : int
+(** Network addresses: replicas occupy [0 .. n-1]; client network
+    addresses start here. *)
+
+val addr_of_client : client_id -> int
+val primary_of_view : n:int -> view -> replica_id
+val quorum_2f1 : f:int -> int
+(** 2f + 1. *)
+
+val quorum_f1 : f:int -> int
+(** f + 1. *)

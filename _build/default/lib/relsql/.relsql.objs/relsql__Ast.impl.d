@@ -1,0 +1,1 @@
+lib/relsql/ast.ml: Value

@@ -1,0 +1,1 @@
+lib/relsql/btree.ml: Array List Pager String Util

@@ -1,0 +1,1 @@
+lib/relsql/catalog.ml: Ast Btree List Pager String Util

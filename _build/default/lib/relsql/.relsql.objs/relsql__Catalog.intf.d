@@ -1,0 +1,1 @@
+lib/relsql/catalog.mli: Ast Pager

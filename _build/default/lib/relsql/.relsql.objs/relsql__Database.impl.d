@@ -1,0 +1,1 @@
+lib/relsql/database.ml: Array Ast Btree Buffer Bytes Catalog Expr Hashtbl Int64 Lexer List Option Pager Parser Printf Stdlib String Util Value Vfs

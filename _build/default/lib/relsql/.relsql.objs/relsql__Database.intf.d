@@ -1,0 +1,1 @@
+lib/relsql/database.mli: Stdlib Value Vfs

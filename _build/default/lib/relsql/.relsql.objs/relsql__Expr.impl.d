@@ -1,0 +1,1 @@
+lib/relsql/expr.ml: Array Ast Char Float Hashtbl Int64 List Printf String Value

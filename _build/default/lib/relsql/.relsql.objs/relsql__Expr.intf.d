@@ -1,0 +1,1 @@
+lib/relsql/expr.mli: Ast Value

@@ -1,0 +1,1 @@
+lib/relsql/lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/relsql/pager.ml: Bytes Char Hashtbl Int32 String Util Vfs

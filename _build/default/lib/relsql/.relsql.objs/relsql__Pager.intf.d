@@ -1,0 +1,1 @@
+lib/relsql/pager.mli: Vfs

@@ -1,0 +1,1 @@
+lib/relsql/parser.ml: Array Ast Lexer List Printf String Value

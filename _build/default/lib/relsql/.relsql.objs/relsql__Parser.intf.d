@@ -1,0 +1,1 @@
+lib/relsql/parser.mli: Ast

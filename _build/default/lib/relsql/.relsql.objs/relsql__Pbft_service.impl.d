@@ -1,0 +1,1 @@
+lib/relsql/pbft_service.ml: Database Int64 Pager Pbft Printf Simdisk Statemgr String Vfs

@@ -1,0 +1,1 @@
+lib/relsql/pbft_service.mli: Pbft

@@ -1,0 +1,1 @@
+lib/relsql/value.ml: Bytes Int64 Printf Util

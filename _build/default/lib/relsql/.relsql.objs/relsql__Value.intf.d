@@ -1,0 +1,1 @@
+lib/relsql/value.mli: Util

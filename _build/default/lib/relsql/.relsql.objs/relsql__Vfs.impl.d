@@ -1,0 +1,1 @@
+lib/relsql/vfs.ml: Bytes Simdisk String Util

@@ -1,0 +1,45 @@
+(** Abstract syntax for the supported SQL dialect — the subset the paper's
+    e-voting service needs (DDL, single-row DML, selects with filtering,
+    ordering, aggregation and inner joins, explicit transactions), plus
+    the non-deterministic functions RANDOM() and NOW() that must be
+    routed through the VFS environment (§2.5, Figure 3). *)
+
+type column_type =
+  | T_integer
+  | T_real
+  | T_text
+
+type column_def = { col_name : string; col_type : column_type; col_pk : bool }
+
+type expr =
+  | Lit of Value.t
+  | Col of string option * string  (** optional table qualifier *)
+  | Binop of string * expr * expr  (** = <> < <= > >= + - * / % || AND OR *)
+  | Unop of string * expr  (** NOT, - *)
+  | Is_null of expr * bool  (** IS NULL / IS NOT NULL *)
+  | Like of expr * expr
+  | Call of string * expr list  (** COUNT-star, SUM, RANDOM, NOW, ... *)
+  | Star  (** only inside [COUNT] star *)
+
+type order_item = { ord_expr : expr; ord_desc : bool }
+
+type select = {
+  sel_exprs : (expr * string option) list;  (** projection with optional aliases *)
+  sel_from : (string * string option) list;  (** tables with optional aliases; empty for expression selects *)
+  sel_where : expr option;
+  sel_group : expr list;
+  sel_order : order_item list;
+  sel_limit : int option;
+}
+
+type stmt =
+  | Create_table of { ct_name : string; ct_cols : column_def list; ct_if_not_exists : bool }
+  | Drop_table of { dt_name : string; dt_if_exists : bool }
+  | Create_index of { ci_name : string; ci_table : string; ci_col : string }
+  | Insert of { ins_table : string; ins_cols : string list; ins_rows : expr list list }
+  | Select of select
+  | Update of { upd_table : string; upd_set : (string * expr) list; upd_where : expr option }
+  | Delete of { del_table : string; del_where : expr option }
+  | Begin_txn
+  | Commit_txn
+  | Rollback_txn

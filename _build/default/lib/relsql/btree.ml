@@ -1,0 +1,215 @@
+(* Nodes are serialized whole into single pages; a split is triggered by
+   encoded size, so fill factor adapts to entry sizes. *)
+
+type node =
+  | Leaf of { entries : (string * string) list; next : int }
+  | Interior of { seps : string list; children : int list }
+
+type t = { pager : Pager.t; mutable root_page : int }
+
+let max_node_bytes = Pager.page_size - 256
+let max_entry_bytes = max_node_bytes / 2
+
+let encode_node node =
+  let w = Util.Codec.W.create () in
+  (match node with
+  | Leaf { entries; next } ->
+    Util.Codec.W.u8 w 0;
+    Util.Codec.W.u32 w next;
+    Util.Codec.W.list w
+      (fun w (k, v) ->
+        Util.Codec.W.lstring w k;
+        Util.Codec.W.lstring w v)
+      entries
+  | Interior { seps; children } ->
+    Util.Codec.W.u8 w 1;
+    Util.Codec.W.list w Util.Codec.W.lstring seps;
+    Util.Codec.W.list w Util.Codec.W.varint children);
+  Util.Codec.W.contents w
+
+let node_size node = String.length (encode_node node)
+
+let decode_node image =
+  let r = Util.Codec.R.of_string image in
+  match Util.Codec.R.u8 r with
+  | 0 ->
+    let next = Util.Codec.R.u32 r in
+    let entries =
+      Util.Codec.R.list r (fun r ->
+          let k = Util.Codec.R.lstring r in
+          let v = Util.Codec.R.lstring r in
+          (k, v))
+    in
+    Leaf { entries; next }
+  | 1 ->
+    let seps = Util.Codec.R.list r Util.Codec.R.lstring in
+    let children = Util.Codec.R.list r Util.Codec.R.varint in
+    Interior { seps; children }
+  | _ -> raise (Pager.Corrupt "btree node tag")
+
+let load t page =
+  let img = Pager.read_page t.pager page in
+  decode_node img
+
+let store t page node =
+  let s = encode_node node in
+  if String.length s > Pager.page_size then raise (Pager.Corrupt "btree node overflow");
+  Pager.write_page t.pager page (s ^ String.make (Pager.page_size - String.length s) '\000')
+
+let create pager =
+  let page = Pager.allocate_page pager in
+  let t = { pager; root_page = page } in
+  store t page (Leaf { entries = []; next = 0 });
+  t
+
+let open_tree pager ~root = { pager; root_page = root }
+let root t = t.root_page
+
+(* Child index for a key in an interior node: first separator > key goes
+   left of it; equal keys descend right (separators are copied-up leaf
+   keys, the right child holds keys >= sep). *)
+let child_index seps key =
+  let rec go i = function
+    | [] -> i
+    | sep :: rest -> if String.compare key sep < 0 then i else go (i + 1) rest
+  in
+  go 0 seps
+
+let rec find_in t page key =
+  match load t page with
+  | Leaf { entries; _ } -> List.assoc_opt key entries
+  | Interior { seps; children } -> find_in t (List.nth children (child_index seps key)) key
+
+let find t key = find_in t t.root_page key
+
+(* Insert; returns Some (separator, right page) if the node split. *)
+let rec insert_in t page key value =
+  match load t page with
+  | Leaf { entries; next } ->
+    let entries =
+      let rec place = function
+        | [] -> [ (key, value) ]
+        | (k, v) :: rest ->
+          let c = String.compare key k in
+          if c = 0 then (key, value) :: rest
+          else if c < 0 then (key, value) :: (k, v) :: rest
+          else (k, v) :: place rest
+      in
+      place entries
+    in
+    let node = Leaf { entries; next } in
+    if node_size node <= max_node_bytes then begin
+      store t page node;
+      None
+    end
+    else begin
+      (* Split in half by entry count. *)
+      let arr = Array.of_list entries in
+      let mid = Array.length arr / 2 in
+      let left = Array.to_list (Array.sub arr 0 mid) in
+      let right = Array.to_list (Array.sub arr mid (Array.length arr - mid)) in
+      let right_page = Pager.allocate_page t.pager in
+      store t right_page (Leaf { entries = right; next });
+      store t page (Leaf { entries = left; next = right_page });
+      Some (fst (List.hd right), right_page)
+    end
+  | Interior { seps; children } ->
+    let idx = child_index seps key in
+    let child = List.nth children idx in
+    (match insert_in t child key value with
+    | None -> None
+    | Some (sep, right_page) ->
+      let seps = List.filteri (fun i _ -> i < idx) seps @ (sep :: List.filteri (fun i _ -> i >= idx) seps) in
+      let children =
+        List.filteri (fun i _ -> i <= idx) children
+        @ (right_page :: List.filteri (fun i _ -> i > idx) children)
+      in
+      let node = Interior { seps; children } in
+      if node_size node <= max_node_bytes then begin
+        store t page node;
+        None
+      end
+      else begin
+        let sarr = Array.of_list seps and carr = Array.of_list children in
+        let mid = Array.length sarr / 2 in
+        let promoted = sarr.(mid) in
+        let left_seps = Array.to_list (Array.sub sarr 0 mid) in
+        let right_seps = Array.to_list (Array.sub sarr (mid + 1) (Array.length sarr - mid - 1)) in
+        let left_children = Array.to_list (Array.sub carr 0 (mid + 1)) in
+        let right_children = Array.to_list (Array.sub carr (mid + 1) (Array.length carr - mid - 1)) in
+        let right_pg = Pager.allocate_page t.pager in
+        store t right_pg (Interior { seps = right_seps; children = right_children });
+        store t page (Interior { seps = left_seps; children = left_children });
+        Some (promoted, right_pg)
+      end)
+
+let insert t ~key ~value =
+  if String.length key + String.length value > max_entry_bytes then
+    invalid_arg "Btree.insert: entry too large (no overflow pages)";
+  match insert_in t t.root_page key value with
+  | None -> ()
+  | Some (sep, right_page) ->
+    let new_root = Pager.allocate_page t.pager in
+    store t new_root (Interior { seps = [ sep ]; children = [ t.root_page; right_page ] });
+    t.root_page <- new_root
+
+let rec delete_in t page key =
+  match load t page with
+  | Leaf { entries; next } ->
+    if List.mem_assoc key entries then begin
+      store t page (Leaf { entries = List.remove_assoc key entries; next });
+      true
+    end
+    else false
+  | Interior { seps; children } -> delete_in t (List.nth children (child_index seps key)) key
+
+let delete t key = delete_in t t.root_page key
+
+let rec leftmost_leaf t page =
+  match load t page with
+  | Leaf _ -> page
+  | Interior { children; _ } -> leftmost_leaf t (List.hd children)
+
+let rec leaf_for t page key =
+  match load t page with
+  | Leaf _ -> page
+  | Interior { seps; children } -> leaf_for t (List.nth children (child_index seps key)) key
+
+let iter t ?from f =
+  let start =
+    match from with
+    | None -> leftmost_leaf t t.root_page
+    | Some key -> leaf_for t t.root_page key
+  in
+  let rec walk page =
+    if page <> 0 then begin
+      match load t page with
+      | Interior _ -> raise (Pager.Corrupt "leaf chain reached interior node")
+      | Leaf { entries; next } ->
+        let continue =
+          List.for_all
+            (fun (k, v) ->
+              match from with
+              | Some lo when String.compare k lo < 0 -> true
+              | Some _ | None -> f k v)
+            entries
+        in
+        if continue then walk next
+    end
+  in
+  walk start
+
+let count t =
+  let n = ref 0 in
+  iter t (fun _ _ ->
+      incr n;
+      true);
+  !n
+
+let rec free_subtree t page =
+  (match load t page with
+  | Leaf _ -> ()
+  | Interior { children; _ } -> List.iter (free_subtree t) children);
+  Pager.free_page t.pager page
+
+let drop t = free_subtree t t.root_page

@@ -1,0 +1,38 @@
+(** B+-tree over pager pages: ordered map from byte-string keys to
+    byte-string values.
+
+    Keys compare bytewise ({!Value.key_encode} makes that order meaningful
+    for SQL values; row ids use fixed-width big-endian encoding). Leaves
+    are chained for range scans. Deletion is lazy (no rebalancing) — pages
+    freed only when a leaf empties — which is plenty for the workloads the
+    evaluation runs and keeps the structure auditable.
+
+    An entry must fit in a page: keys+values above ~3.8 KB raise
+    [Invalid_argument] (no overflow chains; DESIGN.md notes the
+    limitation). *)
+
+type t
+
+val create : Pager.t -> t
+(** Allocate an empty tree (one leaf page). Must be inside a transaction. *)
+
+val open_tree : Pager.t -> root:int -> t
+
+val root : t -> int
+(** Current root page; the owner must re-persist it after mutations (root
+    splits change it). *)
+
+val find : t -> string -> string option
+val insert : t -> key:string -> value:string -> unit
+(** Inserts or replaces. *)
+
+val delete : t -> string -> bool
+(** True if the key existed. *)
+
+val iter : t -> ?from:string -> (string -> string -> bool) -> unit
+(** In-order traversal starting at the first key ≥ [from] (or the
+    smallest); stops when the callback returns false. *)
+
+val count : t -> int
+val drop : t -> unit
+(** Free every page of the tree. *)

@@ -1,0 +1,99 @@
+type index_def = { idx_name : string; idx_col : string; idx_root : int }
+
+type table = {
+  tbl_name : string;
+  tbl_cols : Ast.column_def list;
+  tbl_root : int;
+  tbl_next_rowid : int;
+  tbl_indexes : index_def list;
+}
+
+type t = { pager : Pager.t }
+
+let enc_col w (c : Ast.column_def) =
+  Util.Codec.W.lstring w c.col_name;
+  Util.Codec.W.u8 w (match c.col_type with Ast.T_integer -> 0 | Ast.T_real -> 1 | Ast.T_text -> 2);
+  Util.Codec.W.bool w c.col_pk
+
+let dec_col r : Ast.column_def =
+  let col_name = Util.Codec.R.lstring r in
+  let col_type =
+    match Util.Codec.R.u8 r with
+    | 0 -> Ast.T_integer
+    | 1 -> Ast.T_real
+    | 2 -> Ast.T_text
+    | _ -> raise Util.Codec.R.Truncated
+  in
+  let col_pk = Util.Codec.R.bool r in
+  { col_name; col_type; col_pk }
+
+let enc_table w tbl =
+  Util.Codec.W.lstring w tbl.tbl_name;
+  Util.Codec.W.list w enc_col tbl.tbl_cols;
+  Util.Codec.W.varint w tbl.tbl_root;
+  Util.Codec.W.varint w tbl.tbl_next_rowid;
+  Util.Codec.W.list w
+    (fun w i ->
+      Util.Codec.W.lstring w i.idx_name;
+      Util.Codec.W.lstring w i.idx_col;
+      Util.Codec.W.varint w i.idx_root)
+    tbl.tbl_indexes
+
+let dec_table r =
+  let tbl_name = Util.Codec.R.lstring r in
+  let tbl_cols = Util.Codec.R.list r dec_col in
+  let tbl_root = Util.Codec.R.varint r in
+  let tbl_next_rowid = Util.Codec.R.varint r in
+  let tbl_indexes =
+    Util.Codec.R.list r (fun r ->
+        let idx_name = Util.Codec.R.lstring r in
+        let idx_col = Util.Codec.R.lstring r in
+        let idx_root = Util.Codec.R.varint r in
+        { idx_name; idx_col; idx_root })
+  in
+  { tbl_name; tbl_cols; tbl_root; tbl_next_rowid; tbl_indexes }
+
+let key_of_name name = String.lowercase_ascii name
+
+let attach pager =
+  let root = Pager.catalog_root pager in
+  if root = 0 then begin
+    let standalone = not (Pager.in_txn pager) in
+    if standalone then Pager.begin_txn pager;
+    let tree = Btree.create pager in
+    Pager.set_catalog_root pager (Btree.root tree);
+    if standalone then Pager.commit pager
+  end;
+  { pager }
+
+(* The tree handle is re-opened from the header every time, so the catalog
+   survives external rewrites of the region (state transfer). *)
+let tree t = Btree.open_tree t.pager ~root:(Pager.catalog_root t.pager)
+
+let persist_root t tr =
+  if Btree.root tr <> Pager.catalog_root t.pager then
+    Pager.set_catalog_root t.pager (Btree.root tr)
+
+let find_table t name =
+  match Btree.find (tree t) (key_of_name name) with
+  | None -> None
+  | Some v -> Some (Util.Codec.decode dec_table v)
+
+let create_table t tbl =
+  let tr = tree t in
+  Btree.insert tr ~key:(key_of_name tbl.tbl_name) ~value:(Util.Codec.encode enc_table tbl);
+  persist_root t tr
+
+let update_table = create_table
+
+let drop_table t name =
+  let tr = tree t in
+  ignore (Btree.delete tr (key_of_name name));
+  persist_root t tr
+
+let table_names t =
+  let acc = ref [] in
+  Btree.iter (tree t) (fun _ v ->
+      acc := (Util.Codec.decode dec_table v).tbl_name :: !acc;
+      true);
+  List.rev !acc

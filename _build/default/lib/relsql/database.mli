@@ -1,0 +1,34 @@
+(** The embedded relational engine's public face — the role SQLite plays
+    in the paper's state abstraction (§3.2).
+
+    A database is a single file behind a {!Vfs.t}: open it, feed it SQL,
+    get rows back. ACID comes from the rollback journal (present on the
+    VFS or not); every execution reports the virtual cost of the work it
+    did, which the PBFT service charges to the replica's CPU. *)
+
+type t
+
+type row = Value.t array
+
+type result = { columns : string list; rows : row list; affected : int }
+
+type outcome = { res : (result, string) Stdlib.result; cost : float }
+
+val open_db : Vfs.t -> t
+(** Opens the database (running journal recovery if needed, creating the
+    schema catalog on first use). *)
+
+val exec : t -> string -> outcome
+(** Execute one or more ';'-separated statements (results of the last
+    one are returned). Errors never raise: they come back as [Error]
+    with the transaction rolled back. *)
+
+val exec_exn : t -> string -> result
+(** [exec] or [Failure]. *)
+
+val in_transaction : t -> bool
+
+val table_names : t -> string list
+
+val render : result -> string
+(** Plain-text table rendering for examples and the CLI. *)

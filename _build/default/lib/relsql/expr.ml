@@ -1,0 +1,186 @@
+exception Eval_error of string
+
+type binding = { b_table : string; b_cols : string list; b_row : Value.t array }
+
+type env = {
+  bindings : binding list;
+  env_time : unit -> float;
+  env_random : unit -> int64;
+}
+
+let aggregates = [ "COUNT"; "SUM"; "AVG"; "MIN"; "MAX" ]
+
+let rec is_aggregate = function
+  | Ast.Call (name, args) -> List.mem name aggregates || List.exists is_aggregate args
+  | Ast.Binop (_, a, b) -> is_aggregate a || is_aggregate b
+  | Ast.Unop (_, a) | Ast.Is_null (a, _) -> is_aggregate a
+  | Ast.Like (a, b) -> is_aggregate a || is_aggregate b
+  | Ast.Lit _ | Ast.Col _ | Ast.Star -> false
+
+let lookup_col env qualifier name =
+  let name = String.lowercase_ascii name in
+  let matching =
+    List.filter_map
+      (fun b ->
+        let consider =
+          match qualifier with Some q -> String.lowercase_ascii q = b.b_table | None -> true
+        in
+        if not consider then None
+        else begin
+          match List.find_index (String.equal name) b.b_cols with
+          | Some i -> Some b.b_row.(i)
+          | None -> None
+        end)
+      env.bindings
+  in
+  match matching with
+  | [ v ] -> v
+  | [] -> raise (Eval_error (Printf.sprintf "no such column: %s" name))
+  | _ :: _ -> raise (Eval_error (Printf.sprintf "ambiguous column: %s" name))
+
+let like_match ~pattern text =
+  let np = String.length pattern and nt = String.length text in
+  (* Memoized recursion over (pattern index, text index). *)
+  let memo = Hashtbl.create 16 in
+  let rec go pi ti =
+    match Hashtbl.find_opt memo (pi, ti) with
+    | Some v -> v
+    | None ->
+      let v =
+        if pi = np then ti = nt
+        else begin
+          match pattern.[pi] with
+          | '%' -> (ti <= nt && go (pi + 1) ti) || (ti < nt && go pi (ti + 1))
+          | '_' -> ti < nt && go (pi + 1) (ti + 1)
+          | c ->
+            ti < nt
+            && Char.lowercase_ascii c = Char.lowercase_ascii text.[ti]
+            && go (pi + 1) (ti + 1)
+        end
+      in
+      Hashtbl.add memo (pi, ti) v;
+      v
+  in
+  go 0 0
+
+let numeric_binop op a b =
+  match (Value.as_number a, Value.as_number b) with
+  | Some x, Some y -> begin
+    match (a, b, op) with
+    | Value.Int xi, Value.Int yi, "+" -> Value.Int (xi + yi)
+    | Value.Int xi, Value.Int yi, "-" -> Value.Int (xi - yi)
+    | Value.Int xi, Value.Int yi, "*" -> Value.Int (xi * yi)
+    | Value.Int xi, Value.Int yi, "%" when yi <> 0 -> Value.Int (xi mod yi)
+    | Value.Int xi, Value.Int yi, "/" when yi <> 0 -> Value.Int (xi / yi)
+    | _, _, "+" -> Value.Real (x +. y)
+    | _, _, "-" -> Value.Real (x -. y)
+    | _, _, "*" -> Value.Real (x *. y)
+    | _, _, "/" when y <> 0.0 -> Value.Real (x /. y)
+    | _, _, ("/" | "%") -> Value.Null
+    | _ -> raise (Eval_error ("bad numeric operator " ^ op))
+  end
+  | _ -> Value.Null
+
+let rec eval env (e : Ast.expr) =
+  match e with
+  | Ast.Lit v -> v
+  | Ast.Star -> raise (Eval_error "misplaced *")
+  | Ast.Col (q, name) -> lookup_col env q name
+  | Ast.Unop ("NOT", a) ->
+    let v = eval env a in
+    if Value.is_null v then Value.Null else Value.Int (if Value.truthy v then 0 else 1)
+  | Ast.Unop ("-", a) -> begin
+    match eval env a with
+    | Value.Int i -> Value.Int (-i)
+    | Value.Real f -> Value.Real (-.f)
+    | Value.Null -> Value.Null
+    | Value.Text _ -> Value.Null
+  end
+  | Ast.Unop (op, _) -> raise (Eval_error ("unknown unary operator " ^ op))
+  | Ast.Is_null (a, positive) ->
+    let isn = Value.is_null (eval env a) in
+    Value.Int (if isn = positive then 1 else 0)
+  | Ast.Like (a, p) -> begin
+    match (eval env a, eval env p) with
+    | Value.Text s, Value.Text pat -> Value.Int (if like_match ~pattern:pat s then 1 else 0)
+    | (Value.Null | Value.Int _ | Value.Real _ | Value.Text _), _ -> Value.Null
+  end
+  | Ast.Binop ("AND", a, b) ->
+    (* Three-valued logic with short-circuit on definite false. *)
+    let va = eval env a in
+    if (not (Value.is_null va)) && not (Value.truthy va) then Value.Int 0
+    else begin
+      let vb = eval env b in
+      if (not (Value.is_null vb)) && not (Value.truthy vb) then Value.Int 0
+      else if Value.is_null va || Value.is_null vb then Value.Null
+      else Value.Int 1
+    end
+  | Ast.Binop ("OR", a, b) ->
+    let va = eval env a in
+    if (not (Value.is_null va)) && Value.truthy va then Value.Int 1
+    else begin
+      let vb = eval env b in
+      if (not (Value.is_null vb)) && Value.truthy vb then Value.Int 1
+      else if Value.is_null va || Value.is_null vb then Value.Null
+      else Value.Int 0
+    end
+  | Ast.Binop ("||", a, b) -> begin
+    match (eval env a, eval env b) with
+    | Value.Null, _ | _, Value.Null -> Value.Null
+    | x, y -> Value.Text (Value.to_string x ^ Value.to_string y)
+  end
+  | Ast.Binop (("=" | "<>" | "<" | "<=" | ">" | ">=") as op, a, b) ->
+    let va = eval env a and vb = eval env b in
+    if Value.is_null va || Value.is_null vb then Value.Null
+    else begin
+      let c = Value.compare_sql va vb in
+      let r =
+        match op with
+        | "=" -> c = 0
+        | "<>" -> c <> 0
+        | "<" -> c < 0
+        | "<=" -> c <= 0
+        | ">" -> c > 0
+        | ">=" -> c >= 0
+        | _ -> assert false
+      in
+      Value.Int (if r then 1 else 0)
+    end
+  | Ast.Binop (("+" | "-" | "*" | "/" | "%") as op, a, b) ->
+    numeric_binop op (eval env a) (eval env b)
+  | Ast.Binop (op, _, _) -> raise (Eval_error ("unknown operator " ^ op))
+  | Ast.Call ("LENGTH", [ a ]) -> begin
+    match eval env a with
+    | Value.Null -> Value.Null
+    | v -> Value.Int (String.length (Value.to_string v))
+  end
+  | Ast.Call ("ABS", [ a ]) -> begin
+    match eval env a with
+    | Value.Int i -> Value.Int (abs i)
+    | Value.Real f -> Value.Real (Float.abs f)
+    | Value.Null -> Value.Null
+    | Value.Text _ -> Value.Null
+  end
+  | Ast.Call ("UPPER", [ a ]) -> begin
+    match eval env a with
+    | Value.Text s -> Value.Text (String.uppercase_ascii s)
+    | v -> v
+  end
+  | Ast.Call ("LOWER", [ a ]) -> begin
+    match eval env a with
+    | Value.Text s -> Value.Text (String.lowercase_ascii s)
+    | v -> v
+  end
+  | Ast.Call ("COALESCE", args) ->
+    let rec first = function
+      | [] -> Value.Null
+      | a :: rest ->
+        let v = eval env a in
+        if Value.is_null v then first rest else v
+    in
+    first args
+  | Ast.Call ("RANDOM", []) -> Value.Int (Int64.to_int (env.env_random ()) land max_int)
+  | Ast.Call ("NOW", []) | Ast.Call ("CURRENT_TIMESTAMP", []) -> Value.Real (env.env_time ())
+  | Ast.Call (name, _) when List.mem name aggregates ->
+    raise (Eval_error (name ^ " used outside an aggregating select"))
+  | Ast.Call (name, _) -> raise (Eval_error ("unknown function " ^ name))

@@ -1,0 +1,90 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Real_lit of float
+  | String_lit of string
+  | Punct of string
+  | Eof
+
+exception Error of string
+
+let keyword_eq a b = String.lowercase_ascii a = String.lowercase_ascii b
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let toks = ref [] in
+  let push tk = toks := tk :: !toks in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '-' && !pos + 1 < n && src.[!pos + 1] = '-' then begin
+      (* line comment *)
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      push (Ident (String.sub src start (!pos - start)))
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done;
+      if !pos < n && src.[!pos] = '.' then begin
+        incr pos;
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done;
+        push (Real_lit (float_of_string (String.sub src start (!pos - start))))
+      end
+      else push (Int_lit (int_of_string (String.sub src start (!pos - start))))
+    end
+    else if c = '\'' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        if !pos >= n then raise (Error "unterminated string literal");
+        let c = src.[!pos] in
+        if c = '\'' then
+          if !pos + 1 < n && src.[!pos + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            pos := !pos + 2
+          end
+          else begin
+            closed := true;
+            incr pos
+          end
+        else begin
+          Buffer.add_char buf c;
+          incr pos
+        end
+      done;
+      push (String_lit (Buffer.contents buf))
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
+      match two with
+      | "<>" | "<=" | ">=" | "||" | "!=" ->
+        push (Punct (if two = "!=" then "<>" else two));
+        pos := !pos + 2
+      | _ -> begin
+        match c with
+        | '(' | ')' | ',' | ';' | '*' | '=' | '<' | '>' | '+' | '-' | '/' | '.' | '%' ->
+          push (Punct (String.make 1 c));
+          incr pos
+        | _ -> raise (Error (Printf.sprintf "unexpected character %C" c))
+      end
+    end
+  done;
+  List.rev (Eof :: !toks)

@@ -1,0 +1,17 @@
+(** SQL tokenizer. *)
+
+type token =
+  | Ident of string  (** unquoted identifier, upper-cased keywords preserved as-is *)
+  | Int_lit of int
+  | Real_lit of float
+  | String_lit of string  (** single-quoted, with '' escaping *)
+  | Punct of string  (** operators and punctuation: ( ) , ; * = <> <= >= < > + - / || . *)
+  | Eof
+
+exception Error of string
+
+val tokenize : string -> token list
+(** Raises {!Error} on malformed input (unterminated string, bad char). *)
+
+val keyword_eq : string -> string -> bool
+(** Case-insensitive identifier/keyword comparison. *)

@@ -1,0 +1,231 @@
+exception Corrupt of string
+
+let page_size = 4096
+let magic = "RELSQL01"
+
+type t = {
+  vfs : Vfs.t;
+  mutable journaled : (int, string) Hashtbl.t;  (** original images this txn *)
+  mutable txn : bool;
+  mutable page_count : int;
+  mutable freelist : int;
+  mutable catalog_root : int;
+  mutable touched : (int, unit) Hashtbl.t;
+}
+
+(* --- header --- *)
+
+let header_image t =
+  let w = Util.Codec.W.create () in
+  Util.Codec.W.string w magic;
+  Util.Codec.W.u32 w t.page_count;
+  Util.Codec.W.u32 w t.freelist;
+  Util.Codec.W.u32 w t.catalog_root;
+  let s = Util.Codec.W.contents w in
+  s ^ String.make (page_size - String.length s) '\000'
+
+let parse_header t image =
+  let r = Util.Codec.R.of_string image in
+  let m = Util.Codec.R.string r 8 in
+  if m <> magic then raise (Corrupt "bad magic");
+  t.page_count <- Util.Codec.R.u32 r;
+  t.freelist <- Util.Codec.R.u32 r;
+  t.catalog_root <- Util.Codec.R.u32 r
+
+(* --- journal file format: u32 count, then (u32 page, page image)* --- *)
+
+let journal_reset jf =
+  jf.Vfs.truncate 0;
+  jf.Vfs.write ~pos:0 "\000\000\000\000";
+  jf.Vfs.sync ()
+
+let journal_count jf =
+  if jf.Vfs.size () < 4 then 0
+  else begin
+    let s = jf.Vfs.read ~pos:0 ~len:4 in
+    Char.code s.[0] lor (Char.code s.[1] lsl 8) lor (Char.code s.[2] lsl 16)
+    lor (Char.code s.[3] lsl 24)
+  end
+
+let journal_append jf index page image =
+  let pos = 4 + (index * (4 + page_size)) in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_le hdr 0 (Int32.of_int page);
+  jf.Vfs.write ~pos (Bytes.to_string hdr);
+  jf.Vfs.write ~pos:(pos + 4) image;
+  let cnt = Bytes.create 4 in
+  Bytes.set_int32_le cnt 0 (Int32.of_int (index + 1));
+  jf.Vfs.write ~pos:0 (Bytes.to_string cnt)
+
+let journal_record jf index =
+  let pos = 4 + (index * (4 + page_size)) in
+  let hdr = jf.Vfs.read ~pos ~len:4 in
+  let page =
+    Char.code hdr.[0] lor (Char.code hdr.[1] lsl 8) lor (Char.code hdr.[2] lsl 16)
+    lor (Char.code hdr.[3] lsl 24)
+  in
+  (page, jf.Vfs.read ~pos:(pos + 4) ~len:page_size)
+
+(* --- page access --- *)
+
+let touch t page = Hashtbl.replace t.touched page ()
+
+let raw_read t page =
+  let pos = page * page_size in
+  if pos + page_size <= t.vfs.Vfs.main.size () then t.vfs.Vfs.main.read ~pos ~len:page_size
+  else String.make page_size '\000'
+
+let read_page t page =
+  touch t page;
+  raw_read t page
+
+let write_page t page image =
+  if not t.txn then invalid_arg "Pager.write_page: no transaction";
+  if String.length image <> page_size then invalid_arg "Pager.write_page: bad size";
+  touch t page;
+  (* The in-memory undo table always records originals (so ROLLBACK works
+     even in no-ACID mode); the on-disk journal record is what makes the
+     undo crash-safe and is written only when a journal is configured. *)
+  if not (Hashtbl.mem t.journaled page) then begin
+    let original = read_page t page in
+    (match t.vfs.Vfs.journal with
+    | Some jf -> journal_append jf (Hashtbl.length t.journaled) page original
+    | None -> ());
+    Hashtbl.replace t.journaled page original
+  end;
+  (* Write-through: the region is memory (or a heap file); there is no
+     separate cache to go stale when PBFT state transfer rewrites the
+     pages underneath the engine. *)
+  t.vfs.Vfs.main.write ~pos:(page * page_size) image
+
+let pad s = s ^ String.make (page_size - String.length s) '\000'
+
+let write_header t =
+  if not t.txn then invalid_arg "Pager.write_header: no transaction";
+  write_page t 0 (header_image t)
+
+let allocate_page t =
+  if not t.txn then invalid_arg "Pager.allocate_page: no transaction";
+  let page =
+    if t.freelist <> 0 then begin
+      let p = t.freelist in
+      let img = read_page t p in
+      let r = Util.Codec.R.of_string img in
+      t.freelist <- Util.Codec.R.u32 r;
+      p
+    end
+    else begin
+      let p = t.page_count in
+      t.page_count <- t.page_count + 1;
+      p
+    end
+  in
+  write_page t page (pad "");
+  write_header t;
+  page
+
+let free_page t page =
+  if not t.txn then invalid_arg "Pager.free_page: no transaction";
+  let w = Util.Codec.W.create () in
+  Util.Codec.W.u32 w t.freelist;
+  write_page t page (pad (Util.Codec.W.contents w));
+  t.freelist <- page;
+  write_header t
+
+let page_count t = t.page_count
+let catalog_root t = t.catalog_root
+
+let set_catalog_root t root =
+  t.catalog_root <- root;
+  write_header t
+
+(* --- transactions --- *)
+
+let begin_txn t =
+  if t.txn then invalid_arg "Pager.begin_txn: nested transaction";
+  t.txn <- true;
+  t.journaled <- Hashtbl.create 16
+
+let in_txn t = t.txn
+
+let commit t =
+  if not t.txn then invalid_arg "Pager.commit: no transaction";
+  (match t.vfs.Vfs.journal with
+  | Some jf ->
+    (* Barrier 1: the undo log was durable before the database changed
+       (writes are write-through, so the ordering guarantee comes from
+       journaling originals before the first write of each page). *)
+    jf.Vfs.sync ();
+    (* Barrier 2: the new contents are durable. *)
+    t.vfs.Vfs.main.sync ();
+    (* Barrier 3: resetting the journal is the commit point. *)
+    journal_reset jf
+  | None -> ());
+  t.journaled <- Hashtbl.create 16;
+  t.txn <- false
+
+let rollback t =
+  if not t.txn then invalid_arg "Pager.rollback: no transaction";
+  (* Write the journaled original images back. *)
+  Hashtbl.iter
+    (fun page original -> t.vfs.Vfs.main.write ~pos:(page * page_size) original)
+    t.journaled;
+  (match t.vfs.Vfs.journal with Some jf -> journal_reset jf | None -> ());
+  t.journaled <- Hashtbl.create 16;
+  t.txn <- false;
+  (* The header may have been rolled back too; re-read it. *)
+  parse_header t (read_page t 0)
+
+let refresh t =
+  if t.txn then invalid_arg "Pager.refresh: inside a transaction";
+  let img = raw_read t 0 in
+  if String.length img >= 8 && String.sub img 0 8 = magic then parse_header t img
+
+let pages_touched t = Hashtbl.length t.touched
+
+let take_pages_touched t =
+  let n = Hashtbl.length t.touched in
+  t.touched <- Hashtbl.create 64;
+  n
+
+(* --- open & crash recovery --- *)
+
+let open_pager vfs =
+  let t =
+    {
+      vfs;
+      journaled = Hashtbl.create 16;
+      txn = false;
+      page_count = 1;
+      freelist = 0;
+      catalog_root = 0;
+      touched = Hashtbl.create 64;
+    }
+  in
+  (* Hot-journal recovery: roll uncommitted changes back before reading
+     anything else. *)
+  (match vfs.Vfs.journal with
+  | Some jf ->
+    let count = journal_count jf in
+    if count > 0 then begin
+      for i = 0 to count - 1 do
+        let page, image = journal_record jf i in
+        vfs.Vfs.main.write ~pos:(page * page_size) image
+      done;
+      vfs.Vfs.main.sync ();
+      journal_reset jf
+    end
+  | None -> ());
+  (* A database is fresh if the file is empty or — for a sparse region
+     declared "large enough" up front (§3.2) — page 0 carries no magic. *)
+  let fresh =
+    vfs.Vfs.main.size () = 0
+    || (let img = raw_read t 0 in
+        String.length img < 8 || String.sub img 0 8 <> magic)
+  in
+  if fresh then begin
+    vfs.Vfs.main.write ~pos:0 (header_image t);
+    vfs.Vfs.main.sync ()
+  end
+  else parse_header t (raw_read t 0);
+  t

@@ -1,0 +1,50 @@
+(** Page cache and transaction manager over the VFS.
+
+    The database file is an array of 4096-byte pages. Page 0 is the
+    header (magic, page count, freelist head, catalog root). All reads
+    and writes go through the cache; the first modification of a page
+    inside a transaction journals its original image, giving SQLite-style
+    rollback-journal ACID (§3.2). Without a journal (no-ACID mode) writes
+    land directly and only crash consistency is lost — the configuration
+    the paper's §4.2 compares against. *)
+
+type t
+
+exception Corrupt of string
+
+val page_size : int
+(** 4096 bytes. *)
+
+val open_pager : Vfs.t -> t
+(** Opens (creating/initializing if empty) and — if a hot journal is
+    present — runs crash recovery by rolling the journal back. *)
+
+val read_page : t -> int -> string
+val write_page : t -> int -> string -> unit
+(** Must be inside a transaction. *)
+
+val allocate_page : t -> int
+(** Fresh page number (reuses freed pages). Must be inside a transaction. *)
+
+val free_page : t -> int -> unit
+val page_count : t -> int
+
+val catalog_root : t -> int
+val set_catalog_root : t -> int -> unit
+
+val begin_txn : t -> unit
+val in_txn : t -> bool
+val commit : t -> unit
+(** Journal sync, page write-back, main sync, journal reset. *)
+
+val rollback : t -> unit
+
+val refresh : t -> unit
+(** Re-read the header from the file — required after an external agent
+    (PBFT state transfer) rewrites the underlying region. Must be called
+    outside any transaction. *)
+
+val pages_touched : t -> int
+(** Distinct pages read or written since the counter was last taken. *)
+
+val take_pages_touched : t -> int

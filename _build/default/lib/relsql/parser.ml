@@ -1,0 +1,474 @@
+open Ast
+
+exception Error of string
+
+type state = { toks : Lexer.token array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let reserved =
+  [ "select"; "from"; "where"; "group"; "order"; "limit"; "insert"; "into"; "update"; "delete";
+    "values"; "set"; "and"; "or"; "not"; "join"; "on"; "inner"; "by"; "as"; "create"; "drop";
+    "table"; "index"; "begin"; "commit"; "rollback"; "like"; "is"; "asc"; "desc"; "primary";
+    "key"; "if"; "exists" ]
+
+let is_reserved name = List.exists (Lexer.keyword_eq name) reserved
+
+let fail st what =
+  let tok =
+    match peek st with
+    | Lexer.Ident s -> Printf.sprintf "identifier %S" s
+    | Lexer.Int_lit i -> Printf.sprintf "integer %d" i
+    | Lexer.Real_lit f -> Printf.sprintf "real %g" f
+    | Lexer.String_lit s -> Printf.sprintf "string %S" s
+    | Lexer.Punct p -> Printf.sprintf "%S" p
+    | Lexer.Eof -> "end of input"
+  in
+  raise (Error (Printf.sprintf "expected %s but found %s" what tok))
+
+let is_kw st kw = match peek st with Lexer.Ident s -> Lexer.keyword_eq s kw | _ -> false
+
+let eat_kw st kw = if is_kw st kw then advance st else fail st (String.uppercase_ascii kw)
+
+let try_kw st kw =
+  if is_kw st kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let is_punct st p = match peek st with Lexer.Punct q -> p = q | _ -> false
+
+let eat_punct st p = if is_punct st p then advance st else fail st (Printf.sprintf "%S" p)
+
+let try_punct st p =
+  if is_punct st p then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st =
+  match peek st with
+  | Lexer.Ident s ->
+    advance st;
+    s
+  | _ -> fail st "identifier"
+
+(* --- expressions (precedence climbing) --- *)
+
+let rec expr st = or_expr st
+
+and or_expr st =
+  let left = ref (and_expr st) in
+  while is_kw st "or" do
+    advance st;
+    left := Binop ("OR", !left, and_expr st)
+  done;
+  !left
+
+and and_expr st =
+  let left = ref (not_expr st) in
+  while is_kw st "and" do
+    advance st;
+    left := Binop ("AND", !left, not_expr st)
+  done;
+  !left
+
+and not_expr st = if try_kw st "not" then Unop ("NOT", not_expr st) else comparison st
+
+and comparison st =
+  let left = concat_expr st in
+  if try_kw st "is" then begin
+    let negated = try_kw st "not" in
+    eat_kw st "null";
+    Is_null (left, not negated)
+  end
+  else if try_kw st "like" then Like (left, concat_expr st)
+  else begin
+    match peek st with
+    | Lexer.Punct (("=" | "<>" | "<" | "<=" | ">" | ">=") as op) ->
+      advance st;
+      Binop (op, left, concat_expr st)
+    | _ -> left
+  end
+
+and concat_expr st =
+  let left = ref (additive st) in
+  while is_punct st "||" do
+    advance st;
+    left := Binop ("||", !left, additive st)
+  done;
+  !left
+
+and additive st =
+  let left = ref (multiplicative st) in
+  let continue = ref true in
+  while !continue do
+    if is_punct st "+" then begin
+      advance st;
+      left := Binop ("+", !left, multiplicative st)
+    end
+    else if is_punct st "-" then begin
+      advance st;
+      left := Binop ("-", !left, multiplicative st)
+    end
+    else continue := false
+  done;
+  !left
+
+and multiplicative st =
+  let left = ref (unary st) in
+  let continue = ref true in
+  while !continue do
+    if is_punct st "*" then begin
+      advance st;
+      left := Binop ("*", !left, unary st)
+    end
+    else if is_punct st "/" then begin
+      advance st;
+      left := Binop ("/", !left, unary st)
+    end
+    else if is_punct st "%" then begin
+      advance st;
+      left := Binop ("%", !left, unary st)
+    end
+    else continue := false
+  done;
+  !left
+
+and unary st =
+  if is_punct st "-" then begin
+    advance st;
+    Unop ("-", unary st)
+  end
+  else primary st
+
+and primary st =
+  match peek st with
+  | Lexer.Int_lit i ->
+    advance st;
+    Lit (Value.Int i)
+  | Lexer.Real_lit f ->
+    advance st;
+    Lit (Value.Real f)
+  | Lexer.String_lit s ->
+    advance st;
+    Lit (Value.Text s)
+  | Lexer.Punct "(" ->
+    advance st;
+    let e = expr st in
+    eat_punct st ")";
+    e
+  | Lexer.Punct "*" ->
+    advance st;
+    Star
+  | Lexer.Ident name when Lexer.keyword_eq name "null" ->
+    advance st;
+    Lit Value.Null
+  | Lexer.Ident name when is_reserved name -> fail st "expression"
+  | Lexer.Ident name -> begin
+    advance st;
+    if is_punct st "(" then begin
+      advance st;
+      let args =
+        if try_punct st ")" then []
+        else begin
+          let rec loop acc =
+            let a = expr st in
+            if try_punct st "," then loop (a :: acc)
+            else begin
+              eat_punct st ")";
+              List.rev (a :: acc)
+            end
+          in
+          loop []
+        end
+      in
+      Call (String.uppercase_ascii name, args)
+    end
+    else if is_punct st "." then begin
+      advance st;
+      let col = ident st in
+      Col (Some name, col)
+    end
+    else Col (None, name)
+  end
+  | _ -> fail st "expression"
+
+(* --- statements --- *)
+
+let column_type st =
+  let name = ident st in
+  if Lexer.keyword_eq name "integer" || Lexer.keyword_eq name "int" then T_integer
+  else if Lexer.keyword_eq name "real" || Lexer.keyword_eq name "float" then T_real
+  else if Lexer.keyword_eq name "text" || Lexer.keyword_eq name "varchar" then begin
+    (* Optional length annotation, ignored: VARCHAR(80). *)
+    if try_punct st "(" then begin
+      (match peek st with Lexer.Int_lit _ -> advance st | _ -> fail st "length");
+      eat_punct st ")"
+    end;
+    T_text
+  end
+  else raise (Error (Printf.sprintf "unknown column type %S" name))
+
+let column_def st =
+  let col_name = ident st in
+  let col_type = column_type st in
+  let col_pk =
+    if try_kw st "primary" then begin
+      eat_kw st "key";
+      true
+    end
+    else false
+  in
+  { col_name; col_type; col_pk }
+
+let create_stmt st =
+  eat_kw st "create";
+  if try_kw st "table" then begin
+    let ct_if_not_exists =
+      if try_kw st "if" then begin
+        eat_kw st "not";
+        eat_kw st "exists";
+        true
+      end
+      else false
+    in
+    let ct_name = ident st in
+    eat_punct st "(";
+    let rec cols acc =
+      let c = column_def st in
+      if try_punct st "," then cols (c :: acc)
+      else begin
+        eat_punct st ")";
+        List.rev (c :: acc)
+      end
+    in
+    Create_table { ct_name; ct_cols = cols []; ct_if_not_exists }
+  end
+  else if try_kw st "index" then begin
+    let ci_name = ident st in
+    eat_kw st "on";
+    let ci_table = ident st in
+    eat_punct st "(";
+    let ci_col = ident st in
+    eat_punct st ")";
+    Create_index { ci_name; ci_table; ci_col }
+  end
+  else fail st "TABLE or INDEX"
+
+let insert_stmt st =
+  eat_kw st "insert";
+  eat_kw st "into";
+  let ins_table = ident st in
+  let ins_cols =
+    if try_punct st "(" then begin
+      let rec loop acc =
+        let c = ident st in
+        if try_punct st "," then loop (c :: acc)
+        else begin
+          eat_punct st ")";
+          List.rev (c :: acc)
+        end
+      in
+      loop []
+    end
+    else []
+  in
+  eat_kw st "values";
+  let row () =
+    eat_punct st "(";
+    let rec loop acc =
+      let e = expr st in
+      if try_punct st "," then loop (e :: acc)
+      else begin
+        eat_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    loop []
+  in
+  let rec rows acc =
+    let r = row () in
+    if try_punct st "," then rows (r :: acc) else List.rev (r :: acc)
+  in
+  Insert { ins_table; ins_cols; ins_rows = rows [] }
+
+let select_stmt st =
+  eat_kw st "select";
+  let projection () =
+    let e = expr st in
+    let alias =
+      if try_kw st "as" then Some (ident st)
+      else begin
+        match peek st with
+        | Lexer.Ident s
+          when not
+                 (List.exists (Lexer.keyword_eq s)
+                    [ "from"; "where"; "group"; "order"; "limit" ]) ->
+          advance st;
+          Some s
+        | _ -> None
+      end
+    in
+    (e, alias)
+  in
+  let rec projections acc =
+    let p = projection () in
+    if try_punct st "," then projections (p :: acc) else List.rev (p :: acc)
+  in
+  let sel_exprs = projections [] in
+  let sel_from =
+    if try_kw st "from" then begin
+      let table () =
+        let name = ident st in
+        let alias =
+          match peek st with
+          | Lexer.Ident s
+            when not
+                   (List.exists (Lexer.keyword_eq s)
+                      [ "where"; "group"; "order"; "limit"; "join"; "on"; "inner" ]) ->
+            advance st;
+            Some s
+          | _ -> None
+        in
+        (name, alias)
+      in
+      let first = table () in
+      let rec more acc =
+        if try_punct st "," then more (table () :: acc)
+        else if is_kw st "inner" || is_kw st "join" then begin
+          ignore (try_kw st "inner");
+          eat_kw st "join";
+          let tbl = table () in
+          (* JOIN ... ON <expr> is folded into WHERE below via [joins]. *)
+          eat_kw st "on";
+          let cond = expr st in
+          join_conds := cond :: !join_conds;
+          more (tbl :: acc)
+        end
+        else List.rev acc
+      and join_conds = ref [] in
+      let tables = more [ first ] in
+      (tables, !join_conds)
+    end
+    else ([], [])
+  in
+  let tables, join_conds = sel_from in
+  let where = if try_kw st "where" then Some (expr st) else None in
+  let sel_where =
+    List.fold_left
+      (fun acc cond -> match acc with None -> Some cond | Some w -> Some (Binop ("AND", w, cond)))
+      where join_conds
+  in
+  let sel_group =
+    if try_kw st "group" then begin
+      eat_kw st "by";
+      let rec loop acc =
+        let e = expr st in
+        if try_punct st "," then loop (e :: acc) else List.rev (e :: acc)
+      in
+      loop []
+    end
+    else []
+  in
+  let sel_order =
+    if try_kw st "order" then begin
+      eat_kw st "by";
+      let item () =
+        let e = expr st in
+        let desc = if try_kw st "desc" then true else (ignore (try_kw st "asc"); false) in
+        { ord_expr = e; ord_desc = desc }
+      in
+      let rec loop acc =
+        let i = item () in
+        if try_punct st "," then loop (i :: acc) else List.rev (i :: acc)
+      in
+      loop []
+    end
+    else []
+  in
+  let sel_limit =
+    if try_kw st "limit" then begin
+      match peek st with
+      | Lexer.Int_lit i ->
+        advance st;
+        Some i
+      | _ -> fail st "limit count"
+    end
+    else None
+  in
+  Select { sel_exprs; sel_from = tables; sel_where; sel_group; sel_order; sel_limit }
+
+let update_stmt st =
+  eat_kw st "update";
+  let upd_table = ident st in
+  eat_kw st "set";
+  let assignment () =
+    let c = ident st in
+    eat_punct st "=";
+    (c, expr st)
+  in
+  let rec loop acc =
+    let a = assignment () in
+    if try_punct st "," then loop (a :: acc) else List.rev (a :: acc)
+  in
+  let upd_set = loop [] in
+  let upd_where = if try_kw st "where" then Some (expr st) else None in
+  Update { upd_table; upd_set; upd_where }
+
+let delete_stmt st =
+  eat_kw st "delete";
+  eat_kw st "from";
+  let del_table = ident st in
+  let del_where = if try_kw st "where" then Some (expr st) else None in
+  Delete { del_table; del_where }
+
+let drop_stmt st =
+  eat_kw st "drop";
+  eat_kw st "table";
+  let dt_if_exists =
+    if try_kw st "if" then begin
+      eat_kw st "exists";
+      true
+    end
+    else false
+  in
+  Drop_table { dt_name = ident st; dt_if_exists }
+
+let statement st =
+  if is_kw st "create" then create_stmt st
+  else if is_kw st "insert" then insert_stmt st
+  else if is_kw st "select" then select_stmt st
+  else if is_kw st "update" then update_stmt st
+  else if is_kw st "delete" then delete_stmt st
+  else if is_kw st "drop" then drop_stmt st
+  else if try_kw st "begin" then begin
+    ignore (try_kw st "transaction");
+    Begin_txn
+  end
+  else if try_kw st "commit" then Commit_txn
+  else if try_kw st "rollback" then Rollback_txn
+  else fail st "statement"
+
+let parse src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let rec loop acc =
+    if peek st = Lexer.Eof then List.rev acc
+    else begin
+      let s = statement st in
+      while try_punct st ";" do
+        ()
+      done;
+      loop (s :: acc)
+    end
+  in
+  loop []
+
+let parse_one src =
+  match parse src with
+  | [ s ] -> s
+  | [] -> raise (Error "empty statement")
+  | _ -> raise (Error "expected a single statement")

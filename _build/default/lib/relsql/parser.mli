@@ -1,0 +1,10 @@
+(** Recursive-descent SQL parser. *)
+
+exception Error of string
+
+val parse : string -> Ast.stmt list
+(** Parse one or more ';'-separated statements.
+    Raises {!Error} (or {!Lexer.Error}) on malformed input. *)
+
+val parse_one : string -> Ast.stmt
+(** Parse exactly one statement. *)

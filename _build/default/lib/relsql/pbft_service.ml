@@ -1,0 +1,102 @@
+let vote_schema =
+  "CREATE TABLE IF NOT EXISTS votes (id INTEGER PRIMARY KEY, voter TEXT, choice TEXT, ts REAL, \
+   nonce INTEGER)"
+
+let insert_vote_sql ~voter ~choice =
+  Printf.sprintf "INSERT INTO votes (voter, choice, ts, nonce) VALUES ('%s', '%s', NOW(), RANDOM())"
+    voter choice
+
+(* A VFS whose main file is a window onto the replica's PBFT state region:
+   reads go straight to the pages, writes notify the state manager first
+   (the §3.2 contract), and the commit-time sync is charged as disk cost
+   (the paper keeps the db file synchronized with its disk image). *)
+let pages_file pages ~first_page ~app_pages ~(disk : Simdisk.Disk.t) ~cost =
+  let page_size = Statemgr.Pages.page_size pages in
+  let base = first_page * page_size in
+  let capacity = app_pages * page_size in
+  {
+    Vfs.read =
+      (fun ~pos ~len ->
+        if pos + len > capacity then invalid_arg "pbft vfs: read past region";
+        Statemgr.Pages.read pages ~pos:(base + pos) ~len);
+    write =
+      (fun ~pos s ->
+        if pos + String.length s > capacity then invalid_arg "pbft vfs: write past region";
+        Statemgr.Pages.notify_modify pages ~pos:(base + pos) ~len:(String.length s);
+        Statemgr.Pages.write pages ~pos:(base + pos) s);
+    sync = (fun () -> cost := !cost +. Simdisk.Disk.sync_cost disk);
+    size = (fun () -> capacity);
+    truncate = (fun _ -> ());
+  }
+
+let disk_journal disk ~cost =
+  let f = Simdisk.Disk.open_file disk "journal" in
+  {
+    Vfs.read = (fun ~pos ~len -> Simdisk.Disk.read f ~pos ~len);
+    write =
+      (fun ~pos s ->
+        cost := !cost +. Simdisk.Disk.write_cost disk (String.length s);
+        Simdisk.Disk.write f ~pos s);
+    sync =
+      (fun () ->
+        cost := !cost +. Simdisk.Disk.sync_cost disk;
+        Simdisk.Disk.sync f);
+    size = (fun () -> Simdisk.Disk.size f);
+    truncate = (fun n -> Simdisk.Disk.truncate f n);
+  }
+
+let service ?(acid = true) ?(app_pages = 128) ?(sync_latency = 0.4e-3) ?(schema = vote_schema) () =
+  {
+    Pbft.Service.name = (if acid then "sql" else "sql-noacid");
+    page_size = Pager.page_size;
+    app_pages;
+    make =
+      (fun pages ~first_page ->
+        let disk = Simdisk.Disk.create ~sync_latency () in
+        let cost = ref 0.0 in
+        (* The agreed non-deterministic values for the current request. *)
+        let env_time = ref 0.0 in
+        let env_random = ref 0L in
+        let vfs =
+          {
+            Vfs.main = pages_file pages ~first_page ~app_pages ~disk ~cost;
+            journal = (if acid then Some (disk_journal disk ~cost) else None);
+            time = (fun () -> !env_time);
+            random =
+              (fun () ->
+                (* Stream distinct values within one request determin-
+                   istically from the agreed seed. *)
+                env_random := Int64.add (Int64.mul !env_random 6364136223846793005L) 1442695040888963407L;
+                !env_random);
+            cost;
+          }
+        in
+        let db = Database.open_db vfs in
+        (match (Database.exec db schema).res with
+        | Ok _ -> ()
+        | Error e -> failwith ("sql service schema: " ^ e));
+        {
+          Pbft.Service.execute =
+            (fun ~op ~client:_ ~timestamp ~nondet ~readonly:_ ->
+              env_time := timestamp;
+              (match Pbft.Nondet.random_value nondet with
+              | Some r -> env_random := r
+              | None -> env_random := Int64.of_float (timestamp *. 1e6));
+              let outcome = Database.exec db op in
+              let reply =
+                match outcome.Database.res with
+                | Ok r ->
+                  if r.Database.rows = [] && r.columns = [] then
+                    Printf.sprintf "ok:%d" r.affected
+                  else Database.render r
+                | Error e -> "error: " ^ e
+              in
+              (reply, outcome.Database.cost));
+          authorize_join =
+            (fun ~idbuf ->
+              match String.index_opt idbuf ':' with
+              | Some i when i > 0 -> Some (String.sub idbuf 0 i)
+              | Some _ | None -> None);
+          on_session_end = (fun _ -> ());
+        });
+  }

@@ -1,0 +1,43 @@
+(** The paper's headline integration (§3.2, Figure 3): the relational
+    engine runs *inside* a PBFT replica, with its database file mapped
+    onto the replica's paged state region through the VFS seam.
+
+    - Main-file page writes notify the state manager before modifying
+      memory, so copy-on-write checkpointing and Merkle digests see every
+      change;
+    - the rollback journal lives on the replica's (simulated) local disk
+      and is synced on commit, giving ACID semantics the PBFT state
+      abstraction lacks;
+    - the non-deterministic SQL functions NOW() and RANDOM() are rerouted
+      to the agreed-upon pre-prepare values (§2.5), so all replicas
+      evaluate them identically;
+    - the database file is declared "large enough" up front — the sparse
+      region trick the authors used to reconcile SQLite's growth with
+      PBFT's fixed-size state.
+
+    The service's operations are SQL strings; replies are rendered result
+    sets or error text. *)
+
+val service :
+  ?acid:bool ->
+  ?app_pages:int ->
+  ?sync_latency:float ->
+  ?schema:string ->
+  unit ->
+  Pbft.Service.t
+(** [service ~acid ~schema ()] builds a replicated-SQL service.
+    [schema] is executed when each replica instantiates the service (all
+    replicas run it identically at boot). [acid:false] disables the
+    rollback journal and the commit syncs — the No-ACID configuration of
+    §4.2. [sync_latency] calibrates the per-fsync virtual cost (default
+    0.4 ms: a 2011 SATA disk with its write cache on). *)
+
+val vote_schema : string
+(** The e-voting style schema used by the Figure 5 experiments: a votes
+    table keyed by an integer primary key with voter/choice text columns,
+    a timestamp and a random value (the paper adds the last two to check
+    reply identity across replicas). *)
+
+val insert_vote_sql : voter:string -> choice:string -> string
+(** The benchmark operation of §4.2: insert one vote row whose timestamp
+    and nonce come from NOW() and RANDOM(). *)

@@ -1,0 +1,29 @@
+(** SQL values and their comparison / coercion semantics. *)
+
+type t =
+  | Null
+  | Int of int
+  | Real of float
+  | Text of string
+
+val compare_sql : t -> t -> int
+(** SQLite-style ordering: Null < numbers < text; Int and Real compare
+    numerically with each other. *)
+
+val equal : t -> t -> bool
+val is_null : t -> bool
+val to_string : t -> string
+(** Rendering for result rows ("NULL" for Null). *)
+
+val as_number : t -> float option
+val as_int : t -> int option
+
+val truthy : t -> bool
+(** SQL boolean interpretation: nonzero number; Null and text are false. *)
+
+val encode : Util.Codec.W.t -> t -> unit
+val decode : Util.Codec.R.t -> t
+
+val key_encode : t -> string
+(** Order-preserving (within a type class) encoding used as B-tree index
+    key material. *)

@@ -1,0 +1,1 @@
+lib/simdisk/disk.mli:

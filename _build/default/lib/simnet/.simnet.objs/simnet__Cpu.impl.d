@@ -1,0 +1,1 @@
+lib/simnet/cpu.ml: Engine Float

@@ -1,0 +1,1 @@
+lib/simnet/cpu.mli: Engine

@@ -1,0 +1,1 @@
+lib/simnet/engine.ml: Float Util

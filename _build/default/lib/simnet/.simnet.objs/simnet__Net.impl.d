@@ -1,0 +1,1 @@
+lib/simnet/net.ml: Engine Float Hashtbl List String Trace Util

@@ -1,0 +1,27 @@
+type t = {
+  engine : Engine.t;
+  mutable free_at : float;
+  mutable busy_accum : float;
+  mutable queued : int;
+}
+
+let create engine = { engine; free_at = 0.0; busy_accum = 0.0; queued = 0 }
+
+let execute t ~cost f =
+  let cost = Float.max 0.0 cost in
+  let start = Float.max (Engine.now t.engine) t.free_at in
+  let finish = start +. cost in
+  t.free_at <- finish;
+  t.busy_accum <- t.busy_accum +. cost;
+  t.queued <- t.queued + 1;
+  Engine.schedule_at t.engine ~time:finish (fun () ->
+      t.queued <- t.queued - 1;
+      f ())
+
+let busy_until t = t.free_at
+let queue_length t = t.queued
+let total_busy t = t.busy_accum
+
+let utilization t ~since =
+  let span = Engine.now t.engine -. since in
+  if span <= 0.0 then 0.0 else Float.min 1.0 (t.busy_accum /. span)

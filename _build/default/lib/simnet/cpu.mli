@@ -1,0 +1,27 @@
+(** Per-node virtual CPU.
+
+    Work items (message verification, request execution, signing) are
+    charged a virtual cost and run to completion in FIFO order on the
+    node's single core. Throughput experiments are bottleneck-CPU-bound
+    exactly as on the paper's testbed: when the primary's CPU saturates,
+    queueing delay — not network latency — dominates. *)
+
+type t
+
+val create : Engine.t -> t
+
+val execute : t -> cost:float -> (unit -> unit) -> unit
+(** [execute t ~cost f] enqueues a work item taking [cost] virtual
+    seconds; [f] runs when the item completes. Zero-cost items still
+    respect FIFO ordering behind queued work. *)
+
+val busy_until : t -> float
+(** Time at which currently queued work drains. *)
+
+val utilization : t -> since:float -> float
+(** Fraction of [since, now] the CPU spent busy (for experiment reports). *)
+
+val queue_length : t -> int
+
+val total_busy : t -> float
+(** Cumulative busy seconds since creation. *)

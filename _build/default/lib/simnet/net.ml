@@ -1,0 +1,156 @@
+type addr = int
+
+type profile = {
+  latency : float;
+  jitter : float;
+  bandwidth : float;
+  loss : float;
+  recv_buffer : int;
+}
+
+(* Ping RTT on the paper's cluster is ~150 µs, so ~75 µs one-way; iperf
+   showed 938 Mbit/s ≈ 117 MB/s of usable bandwidth. *)
+let lan_profile =
+  { latency = 120e-6; jitter = 20e-6; bandwidth = 117_000_000.0; loss = 0.0; recv_buffer = 0 }
+
+let wan_profile =
+  { latency = 40e-3; jitter = 8e-3; bandwidth = 12_500_000.0; loss = 0.0; recv_buffer = 0 }
+
+type one_shot_drop = { pred : src:addr -> dst:addr -> label:string -> bool; mutable used : bool }
+
+type t = {
+  engine : Engine.t;
+  trace : Trace.t;
+  rng : Util.Rng.t;
+  mutable prof : profile;
+  handlers : (addr, src:addr -> string -> unit) Hashtbl.t;
+  nic_free : (addr, float) Hashtbl.t;
+  backlog : (addr, unit -> int) Hashtbl.t;
+  mutable drops : one_shot_drop list;
+  mutable partitioned : (addr list * addr list) option;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes : int;
+}
+
+let create engine ?trace prof =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
+  {
+    engine;
+    trace;
+    rng = Util.Rng.split (Engine.rng engine);
+    prof;
+    handlers = Hashtbl.create 64;
+    nic_free = Hashtbl.create 64;
+    backlog = Hashtbl.create 64;
+    drops = [];
+    partitioned = None;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    bytes = 0;
+  }
+
+let engine t = t.engine
+let trace t = t.trace
+let register t a h = Hashtbl.replace t.handlers a h
+let unregister t a = Hashtbl.remove t.handlers a
+let set_loss t p = t.prof <- { t.prof with loss = p }
+let loss t = t.prof.loss
+let set_backlog_probe t a probe = Hashtbl.replace t.backlog a probe
+let drop_next_matching t pred = t.drops <- { pred; used = false } :: t.drops
+
+let partition t ga gb = t.partitioned <- Some (ga, gb)
+let heal t = t.partitioned <- None
+
+let crosses_partition t src dst =
+  match t.partitioned with
+  | None -> false
+  | Some (ga, gb) ->
+    (List.mem src ga && List.mem dst gb) || (List.mem src gb && List.mem dst ga)
+
+let one_shot_drop_matches t ~src ~dst ~label =
+  let rec find = function
+    | [] -> false
+    | d :: rest ->
+      if (not d.used) && d.pred ~src ~dst ~label then begin
+        d.used <- true;
+        true
+      end
+      else find rest
+  in
+  let hit = find t.drops in
+  if hit then t.drops <- List.filter (fun d -> not d.used) t.drops;
+  hit
+
+let record t ~src ~dst ~label ~detail ~size ~delivered =
+  Trace.record t.trace
+    {
+      time = Engine.now t.engine;
+      src;
+      dst;
+      label = (if delivered then label else label ^ " [LOST]");
+      detail;
+      size;
+    }
+
+let send t ?(label = "msg") ?(detail = "") ~src ~dst payload =
+  let size = String.length payload in
+  t.sent <- t.sent + 1;
+  t.bytes <- t.bytes + size;
+  let lost =
+    crosses_partition t src dst
+    || one_shot_drop_matches t ~src ~dst ~label
+    || Util.Rng.bernoulli t.rng t.prof.loss
+  in
+  if lost then begin
+    t.dropped <- t.dropped + 1;
+    record t ~src ~dst ~label ~detail ~size ~delivered:false
+  end
+  else begin
+    (* NIC egress serialization: back-to-back sends from one host queue
+       behind each other at the configured bandwidth. *)
+    let now = Engine.now t.engine in
+    let nic = match Hashtbl.find_opt t.nic_free src with Some v -> v | None -> 0.0 in
+    let start = Float.max now nic in
+    let tx = float_of_int size /. t.prof.bandwidth in
+    Hashtbl.replace t.nic_free src (start +. tx);
+    let prop =
+      Float.max 1e-6 (Util.Rng.gaussian t.rng ~mean:t.prof.latency ~stdev:t.prof.jitter)
+    in
+    let arrival = start +. tx +. prop in
+    record t ~src ~dst ~label ~detail ~size ~delivered:true;
+    Engine.schedule_at t.engine ~time:arrival (fun () ->
+        match Hashtbl.find_opt t.handlers dst with
+        | None -> t.dropped <- t.dropped + 1
+        | Some h ->
+          let overflow =
+            t.prof.recv_buffer > 0
+            &&
+            match Hashtbl.find_opt t.backlog dst with
+            | None -> false
+            | Some probe -> probe () >= t.prof.recv_buffer
+          in
+          if overflow then begin
+            t.dropped <- t.dropped + 1;
+            Trace.record t.trace
+              {
+                time = Engine.now t.engine;
+                src;
+                dst;
+                label = label ^ " [OVERFLOW]";
+                detail;
+                size;
+              }
+          end
+          else begin
+            t.delivered <- t.delivered + 1;
+            h ~src payload
+          end)
+  end
+
+let sent_count t = t.sent
+let delivered_count t = t.delivered
+let dropped_count t = t.dropped
+let bytes_sent t = t.bytes

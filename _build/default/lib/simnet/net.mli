@@ -1,0 +1,67 @@
+(** Unreliable datagram network — the simulation's UDP.
+
+    Models the paper's testbed: point-to-point datagrams (IP multicast is
+    off, §4), per-host NIC serialization at a configured bandwidth,
+    propagation latency with jitter, Bernoulli packet loss, bounded
+    receive buffers that drop under overload (the loop-back congestion
+    loss of §2.4), targeted drop injection for the fault experiments, and
+    partitions. Delivery is at-most-once, unordered under jitter — every
+    PBFT robustness pathology in the paper stems from exactly these
+    semantics. *)
+
+type addr = int
+
+type profile = {
+  latency : float; (** mean one-way propagation delay, seconds *)
+  jitter : float; (** stdev of the latency gaussian, seconds *)
+  bandwidth : float; (** NIC egress bytes/second *)
+  loss : float; (** Bernoulli datagram loss probability *)
+  recv_buffer : int; (** datagrams queued at a receiver before overflow drops; 0 = unbounded *)
+}
+
+val lan_profile : profile
+(** The paper's cluster: 1 GbE, ~150 µs RTT ping. *)
+
+val wan_profile : profile
+(** Wide-area deployment of §3.3.3: tens of ms latency. *)
+
+type t
+
+val create : Engine.t -> ?trace:Trace.t -> profile -> t
+val engine : t -> Engine.t
+val trace : t -> Trace.t
+
+val register : t -> addr -> (src:addr -> string -> unit) -> unit
+(** Bind a receive handler; re-registering replaces the handler (a node
+    restart re-binds its port). *)
+
+val unregister : t -> addr -> unit
+(** Datagrams to an unbound address are dropped silently, like UDP. *)
+
+val send : t -> ?label:string -> ?detail:string -> src:addr -> dst:addr -> string -> unit
+(** Fire-and-forget datagram. *)
+
+val set_loss : t -> float -> unit
+val loss : t -> float
+
+val drop_next_matching : t -> (src:addr -> dst:addr -> label:string -> bool) -> unit
+(** One-shot targeted fault: the next datagram matching the predicate is
+    silently dropped (the §2.4 experiments drop one specific packet). *)
+
+val partition : t -> addr list -> addr list -> unit
+(** Drop everything between the two groups until {!heal}. *)
+
+val heal : t -> unit
+
+(** {2 Counters for experiment reports} *)
+
+val sent_count : t -> int
+val delivered_count : t -> int
+val dropped_count : t -> int
+val bytes_sent : t -> int
+
+val set_backlog_probe : t -> addr -> (unit -> int) -> unit
+(** A node that processes datagrams on its virtual CPU exposes its queue
+    length here; when [recv_buffer > 0] and the backlog at delivery time
+    is at or above it, the datagram is dropped — kernel socket-buffer
+    overflow, the loss mode the paper hit on the loop-back interface. *)

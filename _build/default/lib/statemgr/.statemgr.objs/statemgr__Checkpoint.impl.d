@@ -1,0 +1,1 @@
+lib/statemgr/checkpoint.ml: List Merkle Pages

@@ -1,0 +1,1 @@
+lib/statemgr/checkpoint.mli: Merkle Pages

@@ -1,0 +1,1 @@
+lib/statemgr/merkle.ml: Array Crypto Hashtbl List Pages String

@@ -1,0 +1,1 @@
+lib/statemgr/merkle.mli: Pages

@@ -1,0 +1,1 @@
+lib/statemgr/pages.ml: Array Bytes Hashtbl List Option String

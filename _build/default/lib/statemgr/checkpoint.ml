@@ -1,0 +1,16 @@
+type t = { seq : int; tree : Merkle.t; pages : Pages.t }
+
+let take ~seqno pages tree = { seq = seqno; tree = Merkle.copy tree; pages = Pages.copy pages }
+
+let seqno t = t.seq
+let root t = Merkle.root t.tree
+let page t i = Pages.page t.pages i
+let merkle t = t.tree
+
+let divergent_pages ~local t = Merkle.diff local t.tree
+
+let restore t target tree =
+  let divergent, _ = Merkle.diff tree t.tree in
+  List.iter (fun i -> Pages.load_page target i (Pages.page t.pages i)) divergent;
+  Merkle.update tree target divergent;
+  Pages.clear_dirty target

@@ -1,0 +1,95 @@
+(* Implicit perfect binary tree over [2^k >= num_pages] leaves stored in a
+   flat array: node i has children 2i+1, 2i+2; leaves occupy the last
+   [width] slots. Missing leaves (beyond num_pages) hash a fixed filler. *)
+
+type t = { width : int; leaves : int; nodes : string array }
+
+let hash_page contents = Crypto.Sha256.digest ("leaf|" ^ contents)
+let hash_children l r = Crypto.Sha256.digest ("node|" ^ l ^ r)
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let empty_leaf = Crypto.Sha256.digest "empty-leaf"
+
+let leaf_index t i = t.width - 1 + i
+
+let build pages =
+  let leaves = Pages.num_pages pages in
+  let width = pow2_at_least leaves 1 in
+  let nodes = Array.make ((2 * width) - 1) "" in
+  for i = 0 to width - 1 do
+    nodes.(width - 1 + i) <-
+      (if i < leaves then hash_page (Pages.page pages i) else empty_leaf)
+  done;
+  for i = width - 2 downto 0 do
+    nodes.(i) <- hash_children nodes.((2 * i) + 1) nodes.((2 * i) + 2)
+  done;
+  { width; leaves; nodes }
+
+let update t pages dirty =
+  let touched = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= t.leaves then invalid_arg "Merkle.update";
+      t.nodes.(leaf_index t i) <- hash_page (Pages.page pages i);
+      (* Record every ancestor for recomputation. *)
+      let rec mark j =
+        if j > 0 then begin
+          let parent = (j - 1) / 2 in
+          Hashtbl.replace touched parent ();
+          mark parent
+        end
+      in
+      mark (leaf_index t i))
+    dirty;
+  (* Recompute ancestors bottom-up: iterate indices descending. *)
+  let idxs = List.sort (fun a b -> compare b a) (Hashtbl.fold (fun k () acc -> k :: acc) touched []) in
+  List.iter (fun i -> t.nodes.(i) <- hash_children t.nodes.((2 * i) + 1) t.nodes.((2 * i) + 2)) idxs
+
+let root t = t.nodes.(0)
+
+let leaf t i =
+  if i < 0 || i >= t.leaves then invalid_arg "Merkle.leaf";
+  t.nodes.(leaf_index t i)
+
+let num_leaves t = t.leaves
+
+let diff a b =
+  if a.width <> b.width then invalid_arg "Merkle.diff: shape mismatch";
+  let visited = ref 0 in
+  let divergent = ref [] in
+  let rec walk i =
+    incr visited;
+    if not (String.equal a.nodes.(i) b.nodes.(i)) then begin
+      if i >= a.width - 1 then begin
+        let li = i - (a.width - 1) in
+        if li < a.leaves then divergent := li :: !divergent
+      end
+      else begin
+        walk ((2 * i) + 1);
+        walk ((2 * i) + 2)
+      end
+    end
+  in
+  walk 0;
+  (List.rev !divergent, !visited)
+
+let root_of_leaves leaves =
+  let n = List.length leaves in
+  let width = pow2_at_least (max n 1) 1 in
+  let level = Array.make width empty_leaf in
+  List.iteri (fun i l -> level.(i) <- l) leaves;
+  let rec reduce level =
+    if Array.length level = 1 then level.(0)
+    else begin
+      let next = Array.init (Array.length level / 2) (fun i ->
+          hash_children level.(2 * i) level.((2 * i) + 1))
+      in
+      reduce next
+    end
+  in
+  reduce level
+
+let page_digest contents = hash_page contents
+
+let copy t = { t with nodes = Array.copy t.nodes }

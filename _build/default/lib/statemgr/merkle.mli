@@ -1,0 +1,37 @@
+(** Merkle hash tree over the state pages (§2.1).
+
+    Leaves are page digests; inner nodes hash their children; the root
+    digest uniquely identifies the whole region and is what checkpoint
+    messages carry. After execution only dirty pages' leaves and their
+    root paths are recomputed. An out-of-sync replica walks the tree
+    top-down against a peer's to locate the (hopefully few) divergent
+    pages for retransmission. *)
+
+type t
+
+val build : Pages.t -> t
+(** Hash every page. *)
+
+val update : t -> Pages.t -> int list -> unit
+(** [update t pages dirty] recomputes the given leaves and all affected
+    inner nodes. *)
+
+val root : t -> string
+val leaf : t -> int -> string
+val num_leaves : t -> int
+
+val diff : t -> t -> int list * int
+(** [diff a b] walks both trees top-down and returns the divergent leaf
+    indices plus the number of tree nodes visited — the message-count
+    metric for the state-transfer experiments. The trees must have the
+    same shape. *)
+
+val root_of_leaves : string list -> string
+(** Recompute the root a tree with exactly these leaf digests would have —
+    used to check a peer's claimed page digests against a
+    quorum-certified checkpoint digest before trusting any page. *)
+
+val page_digest : string -> string
+(** The leaf digest of one page's contents. *)
+
+val copy : t -> t

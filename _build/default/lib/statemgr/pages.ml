@@ -1,0 +1,95 @@
+exception Unnotified_write of int
+
+type t = {
+  page_size : int;
+  num_pages : int;
+  strict : bool;
+  slots : Bytes.t option array; (* None = untouched zero page *)
+  mutable dirty_set : (int, unit) Hashtbl.t;
+}
+
+let create ?(strict = false) ~page_size ~num_pages () =
+  if page_size <= 0 || num_pages <= 0 then invalid_arg "Pages.create";
+  { page_size; num_pages; strict; slots = Array.make num_pages None; dirty_set = Hashtbl.create 64 }
+
+let page_size t = t.page_size
+let num_pages t = t.num_pages
+let total_size t = t.page_size * t.num_pages
+
+let check_range t pos len =
+  if pos < 0 || len < 0 || pos + len > total_size t then invalid_arg "Pages: out of bounds"
+
+let zero_page t = Bytes.make t.page_size '\000'
+
+let slot t i =
+  match t.slots.(i) with
+  | Some b -> b
+  | None ->
+    let b = zero_page t in
+    t.slots.(i) <- Some b;
+    b
+
+let read t ~pos ~len =
+  check_range t pos len;
+  let out = Bytes.create len in
+  let copied = ref 0 in
+  while !copied < len do
+    let abs = pos + !copied in
+    let pg = abs / t.page_size and off = abs mod t.page_size in
+    let n = min (len - !copied) (t.page_size - off) in
+    (match t.slots.(pg) with
+    | None -> Bytes.fill out !copied n '\000'
+    | Some b -> Bytes.blit b off out !copied n);
+    copied := !copied + n
+  done;
+  Bytes.to_string out
+
+let pages_of_range t pos len =
+  if len = 0 then []
+  else begin
+    let first = pos / t.page_size and last = (pos + len - 1) / t.page_size in
+    List.init (last - first + 1) (fun i -> first + i)
+  end
+
+let notify_modify t ~pos ~len =
+  check_range t pos len;
+  List.iter (fun pg -> Hashtbl.replace t.dirty_set pg ()) (pages_of_range t pos len)
+
+let write t ~pos s =
+  let len = String.length s in
+  check_range t pos len;
+  List.iter
+    (fun pg -> if t.strict && not (Hashtbl.mem t.dirty_set pg) then raise (Unnotified_write pg))
+    (pages_of_range t pos len);
+  if not t.strict then List.iter (fun pg -> Hashtbl.replace t.dirty_set pg ()) (pages_of_range t pos len);
+  let copied = ref 0 in
+  while !copied < len do
+    let abs = pos + !copied in
+    let pg = abs / t.page_size and off = abs mod t.page_size in
+    let n = min (len - !copied) (t.page_size - off) in
+    Bytes.blit_string s !copied (slot t pg) off n;
+    copied := !copied + n
+  done
+
+let page t i =
+  if i < 0 || i >= t.num_pages then invalid_arg "Pages.page";
+  match t.slots.(i) with None -> String.make t.page_size '\000' | Some b -> Bytes.to_string b
+
+let load_page t i contents =
+  if i < 0 || i >= t.num_pages then invalid_arg "Pages.load_page";
+  if String.length contents <> t.page_size then invalid_arg "Pages.load_page: size mismatch";
+  t.slots.(i) <- Some (Bytes.of_string contents);
+  Hashtbl.replace t.dirty_set i ()
+
+let dirty t = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) t.dirty_set [])
+let clear_dirty t = t.dirty_set <- Hashtbl.create 64
+
+let allocated_pages t =
+  Array.fold_left (fun acc s -> match s with Some _ -> acc + 1 | None -> acc) 0 t.slots
+
+let copy t =
+  {
+    t with
+    slots = Array.map (Option.map Bytes.copy) t.slots;
+    dirty_set = Hashtbl.copy t.dirty_set;
+  }

@@ -1,0 +1,50 @@
+(** The PBFT state region: a single contiguous memory area divided into
+    equal pages (§2.1, §3.2).
+
+    The application has free read access but must call {!notify_modify}
+    before changing any byte — exactly the contract the paper criticizes
+    as havoc-prone. [strict] mode enforces the contract: a write to a
+    page that was not notified raises {!Unnotified_write}, which is how
+    our tests demonstrate the failure mode §3.2 warns about. The region
+    is sparse: pages are allocated on first touch, so a "large enough"
+    region can be declared up front the way the authors used a sparse
+    file (§3.2). *)
+
+exception Unnotified_write of int
+(** Page index written without a prior notification (strict mode only). *)
+
+type t
+
+val create : ?strict:bool -> page_size:int -> num_pages:int -> unit -> t
+val page_size : t -> int
+val num_pages : t -> int
+val total_size : t -> int
+
+val read : t -> pos:int -> len:int -> string
+(** Free read access anywhere in the region; unallocated pages read as
+    zeros. Raises [Invalid_argument] out of bounds. *)
+
+val notify_modify : t -> pos:int -> len:int -> unit
+(** Declare intent to modify the byte range, marking its pages dirty
+    (the copy-on-write hook). *)
+
+val write : t -> pos:int -> string -> unit
+(** Write through; in strict mode every touched page must have been
+    notified since the last {!clear_dirty}. *)
+
+val page : t -> int -> string
+(** Contents of one page (zero page if untouched). *)
+
+val load_page : t -> int -> string -> unit
+(** Install page contents wholesale (state transfer); marks it dirty. *)
+
+val dirty : t -> int list
+(** Ascending indices of pages notified/written since the last clear. *)
+
+val clear_dirty : t -> unit
+
+val allocated_pages : t -> int
+(** Pages actually backed by memory (sparseness metric). *)
+
+val copy : t -> t
+(** Deep copy (used to snapshot at a checkpoint). *)

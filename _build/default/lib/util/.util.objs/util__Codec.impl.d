@@ -1,0 +1,1 @@
+lib/util/codec.ml: Buffer Bytes Char Int64 List String

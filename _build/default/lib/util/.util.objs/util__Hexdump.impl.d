@@ -1,0 +1,1 @@
+lib/util/hexdump.ml: Buffer Char String

@@ -1,0 +1,124 @@
+module W = struct
+  type t = Buffer.t
+
+  let create ?(capacity = 256) () = Buffer.create capacity
+  let length = Buffer.length
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+
+  let u16 t v =
+    u8 t v;
+    u8 t (v lsr 8)
+
+  let u32 t v =
+    u16 t v;
+    u16 t (v lsr 16)
+
+  let u64 t v = Buffer.add_int64_le t v
+  let int_as_u64 t v = u64 t (Int64.of_int v)
+  let f64 t v = u64 t (Int64.bits_of_float v)
+
+  let rec varint t v =
+    if v < 0 then invalid_arg "Codec.W.varint: negative"
+    else if v < 0x80 then u8 t v
+    else begin
+      u8 t (0x80 lor (v land 0x7f));
+      varint t (v lsr 7)
+    end
+
+  let bool t v = u8 t (if v then 1 else 0)
+  let bytes t b = Buffer.add_bytes t b
+  let string t s = Buffer.add_string t s
+
+  let lbytes t b =
+    varint t (Bytes.length b);
+    bytes t b
+
+  let lstring t s =
+    varint t (String.length s);
+    string t s
+
+  let list t enc l =
+    varint t (List.length l);
+    List.iter (enc t) l
+
+  let option t enc = function
+    | None -> bool t false
+    | Some v ->
+      bool t true;
+      enc t v
+
+  let contents = Buffer.contents
+end
+
+module R = struct
+  type t = { src : string; mutable pos : int }
+
+  exception Truncated
+
+  let of_string src = { src; pos = 0 }
+  let remaining t = String.length t.src - t.pos
+
+  let u8 t =
+    if t.pos >= String.length t.src then raise Truncated;
+    let v = Char.code t.src.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let a = u8 t in
+    let b = u8 t in
+    a lor (b lsl 8)
+
+  let u32 t =
+    let a = u16 t in
+    let b = u16 t in
+    a lor (b lsl 16)
+
+  let u64 t =
+    if remaining t < 8 then raise Truncated;
+    let v = String.get_int64_le t.src t.pos in
+    t.pos <- t.pos + 8;
+    v
+
+  let int_of_u64 t = Int64.to_int (u64 t)
+  let f64 t = Int64.float_of_bits (u64 t)
+
+  let varint t =
+    let rec go shift acc =
+      if shift > 56 then raise Truncated;
+      let b = u8 t in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let bool t = u8 t <> 0
+
+  let string t n =
+    if n < 0 || remaining t < n then raise Truncated;
+    let s = String.sub t.src t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let bytes t n = Bytes.of_string (string t n)
+  let lbytes t = bytes t (varint t)
+  let lstring t = string t (varint t)
+
+  let list t dec =
+    let n = varint t in
+    List.init n (fun _ -> dec t)
+
+  let option t dec = if bool t then Some (dec t) else None
+  let expect_end t = if remaining t <> 0 then raise Truncated
+end
+
+let encode enc v =
+  let w = W.create () in
+  enc w v;
+  W.contents w
+
+let decode dec s =
+  let r = R.of_string s in
+  let v = dec r in
+  R.expect_end r;
+  v

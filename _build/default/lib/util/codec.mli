@@ -1,0 +1,77 @@
+(** Binary wire codec.
+
+    All PBFT protocol messages, database pages and journal records are
+    serialized through this module so that message sizes — which feed the
+    network bandwidth model — are concrete and stable. Integers are
+    little-endian fixed width except where [varint] is used. *)
+
+(** {1 Writer} *)
+
+module W : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val u64 : t -> int64 -> unit
+  val int_as_u64 : t -> int -> unit
+  val f64 : t -> float -> unit
+  val varint : t -> int -> unit
+  val bool : t -> bool -> unit
+
+  val bytes : t -> bytes -> unit
+  (** Raw bytes, no length prefix. *)
+
+  val string : t -> string -> unit
+  (** Raw string contents, no length prefix. *)
+
+  val lbytes : t -> bytes -> unit
+  (** Varint length prefix followed by the bytes. *)
+
+  val lstring : t -> string -> unit
+
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  (** Varint count followed by each element. *)
+
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+
+  val contents : t -> string
+end
+
+(** {1 Reader} *)
+
+module R : sig
+  type t
+
+  exception Truncated
+  (** Raised when a read runs past the end of the buffer; a malformed or
+      maliciously short message surfaces as this exception and is treated
+      by receivers as an authentication failure. *)
+
+  val of_string : string -> t
+  val remaining : t -> int
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val u64 : t -> int64
+  val int_of_u64 : t -> int
+  val f64 : t -> float
+  val varint : t -> int
+  val bool : t -> bool
+  val bytes : t -> int -> bytes
+  val string : t -> int -> string
+  val lbytes : t -> bytes
+  val lstring : t -> string
+  val list : t -> (t -> 'a) -> 'a list
+  val option : t -> (t -> 'a) -> 'a option
+  val expect_end : t -> unit
+end
+
+val encode : (W.t -> 'a -> unit) -> 'a -> string
+(** [encode enc v] runs [enc] on a fresh writer and returns the buffer. *)
+
+val decode : (R.t -> 'a) -> string -> 'a
+(** [decode dec s] decodes the full string, raising [R.Truncated] if the
+    value does not consume the buffer exactly. *)

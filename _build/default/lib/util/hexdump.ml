@@ -1,0 +1,28 @@
+let hex_digit n = "0123456789abcdef".[n]
+
+let of_string s =
+  let b = Buffer.create (String.length s * 2) in
+  String.iter
+    (fun c ->
+      let v = Char.code c in
+      Buffer.add_char b (hex_digit (v lsr 4));
+      Buffer.add_char b (hex_digit (v land 0xf)))
+    s;
+  Buffer.contents b
+
+let digit_value c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hexdump.to_string: bad digit"
+
+let to_string s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Hexdump.to_string: odd length";
+  String.init (n / 2) (fun i ->
+      Char.chr ((digit_value s.[2 * i] lsl 4) lor digit_value s.[(2 * i) + 1]))
+
+let short ?(len = 8) s =
+  let h = of_string s in
+  if String.length h <= len then h else String.sub h 0 len

@@ -1,0 +1,10 @@
+(** Hexadecimal rendering helpers for digests and wire dumps. *)
+
+val of_string : string -> string
+(** Lowercase hex of every byte. *)
+
+val to_string : string -> string
+(** Inverse of [of_string]. Raises [Invalid_argument] on malformed input. *)
+
+val short : ?len:int -> string -> string
+(** Abbreviated hex prefix (default 8 hex chars) for log lines. *)

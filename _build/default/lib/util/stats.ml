@@ -1,0 +1,60 @@
+type t = {
+  mutable samples : float list;
+  mutable n : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable mn : float;
+  mutable mx : float;
+  mutable sorted : float array option;
+}
+
+let create () =
+  { samples = []; n = 0; sum = 0.0; sumsq = 0.0; mn = infinity; mx = neg_infinity; sorted = None }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sumsq <- t.sumsq +. (x *. x);
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x;
+  t.sorted <- None
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let stdev t =
+  if t.n < 2 then 0.0
+  else begin
+    let n = float_of_int t.n in
+    let var = (t.sumsq -. (t.sum *. t.sum /. n)) /. (n -. 1.0) in
+    if var < 0.0 then 0.0 else sqrt var
+  end
+
+let min t = t.mn
+let max t = t.mx
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list t.samples in
+    Array.sort compare a;
+    t.sorted <- Some a;
+    a
+
+let percentile t p =
+  if t.n = 0 then invalid_arg "Stats.percentile: empty";
+  let a = sorted t in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
+  let idx = Stdlib.max 0 (Stdlib.min (t.n - 1) (rank - 1)) in
+  a.(idx)
+
+let median t = percentile t 50.0
+
+let summary t =
+  if t.n = 0 then "n=0"
+  else
+    Printf.sprintf "n=%d mean=%.3f stdev=%.3f min=%.3f p50=%.3f max=%.3f" t.n (mean t) (stdev t)
+      t.mn (median t) t.mx

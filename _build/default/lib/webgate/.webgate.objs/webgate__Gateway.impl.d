@@ -1,0 +1,1 @@
+lib/webgate/gateway.ml: Bytes Crypto Hashtbl Json List Option Pbft Simnet String Util

@@ -1,0 +1,1 @@
+lib/webgate/gateway.mli: Crypto Pbft Simnet

@@ -1,0 +1,1 @@
+lib/webgate/json.ml: Buffer Char Float List Printf String Util

@@ -1,0 +1,1 @@
+lib/webgate/json.mli:

@@ -1,0 +1,72 @@
+(** Web-application support (§3.3.3).
+
+    The paper's end goal is a browser-hosted client: "this communication
+    cannot be carried over UDP... higher level protocols, such as
+    WebSocket, and structures like JSON or XML need to be used. Support
+    for these technologies needs to be incorporated in the middleware."
+    This library incorporates them, with no centralized component:
+
+    - every replica hosts a {!Bridge} — a WebSocket/JSON endpoint
+      co-located with the replica that translates JSON frames into
+      native protocol datagrams (and exists per replica, unlike Thema's
+      centralized agent, which the authors reject);
+    - {!Browser} is the browser-hosted client library: it speaks only
+      JSON, signs with a public-key signer (the browser-available
+      cryptosystem the paper asks for instead of Rabin), joins
+      dynamically, and collects reply quorums exactly like the native
+      client.
+
+    Simulation note: the browser→replica direction crosses the wire as
+    JSON frames addressed to the bridge; the replica→browser direction is
+    delivered to the browser's network address and converted to JSON at
+    the browser boundary, charging the same conversion cost the bridge
+    would (DESIGN.md lists this as a modelling shortcut). *)
+
+open Pbft.Types
+
+val bridge_addr : replica_id -> int
+(** Network address of the JSON endpoint co-located with a replica. *)
+
+module Bridge : sig
+  type t
+
+  val attach :
+    cfg:Pbft.Config.t ->
+    costs:Pbft.Costmodel.t ->
+    engine:Simnet.Engine.t ->
+    net:Simnet.Net.t ->
+    replica:replica_id ->
+    t
+  (** Listen on [bridge_addr replica] and forward translated frames to the
+      co-located replica. *)
+
+  val frames_translated : t -> int
+  val rejected : t -> int
+  (** Frames dropped as malformed JSON or unknown shape. *)
+
+  val detach : t -> unit
+end
+
+module Browser : sig
+  type t
+
+  val create :
+    cfg:Pbft.Config.t ->
+    costs:Pbft.Costmodel.t ->
+    engine:Simnet.Engine.t ->
+    net:Simnet.Net.t ->
+    addr:int ->
+    signer:Crypto.Keychain.signer ->
+    registry:Pbft.Replica.registry ->
+    ?client_id:client_id ->
+    unit ->
+    t
+
+  val join : t -> idbuf:string -> (client_id option -> unit) -> unit
+  (** The §3.1 two-phase join, carried over JSON frames. *)
+
+  val invoke : t -> ?readonly:bool -> string -> (string -> unit) -> unit
+  val client_id : t -> client_id option
+  val completed : t -> int
+  val shutdown : t -> unit
+end

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Bignum List Nat Prime Printf QCheck QCheck_alcotest Util

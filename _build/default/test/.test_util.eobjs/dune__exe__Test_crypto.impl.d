@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bignum Bytes Crypto Lazy List Option Printf QCheck QCheck_alcotest String Util

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Certificate Client Cluster Config Evoting Harness List Option Pbft Printf Relsql Replica Service Simnet Statemgr String Types

@@ -1,0 +1,1 @@
+test/test_relsql.ml: Alcotest Array Ast Btree Database Float Gen Hashtbl Lexer List Pager Parser Pbft_service Printf QCheck QCheck_alcotest Relsql Simdisk String Util Value Vfs

@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Float List Simdisk Simnet String

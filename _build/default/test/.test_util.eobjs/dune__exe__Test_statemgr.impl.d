@@ -1,0 +1,1 @@
+test/test_statemgr.ml: Alcotest Char List QCheck QCheck_alcotest Statemgr String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Int64 List Printf QCheck QCheck_alcotest String Util

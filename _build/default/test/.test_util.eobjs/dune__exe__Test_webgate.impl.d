@@ -1,0 +1,1 @@
+test/test_webgate.ml: Alcotest Crypto List Pbft Printf QCheck QCheck_alcotest Simnet Util Webgate

@@ -1,0 +1,809 @@
+(* Tests for the PBFT middleware: wire formats, membership, the
+   non-determinism upcalls, and whole-cluster protocol behaviour. *)
+
+open Pbft
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- message codecs --- *)
+
+let sample_request =
+  {
+    Message.rq_client = 3;
+    rq_id = 17;
+    rq_op = "operation-bytes";
+    rq_readonly = false;
+    rq_timestamp = 12.5;
+  }
+
+let sample_payloads : Message.payload list =
+  [
+    Message.Request_msg sample_request;
+    Message.Pre_prepare
+      {
+        pp_view = 2;
+        pp_seq = 99;
+        pp_batch =
+          [
+            Message.Full sample_request;
+            Message.Digest_of
+              { bd_client = 4; bd_id = 9; bd_digest = String.make 32 'd'; bd_readonly = true };
+          ];
+        pp_nondet = "nd";
+      };
+    Message.Prepare { p_view = 1; p_seq = 5; p_digest = String.make 32 'x'; p_replica = 2 };
+    Message.Commit { c_view = 1; c_seq = 5; c_digest = String.make 32 'x'; c_replica = 0 };
+    Message.Reply
+      { r_view = 0; r_client = 1; r_id = 2; r_replica = 3; r_result = "res"; r_tentative = true;
+        r_partial = Some "partial-bytes" };
+    Message.Checkpoint_msg { ck_seq = 128; ck_digest = String.make 32 'c'; ck_replica = 1 };
+    Message.View_change
+      {
+        vc_new_view = 3;
+        vc_stable_seq = 128;
+        vc_stable_digest = String.make 32 's';
+        vc_prepared =
+          [ { Message.pi_view = 2; pi_seq = 129; pi_digest = String.make 32 'p'; pi_batch = [] } ];
+        vc_replica = 2;
+      };
+    Message.New_view
+      {
+        nv_view = 3;
+        nv_view_change_digests = [ (0, String.make 32 'v'); (2, String.make 32 'w') ];
+        nv_pre_prepares = [ (129, [ Message.Full sample_request ]) ];
+      };
+    Message.Session_key { sk_sender = 1001; sk_target = 2; sk_key_box = "keybytes" };
+    Message.Join_request { j_addr = 1005; j_pubkey = "pk"; j_nonce = "nonce" };
+    Message.Join_challenge { jc_replica = 0; jc_addr = 1005; jc_nonce = "ch" };
+    Message.Join_response { jr_addr = 1005; jr_proof = "n|p"; jr_pubkey = "pk"; jr_idbuf = "u:p" };
+    Message.Join_reply { jl_replica = 1; jl_client = 9; jl_ok = true };
+    Message.Leave_msg { lv_client = 9 };
+    Message.Fetch_meta { fm_seq = 128; fm_replica = 3 };
+    Message.State_meta { sm_seq = 128; sm_replica = 0; sm_leaves = [ String.make 32 'l' ] };
+    Message.Fetch_pages { fp_seq = 128; fp_pages = [ 1; 5; 9 ]; fp_replica = 3 };
+    Message.State_pages { sp_seq = 128; sp_replica = 0; sp_pages = [ (1, String.make 64 'q') ] };
+    Message.Fetch_body { fb_digest = String.make 32 'b'; fb_replica = 2 };
+    Message.Body { b_request = sample_request };
+    Message.Fetch_entry { fe_seq = 42; fe_replica = 1 };
+    Message.Entry { en_seq = 42; en_view = 0; en_batch = [ Message.Full sample_request ]; en_nondet = "nd" };
+  ]
+
+let test_message_roundtrips () =
+  List.iter
+    (fun payload ->
+      List.iter
+        (fun auth ->
+          let msg = { Message.payload; auth } in
+          match Message.decode (Message.encode msg) with
+          | Some back ->
+            Alcotest.(check string)
+              ("payload " ^ Message.label payload)
+              (Message.payload_bytes payload)
+              (Message.payload_bytes back.Message.payload)
+          | None -> Alcotest.failf "decode failed for %s" (Message.label payload))
+        [
+          Message.No_auth;
+          Message.Signed "sig-bytes";
+          Message.Authenticated (Crypto.Authenticator.compute ~keys:[ (0, "k") ] "pb");
+        ])
+    sample_payloads
+
+let test_message_garbage () =
+  Alcotest.(check (option pass)) "empty" None (Option.map ignore (Message.decode ""));
+  Alcotest.(check (option pass)) "garbage" None (Option.map ignore (Message.decode "\xff\xfe\x99"))
+
+let test_request_digest_stable () =
+  let d1 = Message.request_digest sample_request in
+  let d2 = Message.request_digest { sample_request with Message.rq_id = 17 } in
+  Alcotest.(check string) "deterministic" d1 d2;
+  let d3 = Message.request_digest { sample_request with Message.rq_id = 18 } in
+  Alcotest.(check bool) "sensitive" false (String.equal d1 d3)
+
+let test_batch_digest () =
+  let b1 = [ Message.Full sample_request ] in
+  let b2 =
+    [
+      Message.Digest_of
+        {
+          bd_client = sample_request.Message.rq_client;
+          bd_id = sample_request.Message.rq_id;
+          bd_digest = Message.request_digest sample_request;
+          bd_readonly = false;
+        };
+    ]
+  in
+  (* A digest-only item and its full form describe the same batch. *)
+  Alcotest.(check string) "full = digest form" (Message.batch_digest b1) (Message.batch_digest b2)
+
+(* --- config --- *)
+
+let test_config_validation () =
+  let ok = Config.default ~f:1 in
+  Alcotest.(check bool) "default valid" true (Config.validate ok = Ok ());
+  Alcotest.(check bool) "n mismatch" true (Config.validate { ok with Config.n = 5 } <> Ok ());
+  Alcotest.(check bool) "window" true
+    (Config.validate { ok with Config.log_window = 1 } <> Ok ());
+  Alcotest.(check string) "naming" "sta_mac_allbig_batch" (Config.name ok);
+  Alcotest.(check string) "robust naming" "sta_nomac_noallbig_batch" (Config.name (Config.robust ~f:1))
+
+(* --- nondet --- *)
+
+let test_nondet_produce_validate () =
+  let rng = Util.Rng.create 1 in
+  let data = Nondet.produce ~now:100.0 rng in
+  Alcotest.(check (option (float 1e-9))) "timestamp" (Some 100.0) (Nondet.timestamp data);
+  Alcotest.(check bool) "no validation" true
+    (Nondet.validate Config.No_validation ~now:500.0 ~recovering:false data);
+  Alcotest.(check bool) "delta accepts fresh" true
+    (Nondet.validate (Config.Delta 1.0) ~now:100.5 ~recovering:false data);
+  Alcotest.(check bool) "delta rejects stale" false
+    (Nondet.validate (Config.Delta 1.0) ~now:105.0 ~recovering:false data);
+  Alcotest.(check bool) "skip accepts stale during recovery" true
+    (Nondet.validate (Config.Delta_skip_on_recovery 1.0) ~now:105.0 ~recovering:true data);
+  Alcotest.(check bool) "skip still rejects in normal operation" false
+    (Nondet.validate (Config.Delta_skip_on_recovery 1.0) ~now:105.0 ~recovering:false data);
+  Alcotest.(check bool) "malformed rejected" false
+    (Nondet.validate Config.No_validation ~now:0.0 ~recovering:false "junk")
+
+(* --- membership --- *)
+
+let test_membership_static () =
+  let m = Membership.create ~max_clients:10 ~dynamic:false in
+  Membership.populate_static m [ (1, 1001, "pk1"); (2, 1002, "pk2") ];
+  Alcotest.(check int) "count" 2 (Membership.count m);
+  Alcotest.(check bool) "lookup" true (Membership.lookup m 1 <> None);
+  Alcotest.(check (option int)) "by addr" (Some 2) (Membership.lookup_addr m 1002);
+  Alcotest.(check (option int)) "unknown addr" None (Membership.lookup_addr m 9999)
+
+let test_membership_join_assigns_ids () =
+  let m = Membership.create ~max_clients:10 ~dynamic:true in
+  (match Membership.join m ~addr:1001 ~pubkey:"p" ~identity:"u1" ~now:0.0 ~stale_threshold:10.0 with
+  | Membership.Joined { client; _ } -> Alcotest.(check int) "first id" 1 client
+  | Membership.Table_full -> Alcotest.fail "full");
+  match Membership.join m ~addr:1002 ~pubkey:"p" ~identity:"u2" ~now:0.0 ~stale_threshold:10.0 with
+  | Membership.Joined { client; _ } -> Alcotest.(check int) "second id" 2 client
+  | Membership.Table_full -> Alcotest.fail "full"
+
+let test_membership_single_session_per_identity () =
+  let m = Membership.create ~max_clients:10 ~dynamic:true in
+  let j addr = Membership.join m ~addr ~pubkey:"p" ~identity:"alice" ~now:0.0 ~stale_threshold:10.0 in
+  (match j 1001 with Membership.Joined _ -> () | Membership.Table_full -> Alcotest.fail "full");
+  match j 1002 with
+  | Membership.Joined { terminated; _ } ->
+    Alcotest.(check (list int)) "old session terminated" [ 1 ] terminated;
+    Alcotest.(check int) "one session" 1 (Membership.count m)
+  | Membership.Table_full -> Alcotest.fail "full"
+
+let test_membership_full_and_cleanup () =
+  let m = Membership.create ~max_clients:2 ~dynamic:true in
+  let j addr identity now =
+    Membership.join m ~addr ~pubkey:"p" ~identity ~now ~stale_threshold:5.0
+  in
+  ignore (j 1001 "a" 0.0);
+  ignore (j 1002 "b" 0.0);
+  (* Fresh sessions: a third join is denied. *)
+  (match j 1003 "c" 1.0 with
+  | Membership.Table_full -> ()
+  | Membership.Joined _ -> Alcotest.fail "should be full");
+  Membership.touch m 1 4.0;
+  (* Session 2 ("b") is now stale relative to now=8: cleanup makes room. *)
+  match j 1003 "c" 8.0 with
+  | Membership.Joined { terminated; _ } ->
+    Alcotest.(check bool) "stale session cleaned" true (List.mem 2 terminated)
+  | Membership.Table_full -> Alcotest.fail "cleanup failed"
+
+let test_membership_leave () =
+  let m = Membership.create ~max_clients:2 ~dynamic:true in
+  (match Membership.join m ~addr:1001 ~pubkey:"p" ~identity:"a" ~now:0.0 ~stale_threshold:5.0 with
+  | Membership.Joined { client; _ } ->
+    Alcotest.(check bool) "leave" true (Membership.leave m client);
+    Alcotest.(check bool) "gone" true (Membership.lookup m client = None);
+    Alcotest.(check bool) "idempotent" false (Membership.leave m client)
+  | Membership.Table_full -> Alcotest.fail "full")
+
+let test_membership_serialize_roundtrip () =
+  let m = Membership.create ~max_clients:8 ~dynamic:true in
+  ignore (Membership.join m ~addr:1001 ~pubkey:"pk1" ~identity:"a" ~now:1.0 ~stale_threshold:5.0);
+  ignore (Membership.join m ~addr:1002 ~pubkey:"pk2" ~identity:"b" ~now:2.0 ~stale_threshold:5.0);
+  Membership.touch m 1 3.5;
+  let image = Membership.serialize m in
+  let m2 = Membership.create ~max_clients:8 ~dynamic:true in
+  Membership.load m2 image;
+  Alcotest.(check (list int)) "clients" (Membership.clients m) (Membership.clients m2);
+  Alcotest.(check string) "identical re-serialization" image (Membership.serialize m2);
+  (* next_id survives, so ids never collide after a state transfer. *)
+  match Membership.join m2 ~addr:1003 ~pubkey:"p" ~identity:"c" ~now:3.0 ~stale_threshold:5.0 with
+  | Membership.Joined { client; _ } -> Alcotest.(check int) "next id preserved" 3 client
+  | Membership.Table_full -> Alcotest.fail "full"
+
+(* --- log --- *)
+
+let test_log_transitions () =
+  let log = Log.create () in
+  let e = Log.entry log 5 in
+  Log.record_prepare e 0;
+  Log.record_prepare e 1;
+  Log.record_prepare e 1;
+  Alcotest.(check int) "distinct prepares" 2 (Log.prepare_count e);
+  Log.record_commit e 2;
+  Alcotest.(check int) "commits" 1 (Log.commit_count e);
+  Alcotest.(check bool) "same slot" true (Log.entry log 5 == e)
+
+let test_log_watermark_gc () =
+  let log = Log.create () in
+  for i = 1 to 10 do
+    ignore (Log.entry log i)
+  done;
+  Log.set_low_watermark log 5;
+  Alcotest.(check bool) "gc'd" true (Log.find log 3 = None);
+  Alcotest.(check bool) "kept" true (Log.find log 6 <> None);
+  Alcotest.(check int) "low" 5 (Log.low_watermark log)
+
+let test_log_reply_cache () =
+  let log = Log.create () in
+  Log.cache_reply log 7
+    { Log.cr_id = 3; cr_result = "r"; cr_view = 0; cr_tentative = false; cr_timestamp = 1.0 };
+  (match Log.cached_reply log 7 with
+  | Some cr -> Alcotest.(check int) "id" 3 cr.Log.cr_id
+  | None -> Alcotest.fail "missing");
+  Log.drop_client log 7;
+  Alcotest.(check bool) "dropped" true (Log.cached_reply log 7 = None)
+
+(* --- cluster protocol behaviour --- *)
+
+let run_requests ?(cfg = Config.default ~f:1) ?(num_clients = 4) ?(service = Service.null ()) ~per_client () =
+  let cluster = Cluster.create ~seed:33 ~num_clients ~service cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  let results = Array.make num_clients [] in
+  Array.iteri
+    (fun i cl ->
+      let rec go n =
+        if n <= per_client then
+          Client.invoke cl (Printf.sprintf "op-%d-%d" i n) (fun r ->
+              results.(i) <- r :: results.(i);
+              go (n + 1))
+      in
+      go 1)
+    (Cluster.clients cluster);
+  Cluster.run cluster ~seconds:30.0;
+  (cluster, results)
+
+let test_cluster_basic_agreement () =
+  let cluster, results = run_requests ~per_client:5 () in
+  Array.iter (fun rs -> Alcotest.(check int) "all replies" 5 (List.length rs)) results;
+  Array.iter
+    (fun r ->
+      Alcotest.(check int) "each replica executed all" 20 (Replica.executed_requests r);
+      Alcotest.(check int) "no view change" 0 (Replica.view_changes r))
+    (Cluster.replicas cluster)
+
+let state_digest r =
+  let tree = Statemgr.Merkle.build (Replica.pages r) in
+  Statemgr.Merkle.root tree
+
+let test_cluster_replicas_identical () =
+  let cluster, _ = run_requests ~service:(Service.kv_store ()) ~per_client:8 () in
+  let digests = Array.map state_digest (Cluster.replicas cluster) in
+  Array.iter (fun d -> Alcotest.(check string) "state convergence" digests.(0) d) digests
+
+let test_cluster_deterministic_across_runs () =
+  let digest_of_run () =
+    let cluster, _ = run_requests ~service:(Service.counter ()) ~per_client:5 () in
+    ( state_digest (Cluster.replica cluster 0),
+      Replica.executed_requests (Cluster.replica cluster 0) )
+  in
+  let d1 = digest_of_run () and d2 = digest_of_run () in
+  Alcotest.(check bool) "bit-for-bit reproducible" true (d1 = d2)
+
+let test_cluster_counter_semantics () =
+  let cfg = Config.default ~f:1 in
+  let cluster = Cluster.create ~seed:1 ~num_clients:1 ~service:(Service.counter ()) cfg in
+  let c = Cluster.client cluster 0 in
+  let last = ref "" in
+  let rec go n =
+    if n <= 10 then Client.invoke c "incr" (fun r -> last := r; go (n + 1))
+  in
+  go 1;
+  Cluster.run cluster ~seconds:5.0;
+  Alcotest.(check string) "sequential increments" "10" !last
+
+let test_cluster_readonly () =
+  let cfg = Config.default ~f:1 in
+  let cluster = Cluster.create ~seed:2 ~num_clients:1 ~service:(Service.counter ()) cfg in
+  let c = Cluster.client cluster 0 in
+  let got = ref "" in
+  Client.invoke c "incr" (fun _ ->
+      Client.invoke c ~readonly:true "get" (fun r -> got := r));
+  Cluster.run cluster ~seconds:5.0;
+  Alcotest.(check string) "read-only sees committed state" "1" !got
+
+let test_cluster_nobatch_mode () =
+  let cfg = { (Config.default ~f:1) with Config.batching = false } in
+  let cluster, results = run_requests ~cfg ~per_client:3 () in
+  Array.iter (fun rs -> Alcotest.(check int) "replies" 3 (List.length rs)) results;
+  Alcotest.(check int) "executed" 12 (Replica.executed_requests (Cluster.replica cluster 0))
+
+let test_cluster_signatures_mode () =
+  let cfg = Config.robust ~f:1 in
+  let cluster, results = run_requests ~cfg ~per_client:3 () in
+  Array.iter (fun rs -> Alcotest.(check int) "replies" 3 (List.length rs)) results;
+  Alcotest.(check int) "no auth failures" 0
+    (Array.fold_left (fun a r -> a + Replica.auth_failures r) 0 (Cluster.replicas cluster))
+
+let test_cluster_f2 () =
+  let cfg = Config.default ~f:2 in
+  let cluster, results = run_requests ~cfg ~per_client:3 () in
+  Alcotest.(check int) "n = 7" 7 (Array.length (Cluster.replicas cluster));
+  Array.iter (fun rs -> Alcotest.(check int) "replies" 3 (List.length rs)) results
+
+let test_cluster_checkpoint_gc () =
+  let cfg = { (Config.default ~f:1) with Config.checkpoint_interval = 16; log_window = 64 } in
+  let cluster, _ = run_requests ~cfg ~per_client:30 () in
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "replica %d advanced stable checkpoint" (Replica.id r))
+        true
+        (Replica.stable_checkpoint r > 0))
+    (Cluster.replicas cluster)
+
+let test_cluster_view_change_on_primary_failure () =
+  let cfg = { (Config.default ~f:1) with Config.view_change_timeout = 0.3 } in
+  let cluster = Cluster.create ~seed:44 ~num_clients:4 cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  let stop = ref false in
+  Array.iter
+    (fun cl ->
+      let rec loop _ = if not !stop then Client.invoke cl "work" loop in
+      loop "")
+    (Cluster.clients cluster);
+  Cluster.run cluster ~seconds:0.3;
+  let before = Cluster.total_completed cluster in
+  Replica.shutdown (Cluster.replica cluster 0);
+  Cluster.run cluster ~seconds:5.0;
+  stop := true;
+  let after = Cluster.total_completed cluster in
+  Array.iter
+    (fun r ->
+      if Replica.id r <> 0 then begin
+        Alcotest.(check bool) "left view 0" true (Replica.view r > 0);
+        Alcotest.(check int) "primary consistent" (Replica.view (Cluster.replica cluster 1))
+          (Replica.view r)
+      end)
+    (Cluster.replicas cluster);
+  Alcotest.(check bool) "progress resumed in new view" true (after > before)
+
+let test_cluster_retransmission_duplicate_suppression () =
+  (* A very lossy network: clients retransmit aggressively, yet each
+     request executes exactly once (reply cache + in-flight dedup). *)
+  let cfg = { (Config.default ~f:1) with Config.client_timeout = 0.05 } in
+  let cluster = Cluster.create ~seed:55 ~num_clients:2 ~service:(Service.counter ()) cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  Simnet.Net.set_loss (Cluster.net cluster) 0.15;
+  let done_ = ref 0 in
+  Array.iter
+    (fun cl ->
+      let rec go n =
+        if n <= 5 then
+          Client.invoke cl "incr" (fun _ ->
+              incr done_;
+              go (n + 1))
+      in
+      go 1)
+    (Cluster.clients cluster);
+  Cluster.run cluster ~seconds:60.0;
+  Simnet.Net.set_loss (Cluster.net cluster) 0.0;
+  Cluster.run cluster ~seconds:30.0;
+  Alcotest.(check int) "all eventually complete" 10 !done_;
+  (* The counter must equal exactly the number of requests: duplicates
+     were suppressed despite retransmissions. *)
+  let c = Cluster.client cluster 0 in
+  let final = ref "" in
+  Client.invoke c ~readonly:true "get" (fun r -> final := r);
+  Cluster.run cluster ~seconds:10.0;
+  Alcotest.(check string) "exactly-once execution" "10" !final
+
+let test_cluster_body_loss_state_transfer () =
+  let cluster = Cluster.create ~seed:66 ~num_clients:4 (Config.default ~f:1) in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  let stop = ref false in
+  Array.iter
+    (fun cl ->
+      let rec loop _ = if not !stop then Client.invoke cl (String.make 256 'b') loop in
+      loop "")
+    (Cluster.clients cluster);
+  Simnet.Engine.schedule (Cluster.engine cluster) ~delay:0.2 (fun () ->
+      Simnet.Net.drop_next_matching (Cluster.net cluster) (fun ~src ~dst ~label ->
+          src >= Types.client_addr_base && dst = 3 && label = "request"));
+  Cluster.run cluster ~seconds:5.0;
+  stop := true;
+  let r3 = Cluster.replica cluster 3 in
+  Alcotest.(check bool) "victim recovered by state transfer" true (Replica.state_transfers r3 >= 1);
+  (* After recovery the victim keeps executing. *)
+  Alcotest.(check bool) "victim caught up" true
+    (Replica.last_executed r3 > 0
+    && Replica.last_executed (Cluster.replica cluster 0) - Replica.last_executed r3 < 300)
+
+let test_cluster_restart_recovery () =
+  let cfg = { (Config.default ~f:1) with Config.authenticator_rebroadcast = 0.5 } in
+  let cluster = Cluster.create ~seed:77 ~num_clients:4 cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  let stop = ref false in
+  Array.iter
+    (fun cl ->
+      let rec loop _ = if not !stop then Client.invoke cl "op" loop in
+      loop "")
+    (Cluster.clients cluster);
+  Cluster.run cluster ~seconds:1.0;
+  Cluster.restart_replica cluster 2;
+  Cluster.run cluster ~seconds:3.0;
+  stop := true;
+  let r2 = Cluster.replica cluster 2 in
+  Alcotest.(check bool) "recovering flag" true (Replica.is_recovering r2);
+  (match Replica.recovery_completed_at r2 with
+  | Some t ->
+    Alcotest.(check bool) "recovered within two rebroadcast periods" true (t -. 1.0 < 1.2)
+  | None -> Alcotest.fail "replica never recovered");
+  Alcotest.(check bool) "auth failures observed during stall" true (Replica.auth_failures r2 > 0)
+
+let test_dynamic_join_and_request () =
+  let cfg = { (Config.default ~f:1) with Config.dynamic_clients = true } in
+  let cluster = Cluster.create ~seed:88 ~num_clients:2 ~service:(Service.counter ()) cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  let c = Cluster.client cluster 0 in
+  let result = ref "" in
+  Client.join c ~idbuf:"alice:pw" (function
+    | Some _ -> Client.invoke c "incr" (fun r -> result := r)
+    | None -> Alcotest.fail "join denied");
+  Cluster.run cluster ~seconds:10.0;
+  Alcotest.(check string) "joined client can execute" "1" !result;
+  (* Unknown clients are rejected at the redirection table. *)
+  Alcotest.(check bool) "membership holds one client" true
+    (Membership.count (Replica.membership (Cluster.replica cluster 0)) = 1)
+
+let test_dynamic_join_denied_bad_credentials () =
+  let cfg = { (Config.default ~f:1) with Config.dynamic_clients = true } in
+  let cluster = Cluster.create ~seed:89 ~num_clients:1 cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  let denied = ref false in
+  (* The null service's authorize_join requires "user:password". *)
+  Client.join (Cluster.client cluster 0) ~idbuf:"no-colon-here" (function
+    | Some _ -> Alcotest.fail "should be denied"
+    | None -> denied := true);
+  Cluster.run cluster ~seconds:5.0;
+  Alcotest.(check bool) "denied" true !denied
+
+let test_dynamic_leave () =
+  let cfg = { (Config.default ~f:1) with Config.dynamic_clients = true } in
+  let cluster = Cluster.create ~seed:90 ~num_clients:1 cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  let c = Cluster.client cluster 0 in
+  let joined = ref false in
+  Client.join c ~idbuf:"a:b" (function Some _ -> joined := true | None -> ());
+  Cluster.run cluster ~seconds:5.0;
+  Alcotest.(check bool) "joined" true !joined;
+  Client.leave c;
+  Cluster.run cluster ~seconds:5.0;
+  Alcotest.(check int) "membership empty after leave" 0
+    (Membership.count (Replica.membership (Cluster.replica cluster 0)))
+
+let test_nondet_delta_blocks_replay () =
+  (* Condensed version of the §2.5 experiment: with plain delta
+     validation a restarted replica rejects replayed entries; with the
+     skip-on-recovery policy it accepts them. *)
+  let run policy =
+    let cfg =
+      {
+        (Config.default ~f:1) with
+        Config.use_macs = false;
+        all_requests_big = false;
+        big_request_threshold = 1 lsl 20;
+        fetch_missing_entries = true;
+        checkpoint_interval = 50_000;
+        log_window = 100_000;
+        nondet = policy;
+      }
+    in
+    let cluster = Cluster.create ~seed:91 ~num_clients:2 cfg in
+    Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+    let stop = ref false in
+    Array.iter
+      (fun cl ->
+        let rec loop _ =
+          if not !stop then
+            Simnet.Engine.schedule (Cluster.engine cluster) ~delay:0.05 (fun () ->
+                if not !stop then Client.invoke cl "x" loop)
+        in
+        loop "")
+      (Cluster.clients cluster);
+    Cluster.run cluster ~seconds:3.0;
+    Cluster.restart_replica cluster 2;
+    Cluster.run cluster ~seconds:4.0;
+    stop := true;
+    let r2 = Cluster.replica cluster 2 in
+    (Replica.nondet_rejects r2, Replica.last_executed r2, Replica.last_executed (Cluster.replica cluster 0))
+  in
+  let rejects_delta, behind_delta, head_delta = run (Config.Delta 1.0) in
+  Alcotest.(check bool) "delta rejects replays" true (rejects_delta > 0);
+  Alcotest.(check bool) "delta impedes recovery" true (head_delta - behind_delta > 10);
+  let rejects_skip, behind_skip, head_skip = run (Config.Delta_skip_on_recovery 1.0) in
+  Alcotest.(check int) "skip accepts replays" 0 rejects_skip;
+  Alcotest.(check bool) "skip recovers" true (head_skip - behind_skip <= 10)
+
+(* --- session state (§3.3.2) --- *)
+
+let test_session_state_unit () =
+  let pages = Statemgr.Pages.create ~page_size:4096 ~num_pages:8 () in
+  let store = Session_state.create pages ~first_page:0 ~pages:8 in
+  Session_state.set store ~client:1 ~key:"cart" "apples";
+  Session_state.set store ~client:1 ~key:"step" "2";
+  Session_state.set store ~client:2 ~key:"cart" "pears";
+  Alcotest.(check (option string)) "get own" (Some "apples")
+    (Session_state.get store ~client:1 ~key:"cart");
+  Alcotest.(check (option string)) "isolated per session" (Some "pears")
+    (Session_state.get store ~client:2 ~key:"cart");
+  Alcotest.(check (list string)) "keys" [ "cart"; "step" ] (Session_state.session_keys store ~client:1);
+  Session_state.set store ~client:1 ~key:"cart" "bananas";
+  Alcotest.(check (option string)) "overwrite" (Some "bananas")
+    (Session_state.get store ~client:1 ~key:"cart");
+  Session_state.remove store ~client:1 ~key:"step";
+  Alcotest.(check (option string)) "removed" None (Session_state.get store ~client:1 ~key:"step");
+  Session_state.end_session store ~client:1;
+  Alcotest.(check (list string)) "session wiped" [] (Session_state.session_keys store ~client:1);
+  Alcotest.(check (list int)) "other survives" [ 2 ] (Session_state.sessions store);
+  (* The image lives in the region: a fresh handle over the same pages
+     sees the same contents (restart / state transfer). *)
+  let store2 = Session_state.create pages ~first_page:0 ~pages:8 in
+  Alcotest.(check (option string)) "persistent in region" (Some "pears")
+    (Session_state.get store2 ~client:2 ~key:"cart")
+
+let test_session_state_cleared_on_takeover () =
+  (* A re-join under the same identity terminates the old session; the
+     middleware must wipe its session-mapped state (§3.3.2). *)
+  let cfg = { (Config.default ~f:1) with Config.dynamic_clients = true } in
+  let cluster = Cluster.create ~seed:105 ~num_clients:2 ~service:(Service.session_kv ()) cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  let c0 = Cluster.client cluster 0 and c1 = Cluster.client cluster 1 in
+  let phase = ref "start" in
+  Client.join c0 ~idbuf:"alice:pw" (function
+    | Some _ ->
+      Client.invoke c0 "sput secret ballot-draft" (fun _ ->
+          phase := "stored";
+          (* Same identity joins from another address: takeover. *)
+          Client.join c1 ~idbuf:"alice:pw" (function
+            | Some _ ->
+              Client.invoke c1 "skeys" (fun keys -> phase := "keys:" ^ keys)
+            | None -> phase := "takeover-denied"))
+    | None -> phase := "join-denied");
+  Cluster.run cluster ~seconds:20.0;
+  (* The new session starts empty: the old session's data is gone. *)
+  Alcotest.(check string) "old session state wiped on takeover" "keys:" !phase
+
+let test_session_state_survives_transfer () =
+  let cfg = Config.default ~f:1 in
+  let cluster = Cluster.create ~seed:106 ~num_clients:2 ~service:(Service.session_kv ()) cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  let c0 = Cluster.client cluster 0 in
+  let stop = ref false in
+  (* background load so checkpoints advance *)
+  let cl1 = Cluster.client cluster 1 in
+  let rec churn _ = if not !stop then Client.invoke cl1 "sput noise x" churn in
+  churn "";
+  let got = ref "" in
+  Client.invoke c0 "sput sticky value-123" (fun _ -> ());
+  Simnet.Engine.schedule (Cluster.engine cluster) ~delay:0.2 (fun () ->
+      Simnet.Net.drop_next_matching (Cluster.net cluster) (fun ~src ~dst ~label ->
+          src >= Types.client_addr_base && dst = 2 && label = "request"));
+  Cluster.run cluster ~seconds:4.0;
+  stop := true;
+  Client.invoke c0 "sget sticky" (fun r -> got := r);
+  Cluster.run cluster ~seconds:3.0;
+  Alcotest.(check string) "session data after state transfer" "value-123" !got;
+  Alcotest.(check bool) "a transfer actually happened" true
+    (Replica.state_transfers (Cluster.replica cluster 2) >= 1)
+
+(* Randomized wire-format fuzzing: arbitrary payloads roundtrip, and
+   arbitrary byte strings never crash the decoder. *)
+let gen_request =
+  let open QCheck.Gen in
+  map
+    (fun (client, id, op, ro) ->
+      { Message.rq_client = client; rq_id = id; rq_op = op; rq_readonly = ro; rq_timestamp = 1.5 })
+    (quad (int_bound 5000) (int_bound 100000) (string_size (int_bound 64)) bool)
+
+let gen_batch_item =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun r -> Message.Full r) gen_request;
+      map
+        (fun (c, i, ro) ->
+          Message.Digest_of
+            { bd_client = c; bd_id = i; bd_digest = String.make 32 'd'; bd_readonly = ro })
+        (triple (int_bound 5000) (int_bound 1000) bool);
+    ]
+
+let gen_payload =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun r -> Message.Request_msg r) gen_request;
+      map
+        (fun (v, n, batch, nd) ->
+          Message.Pre_prepare { pp_view = v; pp_seq = n; pp_batch = batch; pp_nondet = nd })
+        (quad (int_bound 10) (int_bound 100000) (list_size (int_bound 8) gen_batch_item)
+           (string_size (int_bound 24)));
+      map
+        (fun (v, n, r) ->
+          Message.Prepare { p_view = v; p_seq = n; p_digest = String.make 32 'x'; p_replica = r })
+        (triple (int_bound 10) (int_bound 100000) (int_bound 6));
+      map
+        (fun (v, c, id, res) ->
+          Message.Reply
+            { r_view = v; r_client = c; r_id = id; r_replica = 0; r_result = res;
+              r_tentative = false; r_partial = None })
+        (quad (int_bound 10) (int_bound 5000) (int_bound 100000) (string_size (int_bound 128)));
+      map
+        (fun (n, pages) -> Message.State_pages { sp_seq = n; sp_replica = 1; sp_pages = pages })
+        (pair (int_bound 1000)
+           (list_size (int_bound 4)
+              (map (fun (i, p) -> (i, p)) (pair (int_bound 64) (string_size (int_bound 200))))));
+    ]
+
+let prop_payload_roundtrip =
+  QCheck.Test.make ~name:"random payloads roundtrip" ~count:500 (QCheck.make gen_payload)
+    (fun payload ->
+      match Message.decode (Message.encode { Message.payload; auth = Message.No_auth }) with
+      | Some back -> Message.payload_bytes back.Message.payload = Message.payload_bytes payload
+      | None -> false)
+
+let prop_decoder_never_crashes =
+  QCheck.Test.make ~name:"arbitrary bytes never crash the decoder" ~count:2000 QCheck.string
+    (fun bytes ->
+      match Message.decode bytes with Some _ -> true | None -> true)
+
+(* --- adversarial inputs --- *)
+
+(* Inject raw forged datagrams: without the real sender's keys they must
+   be dropped by authentication and leave safety untouched. *)
+let test_spoofed_messages_ignored () =
+  let cfg = Config.default ~f:1 in
+  let cluster = Cluster.create ~seed:101 ~num_clients:2 ~service:(Service.counter ()) cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  let net = Cluster.net cluster in
+  let engine = Cluster.engine cluster in
+  (* A "Byzantine" node spoofing replica 3: unsigned and garbage-signed
+     protocol messages, plus a forged client request. *)
+  let forged_commit =
+    Message.encode
+      {
+        Message.payload =
+          Message.Commit { c_view = 0; c_seq = 1; c_digest = String.make 32 'e'; c_replica = 3 };
+        auth = Message.Signed "not-a-real-signature";
+      }
+  in
+  let forged_request =
+    Message.encode
+      {
+        Message.payload =
+          Message.Request_msg
+            { rq_client = 1; rq_id = 999; rq_op = "incr"; rq_readonly = false; rq_timestamp = 0.0 };
+        auth = Message.No_auth;
+      }
+  in
+  let inject () =
+    for dst = 0 to 3 do
+      Simnet.Net.send net ~src:3 ~dst forged_commit;
+      Simnet.Net.send net ~src:1001 ~dst forged_request
+    done
+  in
+  ignore (Simnet.Engine.periodic engine ~interval:0.05 inject);
+  let done_ = ref 0 in
+  Array.iter
+    (fun cl ->
+      let rec go n = if n <= 5 then Client.invoke cl "incr" (fun _ -> incr done_; go (n + 1)) in
+      go 1)
+    (Cluster.clients cluster);
+  Cluster.run cluster ~seconds:5.0;
+  Alcotest.(check int) "all real requests complete" 10 !done_;
+  (* No forged execution: the counter advanced exactly once per request. *)
+  let final = ref "" in
+  Client.invoke (Cluster.client cluster 0) ~readonly:true "get" (fun r -> final := r);
+  Cluster.run cluster ~seconds:2.0;
+  Alcotest.(check string) "no forged executions" "10" !final;
+  Alcotest.(check bool) "forgeries counted as auth failures" true
+    (Array.exists (fun r -> Replica.auth_failures r > 0) (Cluster.replicas cluster))
+
+let test_tampered_wire_dropped () =
+  (* Bit-flip every 7th datagram in flight by wrapping... simpler: verify
+     decode-or-auth failure on truncated/garbled wires at the message
+     level, then that a cluster under such noise still progresses. *)
+  let cfg = Config.default ~f:1 in
+  let cluster = Cluster.create ~seed:103 ~num_clients:2 ~service:(Service.counter ()) cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  let net = Cluster.net cluster in
+  let engine = Cluster.engine cluster in
+  ignore
+    (Simnet.Engine.periodic engine ~interval:0.03 (fun () ->
+         for dst = 0 to 3 do
+           Simnet.Net.send net ~src:2 ~dst "\xde\xad\xbe\xef garbage bytes"
+         done));
+  let done_ = ref 0 in
+  Array.iter
+    (fun cl ->
+      let rec go n = if n <= 4 then Client.invoke cl "incr" (fun _ -> incr done_; go (n + 1)) in
+      go 1)
+    (Cluster.clients cluster);
+  Cluster.run cluster ~seconds:5.0;
+  Alcotest.(check int) "progress despite garbage datagrams" 8 !done_
+
+let () =
+  Alcotest.run "pbft"
+    [
+      ( "messages",
+        [
+          Alcotest.test_case "all payloads roundtrip" `Quick test_message_roundtrips;
+          Alcotest.test_case "garbage rejected" `Quick test_message_garbage;
+          Alcotest.test_case "request digest" `Quick test_request_digest_stable;
+          Alcotest.test_case "batch digest" `Quick test_batch_digest;
+        ] );
+      ("config", [ Alcotest.test_case "validation & naming" `Quick test_config_validation ]);
+      ("nondet", [ Alcotest.test_case "policies" `Quick test_nondet_produce_validate ]);
+      ( "membership",
+        [
+          Alcotest.test_case "static table" `Quick test_membership_static;
+          Alcotest.test_case "join ids" `Quick test_membership_join_assigns_ids;
+          Alcotest.test_case "single session per identity" `Quick
+            test_membership_single_session_per_identity;
+          Alcotest.test_case "table full & stale cleanup" `Quick test_membership_full_and_cleanup;
+          Alcotest.test_case "leave" `Quick test_membership_leave;
+          Alcotest.test_case "serialize roundtrip" `Quick test_membership_serialize_roundtrip;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "transitions" `Quick test_log_transitions;
+          Alcotest.test_case "watermark gc" `Quick test_log_watermark_gc;
+          Alcotest.test_case "reply cache" `Quick test_log_reply_cache;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "basic agreement" `Quick test_cluster_basic_agreement;
+          Alcotest.test_case "replicas identical" `Quick test_cluster_replicas_identical;
+          Alcotest.test_case "deterministic runs" `Quick test_cluster_deterministic_across_runs;
+          Alcotest.test_case "counter semantics" `Quick test_cluster_counter_semantics;
+          Alcotest.test_case "read-only optimization" `Quick test_cluster_readonly;
+          Alcotest.test_case "no batching" `Quick test_cluster_nobatch_mode;
+          Alcotest.test_case "signature mode" `Quick test_cluster_signatures_mode;
+          Alcotest.test_case "f=2 cluster" `Quick test_cluster_f2;
+          Alcotest.test_case "checkpoint stability" `Quick test_cluster_checkpoint_gc;
+          Alcotest.test_case "view change on primary failure" `Slow
+            test_cluster_view_change_on_primary_failure;
+          Alcotest.test_case "lossy network exactly-once" `Slow
+            test_cluster_retransmission_duplicate_suppression;
+          Alcotest.test_case "body loss -> state transfer (§2.4)" `Slow
+            test_cluster_body_loss_state_transfer;
+          Alcotest.test_case "restart recovery (§2.3)" `Slow test_cluster_restart_recovery;
+          Alcotest.test_case "nondet replay policies (§2.5)" `Slow test_nondet_delta_blocks_replay;
+        ] );
+      ( "session-state",
+        [
+          Alcotest.test_case "store semantics (§3.3.2)" `Quick test_session_state_unit;
+          Alcotest.test_case "wiped on identity takeover" `Slow
+            test_session_state_cleared_on_takeover;
+          Alcotest.test_case "survives state transfer" `Slow test_session_state_survives_transfer;
+        ] );
+      ( "fuzz",
+        [ qcheck prop_payload_roundtrip; qcheck prop_decoder_never_crashes ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "spoofed messages ignored" `Slow test_spoofed_messages_ignored;
+          Alcotest.test_case "garbage datagrams dropped" `Slow test_tampered_wire_dropped;
+        ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "join then request" `Quick test_dynamic_join_and_request;
+          Alcotest.test_case "join denied" `Quick test_dynamic_join_denied_bad_credentials;
+          Alcotest.test_case "leave" `Quick test_dynamic_leave;
+        ] );
+    ]
+

@@ -1,0 +1,554 @@
+(* Tests for the embedded relational engine: storage layers, SQL language
+   behaviour, transactions and crash recovery. *)
+
+open Relsql
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let fresh_db ?(acid = true) ?(seed = 1) () = Database.open_db (Vfs.in_memory ~acid ~seed ())
+
+let exec db sql = Database.exec_exn db sql
+
+let rows_as_strings (r : Database.result) =
+  List.map (fun row -> String.concat "|" (List.map Value.to_string (Array.to_list row))) r.rows
+
+let check_rows msg db sql expected =
+  Alcotest.(check (list string)) msg expected (rows_as_strings (exec db sql))
+
+let expect_error db sql =
+  match (Database.exec db sql).Database.res with
+  | Ok _ -> Alcotest.failf "expected error for: %s" sql
+  | Error e -> e
+
+(* --- lexer --- *)
+
+let test_lexer_basic () =
+  let toks = Lexer.tokenize "SELECT a, 'it''s' FROM t WHERE x >= 4.5 -- comment\n" in
+  Alcotest.(check int) "token count" 11 (List.length toks);
+  (match toks with
+  | Lexer.Ident "SELECT" :: Lexer.Ident "a" :: Lexer.Punct "," :: Lexer.String_lit s :: _ ->
+    Alcotest.(check string) "escaped quote" "it's" s
+  | _ -> Alcotest.fail "unexpected tokens");
+  Alcotest.check_raises "unterminated" (Lexer.Error "unterminated string literal") (fun () ->
+      ignore (Lexer.tokenize "'oops"))
+
+let test_lexer_operators () =
+  let ops s = List.filter_map (function Lexer.Punct p -> Some p | _ -> None) (Lexer.tokenize s) in
+  Alcotest.(check (list string)) "two-char ops" [ "<>"; "<="; ">="; "||"; "<>" ]
+    (ops "<> <= >= || !=")
+
+(* --- parser --- *)
+
+let test_parser_select () =
+  match Parser.parse_one "SELECT a, b AS bee FROM t WHERE a = 1 ORDER BY b DESC LIMIT 3" with
+  | Ast.Select s ->
+    Alcotest.(check int) "projections" 2 (List.length s.Ast.sel_exprs);
+    Alcotest.(check bool) "has where" true (s.Ast.sel_where <> None);
+    Alcotest.(check int) "order items" 1 (List.length s.Ast.sel_order);
+    Alcotest.(check (option int)) "limit" (Some 3) s.Ast.sel_limit
+  | _ -> Alcotest.fail "not a select"
+
+let test_parser_create () =
+  match Parser.parse_one "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, score REAL)" with
+  | Ast.Create_table { ct_cols; _ } ->
+    Alcotest.(check int) "columns" 3 (List.length ct_cols);
+    Alcotest.(check bool) "pk flag" true (List.hd ct_cols).Ast.col_pk
+  | _ -> Alcotest.fail "not a create"
+
+let test_parser_errors () =
+  List.iter
+    (fun sql ->
+      match Parser.parse sql with
+      | exception Parser.Error _ -> ()
+      | exception Lexer.Error _ -> ()
+      | _ -> Alcotest.failf "expected parse error: %s" sql)
+    [ "SELEC 1"; "SELECT FROM"; "INSERT t VALUES (1)"; "CREATE TABLE t"; "SELECT 1 WHERE" ]
+
+let test_parser_multi_statement () =
+  Alcotest.(check int) "two statements" 2 (List.length (Parser.parse "SELECT 1; SELECT 2;"))
+
+let test_parser_precedence () =
+  (* 1 + 2 * 3 = 7 and NOT binds looser than comparison *)
+  let db = fresh_db () in
+  check_rows "arith precedence" db "SELECT 1 + 2 * 3" [ "7" ];
+  check_rows "unary minus" db "SELECT -(2) + 5" [ "3" ];
+  check_rows "not" db "SELECT NOT 1 = 2" [ "1" ]
+
+(* --- values --- *)
+
+let test_value_compare () =
+  let open Value in
+  Alcotest.(check bool) "null smallest" true (compare_sql Null (Int (-100)) < 0);
+  Alcotest.(check bool) "int vs real" true (compare_sql (Int 2) (Real 2.5) < 0);
+  Alcotest.(check bool) "numeric equal" true (compare_sql (Int 2) (Real 2.0) = 0);
+  Alcotest.(check bool) "numbers before text" true (compare_sql (Int 999) (Text "a") < 0)
+
+let prop_key_encode_order =
+  QCheck.Test.make ~name:"key_encode preserves int order" ~count:500
+    QCheck.(pair int int)
+    (fun (a, b) ->
+      let ka = Value.key_encode (Value.Int a) and kb = Value.key_encode (Value.Int b) in
+      compare a b = compare ka kb)
+
+let prop_value_codec_roundtrip =
+  QCheck.Test.make ~name:"value codec roundtrip" ~count:500
+    QCheck.(oneof [ map (fun i -> Value.Int i) int;
+                    map (fun f -> Value.Real f) float;
+                    map (fun s -> Value.Text s) string;
+                    always Value.Null ])
+    (fun v ->
+      let v' = Util.Codec.decode Value.decode (Util.Codec.encode Value.encode v) in
+      match (v, v') with
+      | Value.Real a, Value.Real b -> Float.equal a b
+      | _ -> Value.equal v v')
+
+(* --- btree --- *)
+
+let with_tree f =
+  let vfs = Vfs.in_memory ~seed:1 () in
+  let pager = Pager.open_pager vfs in
+  Pager.begin_txn pager;
+  let tree = Btree.create pager in
+  let r = f pager tree in
+  Pager.commit pager;
+  r
+
+let test_btree_basic () =
+  with_tree (fun _ tree ->
+      Btree.insert tree ~key:"b" ~value:"2";
+      Btree.insert tree ~key:"a" ~value:"1";
+      Btree.insert tree ~key:"c" ~value:"3";
+      Alcotest.(check (option string)) "find a" (Some "1") (Btree.find tree "a");
+      Alcotest.(check (option string)) "find missing" None (Btree.find tree "zz");
+      Btree.insert tree ~key:"a" ~value:"1'";
+      Alcotest.(check (option string)) "replace" (Some "1'") (Btree.find tree "a");
+      Alcotest.(check bool) "delete" true (Btree.delete tree "b");
+      Alcotest.(check bool) "delete missing" false (Btree.delete tree "b");
+      Alcotest.(check int) "count" 2 (Btree.count tree))
+
+let test_btree_many_and_order () =
+  with_tree (fun _ tree ->
+      let n = 2000 in
+      for i = n downto 1 do
+        Btree.insert tree ~key:(Printf.sprintf "k%06d" i) ~value:(string_of_int i)
+      done;
+      Alcotest.(check int) "count" n (Btree.count tree);
+      let prev = ref "" in
+      Btree.iter tree (fun k _ ->
+          if String.compare k !prev <= 0 then Alcotest.fail "iteration out of order";
+          prev := k;
+          true);
+      (* Range scan from the middle. *)
+      let seen = ref 0 in
+      Btree.iter tree ~from:"k001500" (fun _ _ ->
+          incr seen;
+          true);
+      Alcotest.(check int) "range scan" 501 !seen)
+
+let prop_btree_vs_map =
+  QCheck.Test.make ~name:"btree matches Map reference" ~count:60
+    QCheck.(small_list (pair (string_of_size (Gen.return 6)) (option (string_of_size (Gen.int_bound 200)))))
+    (fun ops ->
+      with_tree (fun _ tree ->
+          let reference = Hashtbl.create 16 in
+          List.iter
+            (fun (k, op) ->
+              match op with
+              | Some v ->
+                Btree.insert tree ~key:k ~value:v;
+                Hashtbl.replace reference k v
+              | None ->
+                ignore (Btree.delete tree k);
+                Hashtbl.remove reference k)
+            ops;
+          Hashtbl.fold (fun k v acc -> acc && Btree.find tree k = Some v) reference true
+          && Btree.count tree = Hashtbl.length reference))
+
+let test_btree_entry_too_large () =
+  with_tree (fun _ tree ->
+      Alcotest.check_raises "oversized entry"
+        (Invalid_argument "Btree.insert: entry too large (no overflow pages)") (fun () ->
+          Btree.insert tree ~key:"k" ~value:(String.make 4000 'x')))
+
+let test_btree_persistence () =
+  let vfs = Vfs.in_memory ~seed:1 () in
+  let root =
+    let pager = Pager.open_pager vfs in
+    Pager.begin_txn pager;
+    let tree = Btree.create pager in
+    for i = 1 to 500 do
+      Btree.insert tree ~key:(Printf.sprintf "%05d" i) ~value:(string_of_int (i * i))
+    done;
+    Pager.commit pager;
+    Btree.root tree
+  in
+  (* Reopen through a fresh pager over the same file. *)
+  let pager = Pager.open_pager vfs in
+  let tree = Btree.open_tree pager ~root in
+  Alcotest.(check (option string)) "survives reopen" (Some "144") (Btree.find tree "00012");
+  Alcotest.(check int) "count survives" 500 (Btree.count tree)
+
+(* --- pager transactions & crash recovery --- *)
+
+let test_pager_rollback () =
+  let vfs = Vfs.in_memory ~seed:1 () in
+  let pager = Pager.open_pager vfs in
+  Pager.begin_txn pager;
+  let page = Pager.allocate_page pager in
+  Pager.write_page pager page (String.make Pager.page_size 'A');
+  Pager.commit pager;
+  Pager.begin_txn pager;
+  Pager.write_page pager page (String.make Pager.page_size 'B');
+  Alcotest.(check char) "visible in txn" 'B' (Pager.read_page pager page).[0];
+  Pager.rollback pager;
+  Alcotest.(check char) "rolled back" 'A' (Pager.read_page pager page).[0]
+
+let test_pager_crash_recovery () =
+  (* Simulate a crash mid-transaction on a disk-backed VFS: volatile
+     writes vanish, the durable journal rolls the rest back. *)
+  let disk = Simdisk.Disk.create () in
+  let vfs = Vfs.on_disk disk ~name:"db" ~seed:1 in
+  let pager = Pager.open_pager vfs in
+  Pager.begin_txn pager;
+  let page = Pager.allocate_page pager in
+  Pager.write_page pager page (String.make Pager.page_size 'A');
+  Pager.commit pager;
+  (* Start a transaction, modify, sync the journal mid-flight (as commit
+     would), then crash before the commit completes. *)
+  Pager.begin_txn pager;
+  Pager.write_page pager page (String.make Pager.page_size 'B');
+  (match vfs.Vfs.journal with Some j -> j.Vfs.sync () | None -> ());
+  vfs.Vfs.main.sync ();
+  (* CRASH before the journal reset: the commit never happened. *)
+  Simdisk.Disk.crash disk;
+  let vfs2 = Vfs.on_disk disk ~name:"db" ~seed:1 in
+  let pager2 = Pager.open_pager vfs2 in
+  Alcotest.(check char) "hot journal rolled back" 'A' (Pager.read_page pager2 page).[0]
+
+let test_pager_freelist_reuse () =
+  let vfs = Vfs.in_memory ~seed:1 () in
+  let pager = Pager.open_pager vfs in
+  Pager.begin_txn pager;
+  let a = Pager.allocate_page pager in
+  let _b = Pager.allocate_page pager in
+  Pager.free_page pager a;
+  let c = Pager.allocate_page pager in
+  Pager.commit pager;
+  Alcotest.(check int) "freed page reused" a c
+
+(* --- database: DDL & DML --- *)
+
+let votes_db () =
+  let db = fresh_db () in
+  ignore (exec db Pbft_service.vote_schema);
+  db
+
+let test_create_insert_select () =
+  let db = votes_db () in
+  ignore (exec db "INSERT INTO votes (voter, choice, ts, nonce) VALUES ('v1', 'a', 1.0, 42)");
+  check_rows "select all" db "SELECT voter, choice FROM votes" [ "v1|a" ];
+  check_rows "select expr" db "SELECT nonce + 1 FROM votes" [ "43" ]
+
+let test_insert_multi_row () =
+  let db = votes_db () in
+  ignore
+    (exec db "INSERT INTO votes (voter, choice, ts, nonce) VALUES ('a','x',0,0), ('b','y',0,0)");
+  check_rows "count" db "SELECT COUNT(*) FROM votes" [ "2" ]
+
+let test_autoincrement_pk () =
+  let db = votes_db () in
+  ignore (exec db "INSERT INTO votes (voter, choice, ts, nonce) VALUES ('a','x',0,0)");
+  ignore (exec db "INSERT INTO votes (voter, choice, ts, nonce) VALUES ('b','y',0,0)");
+  check_rows "ids" db "SELECT id FROM votes ORDER BY id" [ "1"; "2" ];
+  ignore (exec db "INSERT INTO votes (id, voter, choice, ts, nonce) VALUES (100,'c','z',0,0)");
+  ignore (exec db "INSERT INTO votes (voter, choice, ts, nonce) VALUES ('d','w',0,0)");
+  check_rows "explicit then continue" db "SELECT MAX(id) FROM votes" [ "101" ]
+
+let test_duplicate_pk_rejected () =
+  let db = votes_db () in
+  ignore (exec db "INSERT INTO votes (id, voter, choice, ts, nonce) VALUES (7,'a','x',0,0)");
+  let e = expect_error db "INSERT INTO votes (id, voter, choice, ts, nonce) VALUES (7,'b','y',0,0)" in
+  Alcotest.(check bool) "unique error" true
+    (String.length e >= 6 && String.sub e 0 6 = "UNIQUE")
+
+let test_update_delete () =
+  let db = votes_db () in
+  for i = 1 to 10 do
+    ignore
+      (exec db
+         (Printf.sprintf "INSERT INTO votes (voter, choice, ts, nonce) VALUES ('v%d','%s',0,0)" i
+            (if i mod 2 = 0 then "even" else "odd")))
+  done;
+  let r = exec db "UPDATE votes SET choice = 'EVEN' WHERE choice = 'even'" in
+  Alcotest.(check int) "updated" 5 r.Database.affected;
+  check_rows "updated values" db "SELECT COUNT(*) FROM votes WHERE choice = 'EVEN'" [ "5" ];
+  let r = exec db "DELETE FROM votes WHERE id > 8" in
+  Alcotest.(check int) "deleted" 2 r.Database.affected;
+  check_rows "remaining" db "SELECT COUNT(*) FROM votes" [ "8" ]
+
+let test_where_plans_agree () =
+  (* The pk probe, the index probe and the full scan must return the same
+     rows. *)
+  let db = votes_db () in
+  ignore (exec db "CREATE INDEX by_choice ON votes(choice)");
+  for i = 1 to 50 do
+    ignore
+      (exec db
+         (Printf.sprintf "INSERT INTO votes (voter, choice, ts, nonce) VALUES ('v%d','c%d',0,%d)" i
+            (i mod 5) i))
+  done;
+  check_rows "pk probe" db "SELECT voter FROM votes WHERE id = 33" [ "v33" ];
+  let via_index = rows_as_strings (exec db "SELECT voter FROM votes WHERE choice = 'c3'") in
+  let via_scan = rows_as_strings (exec db "SELECT voter FROM votes WHERE choice || '' = 'c3'") in
+  Alcotest.(check (list string)) "index = scan" via_scan via_index;
+  Alcotest.(check int) "expected cardinality" 10 (List.length via_index)
+
+let test_index_maintained_on_update_delete () =
+  let db = votes_db () in
+  ignore (exec db "CREATE INDEX by_choice ON votes(choice)");
+  ignore (exec db "INSERT INTO votes (voter, choice, ts, nonce) VALUES ('a','red',0,0)");
+  ignore (exec db "UPDATE votes SET choice = 'blue' WHERE voter = 'a'");
+  check_rows "old key gone" db "SELECT voter FROM votes WHERE choice = 'red'" [];
+  check_rows "new key present" db "SELECT voter FROM votes WHERE choice = 'blue'" [ "a" ];
+  ignore (exec db "DELETE FROM votes WHERE voter = 'a'");
+  check_rows "deleted from index" db "SELECT voter FROM votes WHERE choice = 'blue'" []
+
+let test_aggregates () =
+  let db = votes_db () in
+  for i = 1 to 10 do
+    ignore
+      (exec db
+         (Printf.sprintf "INSERT INTO votes (voter, choice, ts, nonce) VALUES ('v','g%d',0,%d)"
+            (i mod 2) i))
+  done;
+  check_rows "count/sum/min/max" db "SELECT COUNT(*), SUM(nonce), MIN(nonce), MAX(nonce) FROM votes"
+    [ "10|55|1|10" ];
+  check_rows "avg" db "SELECT AVG(nonce) FROM votes" [ "5.5" ];
+  check_rows "group by" db
+    "SELECT choice, COUNT(*) c, SUM(nonce) s FROM votes GROUP BY choice ORDER BY s"
+    [ "g1|5|25"; "g0|5|30" ]
+
+let test_order_limit () =
+  let db = votes_db () in
+  for i = 1 to 5 do
+    ignore
+      (exec db (Printf.sprintf "INSERT INTO votes (voter, choice, ts, nonce) VALUES ('v%d','c',0,%d)" i (6 - i)))
+  done;
+  check_rows "order by expr desc" db "SELECT voter FROM votes ORDER BY nonce DESC LIMIT 2"
+    [ "v1"; "v2" ];
+  check_rows "order asc" db "SELECT nonce FROM votes ORDER BY nonce LIMIT 3" [ "1"; "2"; "3" ]
+
+let test_join () =
+  let db = fresh_db () in
+  ignore (exec db "CREATE TABLE a (id INTEGER PRIMARY KEY, x TEXT)");
+  ignore (exec db "CREATE TABLE b (id INTEGER PRIMARY KEY, aid INTEGER, y TEXT)");
+  ignore (exec db "INSERT INTO a (x) VALUES ('one'), ('two')");
+  ignore (exec db "INSERT INTO b (aid, y) VALUES (1, 'b1'), (1, 'b2'), (2, 'b3')");
+  check_rows "inner join" db
+    "SELECT a.x, b.y FROM a INNER JOIN b ON a.id = b.aid ORDER BY b.y"
+    [ "one|b1"; "one|b2"; "two|b3" ];
+  check_rows "cross with where" db
+    "SELECT a.x, b.y FROM a, b WHERE a.id = b.aid AND b.y = 'b3'" [ "two|b3" ]
+
+let test_like_and_functions () =
+  let db = fresh_db () in
+  ignore (exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, s TEXT)");
+  ignore (exec db "INSERT INTO t (s) VALUES ('hello'), ('help'), ('world')");
+  check_rows "like prefix" db "SELECT s FROM t WHERE s LIKE 'hel%' ORDER BY s" [ "hello"; "help" ];
+  check_rows "like single char" db "SELECT s FROM t WHERE s LIKE 'hel_' " [ "help" ];
+  check_rows "length" db "SELECT LENGTH(s) FROM t WHERE s = 'hello'" [ "5" ];
+  check_rows "upper/lower" db "SELECT UPPER(s), LOWER('ABC') FROM t WHERE s = 'help'" [ "HELP|abc" ];
+  check_rows "coalesce" db "SELECT COALESCE(NULL, NULL, 'x')" [ "x" ];
+  check_rows "concat" db "SELECT 'a' || 'b' || 1" [ "ab1" ]
+
+let test_null_semantics () =
+  let db = fresh_db () in
+  ignore (exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)");
+  ignore (exec db "INSERT INTO t (v) VALUES (1), (NULL), (3)");
+  (* NULL = NULL is NULL, filtered out. *)
+  check_rows "null never equal" db "SELECT COUNT(*) FROM t WHERE v = NULL" [ "0" ];
+  check_rows "is null" db "SELECT id FROM t WHERE v IS NULL" [ "2" ];
+  check_rows "is not null" db "SELECT COUNT(*) FROM t WHERE v IS NOT NULL" [ "2" ];
+  check_rows "aggregate skips null" db "SELECT COUNT(v), SUM(v) FROM t" [ "2|4" ];
+  check_rows "null arithmetic" db "SELECT 1 + NULL IS NULL" [ "1" ]
+
+let test_type_coercion () =
+  let db = fresh_db () in
+  ignore (exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, n INTEGER, r REAL, s TEXT)");
+  ignore (exec db "INSERT INTO t (n, r, s) VALUES ('42', '2.5', 99)");
+  check_rows "coerced" db "SELECT n + 1, r * 2, s || '!' FROM t" [ "43|5|99!" ]
+
+let test_errors () =
+  let db = fresh_db () in
+  ignore (expect_error db "SELECT * FROM missing");
+  ignore (exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+  ignore (expect_error db "SELECT nope FROM t");
+  ignore (expect_error db "INSERT INTO t (nope) VALUES (1)");
+  ignore (expect_error db "CREATE TABLE t (id INTEGER PRIMARY KEY)");
+  ignore (expect_error db "UPDATE t SET id = 5");
+  ignore (expect_error db "not sql at all");
+  (* The failed statements must not have broken the engine. *)
+  ignore (exec db "INSERT INTO t (v) VALUES ('still works')");
+  check_rows "alive" db "SELECT v FROM t" [ "still works" ]
+
+let test_drop_table () =
+  let db = fresh_db () in
+  ignore (exec db "CREATE TABLE t (id INTEGER PRIMARY KEY)");
+  ignore (exec db "DROP TABLE t");
+  ignore (expect_error db "SELECT * FROM t");
+  ignore (exec db "DROP TABLE IF EXISTS t");
+  ignore (exec db "CREATE TABLE t (id INTEGER PRIMARY KEY)");
+  Alcotest.(check (list string)) "tables" [ "t" ] (Database.table_names db)
+
+(* --- transactions --- *)
+
+let test_txn_commit_rollback () =
+  let db = fresh_db () in
+  ignore (exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+  ignore (exec db "BEGIN");
+  Alcotest.(check bool) "in txn" true (Database.in_transaction db);
+  ignore (exec db "INSERT INTO t (v) VALUES ('a')");
+  ignore (exec db "COMMIT");
+  check_rows "committed" db "SELECT v FROM t" [ "a" ];
+  ignore (exec db "BEGIN");
+  ignore (exec db "INSERT INTO t (v) VALUES ('b')");
+  check_rows "visible inside" db "SELECT COUNT(*) FROM t" [ "2" ];
+  ignore (exec db "ROLLBACK");
+  check_rows "rolled back" db "SELECT v FROM t" [ "a" ]
+
+let test_txn_error_aborts () =
+  let db = fresh_db () in
+  ignore (exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+  ignore (exec db "BEGIN");
+  ignore (exec db "INSERT INTO t (v) VALUES ('x')");
+  ignore (expect_error db "INSERT INTO t (nope) VALUES (1)");
+  Alcotest.(check bool) "txn aborted" false (Database.in_transaction db);
+  check_rows "nothing persisted" db "SELECT COUNT(*) FROM t" [ "0" ]
+
+let test_crash_recovery_acid () =
+  (* A whole database on a simulated disk: commit one row, crash during
+     the next transaction, reopen: the committed row survives, the torn
+     one does not (§3.2's durability argument for the SQL abstraction). *)
+  let disk = Simdisk.Disk.create () in
+  let open_db () = Database.open_db (Vfs.on_disk disk ~name:"vote.db" ~seed:1) in
+  let db = open_db () in
+  ignore (exec db Pbft_service.vote_schema);
+  ignore (exec db "INSERT INTO votes (voter, choice, ts, nonce) VALUES ('durable','a',0,0)");
+  (* Second transaction: left open (never committed) when the crash hits. *)
+  ignore (exec db "BEGIN");
+  ignore (exec db "INSERT INTO votes (voter, choice, ts, nonce) VALUES ('torn','b',0,0)");
+  Simdisk.Disk.crash disk;
+  let db2 = open_db () in
+  check_rows "committed row survives, torn row gone" db2 "SELECT voter FROM votes"
+    [ "durable" ]
+
+let test_no_acid_mode_no_journal () =
+  let db = fresh_db ~acid:false () in
+  ignore (exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+  ignore (exec db "INSERT INTO t (v) VALUES ('fast')");
+  check_rows "works without journal" db "SELECT v FROM t" [ "fast" ];
+  (* Rollback still works in-memory via the journaled-originals table?
+     No: without a journal there is no rollback; verify it errors
+     gracefully by relying on autocommit semantics instead. *)
+  ignore (exec db "BEGIN");
+  ignore (exec db "INSERT INTO t (v) VALUES ('second')");
+  ignore (exec db "COMMIT");
+  check_rows "explicit txn in no-acid" db "SELECT COUNT(*) FROM t" [ "2" ]
+
+let test_nondeterministic_functions_use_env () =
+  (* NOW() and RANDOM() come from the VFS environment — the §2.5 seam. *)
+  let db = fresh_db ~seed:7 () in
+  ignore (exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, ts REAL, r INTEGER)");
+  ignore (exec db "INSERT INTO t (ts, r) VALUES (NOW(), RANDOM())");
+  ignore (exec db "INSERT INTO t (ts, r) VALUES (NOW(), RANDOM())");
+  let rows = (exec db "SELECT ts, r FROM t ORDER BY id").Database.rows in
+  (match rows with
+  | [ [| Value.Real t1; Value.Int r1 |]; [| Value.Real t2; Value.Int r2 |] ] ->
+    Alcotest.(check bool) "clock advances" true (t2 > t1);
+    Alcotest.(check bool) "randoms differ" true (r1 <> r2)
+  | _ -> Alcotest.fail "unexpected rows");
+  (* Same seed, same history -> identical values (determinism). *)
+  let db2 = fresh_db ~seed:7 () in
+  ignore (exec db2 "CREATE TABLE t (id INTEGER PRIMARY KEY, ts REAL, r INTEGER)");
+  ignore (exec db2 "INSERT INTO t (ts, r) VALUES (NOW(), RANDOM())");
+  ignore (exec db2 "INSERT INTO t (ts, r) VALUES (NOW(), RANDOM())");
+  let rows2 = (exec db2 "SELECT ts, r FROM t ORDER BY id").Database.rows in
+  Alcotest.(check bool) "replica determinism" true (rows = rows2)
+
+let test_exec_reports_cost () =
+  let db = fresh_db () in
+  let o = Database.exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)" in
+  Alcotest.(check bool) "cost positive" true (o.Database.cost > 0.0)
+
+let test_render () =
+  let db = fresh_db () in
+  ignore (exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+  ignore (exec db "INSERT INTO t (v) VALUES ('x')");
+  let s = Database.render (exec db "SELECT id, v FROM t") in
+  Alcotest.(check bool) "has header" true (String.length s > 0 && String.sub s 0 6 = "id | v")
+
+let () =
+  Alcotest.run "relsql"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basic;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "select" `Quick test_parser_select;
+          Alcotest.test_case "create table" `Quick test_parser_create;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "multi-statement" `Quick test_parser_multi_statement;
+          Alcotest.test_case "precedence" `Quick test_parser_precedence;
+        ] );
+      ( "value",
+        [
+          Alcotest.test_case "compare" `Quick test_value_compare;
+          qcheck prop_key_encode_order;
+          qcheck prop_value_codec_roundtrip;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "basics" `Quick test_btree_basic;
+          Alcotest.test_case "many keys & order" `Quick test_btree_many_and_order;
+          Alcotest.test_case "entry too large" `Quick test_btree_entry_too_large;
+          Alcotest.test_case "persistence" `Quick test_btree_persistence;
+          qcheck prop_btree_vs_map;
+        ] );
+      ( "pager",
+        [
+          Alcotest.test_case "rollback" `Quick test_pager_rollback;
+          Alcotest.test_case "crash recovery (hot journal)" `Quick test_pager_crash_recovery;
+          Alcotest.test_case "freelist reuse" `Quick test_pager_freelist_reuse;
+        ] );
+      ( "sql",
+        [
+          Alcotest.test_case "create/insert/select" `Quick test_create_insert_select;
+          Alcotest.test_case "multi-row insert" `Quick test_insert_multi_row;
+          Alcotest.test_case "autoincrement pk" `Quick test_autoincrement_pk;
+          Alcotest.test_case "duplicate pk" `Quick test_duplicate_pk_rejected;
+          Alcotest.test_case "update/delete" `Quick test_update_delete;
+          Alcotest.test_case "plans agree" `Quick test_where_plans_agree;
+          Alcotest.test_case "index maintenance" `Quick test_index_maintained_on_update_delete;
+          Alcotest.test_case "aggregates & group by" `Quick test_aggregates;
+          Alcotest.test_case "order/limit" `Quick test_order_limit;
+          Alcotest.test_case "joins" `Quick test_join;
+          Alcotest.test_case "like & functions" `Quick test_like_and_functions;
+          Alcotest.test_case "null three-valued logic" `Quick test_null_semantics;
+          Alcotest.test_case "type coercion" `Quick test_type_coercion;
+          Alcotest.test_case "errors don't corrupt" `Quick test_errors;
+          Alcotest.test_case "drop table" `Quick test_drop_table;
+        ] );
+      ( "transactions",
+        [
+          Alcotest.test_case "commit & rollback" `Quick test_txn_commit_rollback;
+          Alcotest.test_case "error aborts txn" `Quick test_txn_error_aborts;
+          Alcotest.test_case "crash recovery end-to-end" `Quick test_crash_recovery_acid;
+          Alcotest.test_case "no-ACID mode" `Quick test_no_acid_mode_no_journal;
+          Alcotest.test_case "NOW/RANDOM via env" `Quick test_nondeterministic_functions_use_env;
+          Alcotest.test_case "cost reporting" `Quick test_exec_reports_cost;
+          Alcotest.test_case "render" `Quick test_render;
+        ] );
+    ]

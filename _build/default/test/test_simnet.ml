@@ -1,0 +1,293 @@
+(* Tests for the discrete-event engine, virtual CPUs, the lossy network
+   and the simulated disk. *)
+
+(* --- engine --- *)
+
+let test_engine_ordering () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let log = ref [] in
+  Simnet.Engine.schedule e ~delay:0.3 (fun () -> log := 3 :: !log);
+  Simnet.Engine.schedule e ~delay:0.1 (fun () -> log := 1 :: !log);
+  Simnet.Engine.schedule e ~delay:0.2 (fun () -> log := 2 :: !log);
+  Simnet.Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock" 0.3 (Simnet.Engine.now e)
+
+let test_engine_same_time_fifo () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Simnet.Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  Simnet.Engine.run e;
+  Alcotest.(check (list int)) "fifo ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_until () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let fired = ref 0 in
+  Simnet.Engine.schedule e ~delay:1.0 (fun () -> incr fired);
+  Simnet.Engine.schedule e ~delay:3.0 (fun () -> incr fired);
+  Simnet.Engine.run ~until:2.0 e;
+  Alcotest.(check int) "only first" 1 !fired;
+  Alcotest.(check (float 1e-9)) "clock at horizon" 2.0 (Simnet.Engine.now e);
+  Simnet.Engine.run e;
+  Alcotest.(check int) "rest run later" 2 !fired
+
+let test_engine_cancel () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let fired = ref false in
+  let timer = Simnet.Engine.timer e ~delay:1.0 (fun () -> fired := true) in
+  Simnet.Engine.cancel timer;
+  Simnet.Engine.run e;
+  Alcotest.(check bool) "cancelled" false !fired
+
+let test_engine_periodic () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let count = ref 0 in
+  let timer =
+    Simnet.Engine.periodic e ~interval:0.5 (fun () ->
+        incr count)
+  in
+  Simnet.Engine.run ~until:2.6 e;
+  Simnet.Engine.cancel timer;
+  Simnet.Engine.run ~until:5.0 e;
+  Alcotest.(check int) "five tickets then cancelled" 5 !count
+
+let test_engine_nested_schedule () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let log = ref [] in
+  Simnet.Engine.schedule e ~delay:0.1 (fun () ->
+      log := "outer" :: !log;
+      Simnet.Engine.schedule e ~delay:0.1 (fun () -> log := "inner" :: !log));
+  Simnet.Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "time advanced" 0.2 (Simnet.Engine.now e)
+
+(* --- cpu --- *)
+
+let test_cpu_fifo_and_busy () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let cpu = Simnet.Cpu.create e in
+  let log = ref [] in
+  Simnet.Cpu.execute cpu ~cost:1.0 (fun () -> log := ("a", Simnet.Engine.now e) :: !log);
+  Simnet.Cpu.execute cpu ~cost:0.5 (fun () -> log := ("b", Simnet.Engine.now e) :: !log);
+  Alcotest.(check int) "queued" 2 (Simnet.Cpu.queue_length cpu);
+  Simnet.Engine.run e;
+  (match List.rev !log with
+  | [ ("a", ta); ("b", tb) ] ->
+    Alcotest.(check (float 1e-9)) "a at 1.0" 1.0 ta;
+    Alcotest.(check (float 1e-9)) "b after a" 1.5 tb
+  | _ -> Alcotest.fail "wrong order");
+  Alcotest.(check (float 1e-9)) "busy accum" 1.5 (Simnet.Cpu.total_busy cpu);
+  Alcotest.(check int) "drained" 0 (Simnet.Cpu.queue_length cpu)
+
+let test_cpu_idle_gap () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let cpu = Simnet.Cpu.create e in
+  let t_done = ref 0.0 in
+  Simnet.Engine.schedule e ~delay:2.0 (fun () ->
+      Simnet.Cpu.execute cpu ~cost:0.5 (fun () -> t_done := Simnet.Engine.now e));
+  Simnet.Engine.run e;
+  Alcotest.(check (float 1e-9)) "starts when scheduled" 2.5 !t_done
+
+(* --- net --- *)
+
+let quiet_profile =
+  { Simnet.Net.latency = 0.01; jitter = 0.0; bandwidth = 1e9; loss = 0.0; recv_buffer = 0 }
+
+let test_net_delivery () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let net = Simnet.Net.create e quiet_profile in
+  let got = ref [] in
+  Simnet.Net.register net 1 (fun ~src payload -> got := (src, payload) :: !got);
+  Simnet.Net.send net ~src:0 ~dst:1 "hello";
+  Simnet.Engine.run e;
+  Alcotest.(check (list (pair int string))) "delivered" [ (0, "hello") ] !got;
+  Alcotest.(check int) "sent" 1 (Simnet.Net.sent_count net);
+  Alcotest.(check int) "delivered count" 1 (Simnet.Net.delivered_count net)
+
+let test_net_unregistered_dropped () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let net = Simnet.Net.create e quiet_profile in
+  Simnet.Net.send net ~src:0 ~dst:9 "void";
+  Simnet.Engine.run e;
+  Alcotest.(check int) "dropped" 1 (Simnet.Net.dropped_count net)
+
+let test_net_full_loss () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let net = Simnet.Net.create e { quiet_profile with Simnet.Net.loss = 1.0 } in
+  let got = ref 0 in
+  Simnet.Net.register net 1 (fun ~src:_ _ -> incr got);
+  for _ = 1 to 50 do
+    Simnet.Net.send net ~src:0 ~dst:1 "x"
+  done;
+  Simnet.Engine.run e;
+  Alcotest.(check int) "all lost" 0 !got;
+  Alcotest.(check int) "counted" 50 (Simnet.Net.dropped_count net)
+
+let test_net_statistical_loss () =
+  let e = Simnet.Engine.create ~seed:3 in
+  let net = Simnet.Net.create e { quiet_profile with Simnet.Net.loss = 0.25 } in
+  let got = ref 0 in
+  Simnet.Net.register net 1 (fun ~src:_ _ -> incr got);
+  for _ = 1 to 10_000 do
+    Simnet.Net.send net ~src:0 ~dst:1 "x"
+  done;
+  Simnet.Engine.run e;
+  let rate = float_of_int !got /. 10_000.0 in
+  if Float.abs (rate -. 0.75) > 0.02 then Alcotest.failf "delivery rate %f" rate
+
+let test_net_targeted_drop () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let net = Simnet.Net.create e quiet_profile in
+  let got = ref [] in
+  Simnet.Net.register net 1 (fun ~src:_ payload -> got := payload :: !got);
+  Simnet.Net.drop_next_matching net (fun ~src:_ ~dst:_ ~label -> label = "kill-me");
+  Simnet.Net.send net ~label:"kill-me" ~src:0 ~dst:1 "a";
+  Simnet.Net.send net ~label:"kill-me" ~src:0 ~dst:1 "b";
+  Simnet.Net.send net ~label:"other" ~src:0 ~dst:1 "c";
+  Simnet.Engine.run e;
+  (* One-shot: only the first matching datagram dies. *)
+  Alcotest.(check (list string)) "one-shot drop" [ "b"; "c" ] (List.sort compare !got)
+
+let test_net_partition_heal () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let net = Simnet.Net.create e quiet_profile in
+  let got = ref 0 in
+  Simnet.Net.register net 1 (fun ~src:_ _ -> incr got);
+  Simnet.Net.partition net [ 0 ] [ 1 ];
+  Simnet.Net.send net ~src:0 ~dst:1 "x";
+  Simnet.Engine.run e;
+  Alcotest.(check int) "partitioned" 0 !got;
+  Simnet.Net.heal net;
+  Simnet.Net.send net ~src:0 ~dst:1 "y";
+  Simnet.Engine.run e;
+  Alcotest.(check int) "healed" 1 !got
+
+let test_net_backlog_overflow () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let net = Simnet.Net.create e { quiet_profile with Simnet.Net.recv_buffer = 2 } in
+  let backlog = ref 0 in
+  let got = ref 0 in
+  Simnet.Net.register net 1 (fun ~src:_ _ -> incr got);
+  Simnet.Net.set_backlog_probe net 1 (fun () -> !backlog);
+  backlog := 5;
+  Simnet.Net.send net ~src:0 ~dst:1 "x";
+  Simnet.Engine.run e;
+  Alcotest.(check int) "overflow drop" 0 !got;
+  backlog := 0;
+  Simnet.Net.send net ~src:0 ~dst:1 "y";
+  Simnet.Engine.run e;
+  Alcotest.(check int) "accepted when drained" 1 !got
+
+let test_net_bandwidth_serialization () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let prof = { quiet_profile with Simnet.Net.bandwidth = 1000.0; latency = 0.0 } in
+  (* jitter 0, latency 0 (clamped to 1us) -> arrival dominated by tx time *)
+  let net = Simnet.Net.create e prof in
+  let arrivals = ref [] in
+  Simnet.Net.register net 1 (fun ~src:_ _ -> arrivals := Simnet.Engine.now e :: !arrivals);
+  (* Two 500-byte datagrams at 1000 B/s: 0.5 s each, serialized. *)
+  Simnet.Net.send net ~src:0 ~dst:1 (String.make 500 'x');
+  Simnet.Net.send net ~src:0 ~dst:1 (String.make 500 'y');
+  Simnet.Engine.run e;
+  match List.rev !arrivals with
+  | [ t1; t2 ] ->
+    Alcotest.(check (float 1e-3)) "first tx" 0.5 t1;
+    Alcotest.(check (float 1e-3)) "second queued behind first" 1.0 t2
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_trace_capture () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let net = Simnet.Net.create e quiet_profile in
+  Simnet.Net.register net 1 (fun ~src:_ _ -> ());
+  Simnet.Net.send net ~label:"ping" ~detail:"d" ~src:0 ~dst:1 "x";
+  Simnet.Engine.run e;
+  let tr = Simnet.Net.trace net in
+  let entries = Simnet.Trace.filter tr (fun en -> en.Simnet.Trace.label = "ping") in
+  Alcotest.(check int) "captured" 1 (List.length entries);
+  Simnet.Trace.set_enabled tr false;
+  Simnet.Net.send net ~label:"ping" ~src:0 ~dst:1 "x";
+  Simnet.Engine.run e;
+  Alcotest.(check int) "disabled" 1
+    (List.length (Simnet.Trace.filter tr (fun en -> en.Simnet.Trace.label = "ping")))
+
+(* --- disk --- *)
+
+let test_disk_rw () =
+  let d = Simdisk.Disk.create () in
+  let f = Simdisk.Disk.open_file d "file" in
+  Simdisk.Disk.write f ~pos:0 "hello";
+  Simdisk.Disk.write f ~pos:5 " world";
+  Alcotest.(check string) "read" "hello world" (Simdisk.Disk.read f ~pos:0 ~len:11);
+  Alcotest.(check int) "size" 11 (Simdisk.Disk.size f);
+  Simdisk.Disk.write f ~pos:20 "sparse";
+  Alcotest.(check string) "gap zero-filled" "\000\000\000" (Simdisk.Disk.read f ~pos:15 ~len:3);
+  Alcotest.check_raises "oob" (Invalid_argument "Disk.read: out of bounds") (fun () ->
+      ignore (Simdisk.Disk.read f ~pos:100 ~len:1))
+
+let test_disk_crash_semantics () =
+  let d = Simdisk.Disk.create () in
+  let f = Simdisk.Disk.open_file d "file" in
+  Simdisk.Disk.write f ~pos:0 "durable";
+  Simdisk.Disk.sync f;
+  Simdisk.Disk.write f ~pos:0 "VOLATIL";
+  Simdisk.Disk.crash d;
+  let f = Simdisk.Disk.open_file d "file" in
+  Alcotest.(check string) "unsynced writes lost" "durable" (Simdisk.Disk.read f ~pos:0 ~len:7)
+
+let test_disk_crash_loses_everything_unsynced () =
+  let d = Simdisk.Disk.create () in
+  let f = Simdisk.Disk.open_file d "f2" in
+  Simdisk.Disk.write f ~pos:0 "gone";
+  Simdisk.Disk.crash d;
+  Alcotest.(check int) "file empty" 0 (Simdisk.Disk.size (Simdisk.Disk.open_file d "f2"))
+
+let test_disk_truncate_and_costs () =
+  let d = Simdisk.Disk.create ~sync_latency:0.002 () in
+  let f = Simdisk.Disk.open_file d "f" in
+  Simdisk.Disk.write f ~pos:0 "0123456789";
+  Simdisk.Disk.truncate f 4;
+  Alcotest.(check int) "truncated" 4 (Simdisk.Disk.size f);
+  Alcotest.(check (float 1e-9)) "sync cost" 0.002 (Simdisk.Disk.sync_cost d);
+  Alcotest.(check bool) "write cost positive" true (Simdisk.Disk.write_cost d 1000 > 0.0);
+  Simdisk.Disk.sync f;
+  Alcotest.(check int) "sync counted" 1 (Simdisk.Disk.sync_count d)
+
+let () =
+  Alcotest.run "simnet"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "time ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "periodic" `Quick test_engine_periodic;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_schedule;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "fifo & busy accounting" `Quick test_cpu_fifo_and_busy;
+          Alcotest.test_case "idle gap" `Quick test_cpu_idle_gap;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "delivery" `Quick test_net_delivery;
+          Alcotest.test_case "unregistered dropped" `Quick test_net_unregistered_dropped;
+          Alcotest.test_case "loss=1" `Quick test_net_full_loss;
+          Alcotest.test_case "loss=0.25 statistics" `Quick test_net_statistical_loss;
+          Alcotest.test_case "targeted one-shot drop" `Quick test_net_targeted_drop;
+          Alcotest.test_case "partition & heal" `Quick test_net_partition_heal;
+          Alcotest.test_case "receive-buffer overflow" `Quick test_net_backlog_overflow;
+          Alcotest.test_case "NIC serialization" `Quick test_net_bandwidth_serialization;
+          Alcotest.test_case "trace capture" `Quick test_trace_capture;
+        ] );
+      ( "disk",
+        [
+          Alcotest.test_case "read/write/sparse" `Quick test_disk_rw;
+          Alcotest.test_case "crash keeps only synced" `Quick test_disk_crash_semantics;
+          Alcotest.test_case "crash loses unsynced file" `Quick test_disk_crash_loses_everything_unsynced;
+          Alcotest.test_case "truncate & costs" `Quick test_disk_truncate_and_costs;
+        ] );
+    ]

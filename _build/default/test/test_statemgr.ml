@@ -1,0 +1,222 @@
+(* Tests for the paged state region, Merkle tree and checkpoints. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let make_pages ?(strict = false) ?(num_pages = 16) () =
+  Statemgr.Pages.create ~strict ~page_size:256 ~num_pages ()
+
+(* --- pages --- *)
+
+let test_pages_rw () =
+  let p = make_pages () in
+  Statemgr.Pages.write p ~pos:10 "hello";
+  Alcotest.(check string) "read back" "hello" (Statemgr.Pages.read p ~pos:10 ~len:5);
+  Alcotest.(check string) "zeros elsewhere" "\000\000" (Statemgr.Pages.read p ~pos:100 ~len:2)
+
+let test_pages_cross_page_write () =
+  let p = make_pages () in
+  let s = String.init 300 (fun i -> Char.chr (i mod 256)) in
+  Statemgr.Pages.write p ~pos:200 s;
+  Alcotest.(check string) "spans pages" s (Statemgr.Pages.read p ~pos:200 ~len:300);
+  Alcotest.(check (list int)) "both pages dirty" [ 0; 1 ] (Statemgr.Pages.dirty p)
+
+let test_pages_bounds () =
+  let p = make_pages () in
+  Alcotest.check_raises "oob read" (Invalid_argument "Pages: out of bounds") (fun () ->
+      ignore (Statemgr.Pages.read p ~pos:(16 * 256) ~len:1));
+  Alcotest.check_raises "oob write" (Invalid_argument "Pages: out of bounds") (fun () ->
+      Statemgr.Pages.write p ~pos:(16 * 256 - 1) "ab")
+
+(* §3.2's "havoc caused by a misbehaving application which fails to
+   notify the library before modifying memory": strict mode turns the
+   violation into an exception. *)
+let test_pages_strict_contract () =
+  let p = make_pages ~strict:true () in
+  Alcotest.check_raises "unnotified write" (Statemgr.Pages.Unnotified_write 0) (fun () ->
+      Statemgr.Pages.write p ~pos:0 "x");
+  Statemgr.Pages.notify_modify p ~pos:0 ~len:1;
+  Statemgr.Pages.write p ~pos:0 "x";
+  Alcotest.(check string) "after notify ok" "x" (Statemgr.Pages.read p ~pos:0 ~len:1);
+  (* The notification covers only its pages. *)
+  Alcotest.check_raises "other page still protected" (Statemgr.Pages.Unnotified_write 3)
+    (fun () -> Statemgr.Pages.write p ~pos:(3 * 256) "y")
+
+let test_pages_dirty_tracking () =
+  let p = make_pages () in
+  Alcotest.(check (list int)) "clean" [] (Statemgr.Pages.dirty p);
+  Statemgr.Pages.notify_modify p ~pos:600 ~len:10;
+  Alcotest.(check (list int)) "notify marks" [ 2 ] (Statemgr.Pages.dirty p);
+  Statemgr.Pages.write p ~pos:0 "a";
+  Alcotest.(check (list int)) "write marks" [ 0; 2 ] (Statemgr.Pages.dirty p);
+  Statemgr.Pages.clear_dirty p;
+  Alcotest.(check (list int)) "cleared" [] (Statemgr.Pages.dirty p)
+
+let test_pages_sparse_allocation () =
+  let p = make_pages ~num_pages:1000 () in
+  Alcotest.(check int) "nothing allocated" 0 (Statemgr.Pages.allocated_pages p);
+  Statemgr.Pages.write p ~pos:(500 * 256) "x";
+  Alcotest.(check int) "one page materialized" 1 (Statemgr.Pages.allocated_pages p)
+
+let test_pages_copy_isolated () =
+  let p = make_pages () in
+  Statemgr.Pages.write p ~pos:0 "orig";
+  let q = Statemgr.Pages.copy p in
+  Statemgr.Pages.write p ~pos:0 "mut!";
+  Alcotest.(check string) "copy unchanged" "orig" (Statemgr.Pages.read q ~pos:0 ~len:4)
+
+let test_pages_load_page () =
+  let p = make_pages () in
+  let img = String.make 256 'z' in
+  Statemgr.Pages.load_page p 3 img;
+  Alcotest.(check string) "installed" img (Statemgr.Pages.page p 3);
+  Alcotest.check_raises "size mismatch" (Invalid_argument "Pages.load_page: size mismatch")
+    (fun () -> Statemgr.Pages.load_page p 0 "short")
+
+(* --- merkle --- *)
+
+let test_merkle_root_changes () =
+  let p = make_pages () in
+  let t = Statemgr.Merkle.build p in
+  let r0 = Statemgr.Merkle.root t in
+  Statemgr.Pages.write p ~pos:0 "x";
+  Statemgr.Merkle.update t p [ 0 ];
+  let r1 = Statemgr.Merkle.root t in
+  Alcotest.(check bool) "root changed" false (String.equal r0 r1)
+
+let prop_merkle_update_equals_rebuild =
+  QCheck.Test.make ~name:"incremental update = full rebuild" ~count:100
+    QCheck.(small_list (pair small_nat small_string))
+    (fun writes ->
+      let p = make_pages () in
+      let t = Statemgr.Merkle.build p in
+      List.iter
+        (fun (page, content) ->
+          let page = page mod 16 in
+          let content = if content = "" then "x" else content in
+          let content = String.sub content 0 (min 200 (String.length content)) in
+          Statemgr.Pages.write p ~pos:(page * 256) content;
+          Statemgr.Merkle.update t p [ page ])
+        writes;
+      String.equal (Statemgr.Merkle.root t) (Statemgr.Merkle.root (Statemgr.Merkle.build p)))
+
+let prop_merkle_diff_finds_changes =
+  QCheck.Test.make ~name:"diff finds exactly the changed pages" ~count:100
+    QCheck.(small_list small_nat)
+    (fun pages_to_change ->
+      let changed = List.sort_uniq compare (List.map (fun i -> i mod 16) pages_to_change) in
+      let a = make_pages () in
+      let ta = Statemgr.Merkle.build a in
+      let b = make_pages () in
+      List.iter (fun page -> Statemgr.Pages.write b ~pos:(page * 256) "CHANGED") changed;
+      let tb = Statemgr.Merkle.build b in
+      let divergent, visited = Statemgr.Merkle.diff ta tb in
+      divergent = changed && visited >= 1)
+
+let test_merkle_diff_identical () =
+  let p = make_pages () in
+  let t = Statemgr.Merkle.build p in
+  let divergent, visited = Statemgr.Merkle.diff t (Statemgr.Merkle.copy t) in
+  Alcotest.(check (list int)) "no divergence" [] divergent;
+  Alcotest.(check int) "only root visited" 1 visited
+
+let test_merkle_leaf_access () =
+  let p = make_pages () in
+  let t = Statemgr.Merkle.build p in
+  Alcotest.(check int) "leaves" 16 (Statemgr.Merkle.num_leaves t);
+  Alcotest.check_raises "oob leaf" (Invalid_argument "Merkle.leaf") (fun () ->
+      ignore (Statemgr.Merkle.leaf t 16))
+
+let test_merkle_non_power_of_two () =
+  let p = Statemgr.Pages.create ~page_size:64 ~num_pages:5 () in
+  let t = Statemgr.Merkle.build p in
+  Statemgr.Pages.write p ~pos:(4 * 64) "tail";
+  Statemgr.Merkle.update t p [ 4 ];
+  Alcotest.(check bool) "rebuild agrees" true
+    (String.equal (Statemgr.Merkle.root t) (Statemgr.Merkle.root (Statemgr.Merkle.build p)))
+
+(* --- checkpoints --- *)
+
+let test_checkpoint_roundtrip () =
+  let p = make_pages () in
+  Statemgr.Pages.write p ~pos:0 "state at 10";
+  let t = Statemgr.Merkle.build p in
+  let ck = Statemgr.Checkpoint.take ~seqno:10 p t in
+  Alcotest.(check int) "seqno" 10 (Statemgr.Checkpoint.seqno ck);
+  Alcotest.(check string) "root matches" (Statemgr.Merkle.root t) (Statemgr.Checkpoint.root ck);
+  (* Mutate, then restore. *)
+  Statemgr.Pages.write p ~pos:0 "DIVERGED!!!";
+  Statemgr.Pages.write p ~pos:512 "more";
+  Statemgr.Merkle.update t p (Statemgr.Pages.dirty p);
+  Statemgr.Checkpoint.restore ck p t;
+  Alcotest.(check string) "state restored" "state at 10" (Statemgr.Pages.read p ~pos:0 ~len:11);
+  Alcotest.(check string) "root restored" (Statemgr.Checkpoint.root ck) (Statemgr.Merkle.root t)
+
+let test_checkpoint_snapshot_isolated () =
+  let p = make_pages () in
+  Statemgr.Pages.write p ~pos:0 "before";
+  let t = Statemgr.Merkle.build p in
+  let ck = Statemgr.Checkpoint.take ~seqno:1 p t in
+  Statemgr.Pages.write p ~pos:0 "after!";
+  Alcotest.(check string) "snapshot keeps old page" "before"
+    (String.sub (Statemgr.Checkpoint.page ck 0) 0 6)
+
+let test_root_of_leaves_matches_tree () =
+  let p = make_pages () in
+  Statemgr.Pages.write p ~pos:100 "contents";
+  Statemgr.Pages.write p ~pos:(5 * 256) "more";
+  let t = Statemgr.Merkle.build p in
+  let leaves = List.init (Statemgr.Merkle.num_leaves t) (Statemgr.Merkle.leaf t) in
+  Alcotest.(check string) "root recomputed from leaves"
+    (Statemgr.Merkle.root t)
+    (Statemgr.Merkle.root_of_leaves leaves);
+  (* Tampering with any single claimed leaf digest changes the root: a
+     Byzantine state-transfer peer cannot substitute pages. *)
+  let tampered = List.mapi (fun i l -> if i = 5 then String.make 32 'e' else l) leaves in
+  Alcotest.(check bool) "tampered leaf detected" false
+    (String.equal (Statemgr.Merkle.root t) (Statemgr.Merkle.root_of_leaves tampered));
+  Alcotest.(check string) "page digest matches leaf"
+    (Statemgr.Merkle.leaf t 5)
+    (Statemgr.Merkle.page_digest (Statemgr.Pages.page p 5))
+
+let test_checkpoint_divergent_pages () =
+  let p = make_pages () in
+  let t = Statemgr.Merkle.build p in
+  let ck = Statemgr.Checkpoint.take ~seqno:1 p t in
+  Statemgr.Pages.write p ~pos:(2 * 256) "x";
+  Statemgr.Pages.write p ~pos:(7 * 256) "y";
+  Statemgr.Merkle.update t p (Statemgr.Pages.dirty p);
+  let divergent, _ = Statemgr.Checkpoint.divergent_pages ~local:t ck in
+  Alcotest.(check (list int)) "exactly the mutated pages" [ 2; 7 ] divergent
+
+let () =
+  Alcotest.run "statemgr"
+    [
+      ( "pages",
+        [
+          Alcotest.test_case "read/write" `Quick test_pages_rw;
+          Alcotest.test_case "cross-page write" `Quick test_pages_cross_page_write;
+          Alcotest.test_case "bounds" `Quick test_pages_bounds;
+          Alcotest.test_case "strict notify contract (§3.2)" `Quick test_pages_strict_contract;
+          Alcotest.test_case "dirty tracking" `Quick test_pages_dirty_tracking;
+          Alcotest.test_case "sparse allocation" `Quick test_pages_sparse_allocation;
+          Alcotest.test_case "copy isolation" `Quick test_pages_copy_isolated;
+          Alcotest.test_case "load_page" `Quick test_pages_load_page;
+        ] );
+      ( "merkle",
+        [
+          Alcotest.test_case "root changes on write" `Quick test_merkle_root_changes;
+          Alcotest.test_case "diff identical" `Quick test_merkle_diff_identical;
+          Alcotest.test_case "leaf access" `Quick test_merkle_leaf_access;
+          Alcotest.test_case "non-power-of-two leaves" `Quick test_merkle_non_power_of_two;
+          qcheck prop_merkle_update_equals_rebuild;
+          qcheck prop_merkle_diff_finds_changes;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "take/restore roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "snapshot isolation" `Quick test_checkpoint_snapshot_isolated;
+          Alcotest.test_case "divergent pages" `Quick test_checkpoint_divergent_pages;
+          Alcotest.test_case "root from claimed leaves (transfer verification)" `Quick
+            test_root_of_leaves_matches_tree;
+        ] );
+    ]

@@ -1,0 +1,276 @@
+(* Unit and property tests for the foundation utilities. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- Codec --- *)
+
+let roundtrip enc dec v = Util.Codec.decode dec (Util.Codec.encode enc v)
+
+let test_codec_primitives () =
+  let module W = Util.Codec.W in
+  let module R = Util.Codec.R in
+  Alcotest.(check int) "u8" 255 (roundtrip W.u8 R.u8 255);
+  Alcotest.(check int) "u16" 65535 (roundtrip W.u16 R.u16 65535);
+  Alcotest.(check int) "u32" 0xDEADBEEF (roundtrip W.u32 R.u32 0xDEADBEEF);
+  Alcotest.(check int64) "u64" Int64.min_int (roundtrip W.u64 R.u64 Int64.min_int);
+  Alcotest.(check (float 1e-12)) "f64" 3.14159 (roundtrip W.f64 R.f64 3.14159);
+  Alcotest.(check bool) "bool true" true (roundtrip W.bool R.bool true);
+  Alcotest.(check bool) "bool false" false (roundtrip W.bool R.bool false);
+  Alcotest.(check string) "lstring" "hello" (roundtrip W.lstring R.lstring "hello");
+  Alcotest.(check string) "lstring empty" "" (roundtrip W.lstring R.lstring "")
+
+let test_codec_varint_boundaries () =
+  List.iter
+    (fun v ->
+      Alcotest.(check int)
+        (Printf.sprintf "varint %d" v)
+        v
+        (roundtrip Util.Codec.W.varint Util.Codec.R.varint v))
+    [ 0; 1; 127; 128; 129; 16383; 16384; 1 lsl 20; 1 lsl 35; max_int ]
+
+let test_codec_varint_negative () =
+  Alcotest.check_raises "negative rejected" (Invalid_argument "Codec.W.varint: negative")
+    (fun () -> ignore (Util.Codec.encode Util.Codec.W.varint (-1)))
+
+let test_codec_list_option () =
+  let enc w l = Util.Codec.W.list w Util.Codec.W.varint l in
+  let dec r = Util.Codec.R.list r Util.Codec.R.varint in
+  Alcotest.(check (list int)) "list" [ 1; 2; 3; 500 ] (roundtrip enc dec [ 1; 2; 3; 500 ]);
+  Alcotest.(check (list int)) "empty list" [] (roundtrip enc dec []);
+  let enco w o = Util.Codec.W.option w Util.Codec.W.lstring o in
+  let deco r = Util.Codec.R.option r Util.Codec.R.lstring in
+  Alcotest.(check (option string)) "some" (Some "x") (roundtrip enco deco (Some "x"));
+  Alcotest.(check (option string)) "none" None (roundtrip enco deco None)
+
+let test_codec_truncation () =
+  let full = Util.Codec.encode Util.Codec.W.lstring "hello world" in
+  let cut = String.sub full 0 (String.length full - 3) in
+  Alcotest.check_raises "truncated" Util.Codec.R.Truncated (fun () ->
+      ignore (Util.Codec.decode Util.Codec.R.lstring cut))
+
+let test_codec_trailing_garbage () =
+  let full = Util.Codec.encode Util.Codec.W.varint 7 ^ "garbage" in
+  Alcotest.check_raises "trailing" Util.Codec.R.Truncated (fun () ->
+      ignore (Util.Codec.decode Util.Codec.R.varint full))
+
+let prop_codec_string_roundtrip =
+  QCheck.Test.make ~name:"codec lstring roundtrip" ~count:500 QCheck.string (fun s ->
+      roundtrip Util.Codec.W.lstring Util.Codec.R.lstring s = s)
+
+let prop_codec_varint_roundtrip =
+  QCheck.Test.make ~name:"codec varint roundtrip" ~count:500
+    QCheck.(map abs int)
+    (fun v -> roundtrip Util.Codec.W.varint Util.Codec.R.varint v = v)
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Util.Rng.create 7 and b = Util.Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Util.Rng.next_int64 a) (Util.Rng.next_int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Util.Rng.create 7 in
+  let child = Util.Rng.split a in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Util.Rng.next_int64 a <> Util.Rng.next_int64 child then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_rng_int_bounds () =
+  let rng = Util.Rng.create 1 in
+  for _ = 1 to 10_000 do
+    let v = Util.Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_rng_int_in () =
+  let rng = Util.Rng.create 2 in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.int_in rng (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_rng_float_bounds () =
+  let rng = Util.Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Util.Rng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "out of range: %f" v
+  done
+
+let test_rng_bernoulli () =
+  let rng = Util.Rng.create 4 in
+  Alcotest.(check bool) "p=0 never" false
+    (List.exists (fun _ -> Util.Rng.bernoulli rng 0.0) (List.init 100 Fun.id));
+  Alcotest.(check bool) "p=1 always" true
+    (List.for_all (fun _ -> Util.Rng.bernoulli rng 1.0) (List.init 100 Fun.id));
+  let hits = ref 0 in
+  for _ = 1 to 100_000 do
+    if Util.Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. 100_000.0 in
+  if Float.abs (freq -. 0.3) > 0.02 then Alcotest.failf "bernoulli biased: %f" freq
+
+let test_rng_exponential_mean () =
+  let rng = Util.Rng.create 5 in
+  let s = Util.Stats.create () in
+  for _ = 1 to 50_000 do
+    Util.Stats.add s (Util.Rng.exponential rng ~mean:3.0)
+  done;
+  if Float.abs (Util.Stats.mean s -. 3.0) > 0.1 then
+    Alcotest.failf "exponential mean off: %f" (Util.Stats.mean s)
+
+let test_rng_gaussian_moments () =
+  let rng = Util.Rng.create 6 in
+  let s = Util.Stats.create () in
+  for _ = 1 to 50_000 do
+    Util.Stats.add s (Util.Rng.gaussian rng ~mean:10.0 ~stdev:2.0)
+  done;
+  if Float.abs (Util.Stats.mean s -. 10.0) > 0.1 then Alcotest.fail "gaussian mean off";
+  if Float.abs (Util.Stats.stdev s -. 2.0) > 0.1 then Alcotest.fail "gaussian stdev off"
+
+let test_rng_shuffle_permutation () =
+  let rng = Util.Rng.create 8 in
+  let a = Array.init 50 Fun.id in
+  Util.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* --- Heap --- *)
+
+let test_heap_sorted_drain () =
+  let h = Util.Heap.create () in
+  let rng = Util.Rng.create 9 in
+  let n = 500 in
+  for i = 1 to n do
+    Util.Heap.push h (Util.Rng.float rng 100.0) i
+  done;
+  let prev = ref neg_infinity in
+  let count = ref 0 in
+  let rec drain () =
+    match Util.Heap.pop h with
+    | None -> ()
+    | Some (p, _) ->
+      if p < !prev then Alcotest.fail "heap order violated";
+      prev := p;
+      incr count;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check int) "all drained" n !count
+
+let test_heap_fifo_ties () =
+  let h = Util.Heap.create () in
+  for i = 1 to 10 do
+    Util.Heap.push h 1.0 i
+  done;
+  for i = 1 to 10 do
+    match Util.Heap.pop h with
+    | Some (_, v) -> Alcotest.(check int) "tie order" i v
+    | None -> Alcotest.fail "empty"
+  done
+
+let test_heap_peek () =
+  let h = Util.Heap.create () in
+  Alcotest.(check bool) "empty" true (Util.Heap.peek h = None);
+  Util.Heap.push h 5.0 "b";
+  Util.Heap.push h 1.0 "a";
+  (match Util.Heap.peek h with
+  | Some (p, v) ->
+    Alcotest.(check (float 0.0)) "peek prio" 1.0 p;
+    Alcotest.(check string) "peek val" "a" v
+  | None -> Alcotest.fail "nonempty");
+  Alcotest.(check int) "size" 2 (Util.Heap.size h)
+
+(* --- Stats --- *)
+
+let test_stats_known_values () =
+  let s = Util.Stats.create () in
+  List.iter (Util.Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Util.Stats.mean s);
+  Alcotest.(check (float 1e-3)) "stdev" 2.138 (Util.Stats.stdev s);
+  Alcotest.(check (float 0.0)) "min" 2.0 (Util.Stats.min s);
+  Alcotest.(check (float 0.0)) "max" 9.0 (Util.Stats.max s);
+  Alcotest.(check int) "count" 8 (Util.Stats.count s)
+
+let test_stats_percentiles () =
+  let s = Util.Stats.create () in
+  for i = 1 to 100 do
+    Util.Stats.add s (float_of_int i)
+  done;
+  Alcotest.(check (float 0.0)) "p50" 50.0 (Util.Stats.percentile s 50.0);
+  Alcotest.(check (float 0.0)) "p99" 99.0 (Util.Stats.percentile s 99.0);
+  Alcotest.(check (float 0.0)) "p100" 100.0 (Util.Stats.percentile s 100.0)
+
+let test_stats_empty () =
+  let s = Util.Stats.create () in
+  Alcotest.(check (float 0.0)) "mean 0" 0.0 (Util.Stats.mean s);
+  Alcotest.(check (float 0.0)) "stdev 0" 0.0 (Util.Stats.stdev s);
+  Alcotest.check_raises "percentile raises" (Invalid_argument "Stats.percentile: empty")
+    (fun () -> ignore (Util.Stats.percentile s 50.0))
+
+(* --- Hexdump --- *)
+
+let test_hex_known () =
+  Alcotest.(check string) "encode" "00ff10" (Util.Hexdump.of_string "\x00\xff\x10");
+  Alcotest.(check string) "decode" "\x00\xff\x10" (Util.Hexdump.to_string "00ff10");
+  Alcotest.(check string) "decode upper" "\xab" (Util.Hexdump.to_string "AB")
+
+let test_hex_errors () =
+  Alcotest.check_raises "odd" (Invalid_argument "Hexdump.to_string: odd length") (fun () ->
+      ignore (Util.Hexdump.to_string "abc"));
+  Alcotest.check_raises "bad digit" (Invalid_argument "Hexdump.to_string: bad digit") (fun () ->
+      ignore (Util.Hexdump.to_string "zz"))
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:500 QCheck.string (fun s ->
+      Util.Hexdump.to_string (Util.Hexdump.of_string s) = s)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "primitives" `Quick test_codec_primitives;
+          Alcotest.test_case "varint boundaries" `Quick test_codec_varint_boundaries;
+          Alcotest.test_case "varint negative" `Quick test_codec_varint_negative;
+          Alcotest.test_case "list & option" `Quick test_codec_list_option;
+          Alcotest.test_case "truncation" `Quick test_codec_truncation;
+          Alcotest.test_case "trailing garbage" `Quick test_codec_trailing_garbage;
+          qcheck prop_codec_string_roundtrip;
+          qcheck prop_codec_varint_roundtrip;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "bernoulli" `Quick test_rng_bernoulli;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "sorted drain" `Quick test_heap_sorted_drain;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "peek & size" `Quick test_heap_peek;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "known values" `Quick test_stats_known_values;
+          Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+        ] );
+      ( "hexdump",
+        [
+          Alcotest.test_case "known vectors" `Quick test_hex_known;
+          Alcotest.test_case "errors" `Quick test_hex_errors;
+          qcheck prop_hex_roundtrip;
+        ] );
+    ]

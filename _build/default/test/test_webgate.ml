@@ -1,0 +1,162 @@
+(* Tests for the §3.3.3 web support: the JSON codec and the browser ->
+   bridge -> replica path. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+
+(* --- JSON --- *)
+
+let test_json_parse_basics () =
+  Alcotest.(check string) "null" "null" (Webgate.Json.print (Webgate.Json.parse "null"));
+  Alcotest.(check string) "true" "true" (Webgate.Json.print (Webgate.Json.parse " true "));
+  Alcotest.(check string) "num" "42" (Webgate.Json.print (Webgate.Json.parse "42"));
+  Alcotest.(check string) "neg float" "-2.5" (Webgate.Json.print (Webgate.Json.parse "-2.5"));
+  Alcotest.(check string) "string" {|"hi"|} (Webgate.Json.print (Webgate.Json.parse {|"hi"|}));
+  Alcotest.(check string) "array" "[1,2,3]" (Webgate.Json.print (Webgate.Json.parse "[ 1 , 2, 3 ]"));
+  Alcotest.(check string) "object" {|{"a":1,"b":[true,null]}|}
+    (Webgate.Json.print (Webgate.Json.parse {| { "a" : 1, "b": [true, null] } |}))
+
+let test_json_escapes () =
+  let v = Webgate.Json.parse {|"line\nquote\"back\\slash\tuA"|} in
+  Alcotest.(check string) "unescaped" "line\nquote\"back\\slash\tuA" (Webgate.Json.to_string_exn v);
+  (* Re-printing escapes again and reparses to the same value. *)
+  Alcotest.(check string) "roundtrip" (Webgate.Json.to_string_exn v)
+    (Webgate.Json.to_string_exn (Webgate.Json.parse (Webgate.Json.print v)))
+
+let test_json_errors () =
+  List.iter
+    (fun src ->
+      match Webgate.Json.parse src with
+      | exception Webgate.Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected parse error: %s" src)
+    [ ""; "{"; "[1,"; {|"unterminated|}; "tru"; "{1:2}"; "[1] trailing"; "{\"a\" 1}" ]
+
+let test_json_accessors () =
+  let v = Webgate.Json.parse {|{"s":"x","n":3,"b":false,"o":{"inner":1}}|} in
+  Alcotest.(check string) "member str" "x" (Webgate.Json.to_string_exn (Webgate.Json.member "s" v));
+  Alcotest.(check int) "member int" 3 (Webgate.Json.to_int_exn (Webgate.Json.member "n" v));
+  Alcotest.(check bool) "member bool" false (Webgate.Json.to_bool_exn (Webgate.Json.member "b" v));
+  Alcotest.(check bool) "member_opt none" true (Webgate.Json.member_opt "zzz" v = None);
+  Alcotest.check_raises "shape mismatch" (Webgate.Json.Parse_error "expected string") (fun () ->
+      ignore (Webgate.Json.to_string_exn (Webgate.Json.member "n" v)))
+
+let test_json_bytes_armor () =
+  let raw = "\x00\xff\"\\ binary \n" in
+  let v = Webgate.Json.of_bytes raw in
+  Alcotest.(check string) "roundtrip" raw (Webgate.Json.bytes_exn (Webgate.Json.parse (Webgate.Json.print v)))
+
+let json_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        return Webgate.Json.Null;
+        map (fun b -> Webgate.Json.Bool b) bool;
+        map (fun n -> Webgate.Json.Num (float_of_int n)) small_signed_int;
+        map (fun s -> Webgate.Json.Str s) (string_size ~gen:printable (int_bound 12));
+      ]
+  in
+  let rec tree depth =
+    if depth = 0 then leaf
+    else
+      oneof
+        [
+          leaf;
+          map (fun l -> Webgate.Json.Arr l) (list_size (int_bound 4) (tree (depth - 1)));
+          map
+            (fun l -> Webgate.Json.Obj (List.mapi (fun i v -> (Printf.sprintf "k%d" i, v)) l))
+            (list_size (int_bound 4) (tree (depth - 1)));
+        ]
+  in
+  tree 3
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:300 (QCheck.make json_gen) (fun v ->
+      Webgate.Json.parse (Webgate.Json.print v) = v)
+
+let prop_json_pretty_roundtrip =
+  QCheck.Test.make ~name:"pretty/parse roundtrip" ~count:200 (QCheck.make json_gen) (fun v ->
+      Webgate.Json.parse (Webgate.Json.pretty v) = v)
+
+(* --- browser through bridges --- *)
+
+let web_cluster cfg =
+  let cluster = Pbft.Cluster.create ~seed:21 ~num_clients:1 ~service:(Pbft.Service.counter ()) cfg in
+  Simnet.Trace.set_enabled (Pbft.Cluster.trace cluster) false;
+  let engine = Pbft.Cluster.engine cluster in
+  let net = Pbft.Cluster.net cluster in
+  let bridges =
+    List.init cfg.Pbft.Config.n (fun i ->
+        Webgate.Gateway.Bridge.attach ~cfg ~costs:Pbft.Costmodel.default ~engine ~net ~replica:i)
+  in
+  let rng = Util.Rng.create 99 in
+  let browser =
+    Webgate.Gateway.Browser.create ~cfg ~costs:Pbft.Costmodel.default ~engine ~net ~addr:7777
+      ~signer:(Crypto.Keychain.make Crypto.Keychain.Simulated rng ~id:7777)
+      ~registry:
+        (* The browser library does not verify replica messages beyond
+           quorum agreement; an empty verifier set suffices here. *)
+        { Pbft.Replica.reg_verifiers = [||]; reg_group_secret = ""; reg_static_clients = [] }
+      ()
+  in
+  (cluster, bridges, browser)
+
+let test_browser_join_and_invoke () =
+  let cfg = { (Pbft.Config.default ~f:1) with Pbft.Config.dynamic_clients = true } in
+  let cluster, bridges, browser = web_cluster cfg in
+  let joined = ref None in
+  Webgate.Gateway.Browser.join browser ~idbuf:"webuser:pw" (fun c -> joined := c);
+  Pbft.Cluster.run cluster ~seconds:10.0;
+  (match !joined with
+  | Some _ -> ()
+  | None -> Alcotest.fail "browser join failed");
+  let results = ref [] in
+  let rec go n =
+    if n <= 3 then Webgate.Gateway.Browser.invoke browser "incr" (fun r -> results := r :: !results; go (n + 1))
+  in
+  go 1;
+  Pbft.Cluster.run cluster ~seconds:10.0;
+  Alcotest.(check (list string)) "sequential increments over JSON" [ "1"; "2"; "3" ]
+    (List.rev !results);
+  Alcotest.(check bool) "bridges translated frames" true
+    (List.for_all (fun b -> Webgate.Gateway.Bridge.frames_translated b > 0) bridges)
+
+let test_browser_readonly () =
+  let cfg = { (Pbft.Config.default ~f:1) with Pbft.Config.dynamic_clients = true } in
+  let cluster, _bridges, browser = web_cluster cfg in
+  let got = ref "" in
+  Webgate.Gateway.Browser.join browser ~idbuf:"webuser:pw" (fun _ ->
+      Webgate.Gateway.Browser.invoke browser "incr" (fun _ ->
+          Webgate.Gateway.Browser.invoke browser ~readonly:true "get" (fun r -> got := r)));
+  Pbft.Cluster.run cluster ~seconds:15.0;
+  Alcotest.(check string) "read-only over JSON" "1" !got
+
+let test_bridge_rejects_garbage () =
+  let cfg = { (Pbft.Config.default ~f:1) with Pbft.Config.dynamic_clients = true } in
+  let cluster, bridges, _browser = web_cluster cfg in
+  let net = Pbft.Cluster.net cluster in
+  Simnet.Net.send net ~src:7777 ~dst:(Webgate.Gateway.bridge_addr 0) "not json at all";
+  Simnet.Net.send net ~src:7777 ~dst:(Webgate.Gateway.bridge_addr 0) {|{"type":"nonsense"}|};
+  Pbft.Cluster.run cluster ~seconds:1.0;
+  Alcotest.(check int) "rejected" 2 (Webgate.Gateway.Bridge.rejected (List.hd bridges))
+
+let () =
+  Alcotest.run "webgate"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "binary armour" `Quick test_json_bytes_armor;
+          qcheck prop_json_roundtrip;
+          qcheck prop_json_pretty_roundtrip;
+        ] );
+      ( "browser",
+        [
+          Alcotest.test_case "join + invoke over JSON (§3.3.3)" `Slow test_browser_join_and_invoke;
+          Alcotest.test_case "read-only over JSON" `Slow test_browser_readonly;
+          Alcotest.test_case "bridge rejects garbage" `Quick test_bridge_rejects_garbage;
+        ] );
+    ]

@@ -3,9 +3,14 @@
    micro-benchmark suite for the primitive costs that motivate the
    virtual cost model.
 
-   Usage:  dune exec bench/main.exe [-- section ...]
-   Sections: micro table1 figure1 figure2 figure3 figure4 figure5 acid
-             recovery packet-loss nondet wan ablation all (default) *)
+   Usage:  dune exec bench/main.exe [-- section ... [--quick]]
+   Sections: micro bench table1 figure1 figure2 figure3 figure4 figure5
+             acid recovery packet-loss nondet wan sizes loss ablation
+             all (default)
+   [bench] measures host wall-clock / events-per-sec / SHA-256 bytes-per-sec
+   for the Table-1 and SQL workloads and writes BENCH.json (schema in
+   README.md); [--quick] shortens every virtual duration to 0.3 s for CI
+   smoke runs. *)
 
 open Bechamel
 open Toolkit
@@ -95,12 +100,42 @@ let run_micro () =
 
 let duration = ref 1.5
 let seed = ref 1
+let quick = ref false
 
 let banner name = Printf.printf "\n######## %s ########\n%!" name
+
+(* --- host-time benchmark (BENCH.json) --- *)
+
+let iso8601 () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let run_hostbench () =
+  banner "Host-time benchmark (BENCH.json)";
+  let dur = if !quick then 0.3 else !duration in
+  let print_m (m : Harness.Hostbench.measurement) =
+    Printf.printf "  %-32s host %7.3fs  %9.0f ev/s  %7.2f MB/s hashed  vTPS %9.1f\n%!" m.name
+      m.host_seconds m.events_per_sec m.hashed_mb_per_sec m.virtual_tps
+  in
+  let table1 = Harness.Hostbench.table1_workloads ~seed:!seed ~duration:dur () in
+  List.iter print_m table1;
+  let sql = Harness.Hostbench.sql_workload ~seed:!seed ~duration:dur () in
+  print_m sql;
+  let all = table1 @ [ sql ] in
+  let json = Harness.Hostbench.to_json ~now:(iso8601 ()) all in
+  let oc = open_out "BENCH.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  trace digest: %s\n  wrote BENCH.json (%d workloads)\n%!"
+    (Harness.Hostbench.trace_digest ())
+    (List.length all)
 
 let sections : (string * (unit -> unit)) list =
   [
     ("micro", run_micro);
+    ("bench", run_hostbench);
     ( "figure1",
       fun () ->
         banner "Figure 1 — normal-case operation";
@@ -176,7 +211,17 @@ let sections : (string * (unit -> unit)) list =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let wanted = List.filter (fun a -> a <> "all") args in
+  let wanted =
+    List.filter
+      (function
+        | "--quick" ->
+          quick := true;
+          false
+        | "all" -> false
+        | _ -> true)
+      args
+  in
+  if !quick then duration := 0.3;
   let run_all = wanted = [] in
   (* figure4 duplicates table1's sweep; skip it in the default run. *)
   let default_skip = [ "figure4" ] in

@@ -8,10 +8,37 @@ let normalize_key key =
 
 let xor_with s c = String.map (fun x -> Char.chr (Char.code x lxor c)) s
 
+(* HMAC's first compression block on each side depends only on the key.
+   Session keys are long-lived (they authenticate every message of a
+   connection), so cache the two midstates per key and branch each
+   message off a copy — no pad allocation, no key xor, no message
+   concatenation per call. *)
+type midstate = { inner : Sha256.ctx; outer : Sha256.ctx }
+
+let midstates : (string, midstate) Hashtbl.t = Hashtbl.create 64
+
+let midstate_for key =
+  match Hashtbl.find_opt midstates key with
+  | Some m -> m
+  | None ->
+    if Hashtbl.length midstates > 4096 then Hashtbl.reset midstates;
+    let nk = normalize_key key in
+    let inner = Sha256.init () in
+    Sha256.feed inner (xor_with nk 0x36);
+    let outer = Sha256.init () in
+    Sha256.feed outer (xor_with nk 0x5c);
+    let m = { inner; outer } in
+    Hashtbl.add midstates key m;
+    m
+
 let mac ~key msg =
-  let key = normalize_key key in
-  let inner = Sha256.digest (xor_with key 0x36 ^ msg) in
-  Sha256.digest (xor_with key 0x5c ^ inner)
+  let m = midstate_for key in
+  let c = Sha256.copy m.inner in
+  Sha256.feed c msg;
+  let inner = Sha256.finalize c in
+  let c = Sha256.copy m.outer in
+  Sha256.feed c inner;
+  Sha256.finalize c
 
 let verify ~key msg ~tag =
   let expected = mac ~key msg in

@@ -17,6 +17,16 @@ type ctx
 (** Streaming interface for hashing large state pages without copying. *)
 
 val init : unit -> ctx
+
+val copy : ctx -> ctx
+(** Snapshot of the running state — lets a caller cache a midstate (e.g.
+    HMAC's key pads) and branch many messages off it. *)
+
 val feed : ctx -> string -> unit
 val feed_bytes : ctx -> bytes -> pos:int -> len:int -> unit
 val finalize : ctx -> string
+
+val bytes_hashed : unit -> int
+(** Host-side instrumentation: total message bytes hashed process-wide
+    since startup (across all contexts). Monotone; sample before/after a
+    workload and subtract. *)

@@ -2,6 +2,18 @@
     experiment index). Each returns a {!Report.t}; [duration] trades
     precision for wall-clock time. *)
 
+val with_flags :
+  dynamic:bool -> macs:bool -> allbig:bool -> batching:bool -> Pbft.Config.t -> Pbft.Config.t
+(** Apply one Table-1 library-configuration row's flags to a base config. *)
+
+val table1_rows : (string * float * (bool * bool * bool * bool)) list
+(** The ten rows of Table 1: name, paper TPS, and
+    (dynamic, macs, allbig, batching) flags. *)
+
+val sql_spec : ?seed:int -> ?duration:float -> acid:bool -> Pbft.Config.t -> Scenario.spec
+(** The Figure-5 workload: single-row SQL INSERTs against the replicated
+    relational engine. *)
+
 val table1 : ?seed:int -> ?duration:float -> unit -> Report.t
 (** Table 1: the ten library configurations under 1024-byte null
     operations, 12 clients / 4 replicas. *)

@@ -1,0 +1,106 @@
+type measurement = {
+  name : string;
+  host_seconds : float;
+  events : int;
+  events_per_sec : float;
+  bytes_hashed : int;
+  hashed_mb_per_sec : float;
+  virtual_tps : float;
+  completed : int;
+}
+
+let measure ~name spec =
+  let t0 = Unix.gettimeofday () in
+  let h0 = Crypto.Sha256.bytes_hashed () in
+  let outcome, cluster = Scenario.run_cluster spec in
+  let host_seconds = Unix.gettimeofday () -. t0 in
+  let bytes_hashed = Crypto.Sha256.bytes_hashed () - h0 in
+  let events = Simnet.Engine.events (Pbft.Cluster.engine cluster) in
+  let per_sec n = if host_seconds > 0.0 then float_of_int n /. host_seconds else 0.0 in
+  {
+    name;
+    host_seconds;
+    events;
+    events_per_sec = per_sec events;
+    bytes_hashed;
+    hashed_mb_per_sec = per_sec bytes_hashed /. 1e6;
+    virtual_tps = outcome.Scenario.tps;
+    completed = outcome.Scenario.completed;
+  }
+
+let base_cfg () = Pbft.Config.default ~f:1
+
+let null_spec ~seed ~duration cfg =
+  { (Scenario.default_spec cfg) with Scenario.seed; duration }
+
+let row_spec ~seed ~duration (dynamic, macs, allbig, batching) =
+  Experiments.with_flags ~dynamic ~macs ~allbig ~batching (base_cfg ())
+  |> null_spec ~seed ~duration
+
+let table1_workloads ?(seed = 1) ?(duration = 1.5) () =
+  List.map
+    (fun (name, _paper, flags) ->
+      measure ~name:("table1:" ^ name) (row_spec ~seed ~duration flags))
+    Experiments.table1_rows
+
+let default_flags = (false, true, true, true)
+
+let table1_default ?(seed = 1) ?(duration = 1.5) () =
+  measure ~name:"table1:sta_mac_allbig_batch" (row_spec ~seed ~duration default_flags)
+
+let sql_workload ?(seed = 1) ?(duration = 1.5) () =
+  let cfg =
+    Experiments.with_flags ~dynamic:false ~macs:true ~allbig:true ~batching:true (base_cfg ())
+  in
+  measure ~name:"sql:insert_acid" (Experiments.sql_spec ~seed ~duration ~acid:true cfg)
+
+let trace_digest ?(seed = 1) ?(seconds = 0.3) () =
+  let dynamic, macs, allbig, batching = default_flags in
+  let cfg = Experiments.with_flags ~dynamic ~macs ~allbig ~batching (base_cfg ()) in
+  let spec =
+    { (Scenario.default_spec cfg) with Scenario.seed; warmup = 0.1; duration = seconds }
+  in
+  let trace_ref = ref None in
+  let outcome, _cluster =
+    Scenario.run_cluster
+      ~hook:(fun cluster ->
+        let tr = Pbft.Cluster.trace cluster in
+        (* run_cluster disables tracing for speed; the digest needs the
+           full message log back on. *)
+        Simnet.Trace.set_enabled tr true;
+        trace_ref := Some tr)
+      spec
+  in
+  let tr = Option.get !trace_ref in
+  let ctx = Crypto.Sha256.init () in
+  List.iter
+    (fun (e : Simnet.Trace.entry) ->
+      Crypto.Sha256.feed ctx
+        (Printf.sprintf "%.9f|%d|%d|%s|%d|%s\n" e.time e.src e.dst e.label e.size e.detail))
+    (Simnet.Trace.entries tr);
+  Crypto.Sha256.feed ctx (Printf.sprintf "completed=%d" outcome.Scenario.completed);
+  Util.Hexdump.of_string (Crypto.Sha256.finalize ctx)
+
+let to_json ?(now = "unknown") ms =
+  let open Webgate.Json in
+  let workload m =
+    Obj
+      [
+        ("name", Str m.name);
+        ("host_seconds", Num m.host_seconds);
+        ("events", Num (float_of_int m.events));
+        ("events_per_sec", Num m.events_per_sec);
+        ("bytes_hashed", Num (float_of_int m.bytes_hashed));
+        ("hashed_mb_per_sec", Num m.hashed_mb_per_sec);
+        ("virtual_tps", Num m.virtual_tps);
+        ("completed", Num (float_of_int m.completed));
+      ]
+  in
+  pretty
+    (Obj
+       [
+         ("schema", Str "pbft-repro/bench/v1");
+         ("generated", Str now);
+         ("trace_digest", Str (trace_digest ()));
+         ("workloads", Arr (List.map workload ms));
+       ])

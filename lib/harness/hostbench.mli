@@ -1,0 +1,47 @@
+(** Host wall-clock benchmark harness.
+
+    Every regenerator in {!Experiments} reports *virtual*-time results; the
+    binding constraint on how large an experiment we can afford is the
+    *host* CPU cost of replaying simulated messages through the
+    encode → MAC → digest → decode hot path. This module measures that
+    cost: host seconds, simulator events/sec and SHA-256 bytes/sec for the
+    Table-1 workloads and the SQL INSERT workload, next to the virtual TPS
+    they produce. [to_json] renders the BENCH.json perf-trajectory
+    artifact that later optimization PRs are judged against. *)
+
+type measurement = {
+  name : string;  (** workload identifier, e.g. ["table1:sta_mac_allbig_batch"] *)
+  host_seconds : float;  (** host wall-clock for the whole run (incl. warmup) *)
+  events : int;  (** simulator events executed *)
+  events_per_sec : float;  (** events / host_seconds *)
+  bytes_hashed : int;  (** SHA-256 input bytes consumed by the run *)
+  hashed_mb_per_sec : float;  (** bytes_hashed / host_seconds, in MB/s *)
+  virtual_tps : float;  (** virtual-time requests/sec from the scenario *)
+  completed : int;  (** requests completed in the measured window *)
+}
+
+val measure : name:string -> Scenario.spec -> measurement
+(** Run the scenario once, sampling host clock, engine event count and the
+    process-wide SHA-256 byte counter around it. *)
+
+val table1_workloads : ?seed:int -> ?duration:float -> unit -> measurement list
+(** One measurement per Table-1 row (the ten library configurations,
+    1024-byte null operations). *)
+
+val table1_default : ?seed:int -> ?duration:float -> unit -> measurement
+(** Just the default configuration (MACs + all-big + batching) — the
+    headline row used for before/after speedup comparisons. *)
+
+val sql_workload : ?seed:int -> ?duration:float -> unit -> measurement
+(** The Figure-5 SQL INSERT workload (ACID, batching on, default flags). *)
+
+val trace_digest : ?seed:int -> ?seconds:float -> unit -> string
+(** Hex SHA-256 over the full message trace (time, src, dst, label, size,
+    detail of every datagram) plus the completed-request count of a short
+    seeded default-configuration run. Any behavioural change to the
+    simulation — event ordering, message bytes, timing — changes this
+    digest; pure host-time optimizations must not. *)
+
+val to_json : ?now:string -> measurement list -> string
+(** Render the BENCH.json document (see README.md for the schema). [now]
+    is an ISO-8601 timestamp recorded verbatim; omitted → ["unknown"]. *)

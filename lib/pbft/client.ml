@@ -79,11 +79,12 @@ let send_payload t ~dst payload ~signed =
         t.costs.mac_gen )
     end
   in
-  let wire = Message.encode { payload; auth } in
+  let wire = Message.encode_wire ~payload_bytes:pb auth in
   charge t
     (auth_cost +. send_cost t (String.length wire))
     (fun () ->
-      Simnet.Net.send t.net ~label:(Message.label payload) ~detail:(Message.describe payload)
+      Simnet.Net.send t.net ~label:(Message.label payload)
+        ~detail:(fun () -> Message.describe payload)
         ~src:t.caddr ~dst wire)
 
 (* Multicast with a shared authenticator: authentication generated once,
@@ -99,14 +100,14 @@ let multicast_payload t payload ~signed =
         float_of_int t.cfg.n *. t.costs.mac_gen )
     end
   in
-  let wire = Message.encode { payload; auth } in
+  let wire = Message.encode_wire ~payload_bytes:pb auth in
+  let label = Message.label payload in
+  let detail () = Message.describe payload in
   charge t
     (auth_cost +. (float_of_int t.cfg.n *. send_cost t (String.length wire)))
     (fun () ->
       List.iter
-        (fun dst ->
-          Simnet.Net.send t.net ~label:(Message.label payload)
-            ~detail:(Message.describe payload) ~src:t.caddr ~dst wire)
+        (fun dst -> Simnet.Net.send t.net ~label ~detail ~src:t.caddr ~dst wire)
         (replica_ids t))
 
 let announce_session_keys t =

@@ -101,7 +101,14 @@ val decode : string -> t option
 
 val payload_bytes : payload -> string
 (** Canonical encoding of the payload alone — the byte string that is
-    signed / MACed and digested. *)
+    signed / MACed and digested. Memoized by physical equality over the
+    most recently encoded/decoded payloads. *)
+
+val encode_wire : payload_bytes:string -> auth -> string
+(** Assemble the wire form from already-encoded payload bytes plus the
+    authenticator — the encode-once multicast path: serialize the payload
+    once, then call this per wire (the bytes themselves can be reused
+    across destinations when the auth is shared too). *)
 
 val digest_of_payload : payload -> digest
 val request_digest : request -> digest

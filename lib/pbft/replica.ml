@@ -182,27 +182,37 @@ let check_auth t ~src (msg : Message.t) =
 (* ------------------------------------------------------------------ *)
 (* Sending.                                                             *)
 
-let send_wire t ~dst ~already_charged (payload : Message.payload) auth =
-  let msg : Message.t = { payload; auth } in
-  let wire = Message.encode msg in
-  let label = Message.label payload and detail = Message.describe payload in
+(* Encode-once: the wire bytes are built by the caller (serializing the
+   payload a single time even for a multicast) and only the send cost and
+   trace metadata are handled here. *)
+let send_wire t ~dst ~already_charged ~label ~detail wire =
   let go () = Simnet.Net.send t.net ~label ~detail ~src:t.id ~dst wire in
   if already_charged then go () else charge t (send_cost t (String.length wire)) go
 
 let send_to t ?(already_charged = false) ~dst payload =
   let pb = Message.payload_bytes payload in
   let auth = make_auth_to t pb dst in
+  let wire = Message.encode_wire ~payload_bytes:pb auth in
+  let label = Message.label payload in
+  let detail () = Message.describe payload in
   let auth_cost = if already_charged then 0.0 else Costmodel.auth_gen t.costs t.cfg in
-  if already_charged then send_wire t ~dst ~already_charged:true payload auth
-  else charge t auth_cost (fun () -> send_wire t ~dst ~already_charged:false payload auth)
+  if already_charged then send_wire t ~dst ~already_charged:true ~label ~detail wire
+  else charge t auth_cost (fun () -> send_wire t ~dst ~already_charged:false ~label ~detail wire)
 
 let multicast_replicas t ?(already_charged = false) payload =
   let pb = Message.payload_bytes payload in
   let auth = make_auth_multicast t pb in
+  (* One authenticator covers every destination (it carries all n−1 MAC
+     tags), so the whole wire string is shared across peers; receivers'
+     decode collapses to a cache hit on the same physical string. *)
+  let wire = Message.encode_wire ~payload_bytes:pb auth in
+  let label = Message.label payload in
+  let detail () = Message.describe payload in
   let auth_cost = if already_charged then 0.0 else Costmodel.auth_gen t.costs t.cfg in
   let go () =
     List.iter
-      (fun peer -> if peer <> t.id then send_wire t ~dst:peer ~already_charged payload auth)
+      (fun peer ->
+        if peer <> t.id then send_wire t ~dst:peer ~already_charged ~label ~detail wire)
       (replica_addrs t)
   in
   if already_charged then go () else charge t auth_cost go
@@ -231,8 +241,11 @@ let broadcast_session_keys t =
            is being distributed). *)
         let pb = Message.payload_bytes payload in
         let auth = Message.Signed (Crypto.Keychain.sign t.signer pb) in
+        let wire = Message.encode_wire ~payload_bytes:pb auth in
+        let label = Message.label payload in
+        let detail () = Message.describe payload in
         charge t (t.costs.sign +. send_cost t (String.length pb + 80)) (fun () ->
-            send_wire t ~dst:peer ~already_charged:true payload auth)
+            send_wire t ~dst:peer ~already_charged:true ~label ~detail wire)
       end)
     (replica_addrs t)
 

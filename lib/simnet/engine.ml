@@ -2,11 +2,19 @@ type timer = { mutable cancelled : bool }
 
 type event = { fire : unit -> unit; guard : timer option }
 
-type t = { mutable clock : float; queue : event Util.Heap.t; root_rng : Util.Rng.t }
+type t = {
+  mutable clock : float;
+  queue : event Util.Heap.t;
+  root_rng : Util.Rng.t;
+  mutable events : int;
+}
 
-let create ~seed = { clock = 0.0; queue = Util.Heap.create (); root_rng = Util.Rng.create seed }
+let create ~seed =
+  { clock = 0.0; queue = Util.Heap.create (); root_rng = Util.Rng.create seed; events = 0 }
+
 let now t = t.clock
 let rng t = t.root_rng
+let events t = t.events
 
 let schedule_at t ~time f =
   let time = if time < t.clock then t.clock else time in
@@ -45,6 +53,7 @@ let step t =
   | None -> false
   | Some (time, ev) ->
     t.clock <- Float.max t.clock time;
+    t.events <- t.events + 1;
     if live ev then ev.fire ();
     true
 

@@ -42,3 +42,7 @@ val step : t -> bool
 (** Process one event; false if the queue is empty. *)
 
 val pending : t -> int
+
+val events : t -> int
+(** Total events executed since [create] — a host-side throughput
+    denominator; does not affect virtual time. *)

@@ -84,18 +84,23 @@ let one_shot_drop_matches t ~src ~dst ~label =
   if hit then t.drops <- List.filter (fun d -> not d.used) t.drops;
   hit
 
+(* [detail] is a thunk so senders skip rendering it (a sprintf per
+   message) whenever tracing is off — the common case for experiments. *)
 let record t ~src ~dst ~label ~detail ~size ~delivered =
-  Trace.record t.trace
-    {
-      time = Engine.now t.engine;
-      src;
-      dst;
-      label = (if delivered then label else label ^ " [LOST]");
-      detail;
-      size;
-    }
+  if Trace.enabled t.trace then
+    Trace.record t.trace
+      {
+        time = Engine.now t.engine;
+        src;
+        dst;
+        label = (if delivered then label else label ^ " [LOST]");
+        detail = detail ();
+        size;
+      }
 
-let send t ?(label = "msg") ?(detail = "") ~src ~dst payload =
+let no_detail () = ""
+
+let send t ?(label = "msg") ?(detail = no_detail) ~src ~dst payload =
   let size = String.length payload in
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + size;
@@ -134,15 +139,16 @@ let send t ?(label = "msg") ?(detail = "") ~src ~dst payload =
           in
           if overflow then begin
             t.dropped <- t.dropped + 1;
-            Trace.record t.trace
-              {
-                time = Engine.now t.engine;
-                src;
-                dst;
-                label = label ^ " [OVERFLOW]";
-                detail;
-                size;
-              }
+            if Trace.enabled t.trace then
+              Trace.record t.trace
+                {
+                  time = Engine.now t.engine;
+                  src;
+                  dst;
+                  label = label ^ " [OVERFLOW]";
+                  detail = detail ();
+                  size;
+                }
           end
           else begin
             t.delivered <- t.delivered + 1;

@@ -38,8 +38,9 @@ val register : t -> addr -> (src:addr -> string -> unit) -> unit
 val unregister : t -> addr -> unit
 (** Datagrams to an unbound address are dropped silently, like UDP. *)
 
-val send : t -> ?label:string -> ?detail:string -> src:addr -> dst:addr -> string -> unit
-(** Fire-and-forget datagram. *)
+val send : t -> ?label:string -> ?detail:(unit -> string) -> src:addr -> dst:addr -> string -> unit
+(** Fire-and-forget datagram. [detail] is forced only when the trace is
+    enabled, so hot-path senders pay nothing for rich trace lines. *)
 
 val set_loss : t -> float -> unit
 val loss : t -> float

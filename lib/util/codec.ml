@@ -1,33 +1,76 @@
 module W = struct
-  type t = Buffer.t
+  type t = { mutable buf : Bytes.t; mutable len : int }
 
-  let create ?(capacity = 256) () = Buffer.create capacity
-  let length = Buffer.length
-  let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+  let create ?(capacity = 256) () = { buf = Bytes.create (max capacity 16); len = 0 }
+  let length t = t.len
+
+  let ensure t extra =
+    let need = t.len + extra in
+    let cap = Bytes.length t.buf in
+    if need > cap then begin
+      let cap' = ref (cap * 2) in
+      while need > !cap' do
+        cap' := !cap' * 2
+      done;
+      let bigger = Bytes.create !cap' in
+      Bytes.blit t.buf 0 bigger 0 t.len;
+      t.buf <- bigger
+    end
+
+  let u8 t v =
+    ensure t 1;
+    Bytes.unsafe_set t.buf t.len (Char.unsafe_chr (v land 0xff));
+    t.len <- t.len + 1
 
   let u16 t v =
-    u8 t v;
-    u8 t (v lsr 8)
+    ensure t 2;
+    Bytes.unsafe_set t.buf t.len (Char.unsafe_chr (v land 0xff));
+    Bytes.unsafe_set t.buf (t.len + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+    t.len <- t.len + 2
 
   let u32 t v =
-    u16 t v;
-    u16 t (v lsr 16)
+    ensure t 4;
+    Bytes.unsafe_set t.buf t.len (Char.unsafe_chr (v land 0xff));
+    Bytes.unsafe_set t.buf (t.len + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+    Bytes.unsafe_set t.buf (t.len + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+    Bytes.unsafe_set t.buf (t.len + 3) (Char.unsafe_chr ((v lsr 24) land 0xff));
+    t.len <- t.len + 4
 
-  let u64 t v = Buffer.add_int64_le t v
+  let u64 t v =
+    ensure t 8;
+    Bytes.set_int64_le t.buf t.len v;
+    t.len <- t.len + 8
+
   let int_as_u64 t v = u64 t (Int64.of_int v)
   let f64 t v = u64 t (Int64.bits_of_float v)
 
-  let rec varint t v =
-    if v < 0 then invalid_arg "Codec.W.varint: negative"
-    else if v < 0x80 then u8 t v
-    else begin
-      u8 t (0x80 lor (v land 0x7f));
-      varint t (v lsr 7)
-    end
+  (* A varint is at most 9 bytes (63-bit non-negative int, 7 bits per
+     byte); reserve once and loop — no recursion, one bounds check. *)
+  let varint t v =
+    if v < 0 then invalid_arg "Codec.W.varint: negative";
+    ensure t 9;
+    let v = ref v in
+    while !v >= 0x80 do
+      Bytes.unsafe_set t.buf t.len (Char.unsafe_chr (0x80 lor (!v land 0x7f)));
+      t.len <- t.len + 1;
+      v := !v lsr 7
+    done;
+    Bytes.unsafe_set t.buf t.len (Char.unsafe_chr !v);
+    t.len <- t.len + 1
 
   let bool t v = u8 t (if v then 1 else 0)
-  let bytes t b = Buffer.add_bytes t b
-  let string t s = Buffer.add_string t s
+
+  let bytes t b =
+    let n = Bytes.length b in
+    ensure t n;
+    Bytes.blit b 0 t.buf t.len n;
+    t.len <- t.len + n
+
+  let string t s =
+    let n = String.length s in
+    ensure t n;
+    Bytes.blit_string s 0 t.buf t.len n;
+    t.len <- t.len + n
 
   let lbytes t b =
     varint t (Bytes.length b);
@@ -47,7 +90,7 @@ module W = struct
       bool t true;
       enc t v
 
-  let contents = Buffer.contents
+  let contents t = Bytes.sub_string t.buf 0 t.len
 end
 
 module R = struct
@@ -83,10 +126,16 @@ module R = struct
   let int_of_u64 t = Int64.to_int (u64 t)
   let f64 t = Int64.float_of_bits (u64 t)
 
+  (* Defensive decode (Byzantine path): a well-formed varint is at most 9
+     bytes, and the 9th byte may carry only the top 7 bits of a 63-bit
+     int, i.e. must be <= max_int lsr 56 = 0x3f. Anything longer or
+     larger would wrap into the sign bit, so a malformed wire can neither
+     loop nor produce a negative length. *)
   let varint t =
     let rec go shift acc =
       if shift > 56 then raise Truncated;
       let b = u8 t in
+      if shift = 56 && b > 0x3f then raise Truncated;
       let acc = acc lor ((b land 0x7f) lsl shift) in
       if b land 0x80 = 0 then acc else go (shift + 7) acc
     in

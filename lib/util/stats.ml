@@ -52,6 +52,10 @@ let percentile t p =
   a.(idx)
 
 let median t = percentile t 50.0
+let pct_or_zero t p = if t.n = 0 then 0.0 else percentile t p
+let p50 t = pct_or_zero t 50.0
+let p95 t = pct_or_zero t 95.0
+let p99 t = pct_or_zero t 99.0
 
 let summary t =
   if t.n = 0 then "n=0"

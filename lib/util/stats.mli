@@ -21,5 +21,11 @@ val percentile : t -> float -> float
 
 val median : t -> float
 
+val p50 : t -> float
+val p95 : t -> float
+val p99 : t -> float
+(** Nearest-rank percentile conveniences for benchmark reporting; unlike
+    {!percentile} they return [0.0] on an empty accumulator. *)
+
 val summary : t -> string
 (** One-line rendering: count, mean, stdev, min/median/max. *)

@@ -42,6 +42,60 @@ let prop_sha_streaming_matches_oneshot =
       feed 0 cuts;
       Crypto.Sha256.finalize ctx = Crypto.Sha256.digest s)
 
+(* Exercise every split position the unboxed core treats differently:
+   empty feeds, sub-block fills, the 55/56/57 padding boundary, exact
+   block edges, and multi-block tails read straight from the caller's
+   buffer. *)
+let test_sha_split_points () =
+  let msgs =
+    List.map fst sha_vectors
+    @ [ String.init 200 (fun i -> Char.chr (i land 0xff)); String.make 1000 'q' ]
+  in
+  let splits = [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 127; 128; 129 ] in
+  List.iter
+    (fun msg ->
+      let n = String.length msg in
+      let want = Crypto.Sha256.digest msg in
+      List.iter
+        (fun cut ->
+          if cut <= n then begin
+            let ctx = Crypto.Sha256.init () in
+            Crypto.Sha256.feed ctx (String.sub msg 0 cut);
+            Crypto.Sha256.feed ctx (String.sub msg cut (n - cut));
+            Alcotest.(check string)
+              (Printf.sprintf "len %d cut %d" n cut)
+              (Util.Hexdump.of_string want)
+              (Util.Hexdump.of_string (Crypto.Sha256.finalize ctx))
+          end)
+        splits)
+    msgs
+
+let test_sha_copy_branches () =
+  let prefix = String.make 70 'p' in
+  let ctx = Crypto.Sha256.init () in
+  Crypto.Sha256.feed ctx prefix;
+  let a = Crypto.Sha256.copy ctx in
+  let b = Crypto.Sha256.copy ctx in
+  Crypto.Sha256.feed a "left";
+  Crypto.Sha256.feed b "right-side suffix";
+  Alcotest.(check string) "branch a"
+    (Crypto.Sha256.hex (prefix ^ "left"))
+    (Util.Hexdump.of_string (Crypto.Sha256.finalize a));
+  Alcotest.(check string) "branch b"
+    (Crypto.Sha256.hex (prefix ^ "right-side suffix"))
+    (Util.Hexdump.of_string (Crypto.Sha256.finalize b));
+  (* The original must be unaffected by what its copies hashed. *)
+  Crypto.Sha256.feed ctx "tail";
+  Alcotest.(check string) "original intact"
+    (Crypto.Sha256.hex (prefix ^ "tail"))
+    (Util.Hexdump.of_string (Crypto.Sha256.finalize ctx))
+
+let test_sha_bytes_hashed_counter () =
+  let before = Crypto.Sha256.bytes_hashed () in
+  ignore (Crypto.Sha256.digest (String.make 123 'x'));
+  let after = Crypto.Sha256.bytes_hashed () in
+  Alcotest.(check bool) "counter advanced by at least the input" true (after - before >= 123)
+
 let test_sha_feed_bytes_bounds () =
   let ctx = Crypto.Sha256.init () in
   Alcotest.check_raises "bad range" (Invalid_argument "Sha256.feed_bytes") (fun () ->
@@ -80,6 +134,24 @@ let test_mac_basic () =
   Alcotest.(check int) "tag size" Crypto.Mac.tag_size (String.length tag);
   Alcotest.(check bool) "verifies" true (Crypto.Mac.verify ~key "payload" ~tag);
   Alcotest.(check bool) "rejects" false (Crypto.Mac.verify ~key "other" ~tag)
+
+(* The compute memo must be invisible: same (key, message) pair always
+   yields the same tag whether served from the cache (physically shared
+   message) or recomputed (content-equal copy). *)
+let test_mac_memo_transparent () =
+  let rng = Util.Rng.create 7 in
+  let key = Crypto.Mac.fresh_key rng in
+  let key' = Crypto.Mac.fresh_key rng in
+  let msg = "the same wire bytes, shared across receivers" in
+  let tag = Crypto.Mac.compute ~key msg in
+  Alcotest.(check string) "stable on repeat" tag (Crypto.Mac.compute ~key msg);
+  let copy = String.sub msg 0 (String.length msg) in
+  Alcotest.(check bool) "fresh allocation" true (copy != msg);
+  Alcotest.(check string) "content-equal copy matches" tag (Crypto.Mac.compute ~key copy);
+  Alcotest.(check bool) "different key differs" (tag <> Crypto.Mac.compute ~key:key' msg) true;
+  Alcotest.(check bool) "verify accepts" true (Crypto.Mac.verify ~key msg ~tag);
+  Alcotest.(check bool) "verify rejects wrong tag" false
+    (Crypto.Mac.verify ~key msg ~tag:(String.make Crypto.Mac.tag_size '\x00'))
 
 (* --- authenticators --- *)
 
@@ -300,6 +372,9 @@ let () =
           Alcotest.test_case "NIST vectors" `Quick test_sha_vectors;
           Alcotest.test_case "million a" `Slow test_sha_million_a;
           Alcotest.test_case "feed_bytes bounds" `Quick test_sha_feed_bytes_bounds;
+          Alcotest.test_case "incremental split points" `Quick test_sha_split_points;
+          Alcotest.test_case "copy branches" `Quick test_sha_copy_branches;
+          Alcotest.test_case "bytes_hashed counter" `Quick test_sha_bytes_hashed_counter;
           qcheck prop_sha_streaming_matches_oneshot;
         ] );
       ( "hmac",
@@ -307,7 +382,11 @@ let () =
           Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231;
           Alcotest.test_case "verify" `Quick test_hmac_verify;
         ] );
-      ("mac", [ Alcotest.test_case "basics" `Quick test_mac_basic ]);
+      ( "mac",
+        [
+          Alcotest.test_case "basics" `Quick test_mac_basic;
+          Alcotest.test_case "memo transparency" `Quick test_mac_memo_transparent;
+        ] );
       ( "authenticator",
         [
           Alcotest.test_case "per-replica tags" `Quick test_authenticator;

@@ -248,6 +248,35 @@ let test_figure_traces_nonempty () =
       Alcotest.(check bool) ("figure2 has " ^ needle) true (contains f2 needle))
     [ "join-request"; "join-challenge"; "join-response"; "join-reply" ]
 
+(* --- host-time benchmark harness --- *)
+
+(* The perf caches (wire sharing, digest memos, MAC memo) must not leak
+   into simulation semantics: the same seed must yield the same
+   virtual-time trace, entry for entry. *)
+let test_trace_digest_deterministic () =
+  let d1 = Harness.Hostbench.trace_digest ~seed:11 ~seconds:0.15 () in
+  let d2 = Harness.Hostbench.trace_digest ~seed:11 ~seconds:0.15 () in
+  Alcotest.(check string) "same seed, same trace" d1 d2;
+  let d3 = Harness.Hostbench.trace_digest ~seed:12 ~seconds:0.15 () in
+  Alcotest.(check bool) "different seed, different trace" true (d1 <> d3)
+
+let test_hostbench_measure_and_json () =
+  let m =
+    { (Harness.Hostbench.table1_default ~seed:3 ~duration:0.2 ()) with Harness.Hostbench.name = "smoke" }
+  in
+  Alcotest.(check bool) "events counted" true (m.Harness.Hostbench.events > 0);
+  Alcotest.(check bool) "bytes hashed" true (m.Harness.Hostbench.bytes_hashed > 0);
+  Alcotest.(check bool) "virtual tps positive" true (m.Harness.Hostbench.virtual_tps > 0.0);
+  Alcotest.(check bool) "host time sane" true (m.Harness.Hostbench.host_seconds >= 0.0);
+  let json = Webgate.Json.parse (Harness.Hostbench.to_json ~now:"test" [ m ]) in
+  Alcotest.(check string) "schema tag" "pbft-repro/bench/v1"
+    (Webgate.Json.to_string_exn (Webgate.Json.member "schema" json));
+  match Webgate.Json.member "workloads" json with
+  | Webgate.Json.Arr [ w ] ->
+    Alcotest.(check string) "workload name" "smoke"
+      (Webgate.Json.to_string_exn (Webgate.Json.member "name" w))
+  | _ -> Alcotest.fail "workloads should hold the one measurement"
+
 let () =
   Alcotest.run "integration"
     [
@@ -277,5 +306,10 @@ let () =
           Alcotest.test_case "dynamic scenario" `Slow test_scenario_dynamic_mode;
           Alcotest.test_case "report rendering" `Quick test_report_rendering;
           Alcotest.test_case "figure traces" `Slow test_figure_traces_nonempty;
+        ] );
+      ( "hostbench",
+        [
+          Alcotest.test_case "trace digest deterministic" `Slow test_trace_digest_deterministic;
+          Alcotest.test_case "measure & BENCH.json shape" `Slow test_hostbench_measure_and_json;
         ] );
     ]

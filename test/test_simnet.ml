@@ -201,7 +201,7 @@ let test_trace_capture () =
   let e = Simnet.Engine.create ~seed:1 in
   let net = Simnet.Net.create e quiet_profile in
   Simnet.Net.register net 1 (fun ~src:_ _ -> ());
-  Simnet.Net.send net ~label:"ping" ~detail:"d" ~src:0 ~dst:1 "x";
+  Simnet.Net.send net ~label:"ping" ~detail:(fun () -> "d") ~src:0 ~dst:1 "x";
   Simnet.Engine.run e;
   let tr = Simnet.Net.trace net in
   let entries = Simnet.Trace.filter tr (fun en -> en.Simnet.Trace.label = "ping") in

@@ -53,6 +53,117 @@ let test_codec_trailing_garbage () =
   Alcotest.check_raises "trailing" Util.Codec.R.Truncated (fun () ->
       ignore (Util.Codec.decode Util.Codec.R.varint full))
 
+(* The Bytes writer must be byte-for-byte compatible with the original
+   Buffer-based writer it replaced; the reference implementation lives
+   here, frozen. *)
+module RefW = struct
+  let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+  let u16 b v =
+    u8 b v;
+    u8 b (v lsr 8)
+
+  let u32 b v =
+    u16 b v;
+    u16 b (v lsr 16)
+
+  let u64 b v = Buffer.add_int64_le b v
+  let f64 b v = u64 b (Int64.bits_of_float v)
+
+  let rec varint b v =
+    if v < 0x80 then u8 b v
+    else begin
+      u8 b (0x80 lor (v land 0x7f));
+      varint b (v lsr 7)
+    end
+
+  let bool b v = u8 b (if v then 1 else 0)
+
+  let lstring b s =
+    varint b (String.length s);
+    Buffer.add_string b s
+end
+
+type wop =
+  | OU8 of int
+  | OU16 of int
+  | OU32 of int
+  | OU64 of int64
+  | OF64 of float
+  | OVarint of int
+  | OBool of bool
+  | OStr of string
+  | OLStr of string
+
+let apply_w w = function
+  | OU8 v -> Util.Codec.W.u8 w v
+  | OU16 v -> Util.Codec.W.u16 w v
+  | OU32 v -> Util.Codec.W.u32 w v
+  | OU64 v -> Util.Codec.W.u64 w v
+  | OF64 v -> Util.Codec.W.f64 w v
+  | OVarint v -> Util.Codec.W.varint w v
+  | OBool v -> Util.Codec.W.bool w v
+  | OStr s -> Util.Codec.W.string w s
+  | OLStr s -> Util.Codec.W.lstring w s
+
+let apply_ref b = function
+  | OU8 v -> RefW.u8 b v
+  | OU16 v -> RefW.u16 b v
+  | OU32 v -> RefW.u32 b v
+  | OU64 v -> RefW.u64 b v
+  | OF64 v -> RefW.f64 b v
+  | OVarint v -> RefW.varint b v
+  | OBool v -> RefW.bool b v
+  | OStr s -> Buffer.add_string b s
+  | OLStr s -> RefW.lstring b s
+
+let gen_wop =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun v -> OU8 v) (int_bound 255);
+        map (fun v -> OU16 v) (int_bound 65535);
+        map (fun v -> OU32 v) (int_bound 0xffffff);
+        map (fun v -> OU64 v) ui64;
+        map (fun v -> OF64 v) float;
+        map (fun v -> OVarint (v land max_int)) int;
+        map (fun v -> OBool v) bool;
+        map (fun s -> OStr s) string;
+        map (fun s -> OLStr s) string;
+      ])
+
+let prop_writer_matches_reference =
+  QCheck.Test.make ~name:"Bytes writer = reference Buffer writer" ~count:1000
+    (QCheck.make QCheck.Gen.(list_size (int_bound 40) gen_wop))
+    (fun ops ->
+      let w = Util.Codec.W.create ~capacity:1 () in
+      let b = Buffer.create 16 in
+      List.iter (apply_w w) ops;
+      List.iter (apply_ref b) ops;
+      String.equal (Util.Codec.W.contents w) (Buffer.contents b)
+      && Util.Codec.W.length w = Buffer.length b)
+
+let test_codec_varint_overflow_guard () =
+  let dec s = Util.Codec.R.varint (Util.Codec.R.of_string s) in
+  (* max_int is the longest legal varint: 8 continuation bytes + 0x3f. *)
+  Alcotest.(check int) "max_int decodes" max_int (dec "\xff\xff\xff\xff\xff\xff\xff\xff\x3f");
+  (* 9th byte above 0x3f would wrap into the sign bit. *)
+  Alcotest.check_raises "9th byte too large" Util.Codec.R.Truncated (fun () ->
+      ignore (dec "\xff\xff\xff\xff\xff\xff\xff\xff\x40"));
+  (* Overlong encodings can neither loop nor go negative. *)
+  Alcotest.check_raises "10-byte varint" Util.Codec.R.Truncated (fun () ->
+      ignore (dec "\x80\x80\x80\x80\x80\x80\x80\x80\x80\x01"));
+  Alcotest.check_raises "all continuations" Util.Codec.R.Truncated (fun () ->
+      ignore (dec (String.make 12 '\xff')))
+
+let prop_varint_decode_never_negative =
+  QCheck.Test.make ~name:"varint decode never returns negative" ~count:1000
+    QCheck.(string_of_size (QCheck.Gen.int_bound 12))
+    (fun s ->
+      match Util.Codec.R.varint (Util.Codec.R.of_string s) with
+      | v -> v >= 0
+      | exception Util.Codec.R.Truncated -> true)
+
 let prop_codec_string_roundtrip =
   QCheck.Test.make ~name:"codec lstring roundtrip" ~count:500 QCheck.string (fun s ->
       roundtrip Util.Codec.W.lstring Util.Codec.R.lstring s = s)
@@ -212,6 +323,20 @@ let test_stats_empty () =
   Alcotest.check_raises "percentile raises" (Invalid_argument "Stats.percentile: empty")
     (fun () -> ignore (Util.Stats.percentile s 50.0))
 
+let test_stats_latency_percentiles () =
+  let s = Util.Stats.create () in
+  for i = 1 to 100 do
+    Util.Stats.add s (float_of_int i)
+  done;
+  Alcotest.(check (float 0.0)) "p50" 50.0 (Util.Stats.p50 s);
+  Alcotest.(check (float 0.0)) "p95" 95.0 (Util.Stats.p95 s);
+  Alcotest.(check (float 0.0)) "p99" 99.0 (Util.Stats.p99 s);
+  (* Unlike [percentile], the shorthands are total: empty stats read 0. *)
+  let e = Util.Stats.create () in
+  Alcotest.(check (float 0.0)) "empty p50" 0.0 (Util.Stats.p50 e);
+  Alcotest.(check (float 0.0)) "empty p95" 0.0 (Util.Stats.p95 e);
+  Alcotest.(check (float 0.0)) "empty p99" 0.0 (Util.Stats.p99 e)
+
 (* --- Hexdump --- *)
 
 let test_hex_known () =
@@ -240,8 +365,11 @@ let () =
           Alcotest.test_case "list & option" `Quick test_codec_list_option;
           Alcotest.test_case "truncation" `Quick test_codec_truncation;
           Alcotest.test_case "trailing garbage" `Quick test_codec_trailing_garbage;
+          Alcotest.test_case "varint overflow guard" `Quick test_codec_varint_overflow_guard;
           qcheck prop_codec_string_roundtrip;
           qcheck prop_codec_varint_roundtrip;
+          qcheck prop_writer_matches_reference;
+          qcheck prop_varint_decode_never_negative;
         ] );
       ( "rng",
         [
@@ -266,6 +394,7 @@ let () =
           Alcotest.test_case "known values" `Quick test_stats_known_values;
           Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
           Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "latency shorthands" `Quick test_stats_latency_percentiles;
         ] );
       ( "hexdump",
         [

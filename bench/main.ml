@@ -116,13 +116,23 @@ let run_hostbench () =
   let dur = if !quick then 0.3 else !duration in
   let print_m (m : Harness.Hostbench.measurement) =
     Printf.printf "  %-32s host %7.3fs  %9.0f ev/s  %7.2f MB/s hashed  vTPS %9.1f\n%!" m.name
-      m.host_seconds m.events_per_sec m.hashed_mb_per_sec m.virtual_tps
+      m.host_seconds m.events_per_sec m.hashed_mb_per_sec m.virtual_tps;
+    if m.checkpoint_count > 0 then
+      Printf.printf
+        "  %-32s ckpts %d  undo %d  copied/ckpt %10.0f B  deep-copy/ckpt %10.0f B  (%.1fx)\n%!" ""
+        m.checkpoint_count m.undo_snapshots m.bytes_copied_per_checkpoint
+        m.deep_copy_bytes_per_checkpoint
+        (if m.bytes_copied_per_checkpoint > 0.0 then
+           m.deep_copy_bytes_per_checkpoint /. m.bytes_copied_per_checkpoint
+         else 0.0)
   in
   let table1 = Harness.Hostbench.table1_workloads ~seed:!seed ~duration:dur () in
   List.iter print_m table1;
   let sql = Harness.Hostbench.sql_workload ~seed:!seed ~duration:dur () in
   print_m sql;
-  let all = table1 @ [ sql ] in
+  let ckpt = Harness.Hostbench.ckpt_sql_large ~seed:!seed ~duration:dur () in
+  print_m ckpt;
+  let all = table1 @ [ sql; ckpt ] in
   let json = Harness.Hostbench.to_json ~now:(iso8601 ()) all in
   let oc = open_out "BENCH.json" in
   output_string oc json;
@@ -132,10 +142,16 @@ let run_hostbench () =
     (Harness.Hostbench.trace_digest ())
     (List.length all)
 
+(* Just the seeded trace digest: cheap enough for CI to run twice and
+   diff, pinning simulation determinism without a full bench pass. *)
+let run_digest () =
+  Printf.printf "trace digest: %s\n%!" (Harness.Hostbench.trace_digest ~seed:!seed ())
+
 let sections : (string * (unit -> unit)) list =
   [
     ("micro", run_micro);
     ("bench", run_hostbench);
+    ("digest", run_digest);
     ( "figure1",
       fun () ->
         banner "Figure 1 — normal-case operation";

@@ -82,6 +82,44 @@ let sql_spec ?(seed = 1) ?(duration = 2.0) ~acid cfg =
           ~choice:(if (client + seq) mod 2 = 0 then "alice" else "bob"));
   }
 
+(* Large-state checkpoint workload: the database is pre-populated with
+   bulky filler rows so the allocated page count is roughly 16x the pages
+   an INSERT workload dirties per checkpoint interval. A deep-copy
+   checkpointer pays for every allocated page at each snapshot; the
+   copy-on-write one pays only for the working set. *)
+
+let large_state_fill_sql ?(rows = 1600) ?(row_bytes = 1500) () =
+  let batch = 40 in
+  let rec mk i acc =
+    if i >= rows then List.rev acc
+    else begin
+      let hi = min rows (i + batch) in
+      let values =
+        String.concat ", "
+          (List.init (hi - i) (fun k ->
+               let id = i + k + 1 in
+               Printf.sprintf "(%d, '%s')" id
+                 (String.make row_bytes (Char.chr (Char.code 'a' + (id mod 26))))))
+      in
+      mk hi (("INSERT INTO fill (id, pad) VALUES " ^ values) :: acc)
+    end
+  in
+  "CREATE TABLE IF NOT EXISTS fill (id INTEGER PRIMARY KEY, pad TEXT)" :: mk 0 []
+
+let sql_large_state_spec ?(seed = 1) ?(duration = 2.0) ?(app_pages = 2048) cfg =
+  {
+    (Scenario.default_spec cfg) with
+    Scenario.seed;
+    duration;
+    service =
+      Relsql.Pbft_service.service ~acid:true ~app_pages ~init:(large_state_fill_sql ()) ();
+    op =
+      (fun ~client ~seq ->
+        Relsql.Pbft_service.insert_vote_sql
+          ~voter:(Printf.sprintf "voter-%d-%d" client seq)
+          ~choice:(if (client + seq) mod 2 = 0 then "alice" else "bob"));
+  }
+
 let figure5 ?(seed = 1) ?(duration = 2.0) () =
   let rows =
     List.map

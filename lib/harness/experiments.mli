@@ -14,6 +14,14 @@ val sql_spec : ?seed:int -> ?duration:float -> acid:bool -> Pbft.Config.t -> Sce
 (** The Figure-5 workload: single-row SQL INSERTs against the replicated
     relational engine. *)
 
+val sql_large_state_spec :
+  ?seed:int -> ?duration:float -> ?app_pages:int -> Pbft.Config.t -> Scenario.spec
+(** The checkpoint-cost workload: the same INSERT stream, but the
+    database is pre-populated (at boot, into the genesis checkpoint) with
+    bulky filler rows so the allocated page count is roughly 16x the
+    per-checkpoint working set. Deep-copy checkpointing is O(allocated)
+    here; copy-on-write is O(working set). *)
+
 val table1 : ?seed:int -> ?duration:float -> unit -> Report.t
 (** Table 1: the ten library configurations under 1024-byte null
     operations, 12 clients / 4 replicas. *)

@@ -7,15 +7,37 @@ type measurement = {
   hashed_mb_per_sec : float;
   virtual_tps : float;
   completed : int;
+  checkpoint_count : int;
+  undo_snapshots : int;
+  bytes_copied : int;
+  bytes_copied_per_checkpoint : float;
+  deep_copy_bytes_per_checkpoint : float;
 }
 
 let measure ~name spec =
   let t0 = Unix.gettimeofday () in
   let h0 = Crypto.Sha256.bytes_hashed () in
+  let c0 = Statemgr.Pages.bytes_copied () in
   let outcome, cluster = Scenario.run_cluster spec in
   let host_seconds = Unix.gettimeofday () -. t0 in
   let bytes_hashed = Crypto.Sha256.bytes_hashed () - h0 in
+  let bytes_copied = Statemgr.Pages.bytes_copied () - c0 in
   let events = Simnet.Engine.events (Pbft.Cluster.engine cluster) in
+  let reps = Pbft.Cluster.replicas cluster in
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 reps in
+  let checkpoint_count = sum Pbft.Replica.checkpoints_taken in
+  let undo_snapshots = sum Pbft.Replica.undo_snapshots in
+  let snapshots = checkpoint_count + undo_snapshots in
+  (* What a deep-copy checkpointer would move per snapshot: every
+     allocated page of one replica's region (sampled at run end). *)
+  let deep_copy_bytes_per_checkpoint =
+    let total =
+      sum (fun r ->
+          let pages = Pbft.Replica.pages r in
+          Statemgr.Pages.allocated_pages pages * Statemgr.Pages.page_size pages)
+    in
+    if Array.length reps > 0 then float_of_int total /. float_of_int (Array.length reps) else 0.0
+  in
   let per_sec n = if host_seconds > 0.0 then float_of_int n /. host_seconds else 0.0 in
   {
     name;
@@ -26,6 +48,12 @@ let measure ~name spec =
     hashed_mb_per_sec = per_sec bytes_hashed /. 1e6;
     virtual_tps = outcome.Scenario.tps;
     completed = outcome.Scenario.completed;
+    checkpoint_count;
+    undo_snapshots;
+    bytes_copied;
+    bytes_copied_per_checkpoint =
+      (if snapshots > 0 then float_of_int bytes_copied /. float_of_int snapshots else 0.0);
+    deep_copy_bytes_per_checkpoint;
   }
 
 let base_cfg () = Pbft.Config.default ~f:1
@@ -53,6 +81,12 @@ let sql_workload ?(seed = 1) ?(duration = 1.5) () =
     Experiments.with_flags ~dynamic:false ~macs:true ~allbig:true ~batching:true (base_cfg ())
   in
   measure ~name:"sql:insert_acid" (Experiments.sql_spec ~seed ~duration ~acid:true cfg)
+
+let ckpt_sql_large ?(seed = 1) ?(duration = 1.5) () =
+  let cfg =
+    Experiments.with_flags ~dynamic:false ~macs:true ~allbig:true ~batching:true (base_cfg ())
+  in
+  measure ~name:"ckpt:sql_large_state" (Experiments.sql_large_state_spec ~seed ~duration cfg)
 
 let trace_digest ?(seed = 1) ?(seconds = 0.3) () =
   let dynamic, macs, allbig, batching = default_flags in
@@ -94,12 +128,17 @@ let to_json ?(now = "unknown") ms =
         ("hashed_mb_per_sec", Num m.hashed_mb_per_sec);
         ("virtual_tps", Num m.virtual_tps);
         ("completed", Num (float_of_int m.completed));
+        ("checkpoint_count", Num (float_of_int m.checkpoint_count));
+        ("undo_snapshots", Num (float_of_int m.undo_snapshots));
+        ("bytes_copied", Num (float_of_int m.bytes_copied));
+        ("bytes_copied_per_checkpoint", Num m.bytes_copied_per_checkpoint);
+        ("deep_copy_bytes_per_checkpoint", Num m.deep_copy_bytes_per_checkpoint);
       ]
   in
   pretty
     (Obj
        [
-         ("schema", Str "pbft-repro/bench/v1");
+         ("schema", Str "pbft-repro/bench/v2");
          ("generated", Str now);
          ("trace_digest", Str (trace_digest ()));
          ("workloads", Arr (List.map workload ms));

@@ -18,6 +18,14 @@ type measurement = {
   hashed_mb_per_sec : float;  (** bytes_hashed / host_seconds, in MB/s *)
   virtual_tps : float;  (** virtual-time requests/sec from the scenario *)
   completed : int;  (** requests completed in the measured window *)
+  checkpoint_count : int;  (** stable/tentative checkpoints taken, summed over replicas *)
+  undo_snapshots : int;  (** tentative-execution undo snapshots, summed over replicas *)
+  bytes_copied : int;  (** page bytes duplicated by copy-on-write during the run *)
+  bytes_copied_per_checkpoint : float;
+      (** bytes_copied / (checkpoint_count + undo_snapshots); 0 if no snapshots *)
+  deep_copy_bytes_per_checkpoint : float;
+      (** what a deep-copy checkpointer would move per snapshot: one replica's
+          allocated pages x page size, averaged over replicas at run end *)
 }
 
 val measure : name:string -> Scenario.spec -> measurement
@@ -34,6 +42,13 @@ val table1_default : ?seed:int -> ?duration:float -> unit -> measurement
 
 val sql_workload : ?seed:int -> ?duration:float -> unit -> measurement
 (** The Figure-5 SQL INSERT workload (ACID, batching on, default flags). *)
+
+val ckpt_sql_large : ?seed:int -> ?duration:float -> unit -> measurement
+(** The checkpoint-cost workload ["ckpt:sql_large_state"]: the SQL INSERT
+    stream over a database pre-populated to ~16x the per-interval working
+    set, so [bytes_copied_per_checkpoint] versus
+    [deep_copy_bytes_per_checkpoint] exposes the win from copy-on-write
+    snapshots. *)
 
 val trace_digest : ?seed:int -> ?seconds:float -> unit -> string
 (** Hex SHA-256 over the full message trace (time, src, dst, label, size,

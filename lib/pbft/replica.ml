@@ -70,6 +70,8 @@ type t = {
   mutable n_transfers : int;
   mutable n_auth_fail : int;
   mutable n_nondet_reject : int;
+  mutable n_ckpt : int;  (** checkpoint snapshots taken (incl. genesis & post-transfer) *)
+  mutable n_undo : int;  (** undo snapshots taken for tentative execution *)
 }
 
 let id t = t.id
@@ -82,6 +84,8 @@ let view_changes t = t.n_vc
 let state_transfers t = t.n_transfers
 let auth_failures t = t.n_auth_fail
 let nondet_rejects t = t.n_nondet_reject
+let checkpoints_taken t = t.n_ckpt
+let undo_snapshots t = t.n_undo
 let cpu t = t.cpu
 let pages t = t.pages
 let membership t = t.membership
@@ -388,6 +392,7 @@ and take_checkpoint t =
   Statemgr.Merkle.update t.merkle t.pages (Statemgr.Pages.dirty t.pages);
   Statemgr.Pages.clear_dirty t.pages;
   let ck = Statemgr.Checkpoint.take ~seqno:t.last_executed t.pages t.merkle in
+  t.n_ckpt <- t.n_ckpt + 1;
   Hashtbl.replace t.checkpoints t.last_executed ck;
   let root = Statemgr.Checkpoint.root ck in
   record_ckpt_vote t ~seq:t.last_executed ~replica:t.id ~digest:root;
@@ -549,6 +554,7 @@ and try_execute t =
               if tentative && t.undo = None then begin
                 (* Snapshot for rollback before speculative execution. *)
                 Statemgr.Merkle.update t.merkle t.pages (Statemgr.Pages.dirty t.pages);
+                t.n_undo <- t.n_undo + 1;
                 t.undo <- Some (Statemgr.Checkpoint.take ~seqno:t.last_committed_exec t.pages t.merkle)
               end;
               let total_cost = ref t.costs.log_bookkeeping in
@@ -1269,6 +1275,7 @@ and finish_transfer t tr =
   Statemgr.Merkle.update t.merkle t.pages (Statemgr.Pages.dirty t.pages);
   Statemgr.Pages.clear_dirty t.pages;
   let ck = Statemgr.Checkpoint.take ~seqno:tr.tr_seq t.pages t.merkle in
+  t.n_ckpt <- t.n_ckpt + 1;
   Hashtbl.replace t.checkpoints tr.tr_seq ck;
   if t.recovering && t.recovery_done = None then t.recovery_done <- Some (now t);
   try_execute t
@@ -1504,12 +1511,15 @@ let create ~cfg ~costs ~engine ~net ~id ~signer ~registry ~service:service_spec 
       n_transfers = 0;
       n_auth_fail = 0;
       n_nondet_reject = 0;
+      n_ckpt = 0;
+      n_undo = 0;
     }
   in
   sync_membership_to_pages t;
   Statemgr.Merkle.update t.merkle t.pages (Statemgr.Pages.dirty t.pages);
   Statemgr.Pages.clear_dirty t.pages;
   (* Sequence 0 is the genesis checkpoint. *)
+  t.n_ckpt <- t.n_ckpt + 1;
   Hashtbl.replace t.checkpoints 0 (Statemgr.Checkpoint.take ~seqno:0 t.pages t.merkle);
   Simnet.Net.register net id (fun ~src wire -> on_datagram t ~src wire);
   Simnet.Net.set_backlog_probe net id (fun () -> Simnet.Cpu.queue_length t.cpu);

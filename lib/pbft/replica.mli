@@ -60,6 +60,13 @@ val nondet_rejects : t -> int
 (** Pre-prepares / replayed entries rejected by non-determinism
     validation (§2.5). *)
 
+val checkpoints_taken : t -> int
+(** Checkpoint snapshots taken so far, including the genesis checkpoint
+    and the snapshot installed after a completed state transfer. *)
+
+val undo_snapshots : t -> int
+(** Copy-on-write undo snapshots taken to guard tentative execution. *)
+
 val cpu : t -> Simnet.Cpu.t
 val pages : t -> Statemgr.Pages.t
 val membership : t -> Membership.t

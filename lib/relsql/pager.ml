@@ -10,6 +10,7 @@ type t = {
   mutable page_count : int;
   mutable freelist : int;
   mutable catalog_root : int;
+  mutable header_dirty : bool;  (** header fields changed this txn; image written at commit *)
   mutable touched : (int, unit) Hashtbl.t;
 }
 
@@ -87,7 +88,9 @@ let write_page t page image =
      even in no-ACID mode); the on-disk journal record is what makes the
      undo crash-safe and is written only when a journal is configured. *)
   if not (Hashtbl.mem t.journaled page) then begin
-    let original = read_page t page in
+    (* raw_read, not read_page: journaling the original image is pager
+       bookkeeping, and must not count as an application page touch. *)
+    let original = raw_read t page in
     (match t.vfs.Vfs.journal with
     | Some jf -> journal_append jf (Hashtbl.length t.journaled) page original
     | None -> ());
@@ -102,7 +105,16 @@ let pad s = s ^ String.make (page_size - String.length s) '\000'
 
 let write_header t =
   if not t.txn then invalid_arg "Pager.write_header: no transaction";
-  write_page t 0 (header_image t)
+  write_page t 0 (header_image t);
+  t.header_dirty <- false
+
+(* Header mutations only mark the header dirty; the image is written once
+   at commit. Crash safety is unchanged: the on-disk header stays at its
+   pre-txn value until the commit-time write_page journals it, so a crash
+   any time before the journal reset rolls the whole transaction back. *)
+let mark_header_dirty t =
+  if not t.txn then invalid_arg "Pager: header change outside transaction";
+  t.header_dirty <- true
 
 let allocate_page t =
   if not t.txn then invalid_arg "Pager.allocate_page: no transaction";
@@ -121,7 +133,7 @@ let allocate_page t =
     end
   in
   write_page t page (pad "");
-  write_header t;
+  mark_header_dirty t;
   page
 
 let free_page t page =
@@ -130,26 +142,30 @@ let free_page t page =
   Util.Codec.W.u32 w t.freelist;
   write_page t page (pad (Util.Codec.W.contents w));
   t.freelist <- page;
-  write_header t
+  mark_header_dirty t
 
 let page_count t = t.page_count
 let catalog_root t = t.catalog_root
 
 let set_catalog_root t root =
   t.catalog_root <- root;
-  write_header t
+  mark_header_dirty t
 
 (* --- transactions --- *)
 
 let begin_txn t =
   if t.txn then invalid_arg "Pager.begin_txn: nested transaction";
   t.txn <- true;
+  t.header_dirty <- false;
   t.journaled <- Hashtbl.create 16
 
 let in_txn t = t.txn
 
 let commit t =
   if not t.txn then invalid_arg "Pager.commit: no transaction";
+  (* One header image per transaction, deferred from allocate/free/
+     set_catalog_root; write_page journals the original header first. *)
+  if t.header_dirty then write_header t;
   (match t.vfs.Vfs.journal with
   | Some jf ->
     (* Barrier 1: the undo log was durable before the database changed
@@ -173,6 +189,7 @@ let rollback t =
   (match t.vfs.Vfs.journal with Some jf -> journal_reset jf | None -> ());
   t.journaled <- Hashtbl.create 16;
   t.txn <- false;
+  t.header_dirty <- false;
   (* The header may have been rolled back too; re-read it. *)
   parse_header t (read_page t 0)
 
@@ -199,6 +216,7 @@ let open_pager vfs =
       page_count = 1;
       freelist = 0;
       catalog_root = 0;
+      header_dirty = false;
       touched = Hashtbl.create 64;
     }
   in

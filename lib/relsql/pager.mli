@@ -24,7 +24,9 @@ val write_page : t -> int -> string -> unit
 (** Must be inside a transaction. *)
 
 val allocate_page : t -> int
-(** Fresh page number (reuses freed pages). Must be inside a transaction. *)
+(** Fresh page number (reuses freed pages). Must be inside a transaction.
+    Header changes (page count / freelist / catalog root) are deferred:
+    one header image is written at {!commit}, not per allocation. *)
 
 val free_page : t -> int -> unit
 val page_count : t -> int
@@ -35,7 +37,8 @@ val set_catalog_root : t -> int -> unit
 val begin_txn : t -> unit
 val in_txn : t -> bool
 val commit : t -> unit
-(** Journal sync, page write-back, main sync, journal reset. *)
+(** Deferred header write (if any), journal sync, page write-back, main
+    sync, journal reset. *)
 
 val rollback : t -> unit
 

@@ -45,7 +45,8 @@ let disk_journal disk ~cost =
     truncate = (fun n -> Simdisk.Disk.truncate f n);
   }
 
-let service ?(acid = true) ?(app_pages = 128) ?(sync_latency = 0.4e-3) ?(schema = vote_schema) () =
+let service ?(acid = true) ?(app_pages = 128) ?(sync_latency = 0.4e-3) ?(schema = vote_schema)
+    ?(init = []) () =
   {
     Pbft.Service.name = (if acid then "sql" else "sql-noacid");
     page_size = Pager.page_size;
@@ -75,6 +76,14 @@ let service ?(acid = true) ?(app_pages = 128) ?(sync_latency = 0.4e-3) ?(schema 
         (match (Database.exec db schema).res with
         | Ok _ -> ()
         | Error e -> failwith ("sql service schema: " ^ e));
+        (* Deterministic pre-population, identical on every replica; runs
+           at boot so it lands in the genesis checkpoint. *)
+        List.iter
+          (fun sql ->
+            match (Database.exec db sql).res with
+            | Ok _ -> ()
+            | Error e -> failwith ("sql service init: " ^ e))
+          init;
         {
           Pbft.Service.execute =
             (fun ~op ~client:_ ~timestamp ~nondet ~readonly:_ ->

@@ -23,14 +23,18 @@ val service :
   ?app_pages:int ->
   ?sync_latency:float ->
   ?schema:string ->
+  ?init:string list ->
   unit ->
   Pbft.Service.t
 (** [service ~acid ~schema ()] builds a replicated-SQL service.
     [schema] is executed when each replica instantiates the service (all
-    replicas run it identically at boot). [acid:false] disables the
-    rollback journal and the commit syncs — the No-ACID configuration of
-    §4.2. [sync_latency] calibrates the per-fsync virtual cost (default
-    0.4 ms: a 2011 SATA disk with its write cache on). *)
+    replicas run it identically at boot), followed by the [init]
+    statements — deterministic pre-population that lands in the genesis
+    checkpoint (used by the large-state checkpoint benchmark).
+    [acid:false] disables the rollback journal and the commit syncs — the
+    No-ACID configuration of §4.2. [sync_latency] calibrates the
+    per-fsync virtual cost (default 0.4 ms: a 2011 SATA disk with its
+    write cache on). *)
 
 val vote_schema : string
 (** The e-voting style schema used by the Figure 5 experiments: a votes

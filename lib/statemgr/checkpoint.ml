@@ -1,16 +1,20 @@
-type t = { seq : int; tree : Merkle.t; pages : Pages.t }
+type t = { seq : int; tree : Merkle.t; snap : Pages.snapshot }
 
-let take ~seqno pages tree = { seq = seqno; tree = Merkle.copy tree; pages = Pages.copy pages }
+let take ~seqno pages tree =
+  (* O(pages dirtied since the last snapshot): the snapshot aliases the
+     live buffers and the tree copy is an array of shared digest refs;
+     page bytes are duplicated lazily, on the next write. *)
+  { seq = seqno; tree = Merkle.copy tree; snap = Pages.snapshot pages }
 
 let seqno t = t.seq
 let root t = Merkle.root t.tree
-let page t i = Pages.page t.pages i
+let page t i = Pages.snapshot_page t.snap i
 let merkle t = t.tree
 
 let divergent_pages ~local t = Merkle.diff local t.tree
 
 let restore t target tree =
   let divergent, _ = Merkle.diff tree t.tree in
-  List.iter (fun i -> Pages.load_page target i (Pages.page t.pages i)) divergent;
+  List.iter (fun i -> Pages.restore_page target t.snap i) divergent;
   Merkle.update tree target divergent;
   Pages.clear_dirty target

@@ -4,12 +4,18 @@
     state and exchanges the root digest with its peers; a quorum of
     matching digests makes the checkpoint *stable* and lets the log be
     garbage-collected (§2.1). A snapshot retains full page images so a
-    lagging replica can fetch exactly the divergent pages. *)
+    lagging replica can fetch exactly the divergent pages.
+
+    Snapshots are copy-on-write ({!Pages.snapshot}): taking one is
+    O(pages dirtied since the last snapshot) rather than O(total state),
+    which is what keeps checkpointing — and the undo snapshot guarding
+    tentative execution — off the critical path. *)
 
 type t
 
 val take : seqno:int -> Pages.t -> Merkle.t -> t
-(** Snapshot the region as of executed sequence number [seqno]. *)
+(** Snapshot the region as of executed sequence number [seqno]. Near-free:
+    no page bytes are copied until the live region writes again. *)
 
 val seqno : t -> int
 val root : t -> string

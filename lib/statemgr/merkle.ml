@@ -1,11 +1,52 @@
 (* Implicit perfect binary tree over [2^k >= num_pages] leaves stored in a
    flat array: node i has children 2i+1, 2i+2; leaves occupy the last
-   [width] slots. Missing leaves (beyond num_pages) hash a fixed filler. *)
+   [width] slots. Missing leaves (beyond num_pages) hash a fixed filler.
+
+   Hashing is zero-copy: page bytes are fed straight into a streaming
+   SHA-256 context after the "leaf|" framing prefix, so the preimages are
+   exactly the historical ["leaf|" ^ contents] / ["node|" ^ l ^ r]
+   strings but no intermediate concatenations are allocated. *)
 
 type t = { width : int; leaves : int; nodes : string array }
 
-let hash_page contents = Crypto.Sha256.digest ("leaf|" ^ contents)
-let hash_children l r = Crypto.Sha256.digest ("node|" ^ l ^ r)
+let leaf_prefix = "leaf|"
+let node_prefix = "node|"
+
+let hash_page contents =
+  let ctx = Crypto.Sha256.init () in
+  Crypto.Sha256.feed ctx leaf_prefix;
+  Crypto.Sha256.feed ctx contents;
+  Crypto.Sha256.finalize ctx
+
+let hash_page_bytes b =
+  let ctx = Crypto.Sha256.init () in
+  Crypto.Sha256.feed ctx leaf_prefix;
+  Crypto.Sha256.feed_bytes ctx b ~pos:0 ~len:(Bytes.length b);
+  Crypto.Sha256.finalize ctx
+
+(* The digest of an all-zero page depends only on the page size; untouched
+   pages of a sparse region all share it, so hash it once per size. *)
+let zero_leaf_cache : (int, string) Hashtbl.t = Hashtbl.create 4
+
+let zero_leaf page_size =
+  match Hashtbl.find_opt zero_leaf_cache page_size with
+  | Some d -> d
+  | None ->
+    let d = hash_page (String.make page_size '\000') in
+    Hashtbl.add zero_leaf_cache page_size d;
+    d
+
+let leaf_digest_of_page pages i =
+  match Pages.page_bytes pages i with
+  | None -> zero_leaf (Pages.page_size pages)
+  | Some b -> hash_page_bytes b
+
+let hash_children l r =
+  let ctx = Crypto.Sha256.init () in
+  Crypto.Sha256.feed ctx node_prefix;
+  Crypto.Sha256.feed ctx l;
+  Crypto.Sha256.feed ctx r;
+  Crypto.Sha256.finalize ctx
 
 let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
 
@@ -19,7 +60,7 @@ let build pages =
   let nodes = Array.make ((2 * width) - 1) "" in
   for i = 0 to width - 1 do
     nodes.(width - 1 + i) <-
-      (if i < leaves then hash_page (Pages.page pages i) else empty_leaf)
+      (if i < leaves then leaf_digest_of_page pages i else empty_leaf)
   done;
   for i = width - 2 downto 0 do
     nodes.(i) <- hash_children nodes.((2 * i) + 1) nodes.((2 * i) + 2)
@@ -31,7 +72,7 @@ let update t pages dirty =
   List.iter
     (fun i ->
       if i < 0 || i >= t.leaves then invalid_arg "Merkle.update";
-      t.nodes.(leaf_index t i) <- hash_page (Pages.page pages i);
+      t.nodes.(leaf_index t i) <- leaf_digest_of_page pages i;
       (* Record every ancestor for recomputation. *)
       let rec mark j =
         if j > 0 then begin

@@ -5,7 +5,12 @@
     messages carry. After execution only dirty pages' leaves and their
     root paths are recomputed. An out-of-sync replica walks the tree
     top-down against a peer's to locate the (hopefully few) divergent
-    pages for retransmission. *)
+    pages for retransmission.
+
+    Page bytes are hashed in place through the streaming SHA-256
+    interface (no per-page string copies), and the all-zero page digest
+    of a sparse region is computed once per page size — the preimages,
+    and therefore every digest, are unchanged. *)
 
 type t
 

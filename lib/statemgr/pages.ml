@@ -1,16 +1,40 @@
 exception Unnotified_write of int
 
+(* Process-wide instrumentation: bytes physically copied by the
+   copy-on-write machinery (lazy page duplication on the first write
+   after a snapshot) and snapshots taken. Sampled by the host benchmark
+   the same way Crypto.Sha256.bytes_hashed is. *)
+let cow_bytes_total = ref 0
+let snapshots_total = ref 0
+let bytes_copied () = !cow_bytes_total
+let snapshots_taken () = !snapshots_total
+
 type t = {
   page_size : int;
   num_pages : int;
   strict : bool;
   slots : Bytes.t option array; (* None = untouched zero page *)
+  shared : bool array; (* slot aliased by a snapshot: copy before writing *)
   mutable dirty_set : (int, unit) Hashtbl.t;
+}
+
+type snapshot = {
+  snap_page_size : int;
+  snap_slots : Bytes.t option array;
+      (* aliases of the region's buffers at snapshot time; never mutated
+         (any later write to the live region copies the page first) *)
 }
 
 let create ?(strict = false) ~page_size ~num_pages () =
   if page_size <= 0 || num_pages <= 0 then invalid_arg "Pages.create";
-  { page_size; num_pages; strict; slots = Array.make num_pages None; dirty_set = Hashtbl.create 64 }
+  {
+    page_size;
+    num_pages;
+    strict;
+    slots = Array.make num_pages None;
+    shared = Array.make num_pages false;
+    dirty_set = Hashtbl.create 64;
+  }
 
 let page_size t = t.page_size
 let num_pages t = t.num_pages
@@ -21,12 +45,21 @@ let check_range t pos len =
 
 let zero_page t = Bytes.make t.page_size '\000'
 
-let slot t i =
+(* The page buffer it is safe to mutate: materializes zero pages and
+   un-shares buffers still referenced by a snapshot. *)
+let writable_slot t i =
   match t.slots.(i) with
-  | Some b -> b
+  | Some b when not t.shared.(i) -> b
+  | Some b ->
+    let c = Bytes.copy b in
+    t.slots.(i) <- Some c;
+    t.shared.(i) <- false;
+    cow_bytes_total := !cow_bytes_total + t.page_size;
+    c
   | None ->
     let b = zero_page t in
     t.slots.(i) <- Some b;
+    t.shared.(i) <- false;
     b
 
 let read t ~pos ~len =
@@ -67,7 +100,7 @@ let write t ~pos s =
     let abs = pos + !copied in
     let pg = abs / t.page_size and off = abs mod t.page_size in
     let n = min (len - !copied) (t.page_size - off) in
-    Bytes.blit_string s !copied (slot t pg) off n;
+    Bytes.blit_string s !copied (writable_slot t pg) off n;
     copied := !copied + n
   done
 
@@ -75,10 +108,15 @@ let page t i =
   if i < 0 || i >= t.num_pages then invalid_arg "Pages.page";
   match t.slots.(i) with None -> String.make t.page_size '\000' | Some b -> Bytes.to_string b
 
+let page_bytes t i =
+  if i < 0 || i >= t.num_pages then invalid_arg "Pages.page_bytes";
+  t.slots.(i)
+
 let load_page t i contents =
   if i < 0 || i >= t.num_pages then invalid_arg "Pages.load_page";
   if String.length contents <> t.page_size then invalid_arg "Pages.load_page: size mismatch";
   t.slots.(i) <- Some (Bytes.of_string contents);
+  t.shared.(i) <- false;
   Hashtbl.replace t.dirty_set i ()
 
 let dirty t = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) t.dirty_set [])
@@ -87,9 +125,45 @@ let clear_dirty t = t.dirty_set <- Hashtbl.create 64
 let allocated_pages t =
   Array.fold_left (fun acc s -> match s with Some _ -> acc + 1 | None -> acc) 0 t.slots
 
+(* --- snapshots --- *)
+
+let snapshot t =
+  incr snapshots_total;
+  (* O(num_pages) pointer work: alias every buffer and mark it shared so
+     the next write to any page duplicates just that page. *)
+  Array.fill t.shared 0 t.num_pages true;
+  { snap_page_size = t.page_size; snap_slots = Array.copy t.slots }
+
+let snapshot_page s i =
+  if i < 0 || i >= Array.length s.snap_slots then invalid_arg "Pages.snapshot_page";
+  match s.snap_slots.(i) with
+  | None -> String.make s.snap_page_size '\000'
+  | Some b -> Bytes.to_string b
+
+let snapshot_page_bytes s i =
+  if i < 0 || i >= Array.length s.snap_slots then invalid_arg "Pages.snapshot_page_bytes";
+  s.snap_slots.(i)
+
+let restore_page t snap i =
+  if i < 0 || i >= t.num_pages then invalid_arg "Pages.restore_page";
+  (match snap.snap_slots.(i) with
+  | None ->
+    t.slots.(i) <- None;
+    t.shared.(i) <- false
+  | Some b ->
+    (* Adopt the snapshot's buffer by reference; it stays shared so a
+       later write copies it rather than corrupting the snapshot. *)
+    t.slots.(i) <- Some b;
+    t.shared.(i) <- true);
+  Hashtbl.replace t.dirty_set i ()
+
 let copy t =
+  (* A full logical copy, still O(num_pages) pointer work: both regions
+     alias the same buffers and un-share lazily on write. *)
+  Array.fill t.shared 0 t.num_pages true;
   {
     t with
-    slots = Array.map (Option.map Bytes.copy) t.slots;
+    slots = Array.copy t.slots;
+    shared = Array.make t.num_pages true;
     dirty_set = Hashtbl.copy t.dirty_set;
   }

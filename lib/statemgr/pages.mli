@@ -8,7 +8,12 @@
     our tests demonstrate the failure mode §3.2 warns about. The region
     is sparse: pages are allocated on first touch, so a "large enough"
     region can be declared up front the way the authors used a sparse
-    file (§3.2). *)
+    file (§3.2).
+
+    Snapshots are copy-on-write, the way Castro–Liskov's middleware kept
+    checkpointing off the critical path: {!snapshot} is O(num_pages)
+    pointer work, and page bytes are duplicated only when the live region
+    first writes a page a snapshot still references. *)
 
 exception Unnotified_write of int
 (** Page index written without a prior notification (strict mode only). *)
@@ -30,10 +35,16 @@ val notify_modify : t -> pos:int -> len:int -> unit
 
 val write : t -> pos:int -> string -> unit
 (** Write through; in strict mode every touched page must have been
-    notified since the last {!clear_dirty}. *)
+    notified since the last {!clear_dirty}. Writing a page still shared
+    with a snapshot first duplicates that one page. *)
 
 val page : t -> int -> string
-(** Contents of one page (zero page if untouched). *)
+(** Contents of one page (zero page if untouched), as a fresh string. *)
+
+val page_bytes : t -> int -> Bytes.t option
+(** The page's backing buffer ([None] = untouched zero page), without
+    copying. The buffer MUST NOT be mutated by the caller — it may be
+    shared with live snapshots. Intended for zero-copy hashing. *)
 
 val load_page : t -> int -> string -> unit
 (** Install page contents wholesale (state transfer); marks it dirty. *)
@@ -46,5 +57,39 @@ val clear_dirty : t -> unit
 val allocated_pages : t -> int
 (** Pages actually backed by memory (sparseness metric). *)
 
+(** {2 Copy-on-write snapshots} *)
+
+type snapshot
+(** An immutable view of the region as of {!snapshot} time. Shares page
+    buffers with the live region; never observes later writes. *)
+
+val snapshot : t -> snapshot
+(** O(num_pages) pointer work; no page bytes are copied. Subsequent
+    writes to the region duplicate only the pages they touch. *)
+
+val snapshot_page : snapshot -> int -> string
+(** Contents of one page at snapshot time, as a fresh string. *)
+
+val snapshot_page_bytes : snapshot -> int -> Bytes.t option
+(** Zero-copy view of one snapshot page ([None] = zero page). The buffer
+    MUST NOT be mutated by the caller. *)
+
+val restore_page : t -> snapshot -> int -> unit
+(** Overwrite one live page with the snapshot's version, adopting the
+    snapshot's buffer by reference (still copy-on-write); marks the page
+    dirty like {!load_page} does. *)
+
 val copy : t -> t
-(** Deep copy (used to snapshot at a checkpoint). *)
+(** Logical deep copy with lazy materialization: both regions share
+    buffers until either writes. *)
+
+(** {2 Instrumentation} *)
+
+val bytes_copied : unit -> int
+(** Process-wide total of page bytes physically duplicated by the
+    copy-on-write machinery since startup. Monotone; sample before/after
+    a workload and subtract (compare a deep-copy checkpointer, which
+    would copy every allocated page per snapshot). *)
+
+val snapshots_taken : unit -> int
+(** Process-wide count of {!snapshot} calls since startup. *)

@@ -269,12 +269,19 @@ let test_hostbench_measure_and_json () =
   Alcotest.(check bool) "virtual tps positive" true (m.Harness.Hostbench.virtual_tps > 0.0);
   Alcotest.(check bool) "host time sane" true (m.Harness.Hostbench.host_seconds >= 0.0);
   let json = Webgate.Json.parse (Harness.Hostbench.to_json ~now:"test" [ m ]) in
-  Alcotest.(check string) "schema tag" "pbft-repro/bench/v1"
+  Alcotest.(check string) "schema tag" "pbft-repro/bench/v2"
     (Webgate.Json.to_string_exn (Webgate.Json.member "schema" json));
+  Alcotest.(check bool) "checkpoints counted" true (m.Harness.Hostbench.checkpoint_count > 0);
   match Webgate.Json.member "workloads" json with
   | Webgate.Json.Arr [ w ] ->
     Alcotest.(check string) "workload name" "smoke"
-      (Webgate.Json.to_string_exn (Webgate.Json.member "name" w))
+      (Webgate.Json.to_string_exn (Webgate.Json.member "name" w));
+    List.iter
+      (fun field ->
+        match Webgate.Json.member field w with
+        | Webgate.Json.Num _ -> ()
+        | _ -> Alcotest.fail (field ^ " should be a number"))
+      [ "checkpoint_count"; "undo_snapshots"; "bytes_copied"; "bytes_copied_per_checkpoint" ]
   | _ -> Alcotest.fail "workloads should hold the one measurement"
 
 let () =

@@ -236,6 +236,63 @@ let test_pager_freelist_reuse () =
   Pager.commit pager;
   Alcotest.(check int) "freed page reused" a c
 
+let journal_entries vfs =
+  match vfs.Vfs.journal with
+  | None -> 0
+  | Some j ->
+    if j.Vfs.size () < 4 then 0
+    else begin
+      let s = j.Vfs.read ~pos:0 ~len:4 in
+      Char.code s.[0] lor (Char.code s.[1] lsl 8) lor (Char.code s.[2] lsl 16)
+      lor (Char.code s.[3] lsl 24)
+    end
+
+let test_pager_touch_accounting () =
+  (* Journaling an original image is pager bookkeeping, not an
+     application touch: a transaction writing one committed page must
+     report exactly that page as touched. *)
+  let vfs = Vfs.in_memory ~seed:1 () in
+  let pager = Pager.open_pager vfs in
+  Pager.begin_txn pager;
+  let page = Pager.allocate_page pager in
+  Pager.commit pager;
+  ignore (Pager.take_pages_touched pager);
+  Pager.begin_txn pager;
+  Pager.write_page pager page (String.make Pager.page_size 'A');
+  Alcotest.(check int) "journaling adds no touches" 1 (Pager.pages_touched pager);
+  Pager.commit pager;
+  (* No header fields changed, so commit writes no header image either. *)
+  Alcotest.(check int) "count unchanged through commit" 1 (Pager.take_pages_touched pager)
+
+let test_pager_header_write_deferred () =
+  let vfs = Vfs.in_memory ~seed:1 () in
+  let pager = Pager.open_pager vfs in
+  Pager.begin_txn pager;
+  let a = Pager.allocate_page pager in
+  let b = Pager.allocate_page pager in
+  Pager.write_page pager a (String.make Pager.page_size 'x');
+  Pager.write_page pager b (String.make Pager.page_size 'y');
+  (* Mid-transaction only the data pages were journaled: the header image
+     is written (and its original journaled) once, at commit. *)
+  Alcotest.(check int) "no header image mid-txn" 2 (journal_entries vfs);
+  Pager.commit pager;
+  let pager2 = Pager.open_pager vfs in
+  Alcotest.(check int) "page count persisted at commit" (Pager.page_count pager)
+    (Pager.page_count pager2)
+
+let test_pager_rollback_restores_header () =
+  (* With the header write deferred, a rollback before commit must still
+     recover the pre-transaction header fields (from the untouched
+     on-disk header). *)
+  let vfs = Vfs.in_memory ~seed:1 () in
+  let pager = Pager.open_pager vfs in
+  let before = Pager.page_count pager in
+  Pager.begin_txn pager;
+  ignore (Pager.allocate_page pager);
+  ignore (Pager.allocate_page pager);
+  Pager.rollback pager;
+  Alcotest.(check int) "page_count rolled back" before (Pager.page_count pager)
+
 (* --- database: DDL & DML --- *)
 
 let votes_db () =
@@ -522,6 +579,12 @@ let () =
           Alcotest.test_case "rollback" `Quick test_pager_rollback;
           Alcotest.test_case "crash recovery (hot journal)" `Quick test_pager_crash_recovery;
           Alcotest.test_case "freelist reuse" `Quick test_pager_freelist_reuse;
+          Alcotest.test_case "touch accounting (journal reads free)" `Quick
+            test_pager_touch_accounting;
+          Alcotest.test_case "header write deferred to commit" `Quick
+            test_pager_header_write_deferred;
+          Alcotest.test_case "rollback restores deferred header" `Quick
+            test_pager_rollback_restores_header;
         ] );
       ( "sql",
         [

@@ -72,6 +72,70 @@ let test_pages_load_page () =
   Alcotest.check_raises "size mismatch" (Invalid_argument "Pages.load_page: size mismatch")
     (fun () -> Statemgr.Pages.load_page p 0 "short")
 
+(* The copy-on-write snapshots must be observationally identical to a
+   deep-copy reference model: live region = string array, snapshot = full
+   copy of it. Ops: write / take snapshot / restore from any snapshot /
+   load_page, in arbitrary interleavings. *)
+let prop_cow_matches_deep_copy_model =
+  let num_pages = 8 and page_size = 256 in
+  let model_write model ~pos s =
+    String.iteri
+      (fun i c ->
+        let p = (pos + i) / page_size and o = (pos + i) mod page_size in
+        Bytes.set model.(p) o c)
+      s
+  in
+  QCheck.Test.make ~name:"COW snapshots = deep-copy model" ~count:200
+    QCheck.(small_list (triple small_nat small_nat small_string))
+    (fun ops ->
+      let live = Statemgr.Pages.create ~page_size ~num_pages () in
+      let model = Array.init num_pages (fun _ -> Bytes.make page_size '\000') in
+      (* (COW snapshot, deep-copied model at the same instant) pairs *)
+      let snaps = ref [] in
+      let agree () =
+        List.init num_pages (fun i -> Statemgr.Pages.page live i)
+        = (Array.to_list model |> List.map Bytes.to_string)
+      in
+      List.for_all
+        (fun (kind, b, content) ->
+          (match kind mod 4 with
+          | 0 ->
+            let page = b mod num_pages in
+            let content = if content = "" then "w" else content in
+            let content =
+              String.sub content 0 (min (String.length content) (page_size - 1))
+            in
+            let pos = (page * page_size) + (b mod (page_size - String.length content)) in
+            Statemgr.Pages.write live ~pos content;
+            model_write model ~pos content
+          | 1 ->
+            snaps :=
+              (Statemgr.Pages.snapshot live, Array.map Bytes.copy model) :: !snaps
+          | 2 -> (
+            match !snaps with
+            | [] -> ()
+            | l ->
+              let snap, msnap = List.nth l (b mod List.length l) in
+              for i = 0 to num_pages - 1 do
+                Statemgr.Pages.restore_page live snap i;
+                Bytes.blit msnap.(i) 0 model.(i) 0 page_size
+              done)
+          | _ ->
+            let page = b mod num_pages in
+            let img =
+              String.init page_size (fun i ->
+                  if i < String.length content then content.[i] else 'L')
+            in
+            Statemgr.Pages.load_page live page img;
+            model_write model ~pos:(page * page_size) img);
+          agree ())
+        ops
+      && List.for_all
+           (fun (snap, msnap) ->
+             List.init num_pages (fun i -> Statemgr.Pages.snapshot_page snap i)
+             = (Array.to_list msnap |> List.map Bytes.to_string))
+           !snaps)
+
 (* --- merkle --- *)
 
 let test_merkle_root_changes () =
@@ -188,6 +252,104 @@ let test_checkpoint_divergent_pages () =
   let divergent, _ = Statemgr.Checkpoint.divergent_pages ~local:t ck in
   Alcotest.(check (list int)) "exactly the mutated pages" [ 2; 7 ] divergent
 
+(* --- tentative execution undo (speculative execution, §2.2) --- *)
+
+(* A VFS whose main file is a window onto a Pages region (the §3.2
+   arrangement), with a heap-backed journal: lets us drive the real
+   relational pager across a checkpoint restore. *)
+let mem_file () =
+  let data = ref Bytes.empty in
+  let ensure n =
+    if Bytes.length !data < n then begin
+      let b = Bytes.make n '\000' in
+      Bytes.blit !data 0 b 0 (Bytes.length !data);
+      data := b
+    end
+  in
+  {
+    Relsql.Vfs.read =
+      (fun ~pos ~len ->
+        ensure (pos + len);
+        Bytes.sub_string !data pos len);
+    write =
+      (fun ~pos s ->
+        ensure (pos + String.length s);
+        Bytes.blit_string s 0 !data pos (String.length s));
+    sync = (fun () -> ());
+    size = (fun () -> Bytes.length !data);
+    truncate = (fun n -> data := Bytes.sub !data 0 (min n (Bytes.length !data)));
+  }
+
+let pages_vfs pages =
+  let capacity = Statemgr.Pages.total_size pages in
+  {
+    Relsql.Vfs.main =
+      {
+        Relsql.Vfs.read = (fun ~pos ~len -> Statemgr.Pages.read pages ~pos ~len);
+        write =
+          (fun ~pos s ->
+            Statemgr.Pages.notify_modify pages ~pos ~len:(String.length s);
+            Statemgr.Pages.write pages ~pos s);
+        sync = (fun () -> ());
+        size = (fun () -> capacity);
+        truncate = (fun _ -> ());
+      };
+    journal = Some (mem_file ());
+    time = (fun () -> 0.0);
+    random = (fun () -> 0L);
+    cost = ref 0.0;
+  }
+
+(* Tentative execution with COW undo: snapshot, execute (dirtying pages
+   through the real SQL pager), then roll back and check that the pages,
+   the Merkle root, and the pager's view of the database (via refresh)
+   all agree with the pre-speculation state. *)
+let test_tentative_undo_cow () =
+  let pages = Statemgr.Pages.create ~page_size:4096 ~num_pages:32 () in
+  let pager = Relsql.Pager.open_pager (pages_vfs pages) in
+  let fill tag =
+    Relsql.Pager.begin_txn pager;
+    let pg = Relsql.Pager.allocate_page pager in
+    Relsql.Pager.write_page pager pg (tag ^ String.make (4096 - String.length tag) '.');
+    Relsql.Pager.commit pager;
+    pg
+  in
+  let committed_pg = fill "committed" in
+  let tree = Statemgr.Merkle.build pages in
+  Statemgr.Pages.clear_dirty pages;
+  (* Undo snapshot before speculating. *)
+  let ck = Statemgr.Checkpoint.take ~seqno:7 pages tree in
+  let root0 = Statemgr.Merkle.root tree in
+  let images0 = List.init 32 (Statemgr.Pages.page pages) in
+  let count0 = Relsql.Pager.page_count pager in
+  (* Speculate: allocate and write more pages, fully committed at the SQL
+     layer (tentative execution runs the real operation; undo is PBFT's). *)
+  let spec_pg = fill "speculative" in
+  Statemgr.Merkle.update tree pages (Statemgr.Pages.dirty pages);
+  Statemgr.Pages.clear_dirty pages;
+  Alcotest.(check bool) "speculation moved the root" false
+    (String.equal root0 (Statemgr.Merkle.root tree));
+  (* Roll back. *)
+  Statemgr.Checkpoint.restore ck pages tree;
+  Relsql.Pager.refresh pager;
+  Alcotest.(check string) "merkle root back to pre-speculation" root0
+    (Statemgr.Merkle.root tree);
+  List.iteri
+    (fun i img ->
+      Alcotest.(check string)
+        (Printf.sprintf "page %d back to pre-speculation" i)
+        img (Statemgr.Pages.page pages i))
+    images0;
+  Alcotest.(check int) "pager header rolled back" count0 (Relsql.Pager.page_count pager);
+  Alcotest.(check string) "committed data survives" "committed"
+    (String.sub (Relsql.Pager.read_page pager committed_pg) 0 9);
+  (* The speculative page is unallocated again: the pager can hand the
+     same page number out to the next transaction. *)
+  Relsql.Pager.begin_txn pager;
+  Alcotest.(check int) "speculative page number reusable" spec_pg
+    (Relsql.Pager.allocate_page pager);
+  Relsql.Pager.rollback pager
+
 let () =
   Alcotest.run "statemgr"
     [
@@ -201,6 +363,7 @@ let () =
           Alcotest.test_case "sparse allocation" `Quick test_pages_sparse_allocation;
           Alcotest.test_case "copy isolation" `Quick test_pages_copy_isolated;
           Alcotest.test_case "load_page" `Quick test_pages_load_page;
+          qcheck prop_cow_matches_deep_copy_model;
         ] );
       ( "merkle",
         [
@@ -218,5 +381,7 @@ let () =
           Alcotest.test_case "divergent pages" `Quick test_checkpoint_divergent_pages;
           Alcotest.test_case "root from claimed leaves (transfer verification)" `Quick
             test_root_of_leaves_matches_tree;
+          Alcotest.test_case "tentative-execution undo via COW (§2.2)" `Quick
+            test_tentative_undo_cow;
         ] );
     ]

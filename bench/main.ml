@@ -4,9 +4,12 @@
    virtual cost model.
 
    Usage:  dune exec bench/main.exe [-- section ... [--quick]]
-   Sections: micro bench table1 figure1 figure2 figure3 figure4 figure5
-             acid recovery packet-loss nondet wan sizes loss ablation
-             all (default)
+   Sections: micro bench digest sqlidx table1 figure1 figure2 figure3
+             figure4 figure5 acid recovery packet-loss nondet wan sizes
+             loss ablation all (default)
+   [sqlidx] compares the indexed point/range SELECT workloads against the
+   forced-scan baseline and exits non-zero unless the indexed point
+   stream clears 5x the baseline's virtual TPS.
    [bench] measures host wall-clock / events-per-sec / SHA-256 bytes-per-sec
    for the Table-1 and SQL workloads and writes BENCH.json (schema in
    README.md); [--quick] shortens every virtual duration to 0.3 s for CI
@@ -132,7 +135,13 @@ let run_hostbench () =
   print_m sql;
   let ckpt = Harness.Hostbench.ckpt_sql_large ~seed:!seed ~duration:dur () in
   print_m ckpt;
-  let all = table1 @ [ sql; ckpt ] in
+  let idx_point = Harness.Hostbench.sql_indexed_point ~seed:!seed ~duration:dur () in
+  print_m idx_point;
+  let idx_range = Harness.Hostbench.sql_indexed_range ~seed:!seed ~duration:dur () in
+  print_m idx_range;
+  let forced = Harness.Hostbench.sql_forced_scan ~seed:!seed ~duration:dur () in
+  print_m forced;
+  let all = table1 @ [ sql; ckpt; idx_point; idx_range; forced ] in
   let json = Harness.Hostbench.to_json ~now:(iso8601 ()) all in
   let oc = open_out "BENCH.json" in
   output_string oc json;
@@ -147,11 +156,44 @@ let run_hostbench () =
 let run_digest () =
   Printf.printf "trace digest: %s\n%!" (Harness.Hostbench.trace_digest ~seed:!seed ())
 
+(* Access-path comparison with a pass/fail gate: the identical point-
+   SELECT stream, indexed versus forced scan, must differ by at least 5x
+   in virtual TPS and by an order of magnitude in pages per operation. *)
+let run_sqlidx () =
+  banner "SQL access paths — indexed vs forced scan";
+  let dur = if !quick then 0.3 else !duration in
+  let per_op (m : Harness.Hostbench.measurement) v =
+    if m.completed > 0 then v /. float_of_int m.completed else 0.0
+  in
+  let show (m : Harness.Hostbench.measurement) =
+    Printf.printf "  %-32s vTPS %9.1f  pages/op %8.1f  rows/op %8.1f\n%!" m.name m.virtual_tps
+      (per_op m (float_of_int m.pages_read))
+      (per_op m (float_of_int m.rows_scanned))
+  in
+  let point = Harness.Hostbench.sql_indexed_point ~seed:!seed ~duration:dur () in
+  let range = Harness.Hostbench.sql_indexed_range ~seed:!seed ~duration:dur () in
+  let forced = Harness.Hostbench.sql_forced_scan ~seed:!seed ~duration:dur () in
+  show point;
+  show range;
+  show forced;
+  let speedup =
+    if forced.Harness.Hostbench.virtual_tps > 0.0 then
+      point.Harness.Hostbench.virtual_tps /. forced.Harness.Hostbench.virtual_tps
+    else 0.0
+  in
+  Printf.printf "  indexed point vs forced scan: %.1fx virtual TPS\n%!" speedup;
+  if speedup < 5.0 then begin
+    Printf.eprintf "FAIL: indexed point workload is %.1fx the forced-scan baseline (need >= 5x)\n"
+      speedup;
+    exit 1
+  end
+
 let sections : (string * (unit -> unit)) list =
   [
     ("micro", run_micro);
     ("bench", run_hostbench);
     ("digest", run_digest);
+    ("sqlidx", run_sqlidx);
     ( "figure1",
       fun () ->
         banner "Figure 1 — normal-case operation";

@@ -22,6 +22,24 @@ val sql_large_state_spec :
     per-checkpoint working set. Deep-copy checkpointing is O(allocated)
     here; copy-on-write is O(working set). *)
 
+val lookup_fill_sql : ?rows:int -> ?row_bytes:int -> unit -> string list
+(** INSERT batches pre-populating the lookup table ([rows] rows whose key
+    column cycles through 256 values, [row_bytes] of pad each; defaults 6400 rows). *)
+
+val indexed_sql_spec :
+  ?seed:int ->
+  ?duration:float ->
+  ?app_pages:int ->
+  indexed:bool ->
+  range:bool ->
+  Pbft.Config.t ->
+  Scenario.spec
+(** Read-mostly access-path workload: point ([range:false]) or
+    small-range ([range:true]) aggregate SELECTs over the pre-filled
+    lookup table. [indexed] controls only whether the boot-time init
+    creates the secondary index — the operation stream is identical, so
+    indexed-vs-scan comparisons isolate the access path. *)
+
 val table1 : ?seed:int -> ?duration:float -> unit -> Report.t
 (** Table 1: the ten library configurations under 1024-byte null
     operations, 12 clients / 4 replicas. *)

@@ -12,16 +12,22 @@ type measurement = {
   bytes_copied : int;
   bytes_copied_per_checkpoint : float;
   deep_copy_bytes_per_checkpoint : float;
+  pages_read : int;
+  rows_scanned : int;
 }
 
 let measure ~name spec =
   let t0 = Unix.gettimeofday () in
   let h0 = Crypto.Sha256.bytes_hashed () in
   let c0 = Statemgr.Pages.bytes_copied () in
+  let p0 = Relsql.Database.pages_read_total () in
+  let r0 = Relsql.Database.rows_scanned_total () in
   let outcome, cluster = Scenario.run_cluster spec in
   let host_seconds = Unix.gettimeofday () -. t0 in
   let bytes_hashed = Crypto.Sha256.bytes_hashed () - h0 in
   let bytes_copied = Statemgr.Pages.bytes_copied () - c0 in
+  let pages_read = Relsql.Database.pages_read_total () - p0 in
+  let rows_scanned = Relsql.Database.rows_scanned_total () - r0 in
   let events = Simnet.Engine.events (Pbft.Cluster.engine cluster) in
   let reps = Pbft.Cluster.replicas cluster in
   let sum f = Array.fold_left (fun acc r -> acc + f r) 0 reps in
@@ -54,6 +60,8 @@ let measure ~name spec =
     bytes_copied_per_checkpoint =
       (if snapshots > 0 then float_of_int bytes_copied /. float_of_int snapshots else 0.0);
     deep_copy_bytes_per_checkpoint;
+    pages_read;
+    rows_scanned;
   }
 
 let base_cfg () = Pbft.Config.default ~f:1
@@ -87,6 +95,26 @@ let ckpt_sql_large ?(seed = 1) ?(duration = 1.5) () =
     Experiments.with_flags ~dynamic:false ~macs:true ~allbig:true ~batching:true (base_cfg ())
   in
   measure ~name:"ckpt:sql_large_state" (Experiments.sql_large_state_spec ~seed ~duration cfg)
+
+(* Access-path workloads: the same SELECT stream over the same 1600-row
+   table, with and without the secondary index. [pages_read] is the
+   number the paper's "real operations" argument turns on: a point probe
+   should touch O(log n) pages, a forced scan O(n). *)
+
+let default_cfg () =
+  Experiments.with_flags ~dynamic:false ~macs:true ~allbig:true ~batching:true (base_cfg ())
+
+let sql_indexed_point ?(seed = 1) ?(duration = 1.5) () =
+  measure ~name:"sql:indexed_point"
+    (Experiments.indexed_sql_spec ~seed ~duration ~indexed:true ~range:false (default_cfg ()))
+
+let sql_indexed_range ?(seed = 1) ?(duration = 1.5) () =
+  measure ~name:"sql:indexed_range"
+    (Experiments.indexed_sql_spec ~seed ~duration ~indexed:true ~range:true (default_cfg ()))
+
+let sql_forced_scan ?(seed = 1) ?(duration = 1.5) () =
+  measure ~name:"sql:forced_scan"
+    (Experiments.indexed_sql_spec ~seed ~duration ~indexed:false ~range:false (default_cfg ()))
 
 let trace_digest ?(seed = 1) ?(seconds = 0.3) () =
   let dynamic, macs, allbig, batching = default_flags in
@@ -133,12 +161,14 @@ let to_json ?(now = "unknown") ms =
         ("bytes_copied", Num (float_of_int m.bytes_copied));
         ("bytes_copied_per_checkpoint", Num m.bytes_copied_per_checkpoint);
         ("deep_copy_bytes_per_checkpoint", Num m.deep_copy_bytes_per_checkpoint);
+        ("pages_read", Num (float_of_int m.pages_read));
+        ("rows_scanned", Num (float_of_int m.rows_scanned));
       ]
   in
   pretty
     (Obj
        [
-         ("schema", Str "pbft-repro/bench/v2");
+         ("schema", Str "pbft-repro/bench/v3");
          ("generated", Str now);
          ("trace_digest", Str (trace_digest ()));
          ("workloads", Arr (List.map workload ms));

@@ -26,6 +26,8 @@ type measurement = {
   deep_copy_bytes_per_checkpoint : float;
       (** what a deep-copy checkpointer would move per snapshot: one replica's
           allocated pages x page size, averaged over replicas at run end *)
+  pages_read : int;  (** B-tree pages touched by the relational engine during the run *)
+  rows_scanned : int;  (** candidate rows the engine materialized and evaluated *)
 }
 
 val measure : name:string -> Scenario.spec -> measurement
@@ -49,6 +51,19 @@ val ckpt_sql_large : ?seed:int -> ?duration:float -> unit -> measurement
     set, so [bytes_copied_per_checkpoint] versus
     [deep_copy_bytes_per_checkpoint] exposes the win from copy-on-write
     snapshots. *)
+
+val sql_indexed_point : ?seed:int -> ?duration:float -> unit -> measurement
+(** ["sql:indexed_point"]: aggregate point SELECTs over the 1600-row
+    lookup table with a secondary index on the probed column. *)
+
+val sql_indexed_range : ?seed:int -> ?duration:float -> unit -> measurement
+(** ["sql:indexed_range"]: small-range aggregate SELECTs over the same
+    indexed table. *)
+
+val sql_forced_scan : ?seed:int -> ?duration:float -> unit -> measurement
+(** ["sql:forced_scan"]: the identical point-SELECT stream with no index
+    — every probe full-scans, the baseline the indexed workloads are
+    compared against. *)
 
 val trace_digest : ?seed:int -> ?seconds:float -> unit -> string
 (** Hex SHA-256 over the full message trace (time, src, dst, label, size,

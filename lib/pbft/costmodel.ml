@@ -25,6 +25,25 @@ let default =
     log_bookkeeping = 1.0e-6;
   }
 
+(* SQL execution costs live here too so every virtual-time knob is in one
+   place; the relational engine charges them per statement. *)
+type sql = {
+  stmt_fixed : float;
+  parse_per_byte : float;
+  cache_lookup : float;
+  page_io : float;
+  row_eval : float;
+}
+
+let sql_default =
+  {
+    stmt_fixed = 20e-6;
+    parse_per_byte = 50e-9;
+    cache_lookup = 2e-6;
+    page_io = 6e-6;
+    row_eval = 1.5e-6;
+  }
+
 let auth_gen t (cfg : Config.t) =
   if cfg.use_macs then float_of_int (cfg.n - 1) *. t.mac_gen else t.sign
 

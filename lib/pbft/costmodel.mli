@@ -37,3 +37,16 @@ val send : t -> int -> float
 (** CPU cost of pushing an [n]-byte datagram into the stack. *)
 
 val recv : t -> int -> float
+
+type sql = {
+  stmt_fixed : float;  (** per-exec dispatch overhead *)
+  parse_per_byte : float;  (** lexing + parsing, charged per SQL byte on a cache miss *)
+  cache_lookup : float;  (** statement-cache hit: hash probe + AST reuse *)
+  page_io : float;  (** per B-tree page touched *)
+  row_eval : float;  (** per candidate row materialized and evaluated *)
+}
+
+val sql_default : sql
+(** Knobs for the relational engine's statement cost
+    ([Relsql.Database.exec]); kept beside the protocol constants so the
+    whole virtual-time calibration lives in one module. *)

@@ -29,7 +29,13 @@ type select = {
 type stmt =
   | Create_table of { ct_name : string; ct_cols : column_def list; ct_if_not_exists : bool }
   | Drop_table of { dt_name : string; dt_if_exists : bool }
-  | Create_index of { ci_name : string; ci_table : string; ci_col : string }
+  | Create_index of {
+      ci_name : string;
+      ci_table : string;
+      ci_col : string;
+      ci_if_not_exists : bool;
+    }
+  | Drop_index of { di_name : string; di_if_exists : bool }
   | Insert of { ins_table : string; ins_cols : string list; ins_rows : expr list list }
   | Select of select
   | Update of { upd_table : string; upd_set : (string * expr) list; upd_where : expr option }

@@ -165,35 +165,44 @@ let rec delete_in t page key =
 
 let delete t key = delete_in t t.root_page key
 
-let rec leftmost_leaf t page =
-  match load t page with
-  | Leaf _ -> page
-  | Interior { children; _ } -> leftmost_leaf t (List.hd children)
+(* Descend to the leaf that would hold [key] (or the leftmost). Interior
+   pages are genuine traversal work and count as touches; the leaf itself
+   is charged by the caller only if it yields entries — deletion is lazy,
+   so long-lived trees accumulate empty leaves that a range scan must
+   step over but should not be billed for. *)
+let load_quiet t page = decode_node (Pager.read_page_quiet t.pager page)
 
-let rec leaf_for t page key =
-  match load t page with
+let rec descend_leaf t page key =
+  match load_quiet t page with
   | Leaf _ -> page
-  | Interior { seps; children } -> leaf_for t (List.nth children (child_index seps key)) key
+  | Interior { seps; children } ->
+    Pager.touch_page t.pager page;
+    let child =
+      match key with
+      | None -> List.hd children
+      | Some k -> List.nth children (child_index seps k)
+    in
+    descend_leaf t child key
 
-let iter t ?from f =
-  let start =
-    match from with
-    | None -> leftmost_leaf t t.root_page
-    | Some key -> leaf_for t t.root_page key
-  in
+let iter t ?from ?upto f =
+  let start = descend_leaf t t.root_page from in
   let rec walk page =
     if page <> 0 then begin
-      match load t page with
+      match load_quiet t page with
       | Interior _ -> raise (Pager.Corrupt "leaf chain reached interior node")
       | Leaf { entries; next } ->
+        if entries <> [] then Pager.touch_page t.pager page;
         let continue =
           List.for_all
             (fun (k, v) ->
-              match from with
-              | Some lo when String.compare k lo < 0 -> true
-              | Some _ | None -> f k v)
+              match (from, upto) with
+              | Some lo, _ when String.compare k lo < 0 -> true
+              | _, Some hi when String.compare k hi > 0 -> false
+              | _ -> f k v)
             entries
         in
+        (* A leaf ending above [upto] already returned false above; only
+           chains still inside the bound keep walking. *)
         if continue then walk next
     end
   in

@@ -29,9 +29,11 @@ val insert : t -> key:string -> value:string -> unit
 val delete : t -> string -> bool
 (** True if the key existed. *)
 
-val iter : t -> ?from:string -> (string -> string -> bool) -> unit
+val iter : t -> ?from:string -> ?upto:string -> (string -> string -> bool) -> unit
 (** In-order traversal starting at the first key ≥ [from] (or the
-    smallest); stops when the callback returns false. *)
+    smallest); stops when the callback returns false or the next key
+    exceeds the inclusive upper bound [upto]. Lazily-emptied leaves on
+    the chain are stepped over without charging a page touch. *)
 
 val count : t -> int
 val drop : t -> unit

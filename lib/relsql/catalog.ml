@@ -97,3 +97,20 @@ let table_names t =
       acc := (Util.Codec.decode dec_table v).tbl_name :: !acc;
       true);
   List.rev !acc
+
+let tables t =
+  let acc = ref [] in
+  Btree.iter (tree t) (fun _ v ->
+      acc := Util.Codec.decode dec_table v :: !acc;
+      true);
+  List.rev !acc
+
+let find_index t name =
+  let name = String.lowercase_ascii name in
+  List.find_map
+    (fun tbl ->
+      List.find_map
+        (fun idx ->
+          if String.lowercase_ascii idx.idx_name = name then Some (tbl, idx) else None)
+        tbl.tbl_indexes)
+    (tables t)

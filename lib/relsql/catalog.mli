@@ -25,3 +25,8 @@ val create_table : t -> table -> unit
 val update_table : t -> table -> unit
 val drop_table : t -> string -> unit
 val table_names : t -> string list
+val tables : t -> table list
+
+val find_index : t -> string -> (table * index_def) option
+(** Look an index up by name (case-insensitive) across every table;
+    returns the owning table alongside the definition. *)

@@ -4,25 +4,57 @@ type t = {
   cat : Catalog.t;
   mutable explicit_txn : bool;
   mutable rows_scanned : int;
+  stmt_cache : (string, Ast.stmt list) Hashtbl.t;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable planner_enabled : bool;
 }
 
 type row = Value.t array
 type result = { columns : string list; rows : row list; affected : int }
-type outcome = { res : (result, string) Stdlib.result; cost : float }
+
+type outcome = {
+  res : (result, string) Stdlib.result;
+  cost : float;
+  pages_read : int;
+  rows_scanned : int;
+}
 
 exception Sql_error of string
 
 let sql_fail fmt = Printf.ksprintf (fun s -> raise (Sql_error s)) fmt
+
+(* Process-wide execution counters, in the style of
+   [Crypto.Sha256.bytes_hashed]: the bench harness samples them around a
+   run to report page/row traffic per workload. *)
+let pages_read_acc = ref 0
+let rows_scanned_acc = ref 0
+let pages_read_total () = !pages_read_acc
+let rows_scanned_total () = !rows_scanned_acc
+
+let stmt_cache_capacity = 512
 
 let open_db vfs =
   let pager = Pager.open_pager vfs in
   let cat = Catalog.attach pager in
   ignore (Vfs.take_cost vfs);
   ignore (Pager.take_pages_touched pager);
-  { vfs; pager; cat; explicit_txn = false; rows_scanned = 0 }
+  {
+    vfs;
+    pager;
+    cat;
+    explicit_txn = false;
+    rows_scanned = 0;
+    stmt_cache = Hashtbl.create 64;
+    cache_hits = 0;
+    cache_misses = 0;
+    planner_enabled = true;
+  }
 
 let in_transaction t = t.explicit_txn
 let table_names t = Catalog.table_names t.cat
+let stmt_cache_stats t = (t.cache_hits, t.cache_misses)
+let set_planner_enabled t on = t.planner_enabled <- on
 
 (* --- row & key encodings --- *)
 
@@ -62,32 +94,15 @@ let persist_tree t (tbl : Catalog.table) tree =
   end
   else tbl
 
-let col_names (tbl : Catalog.table) =
-  List.map (fun (c : Ast.column_def) -> String.lowercase_ascii c.col_name) tbl.tbl_cols
-
-let pk_column (tbl : Catalog.table) =
-  List.find_index (fun (c : Ast.column_def) -> c.col_pk && c.col_type = Ast.T_integer) tbl.tbl_cols
+let col_names = Plan.col_names
+let pk_column = Plan.pk_column
+let coerce = Plan.coerce
 
 let scan t (tbl : Catalog.table) f =
   let tree = tree_of t tbl in
   Btree.iter tree (fun k v ->
       t.rows_scanned <- t.rows_scanned + 1;
       f (rowid_of_key k) (decode_row v))
-
-(* Coerce a value to a column's declared affinity. *)
-let coerce (c : Ast.column_def) v =
-  match (c.col_type, v) with
-  | _, Value.Null -> Value.Null
-  | Ast.T_integer, Value.Int _ -> v
-  | Ast.T_integer, Value.Real f -> Value.Int (int_of_float f)
-  | Ast.T_integer, Value.Text s -> (
-    match int_of_string_opt s with Some i -> Value.Int i | None -> v)
-  | Ast.T_real, Value.Real _ -> v
-  | Ast.T_real, Value.Int i -> Value.Real (float_of_int i)
-  | Ast.T_real, Value.Text s -> (
-    match float_of_string_opt s with Some f -> Value.Real f | None -> v)
-  | Ast.T_text, Value.Text _ -> v
-  | Ast.T_text, (Value.Int _ | Value.Real _) -> Value.Text (Value.to_string v)
 
 (* --- index maintenance --- *)
 
@@ -161,10 +176,15 @@ let do_drop_table t name if_exists =
     Catalog.drop_table t.cat name;
     { columns = []; rows = []; affected = 0 }
 
-let do_create_index t name table col =
+let do_create_index t name table col if_not_exists =
+  (* Index names live in one namespace (DROP INDEX takes no table), so
+     uniqueness is checked catalog-wide, not per table. *)
+  match Catalog.find_index t.cat name with
+  | Some _ ->
+    if if_not_exists then { columns = []; rows = []; affected = 0 }
+    else sql_fail "index %s already exists" name
+  | None ->
   let tbl = table_or_fail t table in
-  if List.exists (fun (i : Catalog.index_def) -> i.idx_name = name) tbl.tbl_indexes then
-    sql_fail "index %s already exists" name;
   let cols = col_names tbl in
   let ci =
     match List.find_index (String.equal (String.lowercase_ascii col)) cols with
@@ -181,6 +201,23 @@ let do_create_index t name table col =
   let idx = { Catalog.idx_name = name; idx_col = col; idx_root = Btree.root tree } in
   Catalog.update_table t.cat { tbl with Catalog.tbl_indexes = idx :: tbl.tbl_indexes };
   { columns = []; rows = []; affected = 0 }
+
+let do_drop_index t name if_exists =
+  match Catalog.find_index t.cat name with
+  | None ->
+    if if_exists then { columns = []; rows = []; affected = 0 }
+    else sql_fail "no such index: %s" name
+  | Some (tbl, idx) ->
+    Btree.drop (Btree.open_tree t.pager ~root:idx.Catalog.idx_root);
+    Catalog.update_table t.cat
+      {
+        tbl with
+        Catalog.tbl_indexes =
+          List.filter
+            (fun (i : Catalog.index_def) -> i.idx_name <> idx.Catalog.idx_name)
+            tbl.Catalog.tbl_indexes;
+      };
+    { columns = []; rows = []; affected = 0 }
 
 (* --- INSERT --- *)
 
@@ -246,73 +283,58 @@ let expr_name i (e : Ast.expr) alias =
     | _ -> Printf.sprintf "col%d" (i + 1)
   end
 
-(* Candidate rows for a single table, using the primary key or an index
-   when the WHERE clause pins a column to a constant. *)
+(* Candidate rows for a single table via the planner's access path. The
+   WHERE clause is NOT applied here — paths are supersets; callers filter
+   through [matching_rows]. Rows always come back in rowid order, so the
+   result is independent of which path the planner picked. *)
 let candidate_rows t (tbl : Catalog.table) (where : Ast.expr option) =
-  let names = col_names tbl in
-  let equality_on col lit =
-    match List.find_index (String.equal col) names with
-    | None -> None
-    | Some ci -> Some (ci, lit)
-  in
-  let rec find_pin (e : Ast.expr option) =
-    match e with
-    | Some (Ast.Binop ("=", Ast.Col (_, c), Ast.Lit v))
-    | Some (Ast.Binop ("=", Ast.Lit v, Ast.Col (_, c))) ->
-      equality_on (String.lowercase_ascii c) v
-    | Some (Ast.Binop ("AND", a, b)) -> (
-      match find_pin (Some a) with Some p -> Some p | None -> find_pin (Some b))
-    | _ -> None
-  in
-  match find_pin where with
-  | Some (ci, v) when pk_column tbl = Some ci -> begin
-    (* Direct rowid probe. *)
-    match Value.as_int v with
-    | None -> []
-    | Some rowid -> begin
-      t.rows_scanned <- t.rows_scanned + 1;
-      match Btree.find (tree_of t tbl) (rowid_key rowid) with
-      | Some rv -> [ (rowid, decode_row rv) ]
-      | None -> []
-    end
-  end
-  | Some (ci, v) -> begin
-    (* Index probe if one covers this column. *)
-    let col = List.nth names ci in
-    match
-      List.find_opt
-        (fun (i : Catalog.index_def) -> String.lowercase_ascii i.idx_col = col)
-        tbl.tbl_indexes
-    with
-    | Some idx ->
-      let prefix = Value.key_encode v ^ "\x00" in
-      let tree = Btree.open_tree t.pager ~root:idx.idx_root in
-      let rowids = ref [] in
-      Btree.iter tree ~from:prefix (fun k _ ->
-          if String.starts_with ~prefix k then begin
-            rowids := rowid_of_key (String.sub k (String.length prefix) 8) :: !rowids;
-            true
-          end
-          else false);
-      let main = tree_of t tbl in
-      List.filter_map
-        (fun rowid ->
-          t.rows_scanned <- t.rows_scanned + 1;
-          Option.map (fun rv -> (rowid, decode_row rv)) (Btree.find main (rowid_key rowid)))
-        (List.rev !rowids)
-    | None ->
-      let acc = ref [] in
-      scan t tbl (fun rowid r ->
-          acc := (rowid, r) :: !acc;
-          true);
-      List.rev !acc
-  end
-  | None ->
+  let full_scan () =
     let acc = ref [] in
     scan t tbl (fun rowid r ->
         acc := (rowid, r) :: !acc;
         true);
     List.rev !acc
+  in
+  let access = if t.planner_enabled then Plan.choose tbl where else Plan.Full_scan in
+  match access with
+  | Plan.Full_scan -> full_scan ()
+  | Plan.No_rows -> []
+  | Plan.Pk_probe rowid -> begin
+    t.rows_scanned <- t.rows_scanned + 1;
+    match Btree.find (tree_of t tbl) (rowid_key rowid) with
+    | Some rv -> [ (rowid, decode_row rv) ]
+    | None -> []
+  end
+  | Plan.Index_scan { idx; lo; hi } ->
+    let tree = Btree.open_tree t.pager ~root:idx.Catalog.idx_root in
+    let rowids = ref [] in
+    Btree.iter tree ?from:lo ?upto:hi (fun k _ ->
+        rowids := rowid_of_key (String.sub k (String.length k - 8) 8) :: !rowids;
+        true);
+    let main = tree_of t tbl in
+    List.filter_map
+      (fun rowid ->
+        t.rows_scanned <- t.rows_scanned + 1;
+        Option.map (fun rv -> (rowid, decode_row rv)) (Btree.find main (rowid_key rowid)))
+      (List.sort_uniq compare !rowids)
+
+(* Candidate rows with the predicate evaluated exactly once per row; the
+   surviving environment is returned so SELECT/UPDATE/DELETE never pay a
+   second evaluation. *)
+let matching_rows t (tbl : Catalog.table) ~bname (where : Ast.expr option) =
+  let names = col_names tbl in
+  List.filter_map
+    (fun (rowid, r) ->
+      let env = env_of t [ { Expr.b_table = bname; b_cols = names; b_row = r } ] in
+      let keep =
+        match where with
+        | None -> true
+        | Some w ->
+          let v = Expr.eval env w in
+          (not (Value.is_null v)) && Value.truthy v
+      in
+      if keep then Some (rowid, r, env) else None)
+    (candidate_rows t tbl where)
 
 let eval_aggregate t groups_rows (e : Ast.expr) =
   (* Evaluate an aggregate-containing projection over a group of rows. *)
@@ -409,38 +431,39 @@ let do_select t (s : Ast.select) =
   validate_columns tables
     (List.filter (fun e -> e <> Ast.Star) (List.map fst s.Ast.sel_exprs)
     @ Option.to_list s.sel_where @ s.sel_group);
-  let row_sets =
-    match tables with
-    | [] -> [ [] ]
-    | [ (tbl, bname) ] ->
-      (* Single table: planner may use pk/index. *)
-      List.map
-        (fun (_, r) -> [ { Expr.b_table = bname; b_cols = col_names tbl; b_row = r } ])
-        (candidate_rows t tbl s.sel_where)
-    | _ ->
-      (* Nested-loop cross product; WHERE filters below. *)
-      List.fold_left
-        (fun acc (tbl, bname) ->
-          let rows = candidate_rows t tbl None in
-          List.concat_map
-            (fun partial ->
-              List.map
-                (fun (_, r) ->
-                  partial @ [ { Expr.b_table = bname; b_cols = col_names tbl; b_row = r } ])
-                rows)
-            acc)
-        [ [] ] tables
-  in
   let envs =
-    List.filter_map
-      (fun bindings ->
-        let env = env_of t bindings in
-        match s.sel_where with
-        | None -> Some env
-        | Some w ->
-          let v = Expr.eval env w in
-          if (not (Value.is_null v)) && Value.truthy v then Some env else None)
-      row_sets
+    match tables with
+    | [ (tbl, bname) ] ->
+      (* Single table: planner access path, predicate evaluated once. *)
+      List.map (fun (_, _, env) -> env) (matching_rows t tbl ~bname s.sel_where)
+    | _ ->
+      (* Expression-only select ([]) or nested-loop cross product; the
+         WHERE filter applies to the joined binding sets. *)
+      let row_sets =
+        match tables with
+        | [] -> [ [] ]
+        | _ ->
+          List.fold_left
+            (fun acc (tbl, bname) ->
+              let rows = candidate_rows t tbl None in
+              List.concat_map
+                (fun partial ->
+                  List.map
+                    (fun (_, r) ->
+                      partial @ [ { Expr.b_table = bname; b_cols = col_names tbl; b_row = r } ])
+                    rows)
+                acc)
+            [ [] ] tables
+      in
+      List.filter_map
+        (fun bindings ->
+          let env = env_of t bindings in
+          match s.sel_where with
+          | None -> Some env
+          | Some w ->
+            let v = Expr.eval env w in
+            if (not (Value.is_null v)) && Value.truthy v then Some env else None)
+        row_sets
   in
   (* Expand * projections. *)
   let projections =
@@ -562,57 +585,36 @@ let do_update t table assignments where =
   | Some pki when List.exists (fun (i, _) -> i = pki) targets ->
     sql_fail "updating the INTEGER PRIMARY KEY is not supported"
   | Some _ | None -> ());
-  let matches = candidate_rows t !tbl where in
   let bname = String.lowercase_ascii !tbl.Catalog.tbl_name in
+  let matches = matching_rows t !tbl ~bname where in
   let count = ref 0 in
   List.iter
-    (fun (rowid, r) ->
-      let env = env_of t [ { Expr.b_table = bname; b_cols = names; b_row = r } ] in
-      let keep =
-        match where with
-        | None -> true
-        | Some w ->
-          let v = Expr.eval env w in
-          (not (Value.is_null v)) && Value.truthy v
-      in
-      if keep then begin
-        index_delete t !tbl rowid r;
-        let r' = Array.copy r in
-        List.iter
-          (fun (i, e) -> r'.(i) <- coerce (List.nth !tbl.Catalog.tbl_cols i) (Expr.eval env e))
-          targets;
-        let tree = tree_of t !tbl in
-        Btree.insert tree ~key:(rowid_key rowid) ~value:(encode_row r');
-        tbl := persist_tree t !tbl tree;
-        tbl := index_insert t !tbl rowid r';
-        incr count
-      end)
+    (fun (rowid, r, env) ->
+      index_delete t !tbl rowid r;
+      let r' = Array.copy r in
+      List.iter
+        (fun (i, e) -> r'.(i) <- coerce (List.nth !tbl.Catalog.tbl_cols i) (Expr.eval env e))
+        targets;
+      let tree = tree_of t !tbl in
+      Btree.insert tree ~key:(rowid_key rowid) ~value:(encode_row r');
+      tbl := persist_tree t !tbl tree;
+      tbl := index_insert t !tbl rowid r';
+      incr count)
     matches;
   { columns = []; rows = []; affected = !count }
 
 let do_delete t table where =
   let tbl = ref (table_or_fail t table) in
-  let names = col_names !tbl in
   let bname = String.lowercase_ascii !tbl.Catalog.tbl_name in
-  let matches = candidate_rows t !tbl where in
+  let matches = matching_rows t !tbl ~bname where in
   let count = ref 0 in
   List.iter
-    (fun (rowid, r) ->
-      let env = env_of t [ { Expr.b_table = bname; b_cols = names; b_row = r } ] in
-      let kill =
-        match where with
-        | None -> true
-        | Some w ->
-          let v = Expr.eval env w in
-          (not (Value.is_null v)) && Value.truthy v
-      in
-      if kill then begin
-        let tree = tree_of t !tbl in
-        ignore (Btree.delete tree (rowid_key rowid));
-        tbl := persist_tree t !tbl tree;
-        index_delete t !tbl rowid r;
-        incr count
-      end)
+    (fun (rowid, r, _env) ->
+      let tree = tree_of t !tbl in
+      ignore (Btree.delete tree (rowid_key rowid));
+      tbl := persist_tree t !tbl tree;
+      index_delete t !tbl rowid r;
+      incr count)
     matches;
   { columns = []; rows = []; affected = !count }
 
@@ -623,34 +625,62 @@ let run_stmt t (stmt : Ast.stmt) =
   | Ast.Create_table { ct_name; ct_cols; ct_if_not_exists } ->
     do_create_table t ct_name ct_cols ct_if_not_exists
   | Ast.Drop_table { dt_name; dt_if_exists } -> do_drop_table t dt_name dt_if_exists
-  | Ast.Create_index { ci_name; ci_table; ci_col } -> do_create_index t ci_name ci_table ci_col
+  | Ast.Create_index { ci_name; ci_table; ci_col; ci_if_not_exists } ->
+    do_create_index t ci_name ci_table ci_col ci_if_not_exists
+  | Ast.Drop_index { di_name; di_if_exists } -> do_drop_index t di_name di_if_exists
   | Ast.Insert { ins_table; ins_cols; ins_rows } -> do_insert t ins_table ins_cols ins_rows
   | Ast.Select s -> do_select t s
   | Ast.Update { upd_table; upd_set; upd_where } -> do_update t upd_table upd_set upd_where
   | Ast.Delete { del_table; del_where } -> do_delete t del_table del_where
   | Ast.Begin_txn | Ast.Commit_txn | Ast.Rollback_txn -> assert false
 
-(* Statement cost model: parsing plus B-tree page traffic plus per-row
-   evaluation, all in virtual seconds; disk costs accumulate in the VFS. *)
-let cpu_cost ~sql_len ~pages ~rows =
-  20e-6 +. (50e-9 *. float_of_int sql_len) +. (6e-6 *. float_of_int pages)
-  +. (1.5e-6 *. float_of_int rows)
+(* Statement cost model: parsing (or a statement-cache lookup) plus
+   B-tree page traffic plus per-row evaluation, all in virtual seconds;
+   disk costs accumulate in the VFS. Knobs live in {!Pbft.Costmodel} with
+   the protocol constants. *)
+let sql_costs = Pbft.Costmodel.sql_default
+
+let cpu_cost ~cached ~sql_len ~pages ~rows =
+  sql_costs.Pbft.Costmodel.stmt_fixed
+  +. (if cached then sql_costs.Pbft.Costmodel.cache_lookup
+      else sql_costs.Pbft.Costmodel.parse_per_byte *. float_of_int sql_len)
+  +. (sql_costs.Pbft.Costmodel.page_io *. float_of_int pages)
+  +. (sql_costs.Pbft.Costmodel.row_eval *. float_of_int rows)
+
+(* Parse through the per-connection statement cache. Parse errors are not
+   cached; the cache is wiped wholesale when it fills (it holds distinct
+   statement *texts*, which real workloads keep small) and on DDL, which
+   can change what a statement means. *)
+let parse_cached t sql =
+  match Hashtbl.find_opt t.stmt_cache sql with
+  | Some stmts ->
+    t.cache_hits <- t.cache_hits + 1;
+    (stmts, true)
+  | None ->
+    let stmts = Parser.parse sql in
+    t.cache_misses <- t.cache_misses + 1;
+    if Hashtbl.length t.stmt_cache >= stmt_cache_capacity then Hashtbl.reset t.stmt_cache;
+    Hashtbl.add t.stmt_cache sql stmts;
+    (stmts, false)
 
 let exec t sql =
   if not (Pager.in_txn t.pager) then Pager.refresh t.pager;
   ignore (Vfs.take_cost t.vfs);
   ignore (Pager.take_pages_touched t.pager);
   t.rows_scanned <- 0;
-  let finish res =
+  let finish ~cached res =
     let pages = Pager.take_pages_touched t.pager in
     let disk = Vfs.take_cost t.vfs in
-    let cost = cpu_cost ~sql_len:(String.length sql) ~pages ~rows:t.rows_scanned +. disk in
-    { res; cost }
+    let rows = t.rows_scanned in
+    let cost = cpu_cost ~cached ~sql_len:(String.length sql) ~pages ~rows +. disk in
+    pages_read_acc := !pages_read_acc + pages;
+    rows_scanned_acc := !rows_scanned_acc + rows;
+    { res; cost; pages_read = pages; rows_scanned = rows }
   in
-  match Parser.parse sql with
-  | exception Lexer.Error e -> finish (Error ("syntax error: " ^ e))
-  | exception Parser.Error e -> finish (Error ("syntax error: " ^ e))
-  | stmts ->
+  match parse_cached t sql with
+  | exception Lexer.Error e -> finish ~cached:false (Error ("syntax error: " ^ e))
+  | exception Parser.Error e -> finish ~cached:false (Error ("syntax error: " ^ e))
+  | stmts, cached ->
     let run_all () =
       let last = ref { columns = []; rows = []; affected = 0 } in
       List.iter
@@ -674,6 +704,11 @@ let exec t sql =
             (match run_stmt t stmt with
             | r ->
               if auto then Pager.commit t.pager;
+              (* DDL can change what a cached plan means. *)
+              (match stmt with
+              | Ast.Create_table _ | Ast.Drop_table _ | Ast.Create_index _ | Ast.Drop_index _ ->
+                Hashtbl.reset t.stmt_cache
+              | _ -> ());
               last := r
             | exception e ->
               if Pager.in_txn t.pager then Pager.rollback t.pager;
@@ -683,10 +718,10 @@ let exec t sql =
       !last
     in
     (match run_all () with
-    | r -> finish (Ok r)
-    | exception Sql_error e -> finish (Error e)
-    | exception Expr.Eval_error e -> finish (Error e)
-    | exception Invalid_argument e -> finish (Error e))
+    | r -> finish ~cached (Ok r)
+    | exception Sql_error e -> finish ~cached (Error e)
+    | exception Expr.Eval_error e -> finish ~cached (Error e)
+    | exception Invalid_argument e -> finish ~cached (Error e))
 
 let exec_exn t sql =
   match (exec t sql).res with

@@ -12,7 +12,12 @@ type row = Value.t array
 
 type result = { columns : string list; rows : row list; affected : int }
 
-type outcome = { res : (result, string) Stdlib.result; cost : float }
+type outcome = {
+  res : (result, string) Stdlib.result;
+  cost : float;
+  pages_read : int;  (** B-tree pages touched by this execution *)
+  rows_scanned : int;  (** candidate rows materialized and evaluated *)
+}
 
 val open_db : Vfs.t -> t
 (** Opens the database (running journal recovery if needed, creating the
@@ -29,6 +34,20 @@ val exec_exn : t -> string -> result
 val in_transaction : t -> bool
 
 val table_names : t -> string list
+
+val stmt_cache_stats : t -> int * int
+(** (hits, misses) of the per-connection statement cache since open. *)
+
+val set_planner_enabled : t -> bool -> unit
+(** Turn access-path planning off (every statement full-scans) — the
+    reference executor the planner is property-tested against. On by
+    default. *)
+
+val pages_read_total : unit -> int
+(** Process-wide page-touch count across every database, for the bench
+    harness (same idiom as [Crypto.Sha256.bytes_hashed]). *)
+
+val rows_scanned_total : unit -> int
 
 val render : result -> string
 (** Plain-text table rendering for examples and the CLI. *)

@@ -28,6 +28,19 @@ let tokenize src =
         incr pos
       done
     end
+    else if c = '/' && !pos + 1 < n && src.[!pos + 1] = '*' then begin
+      (* block comment; no nesting, same as SQLite *)
+      pos := !pos + 2;
+      let closed = ref false in
+      while not !closed do
+        if !pos + 1 >= n then raise (Error "unterminated block comment")
+        else if src.[!pos] = '*' && src.[!pos + 1] = '/' then begin
+          pos := !pos + 2;
+          closed := true
+        end
+        else incr pos
+      done
+    end
     else if is_ident_start c then begin
       let start = !pos in
       while !pos < n && is_ident_char src.[!pos] do

@@ -80,6 +80,13 @@ let read_page t page =
   touch t page;
   raw_read t page
 
+(* For callers that may decide after looking at the content that no real
+   work happened (e.g. the B-tree skipping a lazily-emptied leaf): read
+   without recording an application page touch, and charge it explicitly
+   with [touch_page] if warranted. *)
+let read_page_quiet = raw_read
+let touch_page = touch
+
 let write_page t page image =
   if not t.txn then invalid_arg "Pager.write_page: no transaction";
   if String.length image <> page_size then invalid_arg "Pager.write_page: bad size";

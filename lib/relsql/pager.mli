@@ -20,6 +20,16 @@ val open_pager : Vfs.t -> t
     present — runs crash recovery by rolling the journal back. *)
 
 val read_page : t -> int -> string
+
+val read_page_quiet : t -> int -> string
+(** Like {!read_page} but without recording an application page touch —
+    for callers that inspect a page and only sometimes do real work with
+    it (charge it explicitly with {!touch_page} when they do). *)
+
+val touch_page : t -> int -> unit
+(** Record an application page touch for accounting (idempotent within a
+    counter window). *)
+
 val write_page : t -> int -> string -> unit
 (** Must be inside a transaction. *)
 

@@ -249,13 +249,21 @@ let create_stmt st =
     Create_table { ct_name; ct_cols = cols []; ct_if_not_exists }
   end
   else if try_kw st "index" then begin
+    let ci_if_not_exists =
+      if try_kw st "if" then begin
+        eat_kw st "not";
+        eat_kw st "exists";
+        true
+      end
+      else false
+    in
     let ci_name = ident st in
     eat_kw st "on";
     let ci_table = ident st in
     eat_punct st "(";
     let ci_col = ident st in
     eat_punct st ")";
-    Create_index { ci_name; ci_table; ci_col }
+    Create_index { ci_name; ci_table; ci_col; ci_if_not_exists }
   end
   else fail st "TABLE or INDEX"
 
@@ -428,15 +436,27 @@ let delete_stmt st =
 
 let drop_stmt st =
   eat_kw st "drop";
-  eat_kw st "table";
-  let dt_if_exists =
-    if try_kw st "if" then begin
-      eat_kw st "exists";
-      true
-    end
-    else false
-  in
-  Drop_table { dt_name = ident st; dt_if_exists }
+  if try_kw st "table" then begin
+    let dt_if_exists =
+      if try_kw st "if" then begin
+        eat_kw st "exists";
+        true
+      end
+      else false
+    in
+    Drop_table { dt_name = ident st; dt_if_exists }
+  end
+  else if try_kw st "index" then begin
+    let di_if_exists =
+      if try_kw st "if" then begin
+        eat_kw st "exists";
+        true
+      end
+      else false
+    in
+    Drop_index { di_name = ident st; di_if_exists }
+  end
+  else fail st "TABLE or INDEX"
 
 let statement st =
   if is_kw st "create" then create_stmt st

@@ -6,6 +6,18 @@ let insert_vote_sql ~voter ~choice =
   Printf.sprintf "INSERT INTO votes (voter, choice, ts, nonce) VALUES ('%s', '%s', NOW(), RANDOM())"
     voter choice
 
+(* Read-mostly lookup workload for the access-path benchmarks: a table of
+   keyed rows, optionally covered by a secondary index, probed with point
+   and small-range SELECTs. *)
+
+let lookup_schema = "CREATE TABLE IF NOT EXISTS lookup (id INTEGER PRIMARY KEY, k INTEGER, pad TEXT)"
+let lookup_index_sql = "CREATE INDEX IF NOT EXISTS lookup_k ON lookup(k)"
+
+let point_select_sql ~key = Printf.sprintf "SELECT COUNT(*), SUM(id) FROM lookup WHERE k = %d" key
+
+let range_select_sql ~lo ~hi =
+  Printf.sprintf "SELECT COUNT(*) FROM lookup WHERE k >= %d AND k < %d" lo hi
+
 (* A VFS whose main file is a window onto the replica's PBFT state region:
    reads go straight to the pages, writes notify the state manager first
    (the §3.2 contract), and the commit-time sync is charged as disk cost

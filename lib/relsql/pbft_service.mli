@@ -45,3 +45,18 @@ val vote_schema : string
 val insert_vote_sql : voter:string -> choice:string -> string
 (** The benchmark operation of §4.2: insert one vote row whose timestamp
     and nonce come from NOW() and RANDOM(). *)
+
+val lookup_schema : string
+(** Read-mostly benchmark table: integer primary key, an indexable
+    integer key column [k], and a text pad. *)
+
+val lookup_index_sql : string
+(** [CREATE INDEX IF NOT EXISTS lookup_k ON lookup(k)] — run it (or
+    don't) before filling to compare indexed probes against full scans
+    on the identical operation stream. *)
+
+val point_select_sql : key:int -> string
+(** Aggregate point probe: count and sum the rows with [k = key]. *)
+
+val range_select_sql : lo:int -> hi:int -> string
+(** Small-range aggregate: count rows with [lo <= k < hi]. *)

@@ -1,0 +1,277 @@
+(* Access-path selection for single-table statements.
+
+   The planner inspects the top-level AND conjuncts of a WHERE clause for
+   sargable comparisons (column op literal) and picks the cheapest access
+   path: a direct rowid probe when the INTEGER PRIMARY KEY is pinned, a
+   bounded secondary-index scan when an indexed column is constrained, a
+   full table scan otherwise. Chosen paths are *supersets*: the caller
+   re-evaluates the WHERE clause once per candidate row, so a bound may
+   safely overshoot (inclusive where the predicate is strict) but must
+   never exclude a matching row.
+
+   Index keys are [Value.key_encode v ^ "\x00" ^ rowid] and sort bytewise,
+   which segregates values by type tag (Null < numbers < Text) while
+   [Value.compare_sql] — the comparison the predicate actually uses —
+   interleaves Int and Real numerically. Bounds therefore have to be
+   computed against the *declared* column type, leaning on the storage
+   invariants enforced by [coerce] at INSERT/UPDATE time: an INTEGER
+   column never holds a Real, a REAL column never holds an Int, and a
+   TEXT column holds nothing numeric. *)
+
+type access =
+  | Full_scan
+  | No_rows  (** a conjunct is provably unsatisfiable, e.g. [col = NULL] *)
+  | Pk_probe of int  (** direct rowid lookup in the row tree *)
+  | Index_scan of { idx : Catalog.index_def; lo : string option; hi : string option }
+      (** bounded scan of a secondary index; [lo]/[hi] are inclusive
+          entry-key bounds *)
+
+let col_names (tbl : Catalog.table) =
+  List.map (fun (c : Ast.column_def) -> String.lowercase_ascii c.col_name) tbl.tbl_cols
+
+let pk_column (tbl : Catalog.table) =
+  List.find_index (fun (c : Ast.column_def) -> c.col_pk && c.col_type = Ast.T_integer) tbl.tbl_cols
+
+(* Coerce a value to a column's declared affinity — the same function the
+   write path applies, which is what makes the storage invariants above
+   hold. *)
+let coerce (c : Ast.column_def) v =
+  match (c.col_type, v) with
+  | _, Value.Null -> Value.Null
+  | Ast.T_integer, Value.Int _ -> v
+  | Ast.T_integer, Value.Real f -> Value.Int (int_of_float f)
+  | Ast.T_integer, Value.Text s -> (
+    match int_of_string_opt s with Some i -> Value.Int i | None -> v)
+  | Ast.T_real, Value.Real _ -> v
+  | Ast.T_real, Value.Int i -> Value.Real (float_of_int i)
+  | Ast.T_real, Value.Text s -> (
+    match float_of_string_opt s with Some f -> Value.Real f | None -> v)
+  | Ast.T_text, Value.Text _ -> v
+  | Ast.T_text, (Value.Int _ | Value.Real _) -> Value.Text (Value.to_string v)
+
+(* Entry-key bounds bracketing every index entry for value [v]: the entry
+   key is the encoded value, a NUL separator, then an 8-byte rowid. *)
+let key_floor v = Value.key_encode v ^ "\x00"
+let key_ceil v = Value.key_encode v ^ "\x00" ^ String.make 8 '\xff'
+
+(* First entry key carrying a non-Null value (Null encodes as "\x00"). *)
+let above_null = "\x01"
+
+(* --- constraint extraction --- *)
+
+type constr =
+  | C_eq of Value.t
+  | C_lower of Value.t * bool  (** bound, inclusive *)
+  | C_upper of Value.t * bool
+  | C_is_null
+  | C_not_null
+
+let flip_op = function "<" -> ">" | "<=" -> ">=" | ">" -> "<" | ">=" -> "<=" | op -> op
+
+let rec conjuncts (e : Ast.expr) acc =
+  match e with Ast.Binop ("AND", a, b) -> conjuncts a (conjuncts b acc) | e -> e :: acc
+
+(* NaN is poison: the predicate compares through OCaml's polymorphic
+   [compare] (NaN below every float) while [key_encode] sorts NaN above —
+   constraints carrying one are simply not used for planning. *)
+let usable_lit = function Value.Real f when Float.is_nan f -> false | _ -> true
+
+let constraints_of (where : Ast.expr option) =
+  let of_cmp c op v =
+    let col = String.lowercase_ascii c in
+    match op with
+    | "=" -> Some (col, C_eq v)
+    | ">" -> Some (col, C_lower (v, false))
+    | ">=" -> Some (col, C_lower (v, true))
+    | "<" -> Some (col, C_upper (v, false))
+    | "<=" -> Some (col, C_upper (v, true))
+    | _ -> None
+  in
+  match where with
+  | None -> []
+  | Some w ->
+    List.filter_map
+      (fun (e : Ast.expr) ->
+        match e with
+        | Ast.Binop (op, Ast.Col (_, c), Ast.Lit v) when usable_lit v -> of_cmp c op v
+        | Ast.Binop (op, Ast.Lit v, Ast.Col (_, c)) when usable_lit v -> of_cmp c (flip_op op) v
+        | Ast.Is_null (Ast.Col (_, c), positive) ->
+          Some (String.lowercase_ascii c, if positive then C_is_null else C_not_null)
+        | _ -> None)
+      (conjuncts w [])
+
+(* --- bound encoding --- *)
+
+type bound =
+  | B_key of string
+  | B_empty  (** the constraint excludes every storable value *)
+
+(* Ints are 63-bit; floats this large are outside the exactly-representable
+   band anyway, so saturating keeps bounds superset-safe. *)
+let int_band = 4.0e18
+
+let number_of v = match Value.as_number v with Some f -> f | None -> 0.0
+
+(* Smallest entry key an index entry of a row satisfying [col >(=) v] can
+   have, given the column's declared type. *)
+let lower_key (def : Ast.column_def) v incl =
+  match v with
+  | Value.Null -> B_empty
+  | Value.Text s -> B_key (key_floor (Value.Text s))
+  | Value.Int _ | Value.Real _ -> (
+    let x = number_of v in
+    match def.col_type with
+    | Ast.T_integer ->
+      let m =
+        if x > int_band then max_int
+        else if x < -.int_band then min_int
+        else begin
+          let fl = Float.floor x in
+          if incl && fl = x then int_of_float x else int_of_float fl + 1
+        end
+      in
+      B_key (key_floor (Value.Int m))
+    | Ast.T_real -> B_key (key_floor (Value.Real x))
+    | Ast.T_text ->
+      (* Text sorts above every number, so all non-Null rows qualify. *)
+      B_key above_null)
+
+let upper_key (def : Ast.column_def) v incl =
+  match v with
+  | Value.Null -> B_empty
+  | Value.Text s -> B_key (key_ceil (Value.Text s))
+  | Value.Int _ | Value.Real _ -> (
+    let x = number_of v in
+    match def.col_type with
+    | Ast.T_integer ->
+      let m =
+        if x > int_band then max_int
+        else if x < -.int_band then min_int
+        else begin
+          let fl = Float.floor x in
+          if incl || fl <> x then int_of_float fl else int_of_float x - 1
+        end
+      in
+      B_key (key_ceil (Value.Int m))
+    | Ast.T_real -> B_key (key_ceil (Value.Real x))
+    | Ast.T_text ->
+      (* A TEXT column stores only Text/Null, and neither sorts below a
+         number: the conjunct is unsatisfiable. *)
+      B_empty)
+
+(* --- path selection --- *)
+
+type range_plan =
+  | R_empty
+  | R_none  (** no usable constraint on this column *)
+  | R_range of int * string option * string option  (** score, lo, hi *)
+
+(* Combine every constraint on one column into a single scan range.
+   Equality (including IS NULL) dominates; otherwise lower bounds max
+   together and upper bounds min together. Any comparison rejects NULL,
+   so a range always starts at [above_null] at worst. *)
+let range_for (def : Ast.column_def) (cs : constr list) =
+  let eq =
+    List.find_map
+      (function
+        | C_eq v -> (
+          match coerce def v with Value.Null -> Some B_empty | c -> Some (B_key (key_floor c)))
+        | C_is_null -> Some (B_key (key_floor Value.Null))
+        | _ -> None)
+      cs
+  in
+  match eq with
+  | Some B_empty -> R_empty
+  | Some (B_key lo) ->
+    (* [lo] is a key_floor; the matching ceiling shares its value prefix. *)
+    R_range (3, Some lo, Some (lo ^ String.make 8 '\xff'))
+  | None ->
+    let lo = ref None and hi = ref None and empty = ref false in
+    List.iter
+      (fun c ->
+        match c with
+        | C_lower (v, incl) -> (
+          match lower_key def v incl with
+          | B_empty -> empty := true
+          | B_key k -> lo := Some (match !lo with Some p when p >= k -> p | _ -> k))
+        | C_upper (v, incl) -> (
+          match upper_key def v incl with
+          | B_empty -> empty := true
+          | B_key k -> hi := Some (match !hi with Some p when p <= k -> p | _ -> k))
+        | C_not_null -> lo := Some (match !lo with Some p when p >= above_null -> p | _ -> above_null)
+        | C_eq _ | C_is_null -> ())
+      cs;
+    if !empty then R_empty
+    else begin
+      match (!lo, !hi) with
+      | None, None -> R_none
+      | Some _, Some _ -> R_range (2, !lo, !hi)
+      | Some _, None -> R_range (1, !lo, None)
+      | None, Some h ->
+        (* One-sided upper bound: any comparison still rejects NULLs, so
+           start the scan just past them. *)
+        R_range (1, Some above_null, Some h)
+    end
+
+let choose (tbl : Catalog.table) (where : Ast.expr option) =
+  let names = col_names tbl in
+  let defs = Array.of_list tbl.tbl_cols in
+  let cs =
+    (* Keep constraints whose column exists in this table; unknown columns
+       are someone else's error to report. *)
+    List.filter_map
+      (fun (col, c) ->
+        match List.find_index (String.equal col) names with
+        | Some i -> Some (i, c)
+        | None -> None)
+      (constraints_of where)
+  in
+  let provably_empty =
+    List.exists
+      (fun (_, c) ->
+        match c with
+        | C_eq Value.Null | C_lower (Value.Null, _) | C_upper (Value.Null, _) -> true
+        | _ -> false)
+      cs
+  in
+  if provably_empty then No_rows
+  else begin
+    let pk =
+      match pk_column tbl with
+      | None -> None
+      | Some pki ->
+        List.find_map (fun (i, c) -> match c with C_eq v when i = pki -> Some v | _ -> None) cs
+    in
+    match pk with
+    | Some v -> (
+      (* The PK invariant (always Int) makes a failed conversion a proof
+         of emptiness, same as the pre-planner behaviour. *)
+      match Value.as_int v with Some rowid -> Pk_probe rowid | None -> No_rows)
+    | None ->
+      let best =
+        List.fold_left
+          (fun best (idx : Catalog.index_def) ->
+            match List.find_index (String.equal (String.lowercase_ascii idx.idx_col)) names with
+            | None -> best
+            | Some ci -> (
+              let on_col = List.filter_map (fun (i, c) -> if i = ci then Some c else None) cs in
+              match range_for defs.(ci) on_col with
+              | R_none -> best
+              | R_empty -> Some (max_int, No_rows)
+              | R_range (score, lo, hi) -> (
+                match best with
+                | Some (s, _) when s >= score -> best
+                | _ -> Some (score, Index_scan { idx; lo; hi }))))
+          None tbl.Catalog.tbl_indexes
+      in
+      (match best with Some (_, access) -> access | None -> Full_scan)
+  end
+
+let describe = function
+  | Full_scan -> "full-scan"
+  | No_rows -> "no-rows"
+  | Pk_probe rowid -> Printf.sprintf "pk-probe(%d)" rowid
+  | Index_scan { idx; lo; hi } ->
+    Printf.sprintf "index-scan(%s%s%s)" idx.Catalog.idx_name
+      (match lo with Some _ -> ",lo" | None -> "")
+      (match hi with Some _ -> ",hi" | None -> "")

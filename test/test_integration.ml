@@ -269,7 +269,7 @@ let test_hostbench_measure_and_json () =
   Alcotest.(check bool) "virtual tps positive" true (m.Harness.Hostbench.virtual_tps > 0.0);
   Alcotest.(check bool) "host time sane" true (m.Harness.Hostbench.host_seconds >= 0.0);
   let json = Webgate.Json.parse (Harness.Hostbench.to_json ~now:"test" [ m ]) in
-  Alcotest.(check string) "schema tag" "pbft-repro/bench/v2"
+  Alcotest.(check string) "schema tag" "pbft-repro/bench/v3"
     (Webgate.Json.to_string_exn (Webgate.Json.member "schema" json));
   Alcotest.(check bool) "checkpoints counted" true (m.Harness.Hostbench.checkpoint_count > 0);
   match Webgate.Json.member "workloads" json with
@@ -281,7 +281,14 @@ let test_hostbench_measure_and_json () =
         match Webgate.Json.member field w with
         | Webgate.Json.Num _ -> ()
         | _ -> Alcotest.fail (field ^ " should be a number"))
-      [ "checkpoint_count"; "undo_snapshots"; "bytes_copied"; "bytes_copied_per_checkpoint" ]
+      [
+        "checkpoint_count";
+        "undo_snapshots";
+        "bytes_copied";
+        "bytes_copied_per_checkpoint";
+        "pages_read";
+        "rows_scanned";
+      ]
   | _ -> Alcotest.fail "workloads should hold the one measurement"
 
 let () =

@@ -37,6 +37,16 @@ let test_lexer_operators () =
   Alcotest.(check (list string)) "two-char ops" [ "<>"; "<="; ">="; "||"; "<>" ]
     (ops "<> <= >= || !=")
 
+let test_lexer_block_comment () =
+  let toks = Lexer.tokenize "SELECT /* a\n   multi-line\n   comment */ 1 /**/ + 2" in
+  (* SELECT, 1, +, 2, Eof — both comments skipped. *)
+  Alcotest.(check int) "comments skipped" 5 (List.length toks);
+  (* '/' alone is still the division operator. *)
+  let toks2 = Lexer.tokenize "4 / 2" in
+  Alcotest.(check int) "division untouched" 4 (List.length toks2);
+  Alcotest.check_raises "unterminated" (Lexer.Error "unterminated block comment") (fun () ->
+      ignore (Lexer.tokenize "SELECT /* oops"))
+
 (* --- parser --- *)
 
 let test_parser_select () =
@@ -144,6 +154,37 @@ let test_btree_many_and_order () =
           incr seen;
           true);
       Alcotest.(check int) "range scan" 501 !seen)
+
+let test_btree_iter_upto () =
+  with_tree (fun _ tree ->
+      for i = 1 to 300 do
+        Btree.insert tree ~key:(Printf.sprintf "k%04d" i) ~value:""
+      done;
+      let seen = ref [] in
+      Btree.iter tree ~from:"k0100" ~upto:"k0110" (fun k _ ->
+          seen := k :: !seen;
+          true);
+      Alcotest.(check int) "inclusive window" 11 (List.length !seen);
+      (match !seen with
+      | last :: _ -> Alcotest.(check string) "upper bound inclusive" "k0110" last
+      | [] -> Alcotest.fail "empty window");
+      let n = ref 0 in
+      Btree.iter tree ~upto:"k0005" (fun _ _ ->
+          incr n;
+          true);
+      Alcotest.(check int) "upto from the start" 5 !n;
+      (* A bound below every key visits nothing. *)
+      Btree.iter tree ~upto:"a" (fun _ _ -> Alcotest.fail "visited past upto");
+      (* Delete a whole leaf's worth of keys: iteration skips the
+         lazily-emptied leaves without visiting stale entries. *)
+      for i = 50 to 250 do
+        ignore (Btree.delete tree (Printf.sprintf "k%04d" i))
+      done;
+      let m = ref 0 in
+      Btree.iter tree ~from:"k0040" ~upto:"k0260" (fun _ _ ->
+          incr m;
+          true);
+      Alcotest.(check int) "emptied range skipped" 20 !m)
 
 let prop_btree_vs_map =
   QCheck.Test.make ~name:"btree matches Map reference" ~count:60
@@ -544,6 +585,151 @@ let test_render () =
   let s = Database.render (exec db "SELECT id, v FROM t") in
   Alcotest.(check bool) "has header" true (String.length s > 0 && String.sub s 0 6 = "id | v")
 
+(* --- access-path planner, statement cache, index DDL --- *)
+
+let test_create_drop_index () =
+  let db = votes_db () in
+  ignore (exec db "INSERT INTO votes (voter, choice, ts, nonce) VALUES ('a','x',0,0)");
+  (* Backfill: the index is created over the existing row. *)
+  ignore (exec db "CREATE INDEX by_choice ON votes(choice)");
+  check_rows "backfilled" db "SELECT voter FROM votes WHERE choice = 'x'" [ "a" ];
+  ignore (expect_error db "CREATE INDEX by_choice ON votes(choice)");
+  ignore (exec db "CREATE INDEX IF NOT EXISTS by_choice ON votes(choice)");
+  ignore (exec db "DROP INDEX by_choice");
+  ignore (expect_error db "DROP INDEX by_choice");
+  ignore (exec db "DROP INDEX IF EXISTS by_choice");
+  (* Queries keep working (full scan) once the index is gone. *)
+  check_rows "scan after drop" db "SELECT voter FROM votes WHERE choice = 'x'" [ "a" ];
+  ignore (exec db "CREATE INDEX by_choice ON votes(choice)");
+  check_rows "recreated" db "SELECT voter FROM votes WHERE choice = 'x'" [ "a" ]
+
+let test_stmt_cache () =
+  let db = fresh_db () in
+  ignore (exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+  let h0, m0 = Database.stmt_cache_stats db in
+  ignore (exec db "SELECT COUNT(*) FROM t");
+  ignore (exec db "SELECT COUNT(*) FROM t");
+  let h1, m1 = Database.stmt_cache_stats db in
+  Alcotest.(check int) "second exec hits" (h0 + 1) h1;
+  Alcotest.(check int) "first exec misses" (m0 + 1) m1;
+  (* DDL can change what a cached statement means: the cache is wiped and
+     the same text parses again. *)
+  ignore (exec db "CREATE INDEX tv ON t(v)");
+  ignore (exec db "SELECT COUNT(*) FROM t");
+  let h2, m2 = Database.stmt_cache_stats db in
+  Alcotest.(check int) "no hit after DDL" h1 h2;
+  Alcotest.(check int) "DDL + re-parse both miss" (m1 + 2) m2;
+  (* Parse errors are never cached (and don't count as misses): the same
+     broken text errors again rather than hitting. *)
+  ignore (expect_error db "SELEC nope");
+  ignore (expect_error db "SELEC nope");
+  let h3, m3 = Database.stmt_cache_stats db in
+  Alcotest.(check int) "errors never hit" h2 h3;
+  Alcotest.(check int) "errors not cached as misses" m2 m3;
+  ignore (exec db "SELECT COUNT(*) FROM t");
+  let h4, _ = Database.stmt_cache_stats db in
+  Alcotest.(check int) "good statement still cached" (h3 + 1) h4
+
+let test_indexed_probe_page_cost () =
+  (* The acceptance criterion behind the sql:indexed_point benchmark: on a
+     1600-row table a point probe through the secondary index touches
+     O(log n) pages where the forced full scan touches O(n). *)
+  let db = fresh_db () in
+  ignore (exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, pad TEXT)");
+  ignore (exec db "CREATE INDEX t_k ON t(k)");
+  let pad = String.make 200 'x' in
+  for batch = 0 to 15 do
+    let rows =
+      List.init 100 (fun i ->
+          let id = (batch * 100) + i + 1 in
+          Printf.sprintf "(%d, %d, '%s')" id id pad)
+    in
+    ignore (exec db ("INSERT INTO t (id, k, pad) VALUES " ^ String.concat ", " rows))
+  done;
+  let probe = Database.exec db "SELECT COUNT(*) FROM t WHERE k = 1234" in
+  Database.set_planner_enabled db false;
+  let scan = Database.exec db "SELECT COUNT(*) FROM t WHERE k = 1234" in
+  Database.set_planner_enabled db true;
+  (match (probe.Database.res, scan.Database.res) with
+  | Ok a, Ok b -> Alcotest.(check bool) "same answer" true (a.Database.rows = b.Database.rows)
+  | _ -> Alcotest.fail "probe or scan errored");
+  Alcotest.(check int) "probe evaluates one candidate row" 1 probe.Database.rows_scanned;
+  Alcotest.(check bool) "scan evaluates every row" true (scan.Database.rows_scanned >= 1600);
+  if probe.Database.pages_read > 20 then
+    Alcotest.failf "point probe touched %d pages (want O(log n))" probe.Database.pages_read;
+  if scan.Database.pages_read < 5 * probe.Database.pages_read then
+    Alcotest.failf "no asymptotic gap: scan %d pages vs probe %d" scan.Database.pages_read
+      probe.Database.pages_read
+
+let prop_planner_matches_scan =
+  (* Two databases with identical schema (indexes included) execute the
+     same random statement stream; one has the access-path planner
+     disabled so every WHERE falls back to the reference full scan. Rows
+     (including order: index probes re-sort candidates by rowid),
+     affected counts and error-ness must agree statement by statement,
+     across interleaved INSERT/UPDATE/DELETE. *)
+  let open QCheck in
+  let lit_gen =
+    Gen.oneof
+      [
+        Gen.map string_of_int (Gen.int_range (-20) 20);
+        Gen.map (fun i -> Printf.sprintf "%d.5" i) (Gen.int_range (-20) 20);
+        Gen.map (fun i -> Printf.sprintf "'t%d'" i) (Gen.int_range 0 15);
+        Gen.return "NULL";
+      ]
+  in
+  let conj_gen =
+    Gen.map3
+      (fun c o l -> Printf.sprintf "%s %s %s" c o l)
+      (Gen.oneofl [ "id"; "a"; "b"; "c" ])
+      (Gen.oneofl [ "="; "<"; "<="; ">"; ">="; "<>" ])
+      lit_gen
+  in
+  let where_gen =
+    Gen.oneof
+      [
+        Gen.return "";
+        Gen.map (fun c -> " WHERE " ^ c) conj_gen;
+        Gen.map2 (fun c1 c2 -> Printf.sprintf " WHERE %s AND %s" c1 c2) conj_gen conj_gen;
+        Gen.oneofl [ " WHERE a IS NULL"; " WHERE c IS NOT NULL" ];
+      ]
+  in
+  let stmt_gen =
+    Gen.oneof
+      [
+        Gen.map3
+          (fun a b c -> Printf.sprintf "INSERT INTO t (a, b, c) VALUES (%d, %d.25, 't%d')" a b c)
+          (Gen.int_range (-20) 20) (Gen.int_range (-20) 20) (Gen.int_range 0 15);
+        Gen.map (fun w -> "SELECT id, a, b, c FROM t" ^ w) where_gen;
+        Gen.map2
+          (fun a w -> Printf.sprintf "UPDATE t SET a = %d%s" a w)
+          (Gen.int_range (-20) 20) where_gen;
+        Gen.map (fun w -> "DELETE FROM t" ^ w) where_gen;
+      ]
+  in
+  QCheck.Test.make ~name:"planner access paths match forced full scan" ~count:60
+    (make ~print:(String.concat ";\n") (Gen.list_size (Gen.int_range 5 25) stmt_gen))
+    (fun stmts ->
+      let planned = fresh_db () in
+      let scanned = fresh_db () in
+      Database.set_planner_enabled scanned false;
+      let schema =
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, b REAL, c TEXT); \
+         CREATE INDEX t_a ON t(a); CREATE INDEX t_c ON t(c)"
+      in
+      ignore (exec planned schema);
+      ignore (exec scanned schema);
+      List.for_all
+        (fun sql ->
+          let x = Database.exec planned sql in
+          let y = Database.exec scanned sql in
+          match (x.Database.res, y.Database.res) with
+          | Ok rx, Ok ry ->
+            rx.Database.rows = ry.Database.rows && rx.Database.affected = ry.Database.affected
+          | Error _, Error _ -> true
+          | _ -> false)
+        stmts)
+
 let () =
   Alcotest.run "relsql"
     [
@@ -551,6 +737,7 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_lexer_basic;
           Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "block comments" `Quick test_lexer_block_comment;
         ] );
       ( "parser",
         [
@@ -570,6 +757,7 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_btree_basic;
           Alcotest.test_case "many keys & order" `Quick test_btree_many_and_order;
+          Alcotest.test_case "iter upper bound" `Quick test_btree_iter_upto;
           Alcotest.test_case "entry too large" `Quick test_btree_entry_too_large;
           Alcotest.test_case "persistence" `Quick test_btree_persistence;
           qcheck prop_btree_vs_map;
@@ -603,6 +791,13 @@ let () =
           Alcotest.test_case "type coercion" `Quick test_type_coercion;
           Alcotest.test_case "errors don't corrupt" `Quick test_errors;
           Alcotest.test_case "drop table" `Quick test_drop_table;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "create/drop index DDL" `Quick test_create_drop_index;
+          Alcotest.test_case "statement cache" `Quick test_stmt_cache;
+          Alcotest.test_case "point probe is O(log n) pages" `Quick test_indexed_probe_page_cost;
+          qcheck prop_planner_matches_scan;
         ] );
       ( "transactions",
         [

@@ -285,8 +285,10 @@ let expr_name i (e : Ast.expr) alias =
 
 (* Candidate rows for a single table via the planner's access path. The
    WHERE clause is NOT applied here — paths are supersets; callers filter
-   through [matching_rows]. Rows always come back in rowid order, so the
-   result is independent of which path the planner picked. *)
+   through [matching_rows]. Rows always come back in [rowid_key] byte
+   order — numeric rowid order except that negative rowids sort after
+   positive ones (the key is a raw big-endian int64) — so the result is
+   independent of which path the planner picked. *)
 let candidate_rows t (tbl : Catalog.table) (where : Ast.expr option) =
   let full_scan () =
     let acc = ref [] in
@@ -307,16 +309,19 @@ let candidate_rows t (tbl : Catalog.table) (where : Ast.expr option) =
   end
   | Plan.Index_scan { idx; lo; hi } ->
     let tree = Btree.open_tree t.pager ~root:idx.Catalog.idx_root in
-    let rowids = ref [] in
+    let row_keys = ref [] in
     Btree.iter tree ?from:lo ?upto:hi (fun k _ ->
-        rowids := rowid_of_key (String.sub k (String.length k - 8) 8) :: !rowids;
+        row_keys := String.sub k (String.length k - 8) 8 :: !row_keys;
         true);
     let main = tree_of t tbl in
+    (* Sort the raw keys, not decoded rowids: byte order is what a full
+       scan of the row tree yields, and signed order differs from it for
+       negative rowids. *)
     List.filter_map
-      (fun rowid ->
+      (fun rk ->
         t.rows_scanned <- t.rows_scanned + 1;
-        Option.map (fun rv -> (rowid, decode_row rv)) (Btree.find main (rowid_key rowid)))
-      (List.sort_uniq compare !rowids)
+        Option.map (fun rv -> (rowid_of_key rk, decode_row rv)) (Btree.find main rk))
+      (List.sort_uniq String.compare !row_keys)
 
 (* Candidate rows with the predicate evaluated exactly once per row; the
    surviving environment is returned so SELECT/UPDATE/DELETE never pay a

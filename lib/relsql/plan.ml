@@ -10,13 +10,19 @@
    never exclude a matching row.
 
    Index keys are [Value.key_encode v ^ "\x00" ^ rowid] and sort bytewise,
-   which segregates values by type tag (Null < numbers < Text) while
+   which segregates values by type tag (Null < Int < Real < Text) while
    [Value.compare_sql] — the comparison the predicate actually uses —
    interleaves Int and Real numerically. Bounds therefore have to be
    computed against the *declared* column type, leaning on the storage
    invariants enforced by [coerce] at INSERT/UPDATE time: an INTEGER
-   column never holds a Real, a REAL column never holds an Int, and a
-   TEXT column holds nothing numeric. *)
+   column holds Int, Null, or *unparseable* Text (never Real); a REAL
+   column holds Real, Null, or unparseable Text (never Int); a TEXT
+   column holds only Text or Null. Numeric bounds stay safe for the
+   stray Text entries because Text sorts above every number in both
+   [key_encode] byte order and [compare_sql]: a numeric upper bound
+   excludes them exactly when the predicate rejects them, and a numeric
+   lower bound with no upper bound scans through to them and lets the
+   re-evaluated WHERE decide. *)
 
 type access =
   | Full_scan
@@ -87,14 +93,25 @@ let constraints_of (where : Ast.expr option) =
     | "<=" -> Some (col, C_upper (v, true))
     | _ -> None
   in
+  (* Negative numbers parse as [Unop ("-", Lit _)]; fold them here so
+     they are as sargable as positive literals. An Int literal is at most
+     [max_int], so the negation cannot overflow. *)
+  let lit_of = function
+    | Ast.Lit v -> Some v
+    | Ast.Unop ("-", Ast.Lit (Value.Int i)) -> Some (Value.Int (-i))
+    | Ast.Unop ("-", Ast.Lit (Value.Real f)) -> Some (Value.Real (-.f))
+    | _ -> None
+  in
   match where with
   | None -> []
   | Some w ->
     List.filter_map
       (fun (e : Ast.expr) ->
         match e with
-        | Ast.Binop (op, Ast.Col (_, c), Ast.Lit v) when usable_lit v -> of_cmp c op v
-        | Ast.Binop (op, Ast.Lit v, Ast.Col (_, c)) when usable_lit v -> of_cmp c (flip_op op) v
+        | Ast.Binop (op, Ast.Col (_, c), rhs) -> (
+          match lit_of rhs with Some v when usable_lit v -> of_cmp c op v | _ -> None)
+        | Ast.Binop (op, lhs, Ast.Col (_, c)) -> (
+          match lit_of lhs with Some v when usable_lit v -> of_cmp c (flip_op op) v | _ -> None)
         | Ast.Is_null (Ast.Col (_, c), positive) ->
           Some (String.lowercase_ascii c, if positive then C_is_null else C_not_null)
         | _ -> None)
@@ -106,32 +123,65 @@ type bound =
   | B_key of string
   | B_empty  (** the constraint excludes every storable value *)
 
-(* Ints are 63-bit; floats this large are outside the exactly-representable
-   band anyway, so saturating keeps bounds superset-safe. *)
-let int_band = 4.0e18
-
 let number_of v = match Value.as_number v with Some f -> f | None -> 0.0
 
+(* Integer bounds for a float constraint on an INTEGER column. The
+   predicate compares [float_of_int i] with the literal [x], so a stored
+   int within half an ulp of [x] satisfies a non-strict bound (or an
+   equality) even though it differs from [x] as an integer. Inside
+   (-2^53, 2^53) the conversion is exact and bounds can be tight;
+   outside, widen by one ulp before truncating so the bound can only
+   overshoot — the WHERE clause filters the excess. A widened endpoint
+   past the int range saturates to the matching extreme, which is safe
+   there: [float_of_int max_int] rounds up to 2^62, so no int converts
+   above it (resp. below [float_of_int min_int] = -2^62 exactly). *)
+let int_exact = 9007199254740992.0 (* 2^53 *)
+
+let int_lower_of_float x incl =
+  if Float.abs x < int_exact then begin
+    let fl = Float.floor x in
+    if incl && fl = x then int_of_float x else int_of_float fl + 1
+  end
+  else begin
+    let y = Float.pred x in
+    if y >= float_of_int max_int then max_int
+    else if y <= float_of_int min_int then min_int
+    else int_of_float (Float.floor y)
+  end
+
+let int_upper_of_float x incl =
+  if Float.abs x < int_exact then begin
+    let fl = Float.floor x in
+    if incl || fl <> x then int_of_float fl else int_of_float x - 1
+  end
+  else begin
+    let y = Float.succ x in
+    if y >= float_of_int max_int then max_int
+    else if y <= float_of_int min_int then min_int
+    else int_of_float (Float.ceil y)
+  end
+
 (* Smallest entry key an index entry of a row satisfying [col >(=) v] can
-   have, given the column's declared type. *)
+   have, given the column's declared type. Int literals use exact integer
+   arithmetic; only Real literals take the float path above. *)
 let lower_key (def : Ast.column_def) v incl =
   match v with
   | Value.Null -> B_empty
   | Value.Text s -> B_key (key_floor (Value.Text s))
   | Value.Int _ | Value.Real _ -> (
-    let x = number_of v in
     match def.col_type with
     | Ast.T_integer ->
       let m =
-        if x > int_band then max_int
-        else if x < -.int_band then min_int
-        else begin
-          let fl = Float.floor x in
-          if incl && fl = x then int_of_float x else int_of_float fl + 1
-        end
+        match v with
+        | Value.Int i -> if incl || i = max_int then i else i + 1
+        | Value.Real x -> int_lower_of_float x incl
+        | Value.Null | Value.Text _ -> assert false
       in
       B_key (key_floor (Value.Int m))
-    | Ast.T_real -> B_key (key_floor (Value.Real x))
+    | Ast.T_real ->
+      (* The predicate converts an Int literal with [float_of_int] too,
+         so the rounded float is the exact comparison point. *)
+      B_key (key_floor (Value.Real (number_of v)))
     | Ast.T_text ->
       (* Text sorts above every number, so all non-Null rows qualify. *)
       B_key above_null)
@@ -141,19 +191,16 @@ let upper_key (def : Ast.column_def) v incl =
   | Value.Null -> B_empty
   | Value.Text s -> B_key (key_ceil (Value.Text s))
   | Value.Int _ | Value.Real _ -> (
-    let x = number_of v in
     match def.col_type with
     | Ast.T_integer ->
       let m =
-        if x > int_band then max_int
-        else if x < -.int_band then min_int
-        else begin
-          let fl = Float.floor x in
-          if incl || fl <> x then int_of_float fl else int_of_float x - 1
-        end
+        match v with
+        | Value.Int i -> if incl || i = min_int then i else i - 1
+        | Value.Real x -> int_upper_of_float x incl
+        | Value.Null | Value.Text _ -> assert false
       in
       B_key (key_ceil (Value.Int m))
-    | Ast.T_real -> B_key (key_ceil (Value.Real x))
+    | Ast.T_real -> B_key (key_ceil (Value.Real (number_of v)))
     | Ast.T_text ->
       (* A TEXT column stores only Text/Null, and neither sorts below a
          number: the conjunct is unsatisfiable. *)
@@ -170,21 +217,44 @@ type range_plan =
    Equality (including IS NULL) dominates; otherwise lower bounds max
    together and upper bounds min together. Any comparison rejects NULL,
    so a range always starts at [above_null] at worst. *)
+(* Entry-key range bracketing every index entry an equality constraint
+   can match. Usually a single-value range, but a Real literal against an
+   INTEGER column needs the whole bucket of ints that [float_of_int]
+   rounds onto the literal — outside the exact band that is more than one
+   int (and none of them need equal [int_of_float x]). *)
+let eq_range (def : Ast.column_def) v =
+  match (def.col_type, v) with
+  | Ast.T_integer, Value.Real x ->
+    let lo = int_lower_of_float x true and hi = int_upper_of_float x true in
+    if lo > hi then
+      (* Possible only when no int float-compares equal to [x] (a
+         non-integral literal in the exact band), so emptiness is proven:
+         an INTEGER column's other inhabitants — Null and unparseable
+         Text — never compare equal to a number either. *)
+      R_empty
+    else R_range (3, Some (key_floor (Value.Int lo)), Some (key_ceil (Value.Int hi)))
+  | _ -> (
+    match coerce def v with
+    | Value.Null -> R_empty
+    | c ->
+      let lo = key_floor c in
+      (* [lo] is a key_floor; the matching ceiling shares its value
+         prefix. *)
+      R_range (3, Some lo, Some (lo ^ String.make 8 '\xff')))
+
 let range_for (def : Ast.column_def) (cs : constr list) =
   let eq =
     List.find_map
       (function
-        | C_eq v -> (
-          match coerce def v with Value.Null -> Some B_empty | c -> Some (B_key (key_floor c)))
-        | C_is_null -> Some (B_key (key_floor Value.Null))
+        | C_eq v -> Some (eq_range def v)
+        | C_is_null ->
+          let lo = key_floor Value.Null in
+          Some (R_range (3, Some lo, Some (lo ^ String.make 8 '\xff')))
         | _ -> None)
       cs
   in
   match eq with
-  | Some B_empty -> R_empty
-  | Some (B_key lo) ->
-    (* [lo] is a key_floor; the matching ceiling shares its value prefix. *)
-    R_range (3, Some lo, Some (lo ^ String.make 8 '\xff'))
+  | Some plan -> plan
   | None ->
     let lo = ref None and hi = ref None and empty = ref false in
     List.iter
@@ -236,17 +306,31 @@ let choose (tbl : Catalog.table) (where : Ast.expr option) =
   in
   if provably_empty then No_rows
   else begin
-    let pk =
+    let pk_lit =
       match pk_column tbl with
       | None -> None
       | Some pki ->
         List.find_map (fun (i, c) -> match c with C_eq v when i = pki -> Some v | _ -> None) cs
     in
-    match pk with
-    | Some v -> (
-      (* The PK invariant (always Int) makes a failed conversion a proof
-         of emptiness, same as the pre-planner behaviour. *)
-      match Value.as_int v with Some rowid -> Pk_probe rowid | None -> No_rows)
+    let pk_access =
+      match pk_lit with
+      | None -> None
+      | Some (Value.Int rowid) -> Some (Pk_probe rowid)
+      | Some (Value.Real x) ->
+        if Float.abs x >= int_exact then
+          (* Outside the exact band several rowids can [float_of_int]-
+             compare equal to one float; a single probe could miss
+             matches, so defer to the index/scan paths below. *)
+          None
+        else if Float.floor x = x then Some (Pk_probe (int_of_float x))
+        else Some No_rows
+      | Some (Value.Text _ | Value.Null) ->
+        (* The PK column stores only Int, which never compares equal to
+           Text ([col = NULL] was already caught above). *)
+        Some No_rows
+    in
+    match pk_access with
+    | Some access -> access
     | None ->
       let best =
         List.fold_left

@@ -661,6 +661,62 @@ let test_indexed_probe_page_cost () =
     Alcotest.failf "no asymptotic gap: scan %d pages vs probe %d" scan.Database.pages_read
       probe.Database.pages_read
 
+let agree_with_forced_scan db name sql =
+  let planned = exec db sql in
+  Database.set_planner_enabled db false;
+  let scanned = exec db sql in
+  Database.set_planner_enabled db true;
+  Alcotest.(check (list string)) name (rows_as_strings scanned) (rows_as_strings planned)
+
+let test_planner_huge_int_bounds () =
+  (* Regression: bounds on INTEGER columns used to round-trip through
+     floats, so WHERE k > 999999999999999999 (a literal that rounds to
+     1e18) started the index scan at 1e18 + 1 and silently dropped a
+     stored 10^18; a saturation band also clamped bounds past |4e18| to
+     the int extremes, dropping storable values beyond the band. Bounds
+     are now exact for Int literals; Real literals may widen, never
+     shrink. *)
+  let db = fresh_db () in
+  ignore (exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER)");
+  ignore (exec db "CREATE INDEX t_k ON t(k)");
+  ignore
+    (exec db
+       "INSERT INTO t (k) VALUES (999999999999999999), (1000000000000000000), \
+        (1000000000000000032), (4300000000000000000), (4611686018427387903), \
+        (-4500000000000000000)");
+  let agree = agree_with_forced_scan db in
+  agree "strict lower, float-inexact int literal" "SELECT k FROM t WHERE k > 999999999999999999";
+  agree "inclusive lower above the old band" "SELECT k FROM t WHERE k >= 4300000000000000000";
+  agree "equality at max_int" "SELECT k FROM t WHERE k = 4611686018427387903";
+  agree "upper bound below the old negative band" "SELECT k FROM t WHERE k < -4000000000000000000";
+  agree "real equality hits its whole rounding bucket"
+    "SELECT k FROM t WHERE k = 1000000000000000000.0";
+  agree "real strict lower" "SELECT k FROM t WHERE k > 999999999999999872.0";
+  (* The concrete row the float round-trip used to drop: *)
+  check_rows "10^18 retained under strict bound" db
+    "SELECT k FROM t WHERE k > 999999999999999999 AND k < 1000000000000000001"
+    [ "1000000000000000000" ];
+  (* Every int of the 1e18 rounding bucket — 10^18 -1, 10^18 and
+     10^18 + 32 all convert to exactly 1e18 — compares equal to the Real
+     literal and must surface. *)
+  check_rows "full bucket for real equality" db
+    "SELECT k FROM t WHERE k = 1000000000000000000.0 ORDER BY k"
+    [ "999999999999999999"; "1000000000000000000"; "1000000000000000032" ]
+
+let test_index_scan_negative_rowid_order () =
+  (* Negative rowids sort after positive ones in the row tree (keys are
+     raw big-endian int64), so a full scan yields positives first. The
+     index path re-sorts its candidates by those same key bytes — sorting
+     by signed rowid instead put negatives first and broke the
+     every-path-same-order invariant. *)
+  let db = fresh_db () in
+  ignore (exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER)");
+  ignore (exec db "CREATE INDEX t_a ON t(a)");
+  ignore (exec db "INSERT INTO t (id, a) VALUES (-3, 1), (2, 1), (-1, 1), (5, 1)");
+  agree_with_forced_scan db "index path order matches scan order" "SELECT id FROM t WHERE a = 1";
+  check_rows "positives first, then negatives" db "SELECT id FROM t WHERE a = 1"
+    [ "2"; "5"; "-3"; "-1" ]
+
 let prop_planner_matches_scan =
   (* Two databases with identical schema (indexes included) execute the
      same random statement stream; one has the access-path planner
@@ -669,11 +725,19 @@ let prop_planner_matches_scan =
      affected counts and error-ness must agree statement by statement,
      across interleaved INSERT/UPDATE/DELETE. *)
   let open QCheck in
+  (* A few values near the float-exactness and int-range edges, so index
+     bounds computed from huge literals get exercised against stored
+     huge values (negated literals are sargable too). *)
+  let huge = [ "999999999999999999"; "1000000000000000000"; "1000000000000000032";
+               "4300000000000000000"; "4611686018427387903"; "-4500000000000000000" ] in
+  let small_int_gen = Gen.map string_of_int (Gen.int_range (-20) 20) in
+  let int_lit_gen = Gen.frequency [ (4, small_int_gen); (1, Gen.oneofl huge) ] in
   let lit_gen =
     Gen.oneof
       [
-        Gen.map string_of_int (Gen.int_range (-20) 20);
+        int_lit_gen;
         Gen.map (fun i -> Printf.sprintf "%d.5" i) (Gen.int_range (-20) 20);
+        Gen.oneofl [ "1000000000000000000.0"; "999999999999999872.0" ];
         Gen.map (fun i -> Printf.sprintf "'t%d'" i) (Gen.int_range 0 15);
         Gen.return "NULL";
       ]
@@ -698,12 +762,12 @@ let prop_planner_matches_scan =
     Gen.oneof
       [
         Gen.map3
-          (fun a b c -> Printf.sprintf "INSERT INTO t (a, b, c) VALUES (%d, %d.25, 't%d')" a b c)
-          (Gen.int_range (-20) 20) (Gen.int_range (-20) 20) (Gen.int_range 0 15);
+          (fun a b c -> Printf.sprintf "INSERT INTO t (a, b, c) VALUES (%s, %d.25, 't%d')" a b c)
+          int_lit_gen (Gen.int_range (-20) 20) (Gen.int_range 0 15);
         Gen.map (fun w -> "SELECT id, a, b, c FROM t" ^ w) where_gen;
         Gen.map2
-          (fun a w -> Printf.sprintf "UPDATE t SET a = %d%s" a w)
-          (Gen.int_range (-20) 20) where_gen;
+          (fun a w -> Printf.sprintf "UPDATE t SET a = %s%s" a w)
+          int_lit_gen where_gen;
         Gen.map (fun w -> "DELETE FROM t" ^ w) where_gen;
       ]
   in
@@ -797,6 +861,8 @@ let () =
           Alcotest.test_case "create/drop index DDL" `Quick test_create_drop_index;
           Alcotest.test_case "statement cache" `Quick test_stmt_cache;
           Alcotest.test_case "point probe is O(log n) pages" `Quick test_indexed_probe_page_cost;
+          Alcotest.test_case "huge-int bounds stay exact" `Quick test_planner_huge_int_bounds;
+          Alcotest.test_case "negative rowid order" `Quick test_index_scan_negative_rowid_order;
           qcheck prop_planner_matches_scan;
         ] );
       ( "transactions",

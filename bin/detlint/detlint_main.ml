@@ -1,0 +1,73 @@
+(* detlint: determinism & replay-safety lint over the middleware.
+
+   Exit codes: 0 clean, 1 unsuppressed findings, 2 configuration or
+   parse errors. *)
+
+let usage () =
+  prerr_endline
+    "usage: detlint [--json] [-o FILE] [--root DIR] [--allow FILE] [--list-rules] [DIR...]\n\n\
+     Lints every .ml under DIR... (default: lib) for determinism and\n\
+     replay-safety hazards. --json emits one JSON object per finding.\n\
+     Exemptions: [@detlint.allow <rule>] attributes in source, or\n\
+     entries in <root>/detlint.allow (override with --allow).";
+  exit 2
+
+let () =
+  let json = ref false in
+  let out_file = ref None in
+  let root = ref "." in
+  let allow = ref None in
+  let dirs = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "-o" :: f :: rest ->
+      out_file := Some f;
+      parse rest
+    | "--root" :: d :: rest ->
+      root := d;
+      parse rest
+    | "--allow" :: f :: rest ->
+      allow := Some f;
+      parse rest
+    | "--list-rules" :: _ ->
+      List.iter (fun r -> print_endline (Detlint.Finding.rule_name r)) Detlint.Finding.all_rules;
+      exit 0
+    | ("--help" | "-h" | "-o" | "--root" | "--allow") :: _ -> usage ()
+    | d :: rest when String.length d > 0 && d.[0] <> '-' ->
+      dirs := d :: !dirs;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let dirs = match List.rev !dirs with [] -> None | ds -> Some ds in
+  let outcome =
+    try Detlint.Driver.run ?dirs ?allow_file:!allow ~root:!root ()
+    with Detlint.Allowlist.Malformed msg ->
+      prerr_endline msg;
+      exit 2
+  in
+  let oc = match !out_file with Some f -> open_out f | None -> stdout in
+  List.iter
+    (fun f ->
+      output_string oc
+        ((if !json then Detlint.Finding.to_json f else Detlint.Finding.to_human f) ^ "\n"))
+    outcome.findings;
+  if !out_file <> None then close_out oc;
+  List.iter (fun e -> Printf.eprintf "detlint: error: %s\n" e) outcome.errors;
+  List.iter
+    (fun (e : Detlint.Allowlist.entry) ->
+      Printf.eprintf "detlint: warning: stale allow entry (line %d): %s %s — %s\n" e.al_line
+        e.al_rule e.al_path e.al_why)
+    outcome.stale_allows;
+  if outcome.errors <> [] then exit 2;
+  if outcome.findings <> [] then begin
+    Printf.eprintf "detlint: %d finding(s) in %d file(s) scanned (%d suppressed)\n"
+      (List.length outcome.findings) outcome.files_scanned outcome.suppressed;
+    exit 1
+  end;
+  if not !json then
+    Printf.eprintf "detlint: clean — %d file(s) scanned, %d finding(s) suppressed by allow file\n"
+      outcome.files_scanned outcome.suppressed

@@ -35,7 +35,10 @@ let slot_index ~key msg =
 let compute ~key msg =
   let idx = slot_index ~key msg in
   match Array.unsafe_get cache idx with
-  | Some s when s.sl_msg == msg && String.equal s.sl_key key -> s.sl_tag
+  (* Pointer equality on purpose: the cache is a best-effort memo and a
+     miss on an equal-but-distinct string only costs a recompute. *)
+  | Some s when ((s.sl_msg == msg) [@detlint.allow physical_eq]) && String.equal s.sl_key key ->
+    s.sl_tag
   | _ ->
     let tag = String.sub (Hmac.mac ~key msg) 0 tag_size in
     Array.unsafe_set cache idx (Some { sl_key = key; sl_msg = msg; sl_tag = tag });

@@ -141,7 +141,7 @@ let feed_bytes ctx b ~pos ~len =
      straight out of the caller's buffer without the intermediate blit. *)
   if ctx.fill > 0 then begin
     let space = 64 - ctx.fill in
-    let n = min space !remaining in
+    let n = Int.min space !remaining in
     Bytes.blit b !src ctx.block ctx.fill n;
     ctx.fill <- ctx.fill + n;
     src := !src + n;

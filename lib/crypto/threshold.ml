@@ -141,7 +141,7 @@ let partial_of_string s =
 
 let signature_to_string s = Nat.to_bytes_be s
 
-let signature_of_string s = if s = "" then None else Some (Nat.of_bytes_be s)
+let signature_of_string s = if String.equal s "" then None else Some (Nat.of_bytes_be s)
 
 let public_to_string pk =
   Util.Codec.encode

@@ -1,0 +1,68 @@
+type entry = {
+  al_rule : string;
+  al_path : string;
+  al_why : string;
+  al_line : int;
+  mutable al_used : bool;
+}
+
+type t = entry list
+
+exception Malformed of string
+
+let empty = []
+
+let is_space c = c = ' ' || c = '\t'
+
+let split_fields line =
+  let n = String.length line in
+  let rec skip i = if i < n && is_space line.[i] then skip (i + 1) else i in
+  let rec word i = if i < n && not (is_space line.[i]) then word (i + 1) else i in
+  let s0 = skip 0 in
+  let e0 = word s0 in
+  let s1 = skip e0 in
+  let e1 = word s1 in
+  let s2 = skip e1 in
+  if e0 = s0 || e1 = s1 then None
+  else Some (String.sub line s0 (e0 - s0), String.sub line s1 (e1 - s1), String.sub line s2 (n - s2))
+
+let parse_line ~line_no line =
+  let body =
+    match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line
+  in
+  if String.trim body = "" then None
+  else
+    match split_fields body with
+    | None ->
+      raise
+        (Malformed
+           (Printf.sprintf "detlint.allow:%d: expected '<rule> <path> <justification>'" line_no))
+    | Some (rule, path, why) ->
+      if Finding.rule_of_name rule = None then
+        raise (Malformed (Printf.sprintf "detlint.allow:%d: unknown rule %S" line_no rule));
+      if String.trim why = "" then
+        raise
+          (Malformed
+             (Printf.sprintf "detlint.allow:%d: entry for %s %s has no justification" line_no
+                rule path));
+      Some { al_rule = rule; al_path = path; al_why = String.trim why; al_line = line_no; al_used = false }
+
+let of_string s =
+  String.split_on_char '\n' s
+  |> List.mapi (fun i line -> parse_line ~line_no:(i + 1) line)
+  |> List.filter_map Fun.id
+
+let load path = of_string (In_channel.with_open_bin path In_channel.input_all)
+
+let suppresses t (f : Finding.t) =
+  match
+    List.find_opt
+      (fun e -> String.equal e.al_rule (Finding.rule_name f.rule) && String.equal e.al_path f.file)
+      t
+  with
+  | Some e ->
+    e.al_used <- true;
+    true
+  | None -> false
+
+let stale t = List.filter (fun e -> not e.al_used) t

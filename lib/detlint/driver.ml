@@ -1,0 +1,81 @@
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let parse_string ~filename src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf filename;
+  Parse.implementation lexbuf
+
+let lint_source ~rel src =
+  let str = parse_string ~filename:rel src in
+  let lines = Array.of_list (String.split_on_char '\n' src) in
+  Rules.lint_structure ~rel ~lines str
+
+(* Deterministic directory walk: sorted entries, dotfiles and build
+   artefacts skipped. *)
+let rec walk dir acc =
+  let entries = Sys.readdir dir in
+  Array.sort String.compare entries;
+  Array.fold_left
+    (fun acc name ->
+      if String.length name = 0 || name.[0] = '.' || String.equal name "_build" then acc
+      else
+        let path = Filename.concat dir name in
+        if Sys.is_directory path then walk path acc
+        else if Filename.check_suffix name ".ml" then path :: acc
+        else acc)
+    acc entries
+
+type outcome = {
+  files_scanned : int;
+  findings : Finding.t list;
+  suppressed : int;
+  stale_allows : Allowlist.entry list;
+  errors : string list;
+}
+
+let relativize ~root path =
+  let root = if Filename.check_suffix root "/" then root else root ^ "/" in
+  let rel =
+    if String.length path > String.length root && String.starts_with ~prefix:root path then
+      String.sub path (String.length root) (String.length path - String.length root)
+    else path
+  in
+  String.concat "/" (String.split_on_char Filename.dir_sep.[0] rel)
+
+let run ?(dirs = [ "lib" ]) ?allow_file ~root () =
+  let allow_path =
+    match allow_file with Some f -> f | None -> Filename.concat root "detlint.allow"
+  in
+  let allow = if Sys.file_exists allow_path then Allowlist.load allow_path else Allowlist.empty in
+  let files =
+    List.concat_map
+      (fun d ->
+        let dir = Filename.concat root d in
+        if Sys.file_exists dir && Sys.is_directory dir then List.rev (walk dir []) else [])
+      dirs
+    |> List.sort String.compare
+  in
+  let findings = ref [] in
+  let errors = ref [] in
+  let suppressed = ref 0 in
+  List.iter
+    (fun path ->
+      let rel = relativize ~root path in
+      match lint_source ~rel (read_file path) with
+      | fs ->
+        List.iter
+          (fun f -> if Allowlist.suppresses allow f then incr suppressed else findings := f :: !findings)
+          fs
+      | exception exn -> (
+        match Location.error_of_exn exn with
+        | Some (`Ok report) ->
+          errors := Format.asprintf "%s: %a" rel Location.print_report report :: !errors
+        | Some `Already_displayed | None -> raise exn))
+    files;
+  {
+    files_scanned = List.length files;
+    findings = List.sort Finding.compare !findings;
+    suppressed = !suppressed;
+    stale_allows = Allowlist.stale allow;
+    errors = List.rev !errors;
+  }

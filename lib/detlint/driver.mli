@@ -1,0 +1,20 @@
+(** Walking the tree, parsing, and assembling the report. *)
+
+val lint_source : rel:string -> string -> Finding.t list
+(** Parse one compilation unit from a string (fixtures, tests) and lint
+    it under the classification its pseudo-path [rel] implies. Raises
+    the parser's exceptions on syntax errors. *)
+
+type outcome = {
+  files_scanned : int;
+  findings : Finding.t list;  (** unsuppressed, sorted *)
+  suppressed : int;  (** count silenced by the allow file *)
+  stale_allows : Allowlist.entry list;
+  errors : string list;  (** unparseable files *)
+}
+
+val run : ?dirs:string list -> ?allow_file:string -> root:string -> unit -> outcome
+(** Lint every [.ml] under [root]/[dirs] (default [["lib"]]), in sorted
+    path order. [allow_file] defaults to [root]/detlint.allow and is
+    optional on disk; a malformed allow file raises
+    {!Allowlist.Malformed}. *)

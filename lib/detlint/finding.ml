@@ -1,0 +1,77 @@
+type rule =
+  | Hashtbl_order
+  | Poly_compare
+  | Physical_eq
+  | Wall_clock
+  | Ambient_rng
+  | Marshal_obj
+  | Float_format
+  | Catch_all
+
+let rule_name = function
+  | Hashtbl_order -> "hashtbl_order"
+  | Poly_compare -> "poly_compare"
+  | Physical_eq -> "physical_eq"
+  | Wall_clock -> "wall_clock"
+  | Ambient_rng -> "ambient_rng"
+  | Marshal_obj -> "marshal_obj"
+  | Float_format -> "float_format"
+  | Catch_all -> "catch_all"
+
+let all_rules =
+  [
+    Hashtbl_order;
+    Poly_compare;
+    Physical_eq;
+    Wall_clock;
+    Ambient_rng;
+    Marshal_obj;
+    Float_format;
+    Catch_all;
+  ]
+
+let rule_of_name s = List.find_opt (fun r -> String.equal (rule_name r) s) all_rules
+
+type t = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  snippet : string;
+  message : string;
+}
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match Int.compare a.col b.col with
+      | 0 -> String.compare (rule_name a.rule) (rule_name b.rule)
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json f =
+  Printf.sprintf {|{"rule":"%s","file":"%s","line":%d,"col":%d,"snippet":"%s","message":"%s"}|}
+    (rule_name f.rule) (json_escape f.file) f.line f.col (json_escape f.snippet)
+    (json_escape f.message)
+
+let to_human f =
+  Printf.sprintf "%s:%d:%d: [%s] %s\n    %s" f.file f.line f.col (rule_name f.rule) f.message
+    f.snippet

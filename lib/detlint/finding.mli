@@ -1,0 +1,32 @@
+(** A determinism/replay-safety violation reported by the analyzer. *)
+
+type rule =
+  | Hashtbl_order  (** unordered [Hashtbl] traversal in a replay-critical library *)
+  | Poly_compare  (** polymorphic [compare]/[=]/[min]/[max]/[Hashtbl.hash] where an abstract or float-bearing type can flow *)
+  | Physical_eq  (** [==]/[!=] outside the allowlist *)
+  | Wall_clock  (** ambient host time ([Unix.gettimeofday], [Sys.time], ...) *)
+  | Ambient_rng  (** global-state randomness ([Random.self_init], [Random.int], ...) *)
+  | Marshal_obj  (** [Marshal.*] / [Obj.*] *)
+  | Float_format  (** float-to-text formatting inside digest/trace/wire code *)
+  | Catch_all  (** [try ... with _ ->] that can swallow nondet-validation failures *)
+
+val rule_name : rule -> string
+val rule_of_name : string -> rule option
+val all_rules : rule list
+
+type t = {
+  rule : rule;
+  file : string;  (** repo-root-relative path, ['/']-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  snippet : string;  (** the offending source line, trimmed *)
+  message : string;
+}
+
+val compare : t -> t -> int
+(** Order by file, then line, then column, then rule name. *)
+
+val to_json : t -> string
+(** One self-contained JSON object, no trailing newline. *)
+
+val to_human : t -> string

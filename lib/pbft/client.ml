@@ -132,7 +132,10 @@ let rec arm_retransmit t o =
   o.o_timer <-
     Some
       (Simnet.Engine.timer t.engine ~delay:t.cfg.client_timeout (fun () ->
-           let still_out = match t.out with Some o' -> o' == o | None -> false in
+           (* Identity check on purpose: is this the same in-flight operation? *)
+           let[@detlint.allow physical_eq] still_out =
+             match t.out with Some o' -> o' == o | None -> false
+           in
            if t.alive && still_out then begin
              t.n_retrans <- t.n_retrans + 1;
              (* On timeout PBFT clients multicast to all replicas, which
@@ -177,14 +180,17 @@ let invoke t ?readonly op callback = invoke_certified t ?readonly op (fun r _ ->
    tentative replies; read-only requests always need 2f+1. *)
 let check_quorum t o =
   let counts = Hashtbl.create 8 in
-  Hashtbl.iter
-    (fun _ (result, tentative) ->
-      let key = (result, tentative) in
-      Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
-    o.o_replies;
+  (* Counting is order-free; the accepted-result pick below is not, so it
+     traverses keys in sorted order. *)
+  (Hashtbl.iter
+     (fun _ (result, tentative) ->
+       let key = (result, tentative) in
+       Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+     o.o_replies
+   [@detlint.allow hashtbl_order]);
   let stable_needed = quorum_f1 ~f:t.cfg.f in
   let tentative_needed = quorum_2f1 ~f:t.cfg.f in
-  Hashtbl.fold
+  Util.Sorted_tbl.fold
     (fun (result, tentative) c acc ->
       match acc with
       | Some _ -> acc
@@ -201,7 +207,7 @@ let build_certificate t o result =
   | None -> None
   | Some pk ->
     let wires =
-      Hashtbl.fold
+      Util.Sorted_tbl.fold
         (fun _ (res, wire) acc -> if String.equal res result then wire :: acc else acc)
         o.o_partials []
     in
@@ -213,7 +219,7 @@ let handle_reply t ~src ~r_view ~r_id ~r_replica ~r_result ~r_tentative ~r_parti
   | None -> ()
   | Some o ->
     if r_id = o.o_rq.rq_id && r_replica = src then begin
-      t.view_guess <- max t.view_guess r_view;
+      t.view_guess <- Int.max t.view_guess r_view;
       (* Tentative and stable replies are tracked together; a stable reply
          from the same replica supersedes its tentative one. *)
       (match Hashtbl.find_opt o.o_replies src with
@@ -247,12 +253,14 @@ let rec send_join_phase1 t js =
   js.j_timer <-
     Some
       (Simnet.Engine.timer t.engine ~delay:join_op_request_timeout (fun () ->
-           let active = match t.joining with Some js' -> js' == js | None -> false in
+           let[@detlint.allow physical_eq] active =
+             match t.joining with Some js' -> js' == js | None -> false
+           in
            if t.alive && active && t.cid = None then
              if js.j_responded then send_join_phase2 t js else send_join_phase1 t js))
 
 and send_join_phase2 t js =
-  match Hashtbl.fold (fun _ c _acc -> Some c) js.j_challenges None with
+  match Util.Sorted_tbl.fold (fun _ c _acc -> Some c) js.j_challenges None with
   | None -> send_join_phase1 t js
   | Some challenge ->
     js.j_responded <- true;
@@ -267,7 +275,9 @@ and send_join_phase2 t js =
     js.j_timer <-
       Some
         (Simnet.Engine.timer t.engine ~delay:join_op_request_timeout (fun () ->
-             let active = match t.joining with Some js' -> js' == js | None -> false in
+             let[@detlint.allow physical_eq] active =
+             match t.joining with Some js' -> js' == js | None -> false
+           in
              if t.alive && active && t.cid = None then send_join_phase2 t js))
 
 let join t ~idbuf callback =
@@ -294,12 +304,16 @@ let handle_join_challenge t ~src (jc : string) =
     Hashtbl.replace js.j_challenges src jc;
     (* Challenges are deterministic, so matching values from f+1 replicas
        prove the group issued them. *)
+    (* Counting and the boolean-or fold are both order-free. *)
     let counts = Hashtbl.create 4 in
-    Hashtbl.iter
-      (fun _ c ->
-        Hashtbl.replace counts c (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
-      js.j_challenges;
-    let confirmed = Hashtbl.fold (fun _ c acc -> acc || c >= quorum_f1 ~f:t.cfg.f) counts false in
+    (Hashtbl.iter
+       (fun _ c ->
+         Hashtbl.replace counts c (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+       js.j_challenges
+     [@detlint.allow hashtbl_order]);
+    let[@detlint.allow hashtbl_order] confirmed =
+      Hashtbl.fold (fun _ c acc -> acc || c >= quorum_f1 ~f:t.cfg.f) counts false
+    in
     if confirmed && not js.j_responded then send_join_phase2 t js
 
 let handle_join_reply t ~src (client, ok) =
@@ -313,13 +327,18 @@ let handle_join_reply t ~src (client, ok) =
     end
     else begin
       Hashtbl.replace js.j_replies src client;
+      (* Counting is order-free; the winner pick is not (two ids could
+         both reach f+1), so it traverses keys in sorted order. *)
       let counts = Hashtbl.create 4 in
-      Hashtbl.iter
-        (fun _ c ->
-          Hashtbl.replace counts c (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
-        js.j_replies;
+      (Hashtbl.iter
+         (fun _ c ->
+           Hashtbl.replace counts c (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+         js.j_replies
+       [@detlint.allow hashtbl_order]);
       let winner =
-        Hashtbl.fold (fun c n acc -> if n >= quorum_f1 ~f:t.cfg.f then Some c else acc) counts None
+        Util.Sorted_tbl.fold
+          (fun c n acc -> if n >= quorum_f1 ~f:t.cfg.f then Some c else acc)
+          counts None
       in
       match winner with
       | None -> ()

@@ -55,6 +55,6 @@ let digest t n = t.digest_base +. (t.digest_per_byte *. float_of_int n)
    NIC serialization delay lives in the network model); receives pay the
    interrupt plus a per-byte copy. *)
 let mtu_payload = 1472
-let fragments n = max 1 ((n + 28 + mtu_payload - 1) / mtu_payload)
+let fragments n = Int.max 1 ((n + 28 + mtu_payload - 1) / mtu_payload)
 let send t n = float_of_int (fragments n) *. t.msg_fixed
 let recv t n = (float_of_int (fragments n) *. t.msg_fixed) +. (t.msg_per_byte *. float_of_int n)

@@ -34,7 +34,9 @@ let low_watermark t = t.low
 
 let set_low_watermark t mark =
   t.low <- mark;
-  Hashtbl.iter (fun seq _ -> if seq <= mark then Hashtbl.remove t.slots seq) (Hashtbl.copy t.slots)
+  List.iter
+    (fun seq -> if seq <= mark then Hashtbl.remove t.slots seq)
+    (Util.Sorted_tbl.keys t.slots)
 
 let fresh_entry seq =
   {
@@ -67,12 +69,14 @@ let prepare_count e = Hashtbl.length e.prepares
 let commit_count e = Hashtbl.length e.commits
 
 let entries_between t ~lo ~hi =
-  let acc = Hashtbl.fold (fun seq e l -> if seq > lo && seq <= hi then e :: l else l) t.slots [] in
-  List.sort (fun a b -> compare a.seq b.seq) acc
+  List.filter_map
+    (fun (seq, e) -> if seq > lo && seq <= hi then Some e else None)
+    (Util.Sorted_tbl.bindings t.slots)
 
 let prepared_above t seq =
-  let acc = Hashtbl.fold (fun s e l -> if s > seq && e.prepared then e :: l else l) t.slots [] in
-  List.sort (fun a b -> compare a.seq b.seq) acc
+  List.filter_map
+    (fun (s, e) -> if s > seq && e.prepared then Some e else None)
+    (Util.Sorted_tbl.bindings t.slots)
 
 let cached_reply t c = Hashtbl.find_opt t.replies c
 let cache_reply t c r = Hashtbl.replace t.replies c r

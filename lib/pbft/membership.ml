@@ -61,10 +61,13 @@ type join_outcome =
   | Table_full
 
 let cleanup_stale t ~now ~stale_threshold =
+  (* Sorted traversal: the stale list reaches Join replies (terminated
+     sessions), so its order must not depend on bucket layout. *)
   let stale =
-    Hashtbl.fold
+    Util.Sorted_tbl.fold
       (fun c e acc -> if now -. e.me_last_active > stale_threshold then c :: acc else acc)
       t.table []
+    |> List.rev
   in
   List.iter (fun c -> ignore (remove_entry t c)) stale;
   stale
@@ -115,12 +118,12 @@ let touch t c now =
 let count t = Hashtbl.length t.table
 let capacity t = t.max
 let is_dynamic t = t.dynamic
-let clients t = List.sort compare (Hashtbl.fold (fun c _ acc -> c :: acc) t.table [])
+let clients t = Util.Sorted_tbl.keys t.table
 
 let serialize t =
-  let sorted =
-    List.sort compare (Hashtbl.fold (fun _ e acc -> e :: acc) t.table [])
-  in
+  (* Keyed by me_client, so key order here is the entry order the old
+     sort-by-record produced: serialization stays byte-identical. *)
+  let sorted = List.map snd (Util.Sorted_tbl.bindings t.table) in
   Util.Codec.encode
     (fun w () ->
       Util.Codec.W.varint w t.next_id;

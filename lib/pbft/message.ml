@@ -423,7 +423,9 @@ module Ring = struct
       if remaining = 0 then None
       else
         match t.slots.(i) with
-        | Some (k, v) when k == key -> Some v
+        (* Pointer equality on purpose: best-effort memo keyed by the
+           exact wire string instance. *)
+        | Some (k, v) when ((k == key) [@detlint.allow physical_eq]) -> Some v
         | _ -> probe (if i = 0 then n - 1 else i - 1) (remaining - 1)
     in
     probe ((t.next + n - 1) mod n) n
@@ -511,7 +513,9 @@ let rq_digest_cache : (request * digest) option array = Array.make rq_digest_slo
 let request_digest rq =
   let idx = ((rq.rq_client * 0x9e3779b1) lxor rq.rq_id) land (rq_digest_slots - 1) in
   match Array.unsafe_get rq_digest_cache idx with
-  | Some (r, d) when r == rq -> d
+  (* Pointer equality on purpose: a miss on an equal-but-distinct request
+     record only costs a recompute of the same digest. *)
+  | Some (r, d) when ((r == rq) [@detlint.allow physical_eq]) -> d
   | _ ->
     let d = Crypto.Sha256.digest ("req|" ^ Util.Codec.encode enc_request rq) in
     Array.unsafe_set rq_digest_cache idx (Some (rq, d));

@@ -270,7 +270,10 @@ let rec arm_watchdog t =
     end
 
 and check_watchdog t =
-  let oldest = Hashtbl.fold (fun _ ts acc -> Float.min ts acc) t.waiting infinity in
+  (* Order-free: Float.min is commutative and the timestamps carry no NaN. *)
+  let[@detlint.allow hashtbl_order] oldest =
+    Hashtbl.fold (fun _ ts acc -> Float.min ts acc) t.waiting infinity
+  in
   if oldest +. t.cfg.view_change_timeout <= now t +. 1e-9 && not t.in_view_change then
     start_view_change t (t.view + 1)
   else arm_watchdog t
@@ -415,14 +418,16 @@ and check_ckpt_stable t seq =
   match Hashtbl.find_opt t.ckpt_votes seq with
   | None -> ()
   | Some votes ->
-    (* Majority digest among votes. *)
+    (* Majority digest among votes. Counting is order-free; the winner
+       pick is not (count ties), so it traverses in digest order. *)
     let counts = Hashtbl.create 4 in
-    Hashtbl.iter
-      (fun _ d ->
-        Hashtbl.replace counts d (1 + Option.value ~default:0 (Hashtbl.find_opt counts d)))
-      votes;
+    (Hashtbl.iter
+       (fun _ d ->
+         Hashtbl.replace counts d (1 + Option.value ~default:0 (Hashtbl.find_opt counts d)))
+       votes
+     [@detlint.allow hashtbl_order]);
     let best =
-      Hashtbl.fold (fun d c acc ->
+      Util.Sorted_tbl.fold (fun d c acc ->
           match acc with Some (_, c') when c' >= c -> acc | _ -> Some (d, c)) counts None
     in
     (match best with
@@ -431,18 +436,21 @@ and check_ckpt_stable t seq =
         t.stable_ckpt <- seq;
         Log.set_low_watermark t.log seq;
         (* Drop older snapshots and vote sets. *)
-        Hashtbl.iter
-          (fun s _ -> if s < seq then Hashtbl.remove t.checkpoints s)
-          (Hashtbl.copy t.checkpoints);
-        Hashtbl.iter (fun s _ -> if s < seq then Hashtbl.remove t.ckpt_votes s)
-          (Hashtbl.copy t.ckpt_votes)
+        List.iter
+          (fun s -> if s < seq then Hashtbl.remove t.checkpoints s)
+          (Util.Sorted_tbl.keys t.checkpoints);
+        List.iter
+          (fun s -> if s < seq then Hashtbl.remove t.ckpt_votes s)
+          (Util.Sorted_tbl.keys t.ckpt_votes)
       end;
       (* A replica that is behind this stable checkpoint — because it
          lagged or is stuck on a missing big-request body (§2.4) — now
          recovers by state transfer. *)
       if t.last_executed < seq && t.transfer = None then begin
         let holder =
-          Hashtbl.fold (fun r d acc -> if d = digest && r <> t.id then Some r else acc) votes None
+          Util.Sorted_tbl.fold
+            (fun r d acc -> if String.equal d digest && r <> t.id then Some r else acc)
+            votes None
         in
         match holder with
         | Some peer -> start_state_transfer t ~seq ~peer ~digest:(Some digest)
@@ -471,7 +479,7 @@ and arm_transfer_retry t =
           | Some tr ->
             (if tr.tr_wanted = [] then
                send_to t ~dst:tr.tr_peer
-                 (Message.Fetch_meta { fm_seq = max 0 tr.tr_seq; fm_replica = t.id })
+                 (Message.Fetch_meta { fm_seq = Int.max 0 tr.tr_seq; fm_replica = t.id })
              else begin
                let have = List.map fst tr.tr_received in
                let missing = List.filter (fun w -> not (List.mem w have)) tr.tr_wanted in
@@ -793,7 +801,7 @@ and handle_pre_prepare t ~src (pp_view, pp_seq, pp_batch, pp_nondet) =
     else begin
       let entry = Log.entry t.log pp_seq in
       let digest = Message.batch_digest pp_batch in
-      let conflicting = entry.batch <> None && entry.batch_digest <> digest in
+      let conflicting = entry.batch <> None && not (String.equal entry.batch_digest digest) in
       if not conflicting then begin
         (* In MAC mode the embedded client requests must be validated; a
            replica that lost its session keys (restart, §2.3) cannot and
@@ -872,7 +880,7 @@ and check_committed t entry =
 and handle_prepare t ~src (p_view, p_seq, p_digest) =
   if p_view <= t.view && not t.in_view_change then begin
     let entry = Log.entry t.log p_seq in
-    if entry.batch = None || entry.batch_digest = p_digest then begin
+    if entry.batch = None || String.equal entry.batch_digest p_digest then begin
       Log.record_prepare entry src;
       check_prepared t entry
     end
@@ -881,7 +889,7 @@ and handle_prepare t ~src (p_view, p_seq, p_digest) =
 and handle_commit t ~src (c_view, c_seq, c_digest) =
   if c_view <= t.view then begin
     let entry = Log.entry t.log c_seq in
-    if entry.batch = None || entry.batch_digest = c_digest then begin
+    if entry.batch = None || String.equal entry.batch_digest c_digest then begin
       Log.record_commit entry src;
       (* §2.5 log replay, off by default: a quorum is committing a
          sequence we never saw the pre-prepare for; fetch it. *)
@@ -900,8 +908,8 @@ and handle_commit t ~src (c_view, c_seq, c_digest) =
 
 and maybe_fill_gap t ~src ~seen_seq =
   if t.cfg.fetch_missing_entries then begin
-    let lo = max (t.last_executed + 1) (Log.low_watermark t.log + 1) in
-    let hi = min (seen_seq - 1) (lo + 512) in
+    let lo = Int.max (t.last_executed + 1) (Log.low_watermark t.log + 1) in
+    let hi = Int.min (seen_seq - 1) (lo + 512) in
     for seq = lo to hi do
       let entry = Log.entry t.log seq in
       if entry.batch = None && not (Hashtbl.mem t.entry_requests seq) then begin
@@ -923,7 +931,7 @@ and handle_status t ~src (st_view, st_last_exec) =
           (Message.Checkpoint_msg
              { ck_seq = t.stable_ckpt; ck_digest = Statemgr.Checkpoint.root ck; ck_replica = t.id })
       | None -> ());
-    let hi = min t.last_executed (st_last_exec + 64) in
+    let hi = Int.min t.last_executed (st_last_exec + 64) in
     for seq = st_last_exec + 1 to hi do
       match Log.find t.log seq with
       | Some e when e.batch <> None ->
@@ -1076,12 +1084,13 @@ and check_new_view t v =
   if primary_of_view ~n:t.cfg.n v = t.id && t.vc_target <= v then begin
     match Hashtbl.find_opt t.vc_msgs v with
     | Some tbl when Hashtbl.length tbl >= quorum_2f1 ~f:t.cfg.f && t.view < v ->
-      (* Compute the re-proposal set O from the 2f+1 view-change messages. *)
-      let msgs = Hashtbl.fold (fun src p acc -> (src, p) :: acc) tbl [] in
+      (* Compute the re-proposal set O from the 2f+1 view-change messages.
+         Sorted traversal: msgs order reaches the New_view digest list. *)
+      let msgs = Util.Sorted_tbl.bindings tbl in
       let min_s =
         List.fold_left
           (fun acc (_, p) ->
-            match p with Message.View_change vc -> max acc vc.vc_stable_seq | _ -> acc)
+            match p with Message.View_change vc -> Int.max acc vc.vc_stable_seq | _ -> acc)
           0 msgs
       in
       let by_seq : (seqno, Message.prepared_info) Hashtbl.t = Hashtbl.create 16 in
@@ -1099,7 +1108,10 @@ and check_new_view t v =
               vc.vc_prepared
           | _ -> ())
         msgs;
-      let max_s = Hashtbl.fold (fun s _ acc -> max s acc) by_seq min_s in
+      (* Order-free: Int.max is commutative and associative. *)
+      let[@detlint.allow hashtbl_order] max_s =
+        Hashtbl.fold (fun s _ acc -> Int.max s acc) by_seq min_s
+      in
       let reproposals =
         List.filter_map
           (fun seq ->
@@ -1116,11 +1128,11 @@ and check_new_view t v =
       t.view <- v;
       t.in_view_change <- false;
       t.vc_target <- v;
-      t.seq_counter <- max max_s t.seq_counter;
+      t.seq_counter <- Int.max max_s t.seq_counter;
       if t.last_executed < min_s then begin
         (* We are behind the quorum's stable checkpoint; fetch it. *)
         match
-          Hashtbl.fold (fun src p acc ->
+          Util.Sorted_tbl.fold (fun src p acc ->
               match p with
               | Message.View_change vc when vc.vc_stable_seq = min_s && src <> t.id ->
                 Some (src, vc.vc_stable_digest)
@@ -1128,7 +1140,8 @@ and check_new_view t v =
             tbl None
         with
         | Some (peer, d) ->
-          start_state_transfer t ~seq:min_s ~peer ~digest:(if d = "" then None else Some d)
+          start_state_transfer t ~seq:min_s ~peer
+            ~digest:(if String.equal d "" then None else Some d)
         | None -> ()
       end;
       (* Install the re-proposed batches locally. *)
@@ -1266,9 +1279,9 @@ and finish_transfer t tr =
   if tr.tr_seq > t.last_executed then begin
     t.last_executed <- tr.tr_seq;
     t.last_committed_exec <- tr.tr_seq;
-    t.seq_counter <- max t.seq_counter tr.tr_seq
+    t.seq_counter <- Int.max t.seq_counter tr.tr_seq
   end;
-  t.stable_ckpt <- max t.stable_ckpt tr.tr_seq;
+  t.stable_ckpt <- Int.max t.stable_ckpt tr.tr_seq;
   Log.set_low_watermark t.log tr.tr_seq;
   (* Snapshot the transferred state as our own checkpoint so we can serve
      transfers and votes for it. *)

@@ -136,7 +136,11 @@ let kv_store () =
               | "put", k :: vs ->
                 let v = String.concat " " vs in
                 let assoc = List.remove_assoc k (load ()) in
-                store (List.sort compare ((k, v) :: assoc));
+                let cmp (k1, v1) (k2, v2) =
+                  let c = String.compare k1 k2 in
+                  if c <> 0 then c else String.compare v1 v2
+                in
+                store (List.sort cmp ((k, v) :: assoc));
                 ("ok", 8e-6)
               | "get", [ k ] ->
                 ((match List.assoc_opt k (load ()) with Some v -> v | None -> "(nil)"), 8e-6)

@@ -65,17 +65,28 @@ let get t ~client ~key =
   (* Re-read through the region so external rewrites (state transfer)
      are always visible. *)
   load t;
-  List.find_map (fun (c, k, v) -> if c = client && k = key then Some v else None) t.table
+  List.find_map
+    (fun (c, k, v) -> if c = client && String.equal k key then Some v else None)
+    t.table
+
+(* Same order polymorphic compare produced on (int, string, string):
+   client id first, then key, then value. *)
+let cmp_entry (c1, k1, v1) (c2, k2, v2) =
+  let c = Int.compare c1 c2 in
+  if c <> 0 then c
+  else
+    let c = String.compare k1 k2 in
+    if c <> 0 then c else String.compare v1 v2
 
 let set t ~client ~key value =
   load t;
-  let rest = List.filter (fun (c, k, _) -> not (c = client && k = key)) t.table in
-  t.table <- List.sort compare ((client, key, value) :: rest);
+  let rest = List.filter (fun (c, k, _) -> not (c = client && String.equal k key)) t.table in
+  t.table <- List.sort cmp_entry ((client, key, value) :: rest);
   store t
 
 let remove t ~client ~key =
   load t;
-  t.table <- List.filter (fun (c, k, _) -> not (c = client && k = key)) t.table;
+  t.table <- List.filter (fun (c, k, _) -> not (c = client && String.equal k key)) t.table;
   store t
 
 let end_session t ~client =
@@ -89,4 +100,4 @@ let session_keys t ~client =
 
 let sessions t =
   load t;
-  List.sort_uniq compare (List.map (fun (c, _, _) -> c) t.table)
+  List.sort_uniq Int.compare (List.map (fun (c, _, _) -> c) t.table)

@@ -57,7 +57,7 @@ let key_of_name name = String.lowercase_ascii name
 
 let attach pager =
   let root = Pager.catalog_root pager in
-  if root = 0 then begin
+  if Int.equal root 0 then begin
     let standalone = not (Pager.in_txn pager) in
     if standalone then Pager.begin_txn pager;
     let tree = Btree.create pager in
@@ -71,7 +71,7 @@ let attach pager =
 let tree t = Btree.open_tree t.pager ~root:(Pager.catalog_root t.pager)
 
 let persist_root t tr =
-  if Btree.root tr <> Pager.catalog_root t.pager then
+  if not (Int.equal (Btree.root tr) (Pager.catalog_root t.pager)) then
     Pager.set_catalog_root t.pager (Btree.root tr)
 
 let find_table t name =

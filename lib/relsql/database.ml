@@ -87,7 +87,7 @@ let table_or_fail t name =
 let tree_of t (tbl : Catalog.table) = Btree.open_tree t.pager ~root:tbl.tbl_root
 
 let persist_tree t (tbl : Catalog.table) tree =
-  if Btree.root tree <> tbl.tbl_root then begin
+  if not (Int.equal (Btree.root tree) tbl.tbl_root) then begin
     let tbl = { tbl with tbl_root = Btree.root tree } in
     Catalog.update_table t.cat tbl;
     tbl
@@ -115,7 +115,7 @@ let index_insert t (tbl : Catalog.table) rowid (r : row) =
       | Some ci ->
         let tree = Btree.open_tree t.pager ~root:idx.Catalog.idx_root in
         Btree.insert tree ~key:(index_key r.(ci) rowid) ~value:"";
-        if Btree.root tree <> idx.idx_root then begin
+        if not (Int.equal (Btree.root tree) idx.idx_root) then begin
           let idxs =
             List.map
               (fun (i : Catalog.index_def) ->
@@ -260,11 +260,11 @@ let do_insert t table cols rows_exprs =
         | None -> !tbl.Catalog.tbl_next_rowid
       in
       let tree = tree_of t !tbl in
-      if Btree.find tree (rowid_key rowid) <> None then
+      if Option.is_some (Btree.find tree (rowid_key rowid)) then
         sql_fail "UNIQUE constraint failed: rowid %d" rowid;
       Btree.insert tree ~key:(rowid_key rowid) ~value:(encode_row r);
       tbl := persist_tree t !tbl tree;
-      tbl := { !tbl with Catalog.tbl_next_rowid = max !tbl.Catalog.tbl_next_rowid (rowid + 1) };
+      tbl := { !tbl with Catalog.tbl_next_rowid = Int.max !tbl.Catalog.tbl_next_rowid (rowid + 1) };
       Catalog.update_table t.cat !tbl;
       tbl := index_insert t !tbl rowid r;
       incr count)
@@ -369,7 +369,7 @@ let eval_aggregate t groups_rows (e : Ast.expr) =
           let all_int =
             List.for_all (fun v -> match v with Value.Int _ -> true | _ -> false) vals
           in
-          if f = "SUM" then
+          if String.equal f "SUM" then
             if all_int then Value.Int (int_of_float sum) else Value.Real sum
           else Value.Real (sum /. float_of_int (List.length nums))
         | _ -> assert false
@@ -738,7 +738,8 @@ let render (r : result) =
   if r.columns <> [] then begin
     Buffer.add_string buf (String.concat " | " r.columns);
     Buffer.add_char buf '\n';
-    Buffer.add_string buf (String.make (max 8 (String.length (String.concat " | " r.columns))) '-');
+    Buffer.add_string buf
+      (String.make (Int.max 8 (String.length (String.concat " | " r.columns))) '-');
     Buffer.add_char buf '\n'
   end;
   List.iter

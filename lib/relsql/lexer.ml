@@ -89,7 +89,7 @@ let tokenize src =
       let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
       match two with
       | "<>" | "<=" | ">=" | "||" | "!=" ->
-        push (Punct (if two = "!=" then "<>" else two));
+        push (Punct (if String.equal two "!=" then "<>" else two));
         pos := !pos + 2
       | _ -> begin
         match c with

@@ -9,12 +9,12 @@ let type_rank = function Null -> 0 | Int _ | Real _ -> 1 | Text _ -> 2
 let compare_sql a b =
   match (a, b) with
   | Null, Null -> 0
-  | Int x, Int y -> compare x y
-  | Real x, Real y -> compare x y
-  | Int x, Real y -> compare (float_of_int x) y
-  | Real x, Int y -> compare x (float_of_int y)
-  | Text x, Text y -> compare x y
-  | (Null | Int _ | Real _ | Text _), _ -> compare (type_rank a) (type_rank b)
+  | Int x, Int y -> Int.compare x y
+  | Real x, Real y -> Float.compare x y
+  | Int x, Real y -> Float.compare (float_of_int x) y
+  | Real x, Int y -> Float.compare x (float_of_int y)
+  | Text x, Text y -> String.compare x y
+  | (Null | Int _ | Real _ | Text _), _ -> Int.compare (type_rank a) (type_rank b)
 
 let equal a b = compare_sql a b = 0
 let is_null = function Null -> true | Int _ | Real _ | Text _ -> false
@@ -22,7 +22,9 @@ let is_null = function Null -> true | Int _ | Real _ | Text _ -> false
 let to_string = function
   | Null -> "NULL"
   | Int i -> string_of_int i
-  | Real f -> Printf.sprintf "%.6g" f
+  (* %.6g is the service's pinned REAL rendering: deterministic for a
+     given IEEE double, and the bit pattern is replicated state. *)
+  | Real f -> (Printf.sprintf "%.6g" f [@detlint.allow float_format])
   | Text s -> s
 
 let as_number = function

@@ -68,6 +68,8 @@ let sync f =
 let sync_cost t = t.sync_latency
 let write_cost t n = t.write_latency_per_byte *. float_of_int n
 
-let crash t = Hashtbl.iter (fun _ st -> st.volatile <- Bytes.copy st.durable) t.files
+(* Order-free: each file's volatile image is reset independently. *)
+let[@detlint.allow hashtbl_order] crash t =
+  Hashtbl.iter (fun _ st -> st.volatile <- Bytes.copy st.durable) t.files
 let sync_count t = t.syncs
 let bytes_written t = t.written

@@ -38,7 +38,9 @@ let render ?(limit = 200) t pred =
   List.iter
     (fun e ->
       Buffer.add_string buf
+        (* Human-facing dump only; nothing downstream hashes or parses it. *)
         (Printf.sprintf "%10.6fs  %3d -> %3d  %-16s %5dB  %s\n" e.time e.src e.dst e.label e.size
-           e.detail))
+           e.detail
+         [@detlint.allow float_format]))
     rows;
   Buffer.contents buf

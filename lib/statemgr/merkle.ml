@@ -84,7 +84,7 @@ let update t pages dirty =
       mark (leaf_index t i))
     dirty;
   (* Recompute ancestors bottom-up: iterate indices descending. *)
-  let idxs = List.sort (fun a b -> compare b a) (Hashtbl.fold (fun k () acc -> k :: acc) touched []) in
+  let idxs = List.rev (Util.Sorted_tbl.keys touched) in
   List.iter (fun i -> t.nodes.(i) <- hash_children t.nodes.((2 * i) + 1) t.nodes.((2 * i) + 2)) idxs
 
 let root t = t.nodes.(0)
@@ -117,7 +117,7 @@ let diff a b =
 
 let root_of_leaves leaves =
   let n = List.length leaves in
-  let width = pow2_at_least (max n 1) 1 in
+  let width = pow2_at_least (Int.max n 1) 1 in
   let level = Array.make width empty_leaf in
   List.iteri (fun i l -> level.(i) <- l) leaves;
   let rec reduce level =

@@ -69,7 +69,7 @@ let read t ~pos ~len =
   while !copied < len do
     let abs = pos + !copied in
     let pg = abs / t.page_size and off = abs mod t.page_size in
-    let n = min (len - !copied) (t.page_size - off) in
+    let n = Int.min (len - !copied) (t.page_size - off) in
     (match t.slots.(pg) with
     | None -> Bytes.fill out !copied n '\000'
     | Some b -> Bytes.blit b off out !copied n);
@@ -99,7 +99,7 @@ let write t ~pos s =
   while !copied < len do
     let abs = pos + !copied in
     let pg = abs / t.page_size and off = abs mod t.page_size in
-    let n = min (len - !copied) (t.page_size - off) in
+    let n = Int.min (len - !copied) (t.page_size - off) in
     Bytes.blit_string s !copied (writable_slot t pg) off n;
     copied := !copied + n
   done
@@ -119,7 +119,7 @@ let load_page t i contents =
   t.shared.(i) <- false;
   Hashtbl.replace t.dirty_set i ()
 
-let dirty t = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) t.dirty_set [])
+let dirty t = Util.Sorted_tbl.keys t.dirty_set
 let clear_dirty t = t.dirty_set <- Hashtbl.create 64
 
 let allocated_pages t =

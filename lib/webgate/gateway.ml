@@ -249,7 +249,9 @@ module Browser = struct
     js.j_timer <-
       Some
         (Simnet.Engine.timer t.engine ~delay:1.0 (fun () ->
-             let active = match t.joining with Some js' -> js' == js | None -> false in
+             let[@detlint.allow physical_eq] active =
+               match t.joining with Some js' -> js' == js | None -> false
+             in
              if t.alive && active && t.cid = None then
                if js.j_responded then join_phase2 t js else join_phase1 t js))
 
@@ -262,7 +264,9 @@ module Browser = struct
       js.j_timer <-
         Some
           (Simnet.Engine.timer t.engine ~delay:1.0 (fun () ->
-               let active = match t.joining with Some js' -> js' == js | None -> false in
+               let[@detlint.allow physical_eq] active =
+               match t.joining with Some js' -> js' == js | None -> false
+             in
                if t.alive && active && t.cid = None then join_phase2 t js))
 
   let join t ~idbuf callback =
@@ -308,7 +312,9 @@ module Browser = struct
     o.o_timer <-
       Some
         (Simnet.Engine.timer t.engine ~delay:t.cfg.Pbft.Config.client_timeout (fun () ->
-             let still = match t.out with Some o' -> o' == o | None -> false in
+             let[@detlint.allow physical_eq] still =
+               match t.out with Some o' -> o' == o | None -> false
+             in
              if t.alive && still then begin
                multicast_frame t o.o_frame;
                arm_retransmit t o

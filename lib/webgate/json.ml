@@ -25,10 +25,12 @@ let escape_string buf s =
     s;
   Buffer.add_char buf '"'
 
+(* %.0f / %.17g are deterministic functions of the double's bit pattern;
+   %.17g round-trips every finite IEEE double exactly. *)
 let print_num buf f =
   if Float.is_integer f && Float.abs f < 1e15 then
-    Buffer.add_string buf (Printf.sprintf "%.0f" f)
-  else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    Buffer.add_string buf (Printf.sprintf "%.0f" f [@detlint.allow float_format])
+  else Buffer.add_string buf (Printf.sprintf "%.17g" f [@detlint.allow float_format])
 
 let print v =
   let buf = Buffer.create 256 in

@@ -1,0 +1,166 @@
+(* The determinism linter, tested the way any analyzer should be: one
+   positive and one negative fixture per rule, the suppression
+   mechanisms, and an end-to-end run proving the repo itself is clean. *)
+
+open Detlint
+
+let rules_of findings = List.map (fun (f : Finding.t) -> f.Finding.rule) findings
+
+(* Fixtures are linted under a pseudo-path inside lib/pbft so the
+   replay-critical and strict-module classifications apply. *)
+let lint ?(rel = "lib/pbft/fixture.ml") src = Driver.lint_source ~rel src
+
+let has rule findings = List.mem rule (rules_of findings)
+
+let check_rule name rule ~positive ~negative () =
+  let pos = lint positive in
+  Alcotest.(check bool) (name ^ ": positive fixture flagged") true (has rule pos);
+  let neg = lint negative in
+  Alcotest.(check bool) (name ^ ": negative fixture clean") false (has rule neg)
+
+(* --- one positive + one negative fixture per rule --- *)
+
+let test_hashtbl_order =
+  check_rule "hashtbl_order" Finding.Hashtbl_order
+    ~positive:"let f tbl = Hashtbl.iter (fun k _ -> print_int k) tbl"
+    ~negative:"let f tbl = Util.Sorted_tbl.iter (fun k _ -> print_int k) tbl"
+
+let test_hashtbl_order_scope () =
+  (* Outside the replay-critical set the same traversal is fine. *)
+  let fs = lint ~rel:"lib/harness/fixture.ml" "let f tbl = Hashtbl.iter (fun k _ -> print_int k) tbl" in
+  Alcotest.(check bool) "harness Hashtbl.iter unflagged" false (has Finding.Hashtbl_order fs)
+
+let test_poly_compare =
+  check_rule "poly_compare" Finding.Poly_compare
+    ~positive:"type r = { t : float }\nlet f (a : r) (b : r) = compare a b"
+    ~negative:"type r = { t : float }\nlet f (a : r) (b : r) = Float.compare a.t b.t"
+
+let test_poly_equal () =
+  let fs = lint "let check digest expected = digest = expected" in
+  Alcotest.(check bool) "= on digest flagged" true (has Finding.Poly_compare fs);
+  let fs = lint "let check digest expected = String.equal digest expected" in
+  Alcotest.(check bool) "String.equal clean" false (has Finding.Poly_compare fs);
+  (* Length comparisons are ints no matter what the operand is called. *)
+  let fs = lint "let check signature = String.length signature = 32" in
+  Alcotest.(check bool) "String.length _ = n clean" false (has Finding.Poly_compare fs)
+
+let test_physical_eq =
+  check_rule "physical_eq" Finding.Physical_eq
+    ~positive:"let f a b = a == b"
+    ~negative:"let f (a : int) (b : int) = a = b"
+
+let test_wall_clock =
+  check_rule "wall_clock" Finding.Wall_clock
+    ~positive:"let now () = Unix.gettimeofday ()"
+    ~negative:"let now engine = Simnet.Engine.now engine"
+
+let test_ambient_rng =
+  check_rule "ambient_rng" Finding.Ambient_rng
+    ~positive:"let roll () = Random.int 6"
+    ~negative:"let roll rng = Util.Rng.int rng 6"
+
+let test_marshal_obj =
+  check_rule "marshal_obj" Finding.Marshal_obj
+    ~positive:"let save x = Marshal.to_string x []"
+    ~negative:"let save x = Util.Codec.encode enc x"
+
+let test_float_format () =
+  (* Flagged only in digest/trace/wire modules. *)
+  let src = "let render t = Printf.sprintf \"%f\" t" in
+  let fs = lint ~rel:"lib/simnet/trace.ml" src in
+  Alcotest.(check bool) "%f in trace module flagged" true (has Finding.Float_format fs);
+  let fs = lint ~rel:"lib/simnet/trace.ml" "let render t = Printf.sprintf \"%d\" t" in
+  Alcotest.(check bool) "%d clean" false (has Finding.Float_format fs);
+  let fs = lint ~rel:"lib/pbft/replica.ml" src in
+  Alcotest.(check bool) "%f outside digest modules unflagged" false (has Finding.Float_format fs);
+  let fs = lint ~rel:"lib/simnet/trace.ml" "let render t = string_of_float t" in
+  Alcotest.(check bool) "string_of_float flagged" true (has Finding.Float_format fs)
+
+let test_catch_all =
+  check_rule "catch_all" Finding.Catch_all
+    ~positive:"let f g = try g () with _ -> ()"
+    ~negative:"let f g = try g () with Not_found -> ()"
+
+(* --- suppression mechanisms --- *)
+
+let test_attribute_suppression () =
+  let fs = lint "let[@detlint.allow hashtbl_order] f tbl = Hashtbl.iter ignore tbl" in
+  Alcotest.(check int) "binding attribute suppresses" 0 (List.length fs);
+  let fs = lint "let f a b = ((a == b) [@detlint.allow physical_eq])" in
+  Alcotest.(check int) "expression attribute suppresses" 0 (List.length fs);
+  (* The attribute names a rule; an unrelated rule still fires. *)
+  let fs = lint "let[@detlint.allow physical_eq] f tbl = Hashtbl.iter ignore tbl" in
+  Alcotest.(check bool) "wrong rule does not suppress" true (has Finding.Hashtbl_order fs)
+
+let test_allow_file () =
+  let allows =
+    Allowlist.of_string
+      "# comment\nhashtbl_order lib/pbft/fixture.ml iteration is order-free here\n"
+  in
+  let fs = lint "let f tbl = Hashtbl.iter ignore tbl" in
+  let f = List.hd (List.filter (fun (x : Finding.t) -> x.rule = Finding.Hashtbl_order) fs) in
+  Alcotest.(check bool) "entry suppresses matching finding" true (Allowlist.suppresses allows f);
+  Alcotest.(check int) "used entry is not stale" 0 (List.length (Allowlist.stale allows));
+  let stale = Allowlist.of_string "wall_clock lib/pbft/fixture.ml never matches\n" in
+  Alcotest.(check bool) "non-matching entry ignored" false (Allowlist.suppresses stale f);
+  Alcotest.(check int) "unused entry reported stale" 1 (List.length (Allowlist.stale stale));
+  Alcotest.check_raises "justification is mandatory"
+    (Allowlist.Malformed
+       "detlint.allow:1: entry for hashtbl_order lib/pbft/fixture.ml has no justification")
+    (fun () -> ignore (Allowlist.of_string "hashtbl_order lib/pbft/fixture.ml\n"));
+  Alcotest.check_raises "unknown rule rejected"
+    (Allowlist.Malformed "detlint.allow:1: unknown rule \"no_such_rule\"")
+    (fun () -> ignore (Allowlist.of_string "no_such_rule lib/x.ml because\n"))
+
+let test_json_shape () =
+  let fs = lint "let f a b = a == b" in
+  let f = List.hd fs in
+  let j = Finding.to_json f in
+  (* Self-contained object with the documented keys; parseable by the
+     repo's own JSON reader. *)
+  match Webgate.Json.parse j with
+  | Webgate.Json.Obj kvs ->
+    List.iter
+      (fun k -> Alcotest.(check bool) ("key " ^ k) true (List.mem_assoc k kvs))
+      [ "rule"; "file"; "line"; "col"; "snippet"; "message" ]
+  | _ -> Alcotest.fail "finding JSON did not parse as an object"
+  | exception Webgate.Json.Parse_error e -> Alcotest.fail ("finding JSON unparseable: " ^ e)
+
+(* --- end to end: the repository itself lints clean --- *)
+
+let test_repo_clean () =
+  (* Under `dune runtest` the cwd is _build/default/test and the
+     (source_tree ../lib) dependency materialises the sources next to
+     it; under `dune exec` from the checkout the root is ".". *)
+  let root = if Sys.file_exists "lib" then "." else ".." in
+  let outcome = Driver.run ~root () in
+  Alcotest.(check bool) "scanned a real tree" true (outcome.Driver.files_scanned > 40);
+  Alcotest.(check (list string)) "no parse errors" [] outcome.Driver.errors;
+  List.iter (fun f -> Printf.eprintf "unexpected: %s\n" (Finding.to_human f)) outcome.Driver.findings;
+  Alcotest.(check int) "no unsuppressed findings" 0 (List.length outcome.Driver.findings);
+  Alcotest.(check int) "no stale allow entries" 0 (List.length outcome.Driver.stale_allows)
+
+let () =
+  Alcotest.run "detlint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "hashtbl order" `Quick test_hashtbl_order;
+          Alcotest.test_case "hashtbl order scope" `Quick test_hashtbl_order_scope;
+          Alcotest.test_case "poly compare" `Quick test_poly_compare;
+          Alcotest.test_case "poly equal on digests" `Quick test_poly_equal;
+          Alcotest.test_case "physical eq" `Quick test_physical_eq;
+          Alcotest.test_case "wall clock" `Quick test_wall_clock;
+          Alcotest.test_case "ambient rng" `Quick test_ambient_rng;
+          Alcotest.test_case "marshal & obj" `Quick test_marshal_obj;
+          Alcotest.test_case "float format" `Quick test_float_format;
+          Alcotest.test_case "catch all" `Quick test_catch_all;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "attributes" `Quick test_attribute_suppression;
+          Alcotest.test_case "allow file" `Quick test_allow_file;
+          Alcotest.test_case "json findings" `Quick test_json_shape;
+        ] );
+      ("repo", [ Alcotest.test_case "repository lints clean" `Quick test_repo_clean ]);
+    ]

@@ -188,12 +188,44 @@ let run_sqlidx () =
     exit 1
   end
 
+(* Byzantine fault scenarios with a pass/fail gate. On failure the
+   failing scenario is re-run with tracing on and the message log dumped
+   to faults-trace.txt — the artifact CI uploads. *)
+let run_faults () =
+  banner "Byzantine fault scenarios (adversarial suite)";
+  let results = Harness.Faults.run_all ~seed:!seed () in
+  List.iter (fun (r, _) -> Printf.printf "  %s\n%!" (Harness.Faults.render r)) results;
+  let failed =
+    List.filter (fun ((r : Harness.Faults.report), _) -> r.fr_failures <> []) results
+  in
+  if failed <> [] then begin
+    let (worst, _) = List.hd failed in
+    (* Re-run the first failing behavior with the trace enabled so the
+       dump actually contains the messages that led to the failure. *)
+    let behavior =
+      List.find
+        (fun b -> String.equal (Pbft.Adversary.behavior_name b) worst.Harness.Faults.fr_behavior)
+        Harness.Faults.behaviors
+    in
+    let _, cluster = Harness.Faults.run_behavior ~seed:!seed ~trace:true behavior in
+    let oc = open_out "faults-trace.txt" in
+    output_string oc
+      (Printf.sprintf "behavior: %s\nfailures:\n  %s\n\n" worst.fr_behavior
+         (String.concat "\n  " worst.fr_failures));
+    output_string oc (Harness.Faults.failure_trace cluster);
+    close_out oc;
+    Printf.eprintf "FAIL: %d adversarial scenario(s) failed; trace in faults-trace.txt\n"
+      (List.length failed);
+    exit 1
+  end
+
 let sections : (string * (unit -> unit)) list =
   [
     ("micro", run_micro);
     ("bench", run_hostbench);
     ("digest", run_digest);
     ("sqlidx", run_sqlidx);
+    ("faults", run_faults);
     ( "figure1",
       fun () ->
         banner "Figure 1 — normal-case operation";

@@ -41,8 +41,9 @@ let () =
   let stop = closed_loop cluster in
   Simnet.Engine.schedule (Cluster.engine cluster) ~delay:0.5 (fun () ->
       print_endline "t=0.5s dropping one client->replica-3 request datagram";
-      Simnet.Net.drop_next_matching (Cluster.net cluster) (fun ~src ~dst ~label ->
-          src >= Types.client_addr_base && dst = 3 && label = "request"));
+      ignore
+        (Simnet.Net.drop_next_matching (Cluster.net cluster) (fun ~src ~dst ~label ->
+             src >= Types.client_addr_base && dst = 3 && label = "request")));
   Cluster.run cluster ~seconds:3.0;
   stop := true;
   let r3 = Cluster.replica cluster 3 in

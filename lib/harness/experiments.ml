@@ -371,13 +371,15 @@ let packet_loss ?(seed = 1) () =
         Simnet.Engine.schedule (Pbft.Cluster.engine cluster) ~delay:drop_at (fun () ->
             match case with
             | `Body_to_replica ->
-              Simnet.Net.drop_next_matching (Pbft.Cluster.net cluster)
-                (fun ~src ~dst ~label ->
-                  src >= Pbft.Types.client_addr_base && dst = victim && label = "request")
+              ignore
+                (Simnet.Net.drop_next_matching (Pbft.Cluster.net cluster)
+                   (fun ~src ~dst ~label ->
+                     src >= Pbft.Types.client_addr_base && dst = victim && label = "request"))
             | `Request_to_primary ->
-              Simnet.Net.drop_next_matching (Pbft.Cluster.net cluster)
-                (fun ~src ~dst ~label ->
-                  src >= Pbft.Types.client_addr_base && dst = 0 && label = "request")))
+              ignore
+                (Simnet.Net.drop_next_matching (Pbft.Cluster.net cluster)
+                   (fun ~src ~dst ~label ->
+                     src >= Pbft.Types.client_addr_base && dst = 0 && label = "request"))))
       spec
   in
   let cfg_a = base_cfg () in

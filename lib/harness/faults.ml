@@ -1,0 +1,205 @@
+open Pbft
+
+(* Per-behavior scenario report. [safe]/[live] are the two properties
+   every Byzantine scenario must preserve: safety — correct replicas
+   never commit conflicting batches for the same sequence number and
+   their states agree — and liveness — the cluster keeps completing
+   client requests with the adversary still installed (that is the whole
+   point of tolerating f faults). *)
+type report = {
+  fr_behavior : string;
+  fr_mutations : int;  (** adversary activity: datagrams rewritten/dropped, votes injected *)
+  fr_view_changes : int;
+  fr_state_transfers : int;
+  fr_demotions : int;
+  fr_auth_failures : int;
+  fr_nondet_rejects : int;
+  fr_final_view : int;  (** max view reached by a correct replica *)
+  fr_baseline : int;  (** requests completed before the fault was armed *)
+  fr_recovered : int;  (** requests completed in the post-recovery window *)
+  fr_safe : bool;
+  fr_live : bool;
+  fr_failures : string list;  (** human-readable reasons when !safe or !live *)
+}
+
+let adversary_id behavior =
+  match behavior with
+  (* Vote forgery must come from a non-primary, or there is nothing to
+     disrupt: the claim under test is that garbage votes cannot drag a
+     healthy view down. Every other behavior wants the view-0 primary. *)
+  | Adversary.Garbage_view_change -> 3
+  | _ -> 0
+
+let base_cfg behavior =
+  let cfg = Config.default ~f:1 in
+  let cfg = { cfg with Config.view_change_timeout = 0.25 } in
+  match behavior with
+  | Adversary.Mutate_nondet ->
+    (* §2.5: only a validation policy stands between the backups and the
+       primary's poisoned non-determinism. *)
+    { cfg with Config.nondet = Config.Delta 0.5 }
+  | Adversary.Selective_mute _ ->
+    (* Status gossip replays missed entries and would heal the starved
+       backup before it ever falls a checkpoint behind; the §2.4
+       demotion pathology needs it off (a faithful rendering of PBFT
+       without its retransmission machinery). *)
+    { cfg with Config.status_period = 0.0; checkpoint_interval = 64 }
+  | _ -> cfg
+
+let behaviors =
+  [
+    Adversary.Equivocate;
+    Adversary.Mute;
+    Adversary.Selective_mute [ 2 ];
+    Adversary.Corrupt_macs;
+    Adversary.Garbage_view_change;
+    Adversary.Mutate_nondet;
+  ]
+
+let state_digest r = Statemgr.Merkle.root (Statemgr.Merkle.build (Replica.pages r))
+
+(* Safety predicate 1: pairwise journal agreement. Journals list
+   committed (seq, batch_digest) pairs; replicas that state-transferred
+   past a stretch leave gaps, so only common sequence numbers are
+   compared — disagreement there is a conflicting commit. *)
+let journals_agree correct =
+  let conflicts = ref [] in
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+      let tbl = Hashtbl.create 1024 in
+      List.iter (fun (s, d) -> Hashtbl.replace tbl s d) (Replica.exec_journal a);
+      List.iter
+        (fun b ->
+          List.iter
+            (fun (s, d) ->
+              match Hashtbl.find_opt tbl s with
+              | Some d' when not (String.equal d d') ->
+                conflicts :=
+                  Printf.sprintf "replicas %d/%d committed different batches at seq %d"
+                    (Replica.id a) (Replica.id b) s
+                  :: !conflicts
+              | Some _ | None -> ())
+            (Replica.exec_journal b))
+        rest;
+      pairs rest
+  in
+  pairs correct;
+  !conflicts
+
+(* Safety predicate 2: replicas that executed the same prefix hold the
+   same state. (Replicas at different sequence numbers legitimately
+   differ; the journal check above covers their common prefix.) *)
+let states_agree correct =
+  let mismatches = ref [] in
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+      List.iter
+        (fun b ->
+          if
+            Replica.last_executed a = Replica.last_executed b
+            && not (String.equal (state_digest a) (state_digest b))
+          then
+            mismatches :=
+              Printf.sprintf "replicas %d/%d at seq %d have diverged state"
+                (Replica.id a) (Replica.id b) (Replica.last_executed a)
+              :: !mismatches)
+        rest;
+      pairs rest
+  in
+  pairs correct;
+  !mismatches
+
+let run_behavior ?(seed = 11) ?(trace = false) behavior =
+  let cfg = base_cfg behavior in
+  let adv_id = adversary_id behavior in
+  let cluster = Cluster.create ~seed ~num_clients:8 cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) trace;
+  Array.iter (fun r -> Replica.set_record_journal r true) (Cluster.replicas cluster);
+  (* Closed-loop clients, as in the Table-1 workloads. *)
+  let stop = ref false in
+  Array.iter
+    (fun cl ->
+      let rec loop _ = if not !stop then Client.invoke cl (String.make 512 'f') loop in
+      loop "")
+    (Cluster.clients cluster);
+  (* Healthy phase: establishes session keys and a progress baseline. *)
+  Cluster.run cluster ~seconds:0.3;
+  let baseline = Cluster.total_completed cluster in
+  let adv = Adversary.install ~net:(Cluster.net cluster) ~cfg (Cluster.replica cluster adv_id) behavior in
+  (* Fault phase: view changes / demotions happen in here. The backed-off
+     watchdog needs a couple of timeouts' worth of room. *)
+  Cluster.run cluster ~seconds:2.2;
+  let before_recovery = Cluster.total_completed cluster in
+  (* Recovery window: the adversary stays installed — a BFT group must
+     make progress with f Byzantine members present, not merely after
+     they stop. *)
+  Cluster.run cluster ~seconds:1.0;
+  stop := true;
+  Cluster.run cluster ~seconds:0.2;
+  let recovered = Cluster.total_completed cluster - before_recovery in
+  let reps = Cluster.replicas cluster in
+  let correct = List.filter (fun r -> Replica.id r <> adv_id) (Array.to_list reps) in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 correct in
+  let final_view = List.fold_left (fun acc r -> Int.max acc (Replica.view r)) 0 correct in
+  let safety_failures = journals_agree correct @ states_agree correct in
+  let failures = ref safety_failures in
+  let expect what cond = if not cond then failures := what :: !failures in
+  expect "adversary never fired a mutation" (Adversary.mutations adv > 0);
+  expect "no progress before the fault" (baseline > 0);
+  let live_progress = recovered > 0 in
+  expect "no progress in the recovery window" live_progress;
+  (match behavior with
+  | Adversary.Equivocate | Adversary.Mute | Adversary.Corrupt_macs | Adversary.Mutate_nondet ->
+    (* The faulty primary must be voted out. *)
+    expect "no view change elected a new primary" (final_view > 0)
+  | Adversary.Selective_mute _ ->
+    (* The starved backup must demote itself into a state transfer. *)
+    expect "starved replica was never demoted" (sum Replica.demotions > 0)
+  | Adversary.Garbage_view_change ->
+    (* Forged votes must be rejected, and must not drag the view up. *)
+    expect "garbage votes were not rejected" (sum Replica.auth_failures > 0);
+    expect "garbage votes disturbed the view" (final_view = 0));
+  (match behavior with
+  | Adversary.Mutate_nondet ->
+    expect "poisoned nondet was never rejected" (sum Replica.nondet_rejects > 0)
+  | Adversary.Corrupt_macs ->
+    expect "corrupted authenticators were never rejected" (sum Replica.auth_failures > 0)
+  | _ -> ());
+  Adversary.uninstall adv;
+  let report =
+    {
+      fr_behavior = Adversary.behavior_name behavior;
+      fr_mutations = Adversary.mutations adv;
+      fr_view_changes = sum Replica.view_changes;
+      fr_state_transfers = sum Replica.state_transfers;
+      fr_demotions = sum Replica.demotions;
+      fr_auth_failures = sum Replica.auth_failures;
+      fr_nondet_rejects = sum Replica.nondet_rejects;
+      fr_final_view = final_view;
+      fr_baseline = baseline;
+      fr_recovered = recovered;
+      fr_safe = safety_failures = [];
+      fr_live = live_progress;
+      fr_failures = List.rev !failures;
+    }
+  in
+  (report, cluster)
+
+let run_all ?(seed = 11) () = List.map (fun b -> run_behavior ~seed b) behaviors
+
+let render r =
+  Printf.sprintf
+    "%-20s %-4s mutations=%-5d vc=%-3d transfers=%-2d demotions=%-2d auth_fail=%-4d \
+     nondet_rej=%-4d view=%-2d baseline=%-5d recovered=%-5d%s"
+    r.fr_behavior
+    (if r.fr_safe && r.fr_live && r.fr_failures = [] then "ok" else "FAIL")
+    r.fr_mutations r.fr_view_changes r.fr_state_transfers r.fr_demotions r.fr_auth_failures
+    r.fr_nondet_rejects r.fr_final_view r.fr_baseline r.fr_recovered
+    (match r.fr_failures with
+    | [] -> ""
+    | fs -> "\n    " ^ String.concat "\n    " fs)
+
+let failure_trace cluster =
+  Simnet.Trace.render ~limit:5000 (Cluster.trace cluster) (fun _ -> true)

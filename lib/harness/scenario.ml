@@ -34,6 +34,7 @@ type outcome = {
   retransmissions : int;
   view_changes : int;
   state_transfers : int;
+  demotions : int;
   auth_failures : int;
   nondet_rejects : int;
 }
@@ -118,10 +119,14 @@ let run_cluster ?hook spec =
           0 (Pbft.Cluster.clients cluster);
       view_changes = sum Pbft.Replica.view_changes;
       state_transfers = sum Pbft.Replica.state_transfers;
+      demotions = sum Pbft.Replica.demotions;
       auth_failures = sum Pbft.Replica.auth_failures;
       nondet_rejects = sum Pbft.Replica.nondet_rejects;
     }
   in
+  (* Teardown: one-shot drop predicates armed by the hook but never
+     matched must not leak into whatever runs on this cluster next. *)
+  ignore (Simnet.Net.drain_drops (Pbft.Cluster.net cluster));
   (outcome, cluster)
 
 let run ?hook spec = fst (run_cluster ?hook spec)

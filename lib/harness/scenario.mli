@@ -28,6 +28,9 @@ type outcome = {
   retransmissions : int;
   view_changes : int;
   state_transfers : int;
+  demotions : int;
+      (** replicas that fell behind a stable checkpoint and re-joined via
+          state transfer (the §2.4 demotion pathology) *)
   auth_failures : int;
   nondet_rejects : int;
 }

@@ -244,15 +244,13 @@ let handle_reply t ~src ~r_view ~r_id ~r_replica ~r_result ~r_tentative ~r_parti
 (* ------------------------------------------------------------------ *)
 (* Join / leave (§3.1).                                                 *)
 
-let join_op_request_timeout = 1.0
-
 let rec send_join_phase1 t js =
   multicast_payload t ~signed:true
     (Message.Join_request
        { j_addr = t.caddr; j_pubkey = verifier_string t; j_nonce = js.j_nonce });
   js.j_timer <-
     Some
-      (Simnet.Engine.timer t.engine ~delay:join_op_request_timeout (fun () ->
+      (Simnet.Engine.timer t.engine ~delay:t.cfg.join_request_timeout (fun () ->
            let[@detlint.allow physical_eq] active =
              match t.joining with Some js' -> js' == js | None -> false
            in
@@ -274,7 +272,7 @@ and send_join_phase2 t js =
          });
     js.j_timer <-
       Some
-        (Simnet.Engine.timer t.engine ~delay:join_op_request_timeout (fun () ->
+        (Simnet.Engine.timer t.engine ~delay:t.cfg.join_request_timeout (fun () ->
              let[@detlint.allow physical_eq] active =
              match t.joining with Some js' -> js' == js | None -> false
            in

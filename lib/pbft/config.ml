@@ -19,6 +19,7 @@ type t = {
   checkpoint_interval : int;
   log_window : int;
   client_timeout : float;
+  join_request_timeout : float;
   view_change_timeout : float;
   status_period : float;
   authenticator_rebroadcast : float;
@@ -47,6 +48,7 @@ let default ~f =
     checkpoint_interval = 128;
     log_window = 256;
     client_timeout = 0.150;
+    join_request_timeout = 1.0;
     view_change_timeout = 5.0;
     status_period = 0.25;
     authenticator_rebroadcast = 2.0;
@@ -68,6 +70,9 @@ let validate t =
   else if t.log_window < 2 * t.checkpoint_interval then
     Error "log_window must be at least two checkpoint intervals"
   else if t.congestion_window < 1 then Error "congestion_window must be at least 1"
+  else if t.client_timeout <= 0.0 then Error "client_timeout must be positive"
+  else if t.join_request_timeout <= 0.0 then Error "join_request_timeout must be positive"
+  else if t.view_change_timeout <= 0.0 then Error "view_change_timeout must be positive"
   else if t.max_clients < 1 then Error "max_clients must be at least 1"
   else Ok ()
 

@@ -37,7 +37,14 @@ type t = {
   checkpoint_interval : int;  (** executions per checkpoint *)
   log_window : int;  (** high − low watermark distance *)
   client_timeout : float;  (** client retransmission period *)
+  join_request_timeout : float;
+      (** retransmission period for the two-phase join handshake (§3.1);
+          join traffic is signed and pre-agreement, so it runs on its own
+          timer rather than [client_timeout] *)
   view_change_timeout : float;
+      (** base watchdog delay before a backup starts a view change; the
+          effective timeout doubles per consecutive failed view change
+          (PBFT's backoff) and resets on execution progress *)
   status_period : float;
       (** period of the status gossip that drives retransmission of lost
           protocol messages; 0 disables (a faithful rendering of a PBFT

@@ -72,6 +72,10 @@ type t = {
   mutable n_nondet_reject : int;
   mutable n_ckpt : int;  (** checkpoint snapshots taken (incl. genesis & post-transfer) *)
   mutable n_undo : int;  (** undo snapshots taken for tentative execution *)
+  mutable vc_attempts : int;  (** consecutive view changes without execution progress *)
+  mutable n_demotions : int;  (** checkpoint-lag demotions into state transfer (§2.4) *)
+  mutable record_journal : bool;
+  mutable exec_journal : (seqno * digest) list;  (** newest first; committed executions only *)
 }
 
 let id t = t.id
@@ -86,6 +90,15 @@ let auth_failures t = t.n_auth_fail
 let nondet_rejects t = t.n_nondet_reject
 let checkpoints_taken t = t.n_ckpt
 let undo_snapshots t = t.n_undo
+let demotions t = t.n_demotions
+let view_change_attempts t = t.vc_attempts
+let signer t = t.signer
+let session_key_for t peer = Hashtbl.find_opt t.keys_i_chose peer
+let set_record_journal t v = t.record_journal <- v
+let exec_journal t = List.rev t.exec_journal
+
+let journal_commit t seq digest =
+  if t.record_journal then t.exec_journal <- (seq, digest) :: t.exec_journal
 let cpu t = t.cpu
 let pages t = t.pages
 let membership t = t.membership
@@ -256,13 +269,20 @@ let broadcast_session_keys t =
 (* ------------------------------------------------------------------ *)
 (* Watchdog (view-change timer).                                        *)
 
+(* PBFT's exponential backoff: the effective timeout doubles for every
+   consecutive view change that produced no execution progress and
+   resets once a request commits. Without it, back-to-back faulty
+   primaries livelock the group — each view change fires on the same
+   fixed timer before the previous one can complete. *)
+let vc_timeout t = t.cfg.view_change_timeout *. float_of_int (1 lsl Int.min t.vc_attempts 16)
+
 let rec arm_watchdog t =
   match t.watchdog with
   | Some _ -> ()
   | None ->
     if Hashtbl.length t.waiting > 0 && not t.in_view_change then begin
       let timer =
-        Simnet.Engine.timer t.engine ~delay:t.cfg.view_change_timeout (fun () ->
+        Simnet.Engine.timer t.engine ~delay:(vc_timeout t) (fun () ->
             t.watchdog <- None;
             if t.alive then check_watchdog t)
       in
@@ -274,7 +294,7 @@ and check_watchdog t =
   let[@detlint.allow hashtbl_order] oldest =
     Hashtbl.fold (fun _ ts acc -> Float.min ts acc) t.waiting infinity
   in
-  if oldest +. t.cfg.view_change_timeout <= now t +. 1e-9 && not t.in_view_change then
+  if oldest +. vc_timeout t <= now t +. 1e-9 && not t.in_view_change then
     start_view_change t (t.view + 1)
   else arm_watchdog t
 
@@ -453,7 +473,9 @@ and check_ckpt_stable t seq =
             votes None
         in
         match holder with
-        | Some peer -> start_state_transfer t ~seq ~peer ~digest:(Some digest)
+        | Some peer ->
+          t.n_demotions <- t.n_demotions + 1;
+          start_state_transfer t ~seq ~peer ~digest:(Some digest)
         | None -> ()
       end
     | Some _ | None -> ())
@@ -505,6 +527,7 @@ and advance_committed t =
     if next <= t.last_executed then begin
       match Log.find t.log next with
       | Some e when e.committed && (e.executed || e.tentatively_executed) ->
+        if not e.executed then journal_commit t next e.batch_digest;
         e.executed <- true;
         t.last_committed_exec <- next;
         progress := true
@@ -594,10 +617,12 @@ and try_execute t =
               if tentative then entry.tentatively_executed <- true
               else begin
                 entry.executed <- true;
+                journal_commit t next entry.batch_digest;
                 if t.last_committed_exec = next - 1 then t.last_committed_exec <- next
               end;
               t.last_executed <- next;
               t.n_exec <- t.n_exec + List.length items;
+              t.vc_attempts <- 0;
               if t.recovering && t.recovery_done = None then t.recovery_done <- Some (now t);
               if t.last_executed mod t.cfg.checkpoint_interval = 0 then take_checkpoint t;
               progress := true
@@ -1013,6 +1038,7 @@ and start_view_change t v =
     t.vc_target <- v;
     t.in_view_change <- true;
     t.n_vc <- t.n_vc + 1;
+    t.vc_attempts <- t.vc_attempts + 1;
     rollback_tentative t;
     (match t.watchdog with
     | Some timer ->
@@ -1047,9 +1073,10 @@ and start_view_change t v =
     in
     record_view_change t ~src:t.id payload;
     multicast_replicas t payload;
-    (* If the new primary is unresponsive too, move further. *)
+    (* If the new primary is unresponsive too, move further — on the
+       backed-off timer, so cascading view changes decelerate. *)
     let _ =
-      Simnet.Engine.timer t.engine ~delay:(t.cfg.view_change_timeout *. 2.0) (fun () ->
+      Simnet.Engine.timer t.engine ~delay:(vc_timeout t *. 2.0) (fun () ->
           if t.alive && t.in_view_change && t.view < v then start_view_change t (v + 1))
     in
     check_new_view t v
@@ -1069,8 +1096,35 @@ and record_view_change t ~src payload =
     Hashtbl.replace tbl src payload
   | _ -> ()
 
+(* Sanity-check a remote view-change vote before it can influence the
+   new primary's re-proposal set. A Byzantine voter could otherwise claim
+   a "prepared" batch whose digest does not match its contents — the new
+   primary would re-propose it under [check_new_view] and correct
+   replicas would install a forged digest/batch pair. Self-consistency is
+   checkable without certificates: the claimed digest must be the hash of
+   the carried batch, the prepared view must precede the vote's target
+   view, and prepared entries must lie above the claimed checkpoint. *)
+and view_change_well_formed ~new_view ~stable_seq ~stable_digest prepared =
+  let digest_ok d = String.length d = 0 || String.length d = 32 in
+  stable_seq >= 0
+  && digest_ok stable_digest
+  && List.for_all
+       (fun (pi : Message.prepared_info) ->
+         pi.pi_view < new_view
+         && pi.pi_seq > stable_seq
+         && String.equal pi.pi_digest (Message.batch_digest pi.pi_batch))
+       prepared
+
 and handle_view_change t ~src payload =
   match payload with
+  | Message.View_change vc
+    when vc.vc_new_view > t.view
+         && not
+              (view_change_well_formed ~new_view:vc.vc_new_view ~stable_seq:vc.vc_stable_seq
+                 ~stable_digest:vc.vc_stable_digest vc.vc_prepared) ->
+    (* Garbage vote: count it with the other authentication rejects and
+       drop it before it reaches the vote table. *)
+    t.n_auth_fail <- t.n_auth_fail + 1
   | Message.View_change vc when vc.vc_new_view > t.view ->
     record_view_change t ~src payload;
     let count v = match Hashtbl.find_opt t.vc_msgs v with Some tbl -> Hashtbl.length tbl | None -> 0 in
@@ -1526,6 +1580,10 @@ let create ~cfg ~costs ~engine ~net ~id ~signer ~registry ~service:service_spec 
       n_nondet_reject = 0;
       n_ckpt = 0;
       n_undo = 0;
+      vc_attempts = 0;
+      n_demotions = 0;
+      record_journal = false;
+      exec_journal = [];
     }
   in
   sync_membership_to_pages t;

@@ -67,6 +67,37 @@ val checkpoints_taken : t -> int
 val undo_snapshots : t -> int
 (** Copy-on-write undo snapshots taken to guard tentative execution. *)
 
+val demotions : t -> int
+(** Times this replica fell behind a stable checkpoint and had to demote
+    itself into a state transfer to rejoin (the §2.4 packet-loss
+    pathology: a lagging replica is effectively out of the group until
+    the next checkpoint). *)
+
+val view_change_attempts : t -> int
+(** Consecutive view changes started without execution progress — the
+    exponent of the current view-change timeout backoff; 0 after any
+    request commits. *)
+
+val signer : t -> Crypto.Keychain.signer
+(** This replica's signing key. Exposed for the fault-injection harness:
+    a Byzantine wrapper forges protocol messages that carry the replica's
+    legitimate authentication ({!Adversary}). *)
+
+val session_key_for : t -> replica_id -> Crypto.Mac.key option
+(** The MAC session key this replica chose for authenticating messages
+    it sends to [peer], once established. Exposed for {!Adversary}, which
+    must re-authenticate messages it rewrites in flight. *)
+
+val set_record_journal : t -> bool -> unit
+(** Enable the committed-execution journal (off by default — benign runs
+    pay nothing for it). *)
+
+val exec_journal : t -> (seqno * Types.digest) list
+(** Committed executions in sequence order, as [(seq, batch_digest)]
+    pairs. Entries skipped over by a state transfer leave gaps. The fault
+    harness compares journals pairwise across correct replicas: agreement
+    on every common sequence number is the safety property. *)
+
 val cpu : t -> Simnet.Cpu.t
 val pages : t -> Statemgr.Pages.t
 val membership : t -> Membership.t

@@ -1,5 +1,7 @@
 type addr = int
 
+let any_addr = -1
+
 type profile = {
   latency : float;
   jitter : float;
@@ -16,7 +18,20 @@ let lan_profile =
 let wan_profile =
   { latency = 40e-3; jitter = 8e-3; bandwidth = 12_500_000.0; loss = 0.0; recv_buffer = 0 }
 
-type one_shot_drop = { pred : src:addr -> dst:addr -> label:string -> bool; mutable used : bool }
+type drop_handle = {
+  d_pred : src:addr -> dst:addr -> label:string -> bool;
+  d_expires : float; (* absolute engine time; infinity = never *)
+  mutable d_armed : bool;
+}
+
+(* Per-link Byzantine fault hooks. A link is (src, dst); [any_addr] on
+   either side acts as a wildcard. Only [Hashtbl.find_opt]/[replace]
+   touch the table, so iteration order can never leak into a run. *)
+type link_fault = {
+  mutable lf_drop : (label:string -> bool) option;
+  mutable lf_corrupt : (dst:addr -> label:string -> string -> string) option;
+  mutable lf_duplicate : int;
+}
 
 type t = {
   engine : Engine.t;
@@ -26,7 +41,8 @@ type t = {
   handlers : (addr, src:addr -> string -> unit) Hashtbl.t;
   nic_free : (addr, float) Hashtbl.t;
   backlog : (addr, unit -> int) Hashtbl.t;
-  mutable drops : one_shot_drop list;
+  mutable drops : drop_handle list;
+  links : (addr * addr, link_fault) Hashtbl.t;
   mutable partitioned : (addr list * addr list) option;
   mutable sent : int;
   mutable delivered : int;
@@ -45,6 +61,7 @@ let create engine ?trace prof =
     nic_free = Hashtbl.create 64;
     backlog = Hashtbl.create 64;
     drops = [];
+    links = Hashtbl.create 16;
     partitioned = None;
     sent = 0;
     delivered = 0;
@@ -59,10 +76,70 @@ let unregister t a = Hashtbl.remove t.handlers a
 let set_loss t p = t.prof <- { t.prof with loss = p }
 let loss t = t.prof.loss
 let set_backlog_probe t a probe = Hashtbl.replace t.backlog a probe
-let drop_next_matching t pred = t.drops <- { pred; used = false } :: t.drops
+
+let drop_next_matching t ?(expires_at = Float.infinity) pred =
+  let h = { d_pred = pred; d_expires = expires_at; d_armed = true } in
+  t.drops <- h :: t.drops;
+  h
+
+let cancel_drop h = h.d_armed <- false
+let drop_armed h = h.d_armed
+
+let drop_live now d = d.d_armed && now <= d.d_expires
+
+let pending_drops t =
+  let now = Engine.now t.engine in
+  List.length (List.filter (drop_live now) t.drops)
+
+let drain_drops t =
+  let n = pending_drops t in
+  List.iter (fun d -> d.d_armed <- false) t.drops;
+  t.drops <- [];
+  n
 
 let partition t ga gb = t.partitioned <- Some (ga, gb)
 let heal t = t.partitioned <- None
+
+(* Scheduled fault plans. These create engine events only when invoked,
+   so a benign run's event sequence — and hence its trace digest — is
+   untouched. *)
+
+let schedule_loss_window t ~start ~duration p =
+  let saved = ref 0.0 in
+  Engine.schedule_at t.engine ~time:start (fun () ->
+      saved := t.prof.loss;
+      set_loss t p);
+  Engine.schedule_at t.engine ~time:(start +. duration) (fun () -> set_loss t !saved)
+
+let schedule_partition t ~start ~duration ga gb =
+  Engine.schedule_at t.engine ~time:start (fun () -> partition t ga gb);
+  Engine.schedule_at t.engine ~time:(start +. duration) (fun () -> heal t)
+
+let link_key ~src ~dst = (src, dst)
+
+let get_link t ~src ~dst =
+  match Hashtbl.find_opt t.links (link_key ~src ~dst) with
+  | Some lf -> lf
+  | None ->
+    let lf = { lf_drop = None; lf_corrupt = None; lf_duplicate = 0 } in
+    Hashtbl.replace t.links (link_key ~src ~dst) lf;
+    lf
+
+(* Most-specific match wins: exact link, then sender wildcard, then
+   receiver wildcard. Three point lookups, no table traversal. *)
+let link_fault_for t ~src ~dst =
+  match Hashtbl.find_opt t.links (src, dst) with
+  | Some lf -> Some lf
+  | None -> (
+    match Hashtbl.find_opt t.links (src, any_addr) with
+    | Some lf -> Some lf
+    | None -> Hashtbl.find_opt t.links (any_addr, dst))
+
+let set_link_drop t ~src ~dst pred = (get_link t ~src ~dst).lf_drop <- Some pred
+let set_link_corrupt t ~src ~dst f = (get_link t ~src ~dst).lf_corrupt <- Some f
+let set_link_duplicate t ~src ~dst n = (get_link t ~src ~dst).lf_duplicate <- Int.max 0 n
+let clear_link t ~src ~dst = Hashtbl.remove t.links (link_key ~src ~dst)
+let clear_link_faults t = Hashtbl.reset t.links
 
 let crosses_partition t src dst =
   match t.partitioned with
@@ -71,18 +148,25 @@ let crosses_partition t src dst =
     (List.mem src ga && List.mem dst gb) || (List.mem src gb && List.mem dst ga)
 
 let one_shot_drop_matches t ~src ~dst ~label =
+  let now = Engine.now t.engine in
   let rec find = function
     | [] -> false
     | d :: rest ->
-      if (not d.used) && d.pred ~src ~dst ~label then begin
-        d.used <- true;
+      if drop_live now d && d.d_pred ~src ~dst ~label then begin
+        d.d_armed <- false;
         true
       end
       else find rest
   in
   let hit = find t.drops in
-  if hit then t.drops <- List.filter (fun d -> not d.used) t.drops;
+  if hit || List.exists (fun d -> not (drop_live now d)) t.drops then
+    t.drops <- List.filter (drop_live now) t.drops;
   hit
+
+let link_drop_matches lf ~label =
+  match lf with
+  | Some { lf_drop = Some pred; _ } -> pred ~label
+  | _ -> false
 
 (* [detail] is a thunk so senders skip rendering it (a sprintf per
    message) whenever tracing is off — the common case for experiments. *)
@@ -101,12 +185,20 @@ let record t ~src ~dst ~label ~detail ~size ~delivered =
 let no_detail () = ""
 
 let send t ?(label = "msg") ?(detail = no_detail) ~src ~dst payload =
+  let lf = link_fault_for t ~src ~dst in
+  (* Corruption models a Byzantine sender NIC: the bytes on the wire are
+     what the hook returns, so size/serialization charge the mutated
+     payload. *)
+  let payload =
+    match lf with Some { lf_corrupt = Some f; _ } -> f ~dst ~label payload | _ -> payload
+  in
   let size = String.length payload in
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + size;
   let lost =
     crosses_partition t src dst
     || one_shot_drop_matches t ~src ~dst ~label
+    || link_drop_matches lf ~label
     || Util.Rng.bernoulli t.rng t.prof.loss
   in
   if lost then begin
@@ -121,39 +213,50 @@ let send t ?(label = "msg") ?(detail = no_detail) ~src ~dst payload =
     let start = Float.max now nic in
     let tx = float_of_int size /. t.prof.bandwidth in
     Hashtbl.replace t.nic_free src (start +. tx);
-    let prop =
+    let deliver ~label ~arrival =
+      record t ~src ~dst ~label ~detail ~size ~delivered:true;
+      Engine.schedule_at t.engine ~time:arrival (fun () ->
+          match Hashtbl.find_opt t.handlers dst with
+          | None -> t.dropped <- t.dropped + 1
+          | Some h ->
+            let overflow =
+              t.prof.recv_buffer > 0
+              &&
+              match Hashtbl.find_opt t.backlog dst with
+              | None -> false
+              | Some probe -> probe () >= t.prof.recv_buffer
+            in
+            if overflow then begin
+              t.dropped <- t.dropped + 1;
+              if Trace.enabled t.trace then
+                Trace.record t.trace
+                  {
+                    time = Engine.now t.engine;
+                    src;
+                    dst;
+                    label = label ^ " [OVERFLOW]";
+                    detail = detail ();
+                    size;
+                  }
+            end
+            else begin
+              t.delivered <- t.delivered + 1;
+              h ~src payload
+            end)
+    in
+    let prop () =
       Float.max 1e-6 (Util.Rng.gaussian t.rng ~mean:t.prof.latency ~stdev:t.prof.jitter)
     in
-    let arrival = start +. tx +. prop in
-    record t ~src ~dst ~label ~detail ~size ~delivered:true;
-    Engine.schedule_at t.engine ~time:arrival (fun () ->
-        match Hashtbl.find_opt t.handlers dst with
-        | None -> t.dropped <- t.dropped + 1
-        | Some h ->
-          let overflow =
-            t.prof.recv_buffer > 0
-            &&
-            match Hashtbl.find_opt t.backlog dst with
-            | None -> false
-            | Some probe -> probe () >= t.prof.recv_buffer
-          in
-          if overflow then begin
-            t.dropped <- t.dropped + 1;
-            if Trace.enabled t.trace then
-              Trace.record t.trace
-                {
-                  time = Engine.now t.engine;
-                  src;
-                  dst;
-                  label = label ^ " [OVERFLOW]";
-                  detail = detail ();
-                  size;
-                }
-          end
-          else begin
-            t.delivered <- t.delivered + 1;
-            h ~src payload
-          end)
+    deliver ~label ~arrival:(start +. tx +. prop ());
+    (* Router-level duplication: extra copies share the egress slot but
+       take an independent propagation sample each. Draws happen only
+       when the fault is installed, so benign RNG streams are unmoved. *)
+    (match lf with
+    | Some { lf_duplicate = n; _ } when n > 0 ->
+      for _ = 1 to n do
+        deliver ~label:(label ^ " [DUP]") ~arrival:(start +. tx +. prop ())
+      done
+    | _ -> ())
   end
 
 let sent_count t = t.sent

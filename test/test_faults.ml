@@ -1,0 +1,53 @@
+(* Byzantine fault scenarios: each adversary behavior runs against an
+   otherwise-correct f=1 cluster and must preserve safety (no
+   conflicting commits, identical state at identical sequence numbers)
+   and liveness (clients keep completing requests with the adversary
+   still installed). The per-behavior expectations — view change elects
+   a new primary, starved backup demotes, forged votes bounce — live in
+   Harness.Faults; a scenario fails if any expectation does. *)
+
+let check_behavior behavior () =
+  let report, _cluster = Harness.Faults.run_behavior ~seed:11 behavior in
+  (match report.Harness.Faults.fr_failures with
+  | [] -> ()
+  | fs -> Alcotest.failf "%s" (String.concat "; " fs));
+  Alcotest.(check bool) "safe" true report.Harness.Faults.fr_safe;
+  Alcotest.(check bool) "live" true report.Harness.Faults.fr_live
+
+let test_suite_covers_all_behaviors () =
+  (* The suite list is the contract CI runs; a behavior added to the
+     adversary but not to the suite would silently go untested. *)
+  let names = List.map Pbft.Adversary.behavior_name Harness.Faults.behaviors in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "suite covers %s" expected)
+        true (List.mem expected names))
+    [
+      "equivocate";
+      "mute";
+      "selective-mute";
+      "corrupt-macs";
+      "garbage-view-change";
+      "mutate-nondet";
+    ]
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "suite covers all behaviors" `Quick test_suite_covers_all_behaviors;
+          Alcotest.test_case "equivocating primary (safety)" `Slow
+            (check_behavior Pbft.Adversary.Equivocate);
+          Alcotest.test_case "mute primary (liveness)" `Slow (check_behavior Pbft.Adversary.Mute);
+          Alcotest.test_case "selective mute -> demotion (§2.4)" `Slow
+            (check_behavior (Pbft.Adversary.Selective_mute [ 2 ]));
+          Alcotest.test_case "corrupted authenticators (§2.3)" `Slow
+            (check_behavior Pbft.Adversary.Corrupt_macs);
+          Alcotest.test_case "garbage view-change votes" `Slow
+            (check_behavior Pbft.Adversary.Garbage_view_change);
+          Alcotest.test_case "mutated non-determinism (§2.5)" `Slow
+            (check_behavior Pbft.Adversary.Mutate_nondet);
+        ] );
+    ]

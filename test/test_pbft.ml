@@ -413,8 +413,9 @@ let test_cluster_body_loss_state_transfer () =
       loop "")
     (Cluster.clients cluster);
   Simnet.Engine.schedule (Cluster.engine cluster) ~delay:0.2 (fun () ->
-      Simnet.Net.drop_next_matching (Cluster.net cluster) (fun ~src ~dst ~label ->
-          src >= Types.client_addr_base && dst = 3 && label = "request"));
+      ignore
+        (Simnet.Net.drop_next_matching (Cluster.net cluster) (fun ~src ~dst ~label ->
+             src >= Types.client_addr_base && dst = 3 && label = "request")));
   Cluster.run cluster ~seconds:5.0;
   stop := true;
   let r3 = Cluster.replica cluster 3 in
@@ -423,6 +424,100 @@ let test_cluster_body_loss_state_transfer () =
   Alcotest.(check bool) "victim caught up" true
     (Replica.last_executed r3 > 0
     && Replica.last_executed (Cluster.replica cluster 0) - Replica.last_executed r3 < 300)
+
+let test_view_change_backoff_consecutive_mute_primaries () =
+  (* Regression for the view-change timer backoff: the view-0 primary is
+     dead and the primaries of views 1 and 2 are muted for leadership
+     traffic (they vote but never emit a new-view), so the cluster must
+     burn through two failed view changes before view 3 elects a live
+     primary. Without the per-attempt doubling, replicas restart the
+     view change on the base timeout faster than the dead views can be
+     ruled out and never accumulate the escalation. *)
+  let cfg = { (Config.default ~f:1) with Config.view_change_timeout = 0.2 } in
+  let cluster = Cluster.create ~seed:47 ~num_clients:4 cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  let stop = ref false in
+  Array.iter
+    (fun cl ->
+      let rec loop _ = if not !stop then Client.invoke cl "work" loop in
+      loop "")
+    (Cluster.clients cluster);
+  Cluster.run cluster ~seconds:0.3;
+  let net = Cluster.net cluster in
+  let leadership ~label = String.equal label "pre-prepare" || String.equal label "new-view" in
+  Replica.shutdown (Cluster.replica cluster 0);
+  Simnet.Net.set_link_drop net ~src:1 ~dst:Simnet.Net.any_addr leadership;
+  Simnet.Net.set_link_drop net ~src:2 ~dst:Simnet.Net.any_addr leadership;
+  (* Sample the watchdog's escalation: it must climb while the dead views
+     burn, and rewind to the base timeout once view 3 starts executing. *)
+  let r3 = Cluster.replica cluster 3 in
+  let before = Cluster.total_completed cluster in
+  let max_attempts = ref 0 in
+  let min_attempts_after_progress = ref max_int in
+  let probe =
+    Simnet.Engine.periodic (Cluster.engine cluster) ~interval:0.05 (fun () ->
+        let a = Replica.view_change_attempts r3 in
+        max_attempts := Int.max !max_attempts a;
+        if Cluster.total_completed cluster > before then
+          min_attempts_after_progress := Int.min !min_attempts_after_progress a)
+  in
+  Cluster.run cluster ~seconds:8.0;
+  Simnet.Engine.cancel probe;
+  stop := true;
+  Cluster.run cluster ~seconds:0.5;
+  Alcotest.(check bool) "reached view 3" true (Replica.view r3 >= 3);
+  Alcotest.(check bool) "watchdog backed off across attempts" true (!max_attempts >= 2);
+  Alcotest.(check bool) "progress under the live primary" true
+    (Cluster.total_completed cluster > before);
+  Alcotest.(check int) "attempts reset once executing again" 0 !min_attempts_after_progress
+
+let test_cluster_partition_heal_catchup () =
+  (* A scheduled partition isolates one backup mid-agreement: the
+     remaining 2f+1 must keep committing through the window, and the
+     victim must catch back up after the auto-heal. *)
+  let cfg = { (Config.default ~f:1) with Config.view_change_timeout = 3.0 } in
+  let cluster = Cluster.create ~seed:67 ~num_clients:4 cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  let stop = ref false in
+  Array.iter
+    (fun cl ->
+      let rec loop _ = if not !stop then Client.invoke cl (String.make 256 'p') loop in
+      loop "")
+    (Cluster.clients cluster);
+  Simnet.Net.schedule_partition (Cluster.net cluster) ~start:0.3 ~duration:1.0 [ 3 ] [ 0; 1; 2 ];
+  let during = ref 0 and at_heal = ref 0 in
+  Simnet.Engine.schedule (Cluster.engine cluster) ~delay:1.3 (fun () ->
+      during := Cluster.total_completed cluster;
+      at_heal := Replica.last_executed (Cluster.replica cluster 3));
+  Cluster.run cluster ~seconds:5.0;
+  stop := true;
+  Cluster.run cluster ~seconds:0.5;
+  let r3 = Cluster.replica cluster 3 in
+  Alcotest.(check bool) "quorum progressed during the partition" true (!during > 0);
+  Alcotest.(check bool) "victim was behind at heal time" true
+    (!at_heal < Replica.last_executed (Cluster.replica cluster 0));
+  Alcotest.(check bool) "victim caught up after heal" true (Replica.last_executed r3 > !at_heal)
+
+let test_cluster_overload_recv_buffer_drops () =
+  (* §2.4 loop-back congestion: a tiny receive buffer under a closed-loop
+     burst sheds datagrams at the NIC, and the protocol absorbs the loss
+     through retransmission rather than stalling. *)
+  let profile = { Simnet.Net.lan_profile with Simnet.Net.recv_buffer = 16 } in
+  let cfg = { (Config.default ~f:1) with Config.client_timeout = 0.2 } in
+  let cluster = Cluster.create ~seed:68 ~profile ~num_clients:12 cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  let stop = ref false in
+  Array.iter
+    (fun cl ->
+      let rec loop _ = if not !stop then Client.invoke cl (String.make 512 'o') loop in
+      loop "")
+    (Cluster.clients cluster);
+  Cluster.run cluster ~seconds:3.0;
+  stop := true;
+  Cluster.run cluster ~seconds:0.5;
+  Alcotest.(check bool) "overflow drops occurred" true
+    (Simnet.Net.dropped_count (Cluster.net cluster) > 0);
+  Alcotest.(check bool) "progress despite overflow" true (Cluster.total_completed cluster > 0)
 
 let test_cluster_restart_recovery () =
   let cfg = { (Config.default ~f:1) with Config.authenticator_rebroadcast = 0.5 } in
@@ -592,8 +687,9 @@ let test_session_state_survives_transfer () =
   let got = ref "" in
   Client.invoke c0 "sput sticky value-123" (fun _ -> ());
   Simnet.Engine.schedule (Cluster.engine cluster) ~delay:0.2 (fun () ->
-      Simnet.Net.drop_next_matching (Cluster.net cluster) (fun ~src ~dst ~label ->
-          src >= Types.client_addr_base && dst = 2 && label = "request"));
+      ignore
+        (Simnet.Net.drop_next_matching (Cluster.net cluster) (fun ~src ~dst ~label ->
+             src >= Types.client_addr_base && dst = 2 && label = "request")));
   Cluster.run cluster ~seconds:4.0;
   stop := true;
   Client.invoke c0 "sget sticky" (fun r -> got := r);
@@ -782,6 +878,12 @@ let () =
             test_cluster_retransmission_duplicate_suppression;
           Alcotest.test_case "body loss -> state transfer (§2.4)" `Slow
             test_cluster_body_loss_state_transfer;
+          Alcotest.test_case "view-change backoff past two mute primaries" `Slow
+            test_view_change_backoff_consecutive_mute_primaries;
+          Alcotest.test_case "partition & auto-heal catch-up" `Slow
+            test_cluster_partition_heal_catchup;
+          Alcotest.test_case "receive-buffer overload (§2.4)" `Slow
+            test_cluster_overload_recv_buffer_drops;
           Alcotest.test_case "restart recovery (§2.3)" `Slow test_cluster_restart_recovery;
           Alcotest.test_case "nondet replay policies (§2.5)" `Slow test_nondet_delta_blocks_replay;
         ] );

@@ -142,7 +142,7 @@ let test_net_targeted_drop () =
   let net = Simnet.Net.create e quiet_profile in
   let got = ref [] in
   Simnet.Net.register net 1 (fun ~src:_ payload -> got := payload :: !got);
-  Simnet.Net.drop_next_matching net (fun ~src:_ ~dst:_ ~label -> label = "kill-me");
+  ignore (Simnet.Net.drop_next_matching net (fun ~src:_ ~dst:_ ~label -> label = "kill-me"));
   Simnet.Net.send net ~label:"kill-me" ~src:0 ~dst:1 "a";
   Simnet.Net.send net ~label:"kill-me" ~src:0 ~dst:1 "b";
   Simnet.Net.send net ~label:"other" ~src:0 ~dst:1 "c";
@@ -211,6 +211,112 @@ let test_trace_capture () =
   Simnet.Engine.run e;
   Alcotest.(check int) "disabled" 1
     (List.length (Simnet.Trace.filter tr (fun en -> en.Simnet.Trace.label = "ping")))
+
+(* --- scripted fault plans --- *)
+
+let test_drop_expiry () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let net = Simnet.Net.create e quiet_profile in
+  let got = ref 0 in
+  Simnet.Net.register net 1 (fun ~src:_ _ -> incr got);
+  let h =
+    Simnet.Net.drop_next_matching net ~expires_at:0.1 (fun ~src:_ ~dst:_ ~label:_ -> true)
+  in
+  Alcotest.(check int) "pending while live" 1 (Simnet.Net.pending_drops net);
+  (* Sent after the expiry time: the predicate must not eat it. *)
+  Simnet.Engine.schedule e ~delay:0.2 (fun () -> Simnet.Net.send net ~src:0 ~dst:1 "late");
+  Simnet.Engine.run e;
+  Alcotest.(check int) "expired drop lets it through" 1 !got;
+  Alcotest.(check bool) "handle never matched" true (Simnet.Net.drop_armed h);
+  Alcotest.(check int) "expired not pending" 0 (Simnet.Net.pending_drops net)
+
+let test_drop_cancel () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let net = Simnet.Net.create e quiet_profile in
+  let got = ref 0 in
+  Simnet.Net.register net 1 (fun ~src:_ _ -> incr got);
+  let h = Simnet.Net.drop_next_matching net (fun ~src:_ ~dst:_ ~label:_ -> true) in
+  Simnet.Net.cancel_drop h;
+  Alcotest.(check bool) "disarmed" false (Simnet.Net.drop_armed h);
+  Simnet.Net.send net ~src:0 ~dst:1 "x";
+  Simnet.Engine.run e;
+  Alcotest.(check int) "cancelled drop lets it through" 1 !got
+
+let test_drain_drops () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let net = Simnet.Net.create e quiet_profile in
+  let got = ref 0 in
+  Simnet.Net.register net 1 (fun ~src:_ _ -> incr got);
+  ignore (Simnet.Net.drop_next_matching net (fun ~src:_ ~dst:_ ~label -> label = "a"));
+  ignore (Simnet.Net.drop_next_matching net (fun ~src:_ ~dst:_ ~label -> label = "b"));
+  Alcotest.(check int) "drained both" 2 (Simnet.Net.drain_drops net);
+  Alcotest.(check int) "none pending" 0 (Simnet.Net.pending_drops net);
+  Simnet.Net.send net ~label:"a" ~src:0 ~dst:1 "x";
+  Simnet.Engine.run e;
+  Alcotest.(check int) "drained drop lets it through" 1 !got
+
+let test_loss_window () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let net = Simnet.Net.create e quiet_profile in
+  let got = ref [] in
+  Simnet.Net.register net 1 (fun ~src:_ p -> got := p :: !got);
+  Simnet.Net.schedule_loss_window net ~start:0.1 ~duration:0.1 1.0;
+  List.iter
+    (fun (at, p) -> Simnet.Engine.schedule e ~delay:at (fun () -> Simnet.Net.send net ~src:0 ~dst:1 p))
+    [ (0.05, "before"); (0.15, "inside"); (0.25, "after") ];
+  Simnet.Engine.run e;
+  Alcotest.(check (list string)) "only the windowed send lost" [ "after"; "before" ]
+    (List.sort compare !got);
+  Alcotest.(check (float 1e-9)) "ambient loss restored" 0.0 (Simnet.Net.loss net)
+
+let test_scheduled_partition () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let net = Simnet.Net.create e quiet_profile in
+  let got = ref [] in
+  Simnet.Net.register net 1 (fun ~src:_ p -> got := p :: !got);
+  Simnet.Net.schedule_partition net ~start:0.1 ~duration:0.1 [ 0 ] [ 1 ];
+  List.iter
+    (fun (at, p) -> Simnet.Engine.schedule e ~delay:at (fun () -> Simnet.Net.send net ~src:0 ~dst:1 p))
+    [ (0.05, "before"); (0.15, "inside"); (0.25, "after") ];
+  Simnet.Engine.run e;
+  Alcotest.(check (list string)) "auto-heal" [ "after"; "before" ] (List.sort compare !got)
+
+let test_link_corrupt_hook () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let net = Simnet.Net.create e quiet_profile in
+  let got = ref [] in
+  Simnet.Net.register net 1 (fun ~src:_ p -> got := p :: !got);
+  Simnet.Net.set_link_corrupt net ~src:0 ~dst:1 (fun ~dst:_ ~label:_ p ->
+      String.uppercase_ascii p);
+  Simnet.Net.send net ~src:0 ~dst:1 "abc";
+  Simnet.Engine.run e;
+  Simnet.Net.clear_link net ~src:0 ~dst:1;
+  Simnet.Net.send net ~src:0 ~dst:1 "abc";
+  Simnet.Engine.run e;
+  Alcotest.(check (list string)) "corrupted then clean" [ "abc"; "ABC" ] !got
+
+let test_link_duplicate () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let net = Simnet.Net.create e quiet_profile in
+  let got = ref 0 in
+  Simnet.Net.register net 1 (fun ~src:_ _ -> incr got);
+  Simnet.Net.set_link_duplicate net ~src:0 ~dst:1 1;
+  Simnet.Net.send net ~src:0 ~dst:1 "x";
+  Simnet.Engine.run e;
+  Alcotest.(check int) "delivered twice" 2 !got;
+  Alcotest.(check int) "one logical send" 1 (Simnet.Net.sent_count net)
+
+let test_reregister_replaces_handler () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let net = Simnet.Net.create e quiet_profile in
+  let old_got = ref 0 and new_got = ref 0 in
+  Simnet.Net.register net 1 (fun ~src:_ _ -> incr old_got);
+  (* Node restart: the fresh incarnation re-binds the same address. *)
+  Simnet.Net.register net 1 (fun ~src:_ _ -> incr new_got);
+  Simnet.Net.send net ~src:0 ~dst:1 "x";
+  Simnet.Engine.run e;
+  Alcotest.(check int) "old handler silent" 0 !old_got;
+  Alcotest.(check int) "new handler receives" 1 !new_got
 
 (* --- disk --- *)
 
@@ -282,6 +388,17 @@ let () =
           Alcotest.test_case "receive-buffer overflow" `Quick test_net_backlog_overflow;
           Alcotest.test_case "NIC serialization" `Quick test_net_bandwidth_serialization;
           Alcotest.test_case "trace capture" `Quick test_trace_capture;
+        ] );
+      ( "fault plans",
+        [
+          Alcotest.test_case "one-shot drop expiry" `Quick test_drop_expiry;
+          Alcotest.test_case "one-shot drop cancel" `Quick test_drop_cancel;
+          Alcotest.test_case "drain pending drops" `Quick test_drain_drops;
+          Alcotest.test_case "scheduled loss window" `Quick test_loss_window;
+          Alcotest.test_case "scheduled partition auto-heals" `Quick test_scheduled_partition;
+          Alcotest.test_case "link corruption hook" `Quick test_link_corrupt_hook;
+          Alcotest.test_case "link duplication" `Quick test_link_duplicate;
+          Alcotest.test_case "re-register replaces handler" `Quick test_reregister_replaces_handler;
         ] );
       ( "disk",
         [

@@ -4,12 +4,16 @@
    virtual cost model.
 
    Usage:  dune exec bench/main.exe [-- section ... [--quick]]
-   Sections: micro bench digest sqlidx table1 figure1 figure2 figure3
-             figure4 figure5 acid recovery packet-loss nondet wan sizes
-             loss ablation all (default)
+   Sections: micro bench digest sqlidx pipeline faults table1 figure1
+             figure2 figure3 figure4 figure5 acid recovery packet-loss
+             nondet wan sizes loss ablation pipesweep all (default)
    [sqlidx] compares the indexed point/range SELECT workloads against the
    forced-scan baseline and exits non-zero unless the indexed point
    stream clears 5x the baseline's virtual TPS.
+   [pipeline] runs the 64-client null workload serial and with an 8-deep
+   agreement pipeline on 4 virtual cores, and exits non-zero unless the
+   pipelined run clears 2x both the serial baseline and the Table-1
+   default row.
    [bench] measures host wall-clock / events-per-sec / SHA-256 bytes-per-sec
    for the Table-1 and SQL workloads and writes BENCH.json (schema in
    README.md); [--quick] shortens every virtual duration to 0.3 s for CI
@@ -141,7 +145,13 @@ let run_hostbench () =
   print_m idx_range;
   let forced = Harness.Hostbench.sql_forced_scan ~seed:!seed ~duration:dur () in
   print_m forced;
-  let all = table1 @ [ sql; ckpt; idx_point; idx_range; forced ] in
+  let pipe_serial = Harness.Hostbench.pipeline_serial ~seed:!seed ~duration:dur () in
+  print_m pipe_serial;
+  let pipe_deep = Harness.Hostbench.pipeline_deep ~seed:!seed ~duration:dur () in
+  print_m pipe_deep;
+  let read_mix = Harness.Hostbench.sql_read_mix ~seed:!seed ~duration:dur () in
+  print_m read_mix;
+  let all = table1 @ [ sql; ckpt; idx_point; idx_range; forced; pipe_serial; pipe_deep; read_mix ] in
   let json = Harness.Hostbench.to_json ~now:(iso8601 ()) all in
   let oc = open_out "BENCH.json" in
   output_string oc json;
@@ -188,34 +198,74 @@ let run_sqlidx () =
     exit 1
   end
 
-(* Byzantine fault scenarios with a pass/fail gate. On failure the
-   failing scenario is re-run with tracing on and the message log dumped
-   to faults-trace.txt — the artifact CI uploads. *)
+(* Byzantine fault scenarios with a pass/fail gate, run twice: serial
+   (the PR 5 suite) and with the speculative execution pipeline on,
+   which adds the view-change-mid-speculation rollback scenario. On
+   failure the failing scenario is re-run with tracing on and the
+   message log dumped to faults-trace.txt — the artifact CI uploads. *)
 let run_faults () =
   banner "Byzantine fault scenarios (adversarial suite)";
-  let results = Harness.Faults.run_all ~seed:!seed () in
-  List.iter (fun (r, _) -> Printf.printf "  %s\n%!" (Harness.Faults.render r)) results;
-  let failed =
-    List.filter (fun ((r : Harness.Faults.report), _) -> r.fr_failures <> []) results
-  in
-  if failed <> [] then begin
-    let (worst, _) = List.hd failed in
-    (* Re-run the first failing behavior with the trace enabled so the
-       dump actually contains the messages that led to the failure. *)
-    let behavior =
-      List.find
-        (fun b -> String.equal (Pbft.Adversary.behavior_name b) worst.Harness.Faults.fr_behavior)
-        Harness.Faults.behaviors
+  let check ~speculative results =
+    List.iter (fun (r, _) -> Printf.printf "  %s\n%!" (Harness.Faults.render r)) results;
+    let failed =
+      List.filter (fun ((r : Harness.Faults.report), _) -> r.fr_failures <> []) results
     in
-    let _, cluster = Harness.Faults.run_behavior ~seed:!seed ~trace:true behavior in
-    let oc = open_out "faults-trace.txt" in
-    output_string oc
-      (Printf.sprintf "behavior: %s\nfailures:\n  %s\n\n" worst.fr_behavior
-         (String.concat "\n  " worst.fr_failures));
-    output_string oc (Harness.Faults.failure_trace cluster);
-    close_out oc;
-    Printf.eprintf "FAIL: %d adversarial scenario(s) failed; trace in faults-trace.txt\n"
-      (List.length failed);
+    if failed <> [] then begin
+      let (worst, _) = List.hd failed in
+      (* Re-run the first failing scenario with the trace enabled so the
+         dump actually contains the messages that led to the failure. *)
+      let _, cluster =
+        match
+          List.find_opt
+            (fun b ->
+              String.equal (Pbft.Adversary.behavior_name b) worst.Harness.Faults.fr_behavior)
+            Harness.Faults.behaviors
+        with
+        | Some behavior -> Harness.Faults.run_behavior ~seed:!seed ~trace:true ~speculative behavior
+        | None -> Harness.Faults.run_vc_mid_speculation ~seed:!seed ~trace:true ()
+      in
+      let oc = open_out "faults-trace.txt" in
+      output_string oc
+        (Printf.sprintf "behavior: %s (speculative=%b)\nfailures:\n  %s\n\n" worst.fr_behavior
+           speculative
+           (String.concat "\n  " worst.fr_failures));
+      output_string oc (Harness.Faults.failure_trace cluster);
+      close_out oc;
+      Printf.eprintf "FAIL: %d adversarial scenario(s) failed; trace in faults-trace.txt\n"
+        (List.length failed);
+      exit 1
+    end
+  in
+  check ~speculative:false (Harness.Faults.run_all ~seed:!seed ());
+  Printf.printf "  -- with speculation (pipeline depth 4, 2 cores) --\n%!";
+  check ~speculative:true (Harness.Faults.run_all ~seed:!seed ~speculative:true ())
+
+(* Pipelined speculation with the PR 6 acceptance gate: the deep pipeline
+   must clear 2x both its own serial baseline (same 64-client workload)
+   and the Table-1 default row (12 clients) in virtual TPS. *)
+let run_pipeline () =
+  banner "Pipelined speculation — serial vs depth 8 x 4 cores";
+  let dur = if !quick then 0.3 else !duration in
+  let show (m : Harness.Hostbench.measurement) =
+    Printf.printf "  %-28s vTPS %9.1f  core util %4.2f  spec execs %7d  rollbacks %d\n%!" m.name
+      m.virtual_tps m.core_utilization m.speculative_executions m.rollbacks
+  in
+  let table1 = Harness.Hostbench.table1_default ~seed:!seed ~duration:dur () in
+  let serial = Harness.Hostbench.pipeline_serial ~seed:!seed ~duration:dur () in
+  let deep = Harness.Hostbench.pipeline_deep ~seed:!seed ~duration:dur () in
+  show table1;
+  show serial;
+  show deep;
+  let ratio b (m : Harness.Hostbench.measurement) =
+    if b.Harness.Hostbench.virtual_tps > 0.0 then m.virtual_tps /. b.Harness.Hostbench.virtual_tps
+    else 0.0
+  in
+  Printf.printf "  pipelined vs serial baseline: %.2fx;  vs Table-1 default: %.2fx\n%!"
+    (ratio serial deep) (ratio table1 deep);
+  if ratio serial deep < 2.0 || ratio table1 deep < 2.0 then begin
+    Printf.eprintf
+      "FAIL: pipelined throughput is %.2fx the serial baseline / %.2fx Table-1 (need >= 2x both)\n"
+      (ratio serial deep) (ratio table1 deep);
     exit 1
   end
 
@@ -225,6 +275,7 @@ let sections : (string * (unit -> unit)) list =
     ("bench", run_hostbench);
     ("digest", run_digest);
     ("sqlidx", run_sqlidx);
+    ("pipeline", run_pipeline);
     ("faults", run_faults);
     ( "figure1",
       fun () ->
@@ -297,6 +348,12 @@ let sections : (string * (unit -> unit)) list =
         print_string
           (Harness.Report.render
              (Harness.Experiments.batching_ablation ~seed:!seed ~duration:!duration ())) );
+    ( "pipesweep",
+      fun () ->
+        banner "Pipelining sweep — vTPS vs depth x cores";
+        print_string
+          (Harness.Report.render
+             (Harness.Experiments.pipeline_sweep ~seed:!seed ~duration:!duration ())) );
   ]
 
 let () =

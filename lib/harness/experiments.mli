@@ -40,6 +40,27 @@ val indexed_sql_spec :
     creates the secondary index — the operation stream is identical, so
     indexed-vs-scan comparisons isolate the access path. *)
 
+val pipeline_cfg : depth:int -> cores:int -> unit -> Pbft.Config.t
+(** The Table-1 default configuration with the given agreement-pipeline
+    depth and virtual core count; depth 1 / 1 core is the serial
+    baseline. *)
+
+val pipeline_spec :
+  ?seed:int -> ?duration:float -> ?num_clients:int -> Pbft.Config.t -> Scenario.spec
+(** The pipelining workload: 1024-byte null operations from enough
+    closed-loop clients (default 64) to keep a deep pipeline fed. *)
+
+val pipeline_sweep : ?seed:int -> ?duration:float -> unit -> Report.t
+(** Throughput versus pipeline depth x cores (the EXPERIMENTS.md
+    pipelining table); each row notes speculative executions and
+    rollbacks. *)
+
+val read_mix_spec : ?seed:int -> ?duration:float -> ?app_pages:int -> Pbft.Config.t -> Scenario.spec
+(** 95/5 read/write SQL mix over the indexed lookup table. The SELECTs
+    are planner-proven read-only ({!Relsql.Pbft_service.is_readonly_sql})
+    and ride the fast path as tentative replies; the INSERTs order
+    through agreement. *)
+
 val table1 : ?seed:int -> ?duration:float -> unit -> Report.t
 (** Table 1: the ten library configurations under 1024-byte null
     operations, 12 clients / 4 replicas. *)

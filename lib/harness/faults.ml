@@ -12,6 +12,8 @@ type report = {
   fr_view_changes : int;
   fr_state_transfers : int;
   fr_demotions : int;
+  fr_rollbacks : int;  (** speculative executions undone by a view change *)
+  fr_spec_execs : int;  (** batches executed before their commit certificate *)
   fr_auth_failures : int;
   fr_nondet_rejects : int;
   fr_final_view : int;  (** max view reached by a correct replica *)
@@ -30,9 +32,15 @@ let adversary_id behavior =
   | Adversary.Garbage_view_change -> 3
   | _ -> 0
 
-let base_cfg behavior =
+let base_cfg ?(speculative = false) behavior =
   let cfg = Config.default ~f:1 in
   let cfg = { cfg with Config.view_change_timeout = 0.25 } in
+  let cfg =
+    (* Speculative variant: the whole suite re-runs with the execution
+       pipeline on, so every Byzantine behavior is also exercised against
+       replicas holding executed-but-uncommitted state. *)
+    if speculative then { cfg with Config.pipeline_depth = 4; cores = 2 } else cfg
+  in
   match behavior with
   | Adversary.Mutate_nondet ->
     (* §2.5: only a validation policy stands between the backups and the
@@ -111,8 +119,8 @@ let states_agree correct =
   pairs correct;
   !mismatches
 
-let run_behavior ?(seed = 11) ?(trace = false) behavior =
-  let cfg = base_cfg behavior in
+let run_behavior ?(seed = 11) ?(trace = false) ?(speculative = false) behavior =
+  let cfg = base_cfg ~speculative behavior in
   let adv_id = adversary_id behavior in
   let cluster = Cluster.create ~seed ~num_clients:8 cfg in
   Simnet.Trace.set_enabled (Cluster.trace cluster) trace;
@@ -175,6 +183,8 @@ let run_behavior ?(seed = 11) ?(trace = false) behavior =
       fr_view_changes = sum Replica.view_changes;
       fr_state_transfers = sum Replica.state_transfers;
       fr_demotions = sum Replica.demotions;
+      fr_rollbacks = sum Replica.rollbacks;
+      fr_spec_execs = sum Replica.speculative_execs;
       fr_auth_failures = sum Replica.auth_failures;
       fr_nondet_rejects = sum Replica.nondet_rejects;
       fr_final_view = final_view;
@@ -187,16 +197,109 @@ let run_behavior ?(seed = 11) ?(trace = false) behavior =
   in
   (report, cluster)
 
-let run_all ?(seed = 11) () = List.map (fun b -> run_behavior ~seed b) behaviors
+(* View change mid-speculation: the one scenario PR 6's speculation
+   machinery exists to survive. Commit datagrams are dropped on every
+   link, so pipelined replicas prepare — and speculatively execute —
+   batches they can never commit; replies stay buffered, clients time out
+   and multicast, the watchdogs fire, and the view change must roll the
+   speculated suffix back before the new primary re-proposes it. The drop
+   then heals and the re-proposed batches commit for real, which is what
+   makes the post-rollback journal/state agreement checks meaningful. *)
+let run_vc_mid_speculation ?(seed = 11) ?(trace = false) () =
+  let cfg = Config.default ~f:1 in
+  let cfg =
+    {
+      cfg with
+      Config.view_change_timeout = 0.25;
+      pipeline_depth = 4;
+      cores = 2;
+      (* Status gossip replays missing certificates and would let a
+         backup commit around the dropped datagrams; off, as in the
+         selective-mute scenario. *)
+      status_period = 0.0;
+    }
+  in
+  let cluster = Cluster.create ~seed ~num_clients:8 cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) trace;
+  Array.iter (fun r -> Replica.set_record_journal r true) (Cluster.replicas cluster);
+  let stop = ref false in
+  Array.iter
+    (fun cl ->
+      let rec loop _ = if not !stop then Client.invoke cl (String.make 512 'f') loop in
+      loop "")
+    (Cluster.clients cluster);
+  Cluster.run cluster ~seconds:0.3;
+  let baseline = Cluster.total_completed cluster in
+  let net = Cluster.net cluster in
+  let engine = Cluster.engine cluster in
+  (* One sender-wildcard entry per replica: an exact (src, dst) or
+     (src, any) entry is what the link-fault lookup consults — there is
+     deliberately no (any, any) catch-all. *)
+  let replica_addrs = List.init cfg.Config.n (fun i -> i) in
+  List.iter
+    (fun src ->
+      Simnet.Net.set_link_drop net ~src ~dst:Simnet.Net.any_addr (fun ~label ->
+          String.equal label "commit"))
+    replica_addrs;
+  (* Heal after the watchdogs have had time to elect view 1 (client
+     timeout 0.15 s + view-change timeout 0.25 s, plus slack), so the
+     re-proposed batches can commit and the liveness check has teeth. *)
+  Simnet.Engine.schedule engine ~delay:0.8 (fun () ->
+      List.iter
+        (fun src -> Simnet.Net.clear_link net ~src ~dst:Simnet.Net.any_addr)
+        replica_addrs);
+  Cluster.run cluster ~seconds:2.2;
+  let before_recovery = Cluster.total_completed cluster in
+  Cluster.run cluster ~seconds:1.0;
+  stop := true;
+  Cluster.run cluster ~seconds:0.2;
+  let recovered = Cluster.total_completed cluster - before_recovery in
+  let correct = Array.to_list (Cluster.replicas cluster) in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 correct in
+  let final_view = List.fold_left (fun acc r -> Int.max acc (Replica.view r)) 0 correct in
+  let safety_failures = journals_agree correct @ states_agree correct in
+  let failures = ref safety_failures in
+  let expect what cond = if not cond then failures := what :: !failures in
+  expect "no progress before the fault" (baseline > 0);
+  let live_progress = recovered > 0 in
+  expect "no progress in the recovery window" live_progress;
+  expect "commit starvation never forced a view change" (final_view > 0);
+  expect "no batch was executed speculatively" (sum Replica.speculative_execs > 0);
+  expect "the view change never rolled back a speculated batch" (sum Replica.rollbacks > 0);
+  let report =
+    {
+      fr_behavior = "vc-mid-speculation";
+      fr_mutations = 0;
+      fr_view_changes = sum Replica.view_changes;
+      fr_state_transfers = sum Replica.state_transfers;
+      fr_demotions = sum Replica.demotions;
+      fr_rollbacks = sum Replica.rollbacks;
+      fr_spec_execs = sum Replica.speculative_execs;
+      fr_auth_failures = sum Replica.auth_failures;
+      fr_nondet_rejects = sum Replica.nondet_rejects;
+      fr_final_view = final_view;
+      fr_baseline = baseline;
+      fr_recovered = recovered;
+      fr_safe = safety_failures = [];
+      fr_live = live_progress;
+      fr_failures = List.rev !failures;
+    }
+  in
+  (report, cluster)
+
+let run_all ?(seed = 11) ?(speculative = false) () =
+  List.map (fun b -> run_behavior ~seed ~speculative b) behaviors
+  @ if speculative then [ run_vc_mid_speculation ~seed () ] else []
 
 let render r =
   Printf.sprintf
-    "%-20s %-4s mutations=%-5d vc=%-3d transfers=%-2d demotions=%-2d auth_fail=%-4d \
-     nondet_rej=%-4d view=%-2d baseline=%-5d recovered=%-5d%s"
+    "%-20s %-4s mutations=%-5d vc=%-3d transfers=%-2d demotions=%-2d spec=%-5d rollbacks=%-2d \
+     auth_fail=%-4d nondet_rej=%-4d view=%-2d baseline=%-5d recovered=%-5d%s"
     r.fr_behavior
     (if r.fr_safe && r.fr_live && r.fr_failures = [] then "ok" else "FAIL")
-    r.fr_mutations r.fr_view_changes r.fr_state_transfers r.fr_demotions r.fr_auth_failures
-    r.fr_nondet_rejects r.fr_final_view r.fr_baseline r.fr_recovered
+    r.fr_mutations r.fr_view_changes r.fr_state_transfers r.fr_demotions r.fr_spec_execs
+    r.fr_rollbacks r.fr_auth_failures r.fr_nondet_rejects r.fr_final_view r.fr_baseline
+    r.fr_recovered
     (match r.fr_failures with
     | [] -> ""
     | fs -> "\n    " ^ String.concat "\n    " fs)

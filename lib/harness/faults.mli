@@ -23,6 +23,8 @@ type report = {
   fr_view_changes : int;
   fr_state_transfers : int;
   fr_demotions : int;
+  fr_rollbacks : int;
+  fr_spec_execs : int;
   fr_auth_failures : int;
   fr_nondet_rejects : int;
   fr_final_view : int;
@@ -37,13 +39,27 @@ val behaviors : Pbft.Adversary.behavior list
 (** The five Byzantine behaviors (selective mute is parameterized) in
     suite order. *)
 
-val run_behavior : ?seed:int -> ?trace:bool -> Pbft.Adversary.behavior -> report * Pbft.Cluster.t
+val run_behavior :
+  ?seed:int -> ?trace:bool -> ?speculative:bool -> Pbft.Adversary.behavior -> report * Pbft.Cluster.t
 (** Run one scenario; the cluster is returned for post-hoc inspection
     (counters, trace dump on failure). [trace] keeps the message trace
     enabled during the run (default off, for speed) — used when
-    re-running a failed scenario to produce the CI artifact. *)
+    re-running a failed scenario to produce the CI artifact.
+    [speculative] re-runs the scenario with the execution pipeline on
+    ([pipeline_depth = 4], [cores = 2]), so the adversary also faces
+    replicas holding executed-but-uncommitted state. *)
 
-val run_all : ?seed:int -> unit -> (report * Pbft.Cluster.t) list
+val run_vc_mid_speculation : ?seed:int -> ?trace:bool -> unit -> report * Pbft.Cluster.t
+(** The speculation-specific scenario: commit datagrams are dropped on
+    every link for a window, so pipelined replicas speculatively execute
+    batches they cannot commit; the resulting view change must roll the
+    speculated suffix back ([fr_rollbacks > 0]) and, once the drop heals,
+    the re-proposed batches must commit with journals and states still in
+    agreement. *)
+
+val run_all : ?seed:int -> ?speculative:bool -> unit -> (report * Pbft.Cluster.t) list
+(** The behavior suite; with [speculative] the pipelined variants plus
+    {!run_vc_mid_speculation} appended. *)
 
 val render : report -> string
 (** One status line per scenario, with failure reasons appended. *)

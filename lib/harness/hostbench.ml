@@ -14,6 +14,10 @@ type measurement = {
   deep_copy_bytes_per_checkpoint : float;
   pages_read : int;
   rows_scanned : int;
+  speculative_executions : int;
+  rollbacks : int;
+  tentative_completed : int;
+  core_utilization : float;
 }
 
 let measure ~name spec =
@@ -47,6 +51,16 @@ let measure ~name spec =
     if Array.length reps > 0 then float_of_int total /. float_of_int (Array.length reps) else 0.0
   in
   let per_sec n = if host_seconds > 0.0 then float_of_int n /. host_seconds else 0.0 in
+  (* Run-average busy fraction of the replicas' virtual cores — the
+     utilization the pipeline's extra cores actually achieve. *)
+  let core_utilization =
+    if Array.length reps = 0 then 0.0
+    else
+      Array.fold_left
+        (fun acc r -> acc +. Simnet.Cpu.utilization (Pbft.Replica.cpu r) ~since:0.0)
+        0.0 reps
+      /. float_of_int (Array.length reps)
+  in
   {
     name;
     host_seconds;
@@ -64,6 +78,10 @@ let measure ~name spec =
     deep_copy_bytes_per_checkpoint;
     pages_read;
     rows_scanned;
+    speculative_executions = outcome.Scenario.speculative_execs;
+    rollbacks = outcome.Scenario.rollbacks;
+    tentative_completed = outcome.Scenario.tentative_completed;
+    core_utilization;
   }
 
 let base_cfg () = Pbft.Config.default ~f:1
@@ -118,6 +136,22 @@ let sql_forced_scan ?(seed = 1) ?(duration = 1.5) () =
   measure ~name:"sql:forced_scan"
     (Experiments.indexed_sql_spec ~seed ~duration ~indexed:false ~range:false (default_cfg ()))
 
+(* Pipelining (PR 6): the same null workload serial and deeply pipelined.
+   The serial row doubles as the regression anchor — its config is the
+   pinned-digest default — and the deep row carries the >=2x gate
+   bench/main.exe enforces. *)
+
+let pipeline_serial ?(seed = 1) ?(duration = 1.5) () =
+  measure ~name:"pipeline:serial"
+    (Experiments.pipeline_spec ~seed ~duration (Experiments.pipeline_cfg ~depth:1 ~cores:1 ()))
+
+let pipeline_deep ?(seed = 1) ?(duration = 1.5) () =
+  measure ~name:"pipeline:depth8_cores4"
+    (Experiments.pipeline_spec ~seed ~duration (Experiments.pipeline_cfg ~depth:8 ~cores:4 ()))
+
+let sql_read_mix ?(seed = 1) ?(duration = 1.5) () =
+  measure ~name:"sql:read_mix" (Experiments.read_mix_spec ~seed ~duration (default_cfg ()))
+
 let trace_digest ?(seed = 1) ?(seconds = 0.3) () =
   let dynamic, macs, allbig, batching = default_flags in
   let cfg = Experiments.with_flags ~dynamic ~macs ~allbig ~batching (base_cfg ()) in
@@ -168,12 +202,17 @@ let to_json ?(now = "unknown") ms =
         ("deep_copy_bytes_per_checkpoint", Num m.deep_copy_bytes_per_checkpoint);
         ("pages_read", Num (float_of_int m.pages_read));
         ("rows_scanned", Num (float_of_int m.rows_scanned));
+        ("speculative_executions", Num (float_of_int m.speculative_executions));
+        ("rollbacks", Num (float_of_int m.rollbacks));
+        ("tentative_completed", Num (float_of_int m.tentative_completed));
+        ("stable_completed", Num (float_of_int (m.completed - m.tentative_completed)));
+        ("core_utilization", Num m.core_utilization);
       ]
   in
   pretty
     (Obj
        [
-         ("schema", Str "pbft-repro/bench/v3");
+         ("schema", Str "pbft-repro/bench/v4");
          ("generated", Str now);
          ("trace_digest", Str (trace_digest ()));
          ("workloads", Arr (List.map workload ms));

@@ -28,6 +28,16 @@ type measurement = {
           allocated pages x page size, averaged over replicas at run end *)
   pages_read : int;  (** B-tree pages touched by the relational engine during the run *)
   rows_scanned : int;  (** candidate rows the engine materialized and evaluated *)
+  speculative_executions : int;
+      (** batches executed before their commit certificate landed, summed
+          over replicas — serial tentative execution and pipelined
+          speculation both count *)
+  rollbacks : int;  (** view changes that undid speculative executions, summed over replicas *)
+  tentative_completed : int;
+      (** requests the clients accepted on a 2f+1 tentative-reply quorum
+          (read-only fast path and tentative execution) *)
+  core_utilization : float;
+      (** run-average busy fraction of the replicas' virtual CPU cores *)
 }
 
 val measure : name:string -> Scenario.spec -> measurement
@@ -64,6 +74,21 @@ val sql_forced_scan : ?seed:int -> ?duration:float -> unit -> measurement
 (** ["sql:forced_scan"]: the identical point-SELECT stream with no index
     — every probe full-scans, the baseline the indexed workloads are
     compared against. *)
+
+val pipeline_serial : ?seed:int -> ?duration:float -> unit -> measurement
+(** ["pipeline:serial"]: the pipelining workload (64 closed-loop clients,
+    1024-byte null ops) at depth 1 on one core — the serial baseline the
+    pipelined row must beat. *)
+
+val pipeline_deep : ?seed:int -> ?duration:float -> unit -> measurement
+(** ["pipeline:depth8_cores4"]: the same workload with an 8-deep
+    agreement pipeline and 4 virtual cores per replica; bench/main.exe
+    gates this at >= 2x the serial row's virtual TPS. *)
+
+val sql_read_mix : ?seed:int -> ?duration:float -> unit -> measurement
+(** ["sql:read_mix"]: 95% planner-proven read-only SELECTs (fast path,
+    tentative replies) / 5% INSERTs over the indexed lookup table;
+    [tentative_completed] versus [completed] records the split. *)
 
 val trace_digest : ?seed:int -> ?seconds:float -> unit -> string
 (** Hex SHA-256 over the full message trace (time, src, dst, label, size,

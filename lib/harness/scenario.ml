@@ -35,6 +35,9 @@ type outcome = {
   view_changes : int;
   state_transfers : int;
   demotions : int;
+  rollbacks : int;
+  speculative_execs : int;
+  tentative_completed : int;
   auth_failures : int;
   nondet_rejects : int;
 }
@@ -72,12 +75,19 @@ let run_cluster ?hook spec =
   if spec.cfg.Pbft.Config.dynamic_clients then join_all cluster;
   let engine = Pbft.Cluster.engine cluster in
   let stop = ref false in
+  let classify = spec.service.Pbft.Service.classify_readonly in
   let drive i cl =
     let seq = ref 0 in
     let rec next () =
       if not !stop then begin
         incr seq;
-        Pbft.Client.invoke cl ~readonly:spec.readonly (spec.op ~client:i ~seq:!seq) (fun _ ->
+        let op = spec.op ~client:i ~seq:!seq in
+        (* Per-operation auto-classification: ops the service proves
+           read-only (e.g. planner-classified SELECTs) ride the fast path
+           even in a mixed workload where [spec.readonly] must stay
+           false. *)
+        let readonly = spec.readonly || classify op in
+        Pbft.Client.invoke cl ~readonly op (fun _ ->
             if spec.think_time > 0.0 then Simnet.Engine.schedule engine ~delay:spec.think_time next
             else next ())
       end
@@ -87,6 +97,12 @@ let run_cluster ?hook spec =
   Array.iteri drive (Pbft.Cluster.clients cluster);
   Pbft.Cluster.run cluster ~seconds:spec.warmup;
   let base_completed = Pbft.Cluster.total_completed cluster in
+  let sum_tentative () =
+    Array.fold_left
+      (fun acc cl -> acc + Pbft.Client.tentative_completed cl)
+      0 (Pbft.Cluster.clients cluster)
+  in
+  let base_tentative = sum_tentative () in
   let measure_start = Simnet.Engine.now engine in
   Pbft.Cluster.run cluster ~seconds:spec.duration;
   let measured = Pbft.Cluster.total_completed cluster - base_completed in
@@ -120,6 +136,9 @@ let run_cluster ?hook spec =
       view_changes = sum Pbft.Replica.view_changes;
       state_transfers = sum Pbft.Replica.state_transfers;
       demotions = sum Pbft.Replica.demotions;
+      rollbacks = sum Pbft.Replica.rollbacks;
+      speculative_execs = sum Pbft.Replica.speculative_execs;
+      tentative_completed = sum_tentative () - base_tentative;
       auth_failures = sum Pbft.Replica.auth_failures;
       nondet_rejects = sum Pbft.Replica.nondet_rejects;
     }

@@ -31,6 +31,15 @@ type outcome = {
   demotions : int;
       (** replicas that fell behind a stable checkpoint and re-joined via
           state transfer (the §2.4 demotion pathology) *)
+  rollbacks : int;
+      (** speculative-execution rollbacks: view changes that undid
+          executed-but-uncommitted batches (summed over replicas) *)
+  speculative_execs : int;
+      (** batches executed before their commit certificate landed — serial
+          tentative execution and pipelined speculation both count *)
+  tentative_completed : int;
+      (** client requests accepted on a 2f+1 tentative-reply quorum rather
+          than waiting for f+1 stable replies, within the measured window *)
   auth_failures : int;
   nondet_rejects : int;
 }

@@ -40,6 +40,7 @@ type t = {
   mutable joining : join_state option;
   mutable rebroadcast : Simnet.Engine.timer option;
   mutable n_completed : int;
+  mutable n_tentative : int;
   mutable n_retrans : int;
   latencies : Util.Stats.t;
   mutable alive : bool;
@@ -49,6 +50,7 @@ let addr t = t.caddr
 let client_id t = t.cid
 let verifier_string t = Crypto.Keychain.verifier_to_string (Crypto.Keychain.verifier_of t.signer)
 let completed t = t.n_completed
+let tentative_completed t = t.n_tentative
 let retransmissions t = t.n_retrans
 let latency_stats t = t.latencies
 let now t = Simnet.Engine.now t.engine
@@ -196,7 +198,7 @@ let check_quorum t o =
       | Some _ -> acc
       | None ->
         if (tentative && c >= tentative_needed) || ((not tentative) && c >= stable_needed) then
-          Some result
+          Some (result, tentative)
         else None)
     counts None
 
@@ -230,10 +232,11 @@ let handle_reply t ~src ~r_view ~r_id ~r_replica ~r_result ~r_tentative ~r_parti
       | None -> ());
       match check_quorum t o with
       | None -> ()
-      | Some result ->
+      | Some (result, tentative) ->
         (match o.o_timer with Some timer -> Simnet.Engine.cancel timer | None -> ());
         t.out <- None;
         t.n_completed <- t.n_completed + 1;
+        if tentative then t.n_tentative <- t.n_tentative + 1;
         Util.Stats.add t.latencies (now t -. o.o_start);
         let cert = build_certificate t o result in
         (* Combining is a handful of modular exponentiations. *)
@@ -415,6 +418,7 @@ let create ~cfg ~costs ~engine ~net ~addr ~signer ~registry ?threshold_public ?c
       joining = None;
       rebroadcast = None;
       n_completed = 0;
+      n_tentative = 0;
       n_retrans = 0;
       latencies = Util.Stats.create ();
       alive = true;

@@ -60,6 +60,12 @@ val invoke_certified : t -> ?readonly:bool -> string -> (string -> string option
     certificate — verifiable offline with {!Certificate.verify}. *)
 
 val completed : t -> int
+
+val tentative_completed : t -> int
+(** Of {!completed}, how many were accepted on a 2f+1 tentative-reply
+    quorum rather than an f+1 stable one — the read-mix benchmark's
+    tentative-vs-stable split. *)
+
 val retransmissions : t -> int
 val latency_stats : t -> Util.Stats.t
 val shutdown : t -> unit

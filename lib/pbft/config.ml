@@ -29,6 +29,8 @@ type t = {
   fetch_missing_entries : bool;
   nondet : nondet_validation;
   sign_bits : int;
+  pipeline_depth : int;
+  cores : int;
 }
 
 let default ~f =
@@ -58,6 +60,8 @@ let default ~f =
     fetch_missing_entries = false;
     nondet = No_validation;
     sign_bits = 512;
+    pipeline_depth = 1;
+    cores = 1;
   }
 
 let robust ~f =
@@ -74,6 +78,8 @@ let validate t =
   else if t.join_request_timeout <= 0.0 then Error "join_request_timeout must be positive"
   else if t.view_change_timeout <= 0.0 then Error "view_change_timeout must be positive"
   else if t.max_clients < 1 then Error "max_clients must be at least 1"
+  else if t.pipeline_depth < 1 then Error "pipeline_depth must be at least 1"
+  else if t.cores < 1 then Error "cores must be at least 1"
   else Ok ()
 
 let name t =

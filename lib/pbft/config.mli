@@ -66,6 +66,20 @@ type t = {
           Off by default. *)
   nondet : nondet_validation;
   sign_bits : int;  (** Rabin key size when [use_macs] is false *)
+  pipeline_depth : int;
+      (** how many congestion windows of batches may be in flight through
+          the three agreement phases at once. 1 (default) is the paper's
+          serial protocol; > 1 lets the primary pre-prepare batch n+1..n+k
+          while n is still in prepare/commit, and switches replicas to
+          speculative execution: prepared batches run under a COW undo
+          snapshot, with replies, checkpoints and the exec journal
+          withheld until the commit certificate lands (rolled back on
+          view change) *)
+  cores : int;
+      (** virtual CPU cores per replica (default 1). With more than one,
+          MAC generation/verification fan-out and Merkle leaf hashing are
+          charged as overlapping per-piece work instead of one serial
+          lump *)
 }
 
 val default : f:int -> t

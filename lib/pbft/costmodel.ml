@@ -9,6 +9,10 @@ type t = {
   msg_per_byte : float;
   exec_null : float;
   log_bookkeeping : float;
+  merkle_leaf : float;
+  spec_overhead : float;
+  rollback_fixed : float;
+  rollback_per_page : float;
 }
 
 let default =
@@ -23,6 +27,10 @@ let default =
     msg_per_byte = 4e-9;
     exec_null = 0.5e-6;
     log_bookkeeping = 1.0e-6;
+    merkle_leaf = 10.0e-6;
+    spec_overhead = 2.0e-6;
+    rollback_fixed = 20.0e-6;
+    rollback_per_page = 1.0e-6;
   }
 
 (* SQL execution costs live here too so every virtual-time knob is in one
@@ -48,6 +56,14 @@ let auth_gen t (cfg : Config.t) =
   if cfg.use_macs then float_of_int (cfg.n - 1) *. t.mac_gen else t.sign
 
 let auth_verify t (cfg : Config.t) = if cfg.use_macs then t.mac_verify else t.sig_verify
+
+(* Per-piece decomposition of [auth_gen] for multi-core fan-out: one MAC
+   tag per peer (or the single signature), chargeable as independent work
+   items via [Simnet.Cpu.execute_split]. Only meaningful when cores > 1 —
+   single-core callers must keep the lump-sum [auth_gen] expression so
+   historical float arithmetic (and trace digests) are preserved. *)
+let auth_gen_costs t (cfg : Config.t) =
+  if cfg.use_macs then List.init (Int.max 0 (cfg.n - 1)) (fun _ -> t.mac_gen) else [ t.sign ]
 let digest t n = t.digest_base +. (t.digest_per_byte *. float_of_int n)
 
 (* Datagrams above the Ethernet MTU fragment; each fragment costs a fixed

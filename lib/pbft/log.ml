@@ -13,6 +13,9 @@ type entry = {
   mutable executed : bool;
   mutable tentatively_executed : bool;
   mutable missing_bodies : digest list;
+  mutable pending_replies : (Message.request * string * float) list;
+      (** pipelined speculation: (request, result, exec timestamp) buffered
+          until the commit certificate lands; always [] in serial mode *)
 }
 
 type cached_reply = {
@@ -21,6 +24,10 @@ type cached_reply = {
   cr_view : view;
   cr_tentative : bool;
   cr_timestamp : float;
+  cr_speculative : bool;
+      (** cached by a speculative execution whose commit certificate has
+          not landed yet — must never be resent to the client until the
+          flush at commit flips it off *)
 }
 
 type t = {
@@ -52,6 +59,7 @@ let fresh_entry seq =
     executed = false;
     tentatively_executed = false;
     missing_bodies = [];
+    pending_replies = [];
   }
 
 let entry t seq =
@@ -65,6 +73,14 @@ let entry t seq =
 let find t seq = Hashtbl.find_opt t.slots seq
 let record_prepare e r = Hashtbl.replace e.prepares r ()
 let record_commit e r = Hashtbl.replace e.commits r ()
+
+(* A batch superseded by a later view's proposal takes its votes with it:
+   they certified the old digest. *)
+let reset_votes e =
+  Hashtbl.reset e.prepares;
+  Hashtbl.reset e.commits;
+  e.prepared <- false;
+  e.committed <- false
 let prepare_count e = Hashtbl.length e.prepares
 let commit_count e = Hashtbl.length e.commits
 

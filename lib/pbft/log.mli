@@ -18,6 +18,10 @@ type entry = {
   mutable missing_bodies : digest list;
       (** big-request digests in the batch whose bodies this replica does
           not hold — the §2.4 stall condition *)
+  mutable pending_replies : (Message.request * string * float) list;
+      (** pipelined speculation: (request, result, exec timestamp) buffered
+          until the commit certificate lands, then flushed to clients;
+          always [] in serial mode and cleared on rollback *)
 }
 
 type t
@@ -34,6 +38,12 @@ val entry : t -> seqno -> entry
 val find : t -> seqno -> entry option
 val record_prepare : entry -> replica_id -> unit
 val record_commit : entry -> replica_id -> unit
+
+val reset_votes : entry -> unit
+(** Clear the prepare/commit vote sets and certificates — used when a
+    later view's pre-prepare supersedes a batch that was accepted but
+    never prepared (the old votes certified the old digest). *)
+
 val prepare_count : entry -> int
 val commit_count : entry -> int
 
@@ -52,6 +62,10 @@ type cached_reply = {
   cr_view : view;
   cr_tentative : bool;
   cr_timestamp : float;  (** primary-clock execution time (§3.1 staleness) *)
+  cr_speculative : bool;
+      (** cached by a speculative execution that has not committed; such a
+          reply is never resent on retransmission until the commit flush
+          clears the flag (speculation must not leak to clients) *)
 }
 
 val cached_reply : t -> client_id -> cached_reply option

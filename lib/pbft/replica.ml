@@ -43,10 +43,18 @@ type t = {
   bodies : (digest, Message.request) Hashtbl.t;
   pending : Message.request Queue.t;
   in_flight : (client_id * int, seqno) Hashtbl.t;  (** 0 until a pre-prepare assigns a sequence *)
+  ro_replies : (client_id, int * string) Hashtbl.t;
+      (** last read-only fast-path reply per client, resent on
+          retransmission instead of re-executing the read *)
   waiting : (client_id * int, float) Hashtbl.t;  (** backup-side requests awaiting execution *)
   body_requests : (digest, unit) Hashtbl.t;
   entry_requests : (seqno, unit) Hashtbl.t;
   checkpoints : (seqno, Statemgr.Checkpoint.t) Hashtbl.t;
+  pending_ckpts : (seqno, Statemgr.Checkpoint.t) Hashtbl.t;
+      (** pipelined mode: snapshots taken at a checkpoint boundary during
+          speculative execution, announced only when the boundary commits
+          and discarded on rollback — a speculative state root must never
+          enter the checkpoint vote *)
   ckpt_votes : (seqno, (replica_id, digest) Hashtbl.t) Hashtbl.t;
   vc_msgs : (view, (replica_id, Message.payload) Hashtbl.t) Hashtbl.t;
   mutable view : view;
@@ -74,6 +82,8 @@ type t = {
   mutable n_undo : int;  (** undo snapshots taken for tentative execution *)
   mutable vc_attempts : int;  (** consecutive view changes without execution progress *)
   mutable n_demotions : int;  (** checkpoint-lag demotions into state transfer (§2.4) *)
+  mutable n_spec_exec : int;  (** batches executed before their commit certificate landed *)
+  mutable n_rollbacks : int;  (** rollbacks that actually undid speculative executions *)
   mutable record_journal : bool;
   mutable exec_journal : (seqno * digest) list;  (** newest first; committed executions only *)
 }
@@ -91,6 +101,8 @@ let nondet_rejects t = t.n_nondet_reject
 let checkpoints_taken t = t.n_ckpt
 let undo_snapshots t = t.n_undo
 let demotions t = t.n_demotions
+let speculative_execs t = t.n_spec_exec
+let rollbacks t = t.n_rollbacks
 let view_change_attempts t = t.vc_attempts
 let signer t = t.signer
 let session_key_for t peer = Hashtbl.find_opt t.keys_i_chose peer
@@ -130,6 +142,19 @@ let load_membership_from_pages t =
 let send_cost t bytes = Costmodel.send t.costs bytes
 let recv_cost t bytes = Costmodel.recv t.costs bytes
 let charge t cost k = Simnet.Cpu.execute t.cpu ~cost k
+
+(* Pipelined mode: prepared-but-uncommitted batches execute speculatively
+   and consecutive batches overlap across the agreement phases. *)
+let pipelined t = t.cfg.pipeline_depth > 1
+
+(* [n] independent pieces of [unit_cost] work. On one core this must be
+   the exact historical float expression (a single multiply), so pinned
+   trace digests are unchanged; on several cores the pieces are dispatched
+   as overlapping work items. *)
+let charge_fanout t ~n ~unit_cost k =
+  if Simnet.Cpu.cores t.cpu > 1 && n > 1 then
+    Simnet.Cpu.execute_split t.cpu ~costs:(List.init n (fun _ -> unit_cost)) k
+  else charge t (float_of_int n *. unit_cost) k
 
 (* ------------------------------------------------------------------ *)
 (* Authentication.                                                      *)
@@ -232,7 +257,11 @@ let multicast_replicas t ?(already_charged = false) payload =
         if peer <> t.id then send_wire t ~dst:peer ~already_charged ~label ~detail wire)
       (replica_addrs t)
   in
-  if already_charged then go () else charge t auth_cost go
+  if already_charged then go ()
+  else if Simnet.Cpu.cores t.cpu > 1 then
+    (* The n−1 MAC tags are independent work; fan them across cores. *)
+    Simnet.Cpu.execute_split t.cpu ~costs:(Costmodel.auth_gen_costs t.costs t.cfg) go
+  else charge t auth_cost go
 
 (* ------------------------------------------------------------------ *)
 (* Session keys.                                                        *)
@@ -313,7 +342,7 @@ and resolve_item t (item : Message.batch_item) =
 
 (* Execute one request within a batch. Returns the reply payload and the
    virtual cost of the execution itself. *)
-and execute_request t rq ~nondet ~tentative =
+and execute_request t rq ~nondet ~tentative ~speculative =
   let ts = Option.value ~default:(now t) (Nondet.timestamp nondet) in
   let result, cost =
     if String.length rq.Message.rq_op > 0 && rq.Message.rq_op.[0] = '\x01' then
@@ -328,10 +357,15 @@ and execute_request t rq ~nondet ~tentative =
   | None -> ());
   Log.cache_reply t.log rq.rq_client
     { cr_id = rq.rq_id; cr_result = result; cr_view = t.view; cr_tentative = tentative;
-      cr_timestamp = ts };
+      cr_timestamp = ts; cr_speculative = speculative };
   Hashtbl.remove t.in_flight (rq.rq_client, rq.rq_id);
-  Hashtbl.remove t.waiting (rq.rq_client, rq.rq_id);
-  (result, cost)
+  (* A speculative execution has not satisfied the client — its reply is
+     withheld until the commit certificate lands — so the request stays on
+     the view-change watchdog's ledger until then (advance_committed
+     clears it). Otherwise a primary that starves commits while feeding
+     prepares would never be voted out. *)
+  if not speculative then Hashtbl.remove t.waiting (rq.rq_client, rq.rq_id);
+  (result, cost, ts)
 
 (* System operations ordered through the normal request path (§3.1):
    "\x01J..." = join, "\x01L..." = leave. *)
@@ -411,17 +445,34 @@ and send_reply t rq ~result ~tentative ~already_charged =
            r_partial;
          })
 
-and take_checkpoint t =
-  Statemgr.Merkle.update t.merkle t.pages (Statemgr.Pages.dirty t.pages);
+and snapshot_state t =
+  (* In pipelined or multi-core mode the Merkle leaf rehash is charged as
+     per-page work occupying the cores; the serial protocol keeps its
+     historical zero-CPU checkpoints so pinned trace digests survive. *)
+  let dirty = Statemgr.Pages.dirty t.pages in
+  if (pipelined t || Simnet.Cpu.cores t.cpu > 1) && dirty <> [] then
+    Simnet.Cpu.execute_split t.cpu
+      ~costs:(List.map (fun _ -> t.costs.merkle_leaf) dirty)
+      (fun () -> ());
+  Statemgr.Merkle.update t.merkle t.pages dirty;
   Statemgr.Pages.clear_dirty t.pages;
-  let ck = Statemgr.Checkpoint.take ~seqno:t.last_executed t.pages t.merkle in
+  Statemgr.Checkpoint.take ~seqno:t.last_executed t.pages t.merkle
+
+and announce_checkpoint t ~seq ck =
   t.n_ckpt <- t.n_ckpt + 1;
-  Hashtbl.replace t.checkpoints t.last_executed ck;
+  Hashtbl.replace t.checkpoints seq ck;
   let root = Statemgr.Checkpoint.root ck in
-  record_ckpt_vote t ~seq:t.last_executed ~replica:t.id ~digest:root;
-  multicast_replicas t
-    (Message.Checkpoint_msg { ck_seq = t.last_executed; ck_digest = root; ck_replica = t.id });
-  check_ckpt_stable t t.last_executed
+  record_ckpt_vote t ~seq ~replica:t.id ~digest:root;
+  multicast_replicas t (Message.Checkpoint_msg { ck_seq = seq; ck_digest = root; ck_replica = t.id });
+  check_ckpt_stable t seq
+
+and take_checkpoint t = announce_checkpoint t ~seq:t.last_executed (snapshot_state t)
+
+(* Pipelined mode hits checkpoint boundaries while the boundary sequence
+   is still speculative: snapshot now (COW, near-free), announce only when
+   the commit certificate lands — a speculative root must never be voted. *)
+and take_pending_checkpoint t =
+  Hashtbl.replace t.pending_ckpts t.last_executed (snapshot_state t)
 
 and record_ckpt_vote t ~seq ~replica ~digest =
   let votes =
@@ -461,7 +512,10 @@ and check_ckpt_stable t seq =
           (Util.Sorted_tbl.keys t.checkpoints);
         List.iter
           (fun s -> if s < seq then Hashtbl.remove t.ckpt_votes s)
-          (Util.Sorted_tbl.keys t.ckpt_votes)
+          (Util.Sorted_tbl.keys t.ckpt_votes);
+        (* The high-water mark just moved: a primary that stalled its
+           pipeline against it can propose again. *)
+        if is_primary t then try_emit_pre_prepare t
       end;
       (* A replica that is behind this stable checkpoint — because it
          lagged or is stuck on a missing big-request body (§2.4) — now
@@ -530,11 +584,49 @@ and advance_committed t =
         if not e.executed then journal_commit t next e.batch_digest;
         e.executed <- true;
         t.last_committed_exec <- next;
+        (match e.batch with
+        | Some items ->
+          List.iter
+            (fun it -> Hashtbl.remove t.waiting (Message.batch_item_client_id it))
+            items
+        | None -> ());
+        flush_speculative t e;
+        (match Hashtbl.find_opt t.pending_ckpts next with
+        | Some ck ->
+          Hashtbl.remove t.pending_ckpts next;
+          announce_checkpoint t ~seq:next ck
+        | None -> ());
         progress := true
       | Some _ | None -> ()
     end
   done;
   if t.last_committed_exec >= t.last_executed then t.undo <- None
+
+(* The commit certificate landed for a speculatively executed batch:
+   release its buffered replies (now stable, tentative = false) and flip
+   the reply-cache entries so client retransmissions can be answered. *)
+and flush_speculative t (e : Log.entry) =
+  match e.pending_replies with
+  | [] -> ()
+  | pending ->
+    e.pending_replies <- [];
+    let total_cost = ref 0.0 in
+    let partial_cost = match t.threshold with Some _ -> t.costs.sign | None -> 0.0 in
+    List.iter
+      (fun ((rq : Message.request), result, ts) ->
+        Log.cache_reply t.log rq.rq_client
+          { cr_id = rq.rq_id; cr_result = result; cr_view = t.view; cr_tentative = false;
+            cr_timestamp = ts; cr_speculative = false };
+        total_cost :=
+          !total_cost +. partial_cost
+          +. Costmodel.auth_gen t.costs t.cfg
+          +. send_cost t (String.length result + 64))
+      pending;
+    charge t !total_cost (fun () ->
+        List.iter
+          (fun (rq, result, _) ->
+            send_reply t rq ~result ~tentative:false ~already_charged:true)
+          pending)
 
 (* Try to execute everything executable in sequence order. *)
 and try_execute t =
@@ -581,6 +673,7 @@ and try_execute t =
           else begin
             entry.missing_bodies <- [];
             let tentative = (not can_stable) && can_tentative in
+            let speculative = tentative && pipelined t in
             begin
               if tentative && t.undo = None then begin
                 (* Snapshot for rollback before speculative execution. *)
@@ -589,32 +682,46 @@ and try_execute t =
                 t.undo <- Some (Statemgr.Checkpoint.take ~seqno:t.last_committed_exec t.pages t.merkle)
               end;
               let total_cost = ref t.costs.log_bookkeeping in
+              if speculative then total_cost := !total_cost +. t.costs.spec_overhead;
               let replies = ref [] in
               List.iter
                 (fun (_, r) ->
                   match r with
                   | None -> ()
                   | Some rq ->
-                    let result, cost = execute_request t rq ~nondet:entry.nondet ~tentative in
+                    let result, cost, ts =
+                      execute_request t rq ~nondet:entry.nondet ~tentative ~speculative
+                    in
                     total_cost := !total_cost +. cost;
-                    if rq.Message.rq_client > 0 then replies := (rq, result) :: !replies)
+                    if rq.Message.rq_client > 0 then replies := (rq, result, ts) :: !replies)
                 resolved;
-              (* Reply I/O and authentication, charged as one block. *)
-              let partial_cost = match t.threshold with Some _ -> t.costs.sign | None -> 0.0 in
-              List.iter
-                (fun (_, result) ->
-                  total_cost :=
-                    !total_cost +. partial_cost
-                    +. Costmodel.auth_gen t.costs t.cfg
-                    +. send_cost t (String.length result + 64))
-                !replies;
-              let replies_now = List.rev !replies in
-              charge t !total_cost (fun () ->
-                  List.iter
-                    (fun (rq, result) ->
-                      send_reply t rq ~result ~tentative ~already_charged:true)
-                    replies_now);
-              if tentative then entry.tentatively_executed <- true
+              if speculative then begin
+                (* Replies are withheld until the commit certificate lands
+                   (flush_speculative); only the execution is charged now. *)
+                entry.pending_replies <- List.rev !replies;
+                charge t !total_cost (fun () -> ())
+              end
+              else begin
+                (* Reply I/O and authentication, charged as one block. *)
+                let partial_cost = match t.threshold with Some _ -> t.costs.sign | None -> 0.0 in
+                List.iter
+                  (fun (_, result, _) ->
+                    total_cost :=
+                      !total_cost +. partial_cost
+                      +. Costmodel.auth_gen t.costs t.cfg
+                      +. send_cost t (String.length result + 64))
+                  !replies;
+                let replies_now = List.rev !replies in
+                charge t !total_cost (fun () ->
+                    List.iter
+                      (fun (rq, result, _) ->
+                        send_reply t rq ~result ~tentative ~already_charged:true)
+                      replies_now)
+              end;
+              if tentative then begin
+                entry.tentatively_executed <- true;
+                t.n_spec_exec <- t.n_spec_exec + 1
+              end
               else begin
                 entry.executed <- true;
                 journal_commit t next entry.batch_digest;
@@ -624,7 +731,13 @@ and try_execute t =
               t.n_exec <- t.n_exec + List.length items;
               t.vc_attempts <- 0;
               if t.recovering && t.recovery_done = None then t.recovery_done <- Some (now t);
-              if t.last_executed mod t.cfg.checkpoint_interval = 0 then take_checkpoint t;
+              if t.last_executed mod t.cfg.checkpoint_interval = 0 then begin
+                (* A boundary whose state still contains uncommitted
+                   speculation must not be voted; snapshot and defer. *)
+                if pipelined t && t.last_committed_exec < t.last_executed then
+                  take_pending_checkpoint t
+                else take_checkpoint t
+              end;
               progress := true
             end
           end
@@ -656,7 +769,7 @@ and try_emit_pre_prepare t =
          this batch instead of riding a singleton agreement round. *)
       if
         (not t.pp_scheduled)
-        && t.seq_counter - t.last_executed < t.cfg.congestion_window
+        && t.seq_counter - t.last_executed < t.cfg.congestion_window * t.cfg.pipeline_depth
         && not (Queue.is_empty t.pending)
       then begin
         t.pp_scheduled <- true;
@@ -673,8 +786,19 @@ and emit_pre_prepares t =
     let continue = ref true in
     while !continue do
       continue := false;
+      (* The pipeline widens the agreement window: with depth k the
+         primary keeps k congestion windows of batches in flight across
+         the three phases instead of serializing on execution. *)
       let outstanding = t.seq_counter - t.last_executed in
-      if outstanding < t.cfg.congestion_window && not (Queue.is_empty t.pending) then begin
+      if
+        outstanding < t.cfg.congestion_window * t.cfg.pipeline_depth
+        (* Never propose past the high-water mark: backups drop such
+           pre-prepares outright (§2.4 log window), so a deep pipeline
+           whose checkpoint votes are still in flight must stall here
+           until the boundary stabilizes, not spray doomed proposals. *)
+        && t.seq_counter < Log.low_watermark t.log + t.cfg.log_window
+        && not (Queue.is_empty t.pending)
+      then begin
         let batch = ref [] in
         let bytes = ref 0 in
         let take_one () =
@@ -722,12 +846,23 @@ and emit_pre_prepares t =
         let payload =
           Message.Pre_prepare { pp_view = t.view; pp_seq = seq; pp_batch = items; pp_nondet = nondet }
         in
-        let digest_cost =
-          List.fold_left (fun acc it -> acc +. Costmodel.digest t.costs (match it with
-              | Message.Full rq -> String.length rq.rq_op
-              | Message.Digest_of _ -> 32)) 0.0 items
+        let digest_costs =
+          List.map
+            (fun it ->
+              Costmodel.digest t.costs
+                (match it with
+                | Message.Full rq -> String.length rq.rq_op
+                | Message.Digest_of _ -> 32))
+            items
         in
-        charge t digest_cost (fun () -> multicast_replicas t payload);
+        (if Simnet.Cpu.cores t.cpu > 1 then
+           (* Per-item digests are independent: fan them across cores. *)
+           Simnet.Cpu.execute_split t.cpu ~costs:digest_costs (fun () ->
+               multicast_replicas t payload)
+         else
+           charge t
+             (List.fold_left (fun acc c -> acc +. c) 0.0 digest_costs)
+             (fun () -> multicast_replicas t payload));
         continue := true
       end
     done
@@ -758,17 +893,36 @@ and handle_request t ~src rq =
     end;
     (* Retransmission of an executed request: resend the cached reply. *)
     (match Log.cached_reply t.log client with
-    | Some cr when cr.cr_id = rq.rq_id ->
+    | Some cr when cr.cr_id = rq.rq_id && not cr.cr_speculative ->
       send_reply t rq ~result:cr.cr_result ~tentative:cr.cr_tentative ~already_charged:false
-    | Some cr when cr.cr_id > rq.rq_id -> ()
+    | Some cr when cr.cr_id >= rq.rq_id ->
+      (* [cr_id = rq_id] but speculative: the execution has not committed;
+         saying nothing (rather than leaking the speculative result) keeps
+         the client retransmitting until the flush answers it. *)
+      ()
     | Some _ | None ->
       if rq.rq_readonly && t.cfg.read_only_optimization then begin
-        (* Read-only path: execute immediately against the current state. *)
-        let result, cost =
-          t.service.execute ~op:rq.rq_op ~client ~timestamp:(now t) ~nondet:"" ~readonly:true
-        in
-        charge t cost (fun () ->
-            send_reply t rq ~result ~tentative:true ~already_charged:false)
+        (* Read-only path: execute immediately against the current state.
+           Retransmissions must not re-execute the read — for expensive
+           reads that turns one slow reply into a storm of duplicate work.
+           A duplicate arriving while the first copy is still queued
+           behind the CPU is dropped (the pending reply will answer it);
+           one arriving after completion is answered from the per-client
+           read-only reply cache. *)
+        match Hashtbl.find_opt t.ro_replies client with
+        | Some (id, result) when id = rq.rq_id ->
+          send_reply t rq ~result ~tentative:true ~already_charged:false
+        | Some _ | None ->
+          if not (Hashtbl.mem t.in_flight (client, rq.rq_id)) then begin
+            Hashtbl.replace t.in_flight (client, rq.rq_id) 0;
+            let result, cost =
+              t.service.execute ~op:rq.rq_op ~client ~timestamp:(now t) ~nondet:"" ~readonly:true
+            in
+            charge t cost (fun () ->
+                Hashtbl.remove t.in_flight (client, rq.rq_id);
+                Hashtbl.replace t.ro_replies client (rq.rq_id, result);
+                send_reply t rq ~result ~tentative:true ~already_charged:false)
+          end
       end
       else if Hashtbl.mem t.in_flight (client, rq.rq_id) then begin
         (* Already being ordered. A retransmission means the client is not
@@ -826,6 +980,21 @@ and handle_pre_prepare t ~src (pp_view, pp_seq, pp_batch, pp_nondet) =
     else begin
       let entry = Log.entry t.log pp_seq in
       let digest = Message.batch_digest pp_batch in
+      (* A batch accepted in an older view but never prepared is
+         superseded by the new view's proposal for this sequence — the
+         new-view certificate proved nothing prepared here, and the stale
+         votes certified the old digest. A locally *prepared* entry is
+         never superseded: its certificate survives the view change
+         (quorum intersection), so a conflicting re-proposal can only come
+         from a Byzantine primary and must be refused. *)
+      if
+        entry.batch <> None && entry.pp_view < pp_view && (not entry.prepared)
+        && not (String.equal entry.batch_digest digest)
+      then begin
+        Log.reset_votes entry;
+        entry.batch <- None;
+        entry.batch_digest <- ""
+      end;
       let conflicting = entry.batch <> None && not (String.equal entry.batch_digest digest) in
       if not conflicting then begin
         (* In MAC mode the embedded client requests must be validated; a
@@ -861,10 +1030,8 @@ and handle_pre_prepare t ~src (pp_view, pp_seq, pp_batch, pp_nondet) =
             pp_batch;
           arm_watchdog t;
           maybe_fill_gap t ~src ~seen_seq:pp_seq;
-          let verify_cost =
-            float_of_int (List.length pp_batch) *. Costmodel.auth_verify t.costs t.cfg
-          in
-          charge t verify_cost (fun () ->
+          charge_fanout t ~n:(List.length pp_batch)
+            ~unit_cost:(Costmodel.auth_verify t.costs t.cfg) (fun () ->
               multicast_replicas t
                 (Message.Prepare
                    { p_view = pp_view; p_seq = pp_seq; p_digest = digest; p_replica = t.id }));
@@ -1019,18 +1186,42 @@ and handle_entry t ~src:_ (en_seq, en_view, en_batch, en_nondet) =
 (* View changes.                                                        *)
 
 and rollback_tentative t =
+  let undoing = t.last_executed > t.last_committed_exec in
   (match t.undo with
   | None -> ()
   | Some snap ->
+    let dirty_pages = List.length (Statemgr.Pages.dirty t.pages) in
     Statemgr.Merkle.update t.merkle t.pages (Statemgr.Pages.dirty t.pages);
     Statemgr.Checkpoint.restore snap t.pages t.merkle;
     load_membership_from_pages t;
-    t.undo <- None);
+    t.undo <- None;
+    if pipelined t then
+      (* Restoring the COW snapshot costs CPU in pipelined mode; serial
+         tentative rollback keeps its historical zero charge. *)
+      charge t
+        (t.costs.rollback_fixed
+        +. (t.costs.rollback_per_page *. float_of_int dirty_pages))
+        (fun () -> ()));
   (* Speculative executions above the committed prefix are undone: their
-     flags must clear too, or a re-proposal would skip re-execution. *)
+     flags must clear too, or a re-proposal would skip re-execution. Any
+     buffered replies and speculative reply-cache entries die with them —
+     the results they carry may never commit. *)
   List.iter
-    (fun (e : Log.entry) -> e.tentatively_executed <- false)
+    (fun (e : Log.entry) ->
+      e.tentatively_executed <- false;
+      List.iter
+        (fun ((rq : Message.request), _, _) ->
+          match Log.cached_reply t.log rq.rq_client with
+          | Some cr when cr.cr_id = rq.rq_id && cr.cr_speculative ->
+            Log.drop_client t.log rq.rq_client
+          | Some _ | None -> ())
+        e.pending_replies;
+      e.pending_replies <- [])
     (Log.entries_between t.log ~lo:t.last_committed_exec ~hi:(t.last_committed_exec + t.cfg.log_window));
+  (* Deferred checkpoint snapshots above the committed prefix are for
+     states that no longer exist. *)
+  Hashtbl.reset t.pending_ckpts;
+  if undoing then t.n_rollbacks <- t.n_rollbacks + 1;
   t.last_executed <- t.last_committed_exec
 
 and start_view_change t v =
@@ -1198,10 +1389,14 @@ and check_new_view t v =
             ~digest:(if String.equal d "" then None else Some d)
         | None -> ()
       end;
-      (* Install the re-proposed batches locally. *)
+      (* Install the re-proposed batches locally. The prepared predicate
+         is per-view (§2.2): agreement re-runs in the new view, so stale
+         votes — and a stale prepared/committed flag that would suppress
+         the fresh commit round — are discarded first. *)
       List.iter
         (fun (seq, batch) ->
           let entry = Log.entry t.log seq in
+          Log.reset_votes entry;
           entry.pp_view <- v;
           entry.batch <- Some batch;
           entry.nondet <- Nondet.produce ~now:(now t) t.rng;
@@ -1211,19 +1406,41 @@ and check_new_view t v =
       multicast_replicas t
         (Message.New_view
            { nv_view = v; nv_view_change_digests = vc_digests; nv_pre_prepares = reproposals });
-      try_emit_pre_prepare t
+      try_emit_pre_prepare t;
+      (* PBFT restarts the view-change timer when a view is installed: the
+         starved requests are already on the waiting ledger (so client
+         retransmissions will not re-arm), and if this view also fails to
+         commit them someone must escalate. *)
+      arm_watchdog t
     | Some _ | None -> ()
   end
 
 and handle_new_view t ~src (nv_view, nv_pre_prepares) =
   if src = primary_of_view ~n:t.cfg.n nv_view && nv_view >= t.view then begin
+    (* A replica that never timed out still holds speculative executions
+       from the old view; the new primary's re-proposals may order those
+       sequences differently (divergent commit). Roll back to the
+       committed prefix before installing, so re-proposals re-execute
+       against committed state. *)
+    if t.last_executed > t.last_committed_exec then rollback_tentative t;
     t.view <- nv_view;
     t.in_view_change <- false;
     t.vc_target <- nv_view;
     List.iter
       (fun (seq, batch) ->
-        if seq > t.last_executed then begin
+        (* Re-run agreement for every re-proposal above the stable
+           checkpoint — including sequences this replica already executed.
+           The new primary may be behind us (its checkpoint never went
+           stable), and it can only commit and catch up if the replicas
+           that did execute re-certify those sequences in the new view;
+           [try_execute] skips re-execution of anything at or below
+           [last_executed]. *)
+        if seq > t.stable_ckpt then begin
           let entry = Log.entry t.log seq in
+          (* Agreement is per-view: votes gathered in the old view (and a
+             stale prepared flag that would suppress the commit round
+             here) do not certify the re-proposal. *)
+          Log.reset_votes entry;
           entry.pp_view <- nv_view;
           entry.batch <- Some batch;
           entry.batch_digest <- Message.batch_digest batch;
@@ -1235,7 +1452,10 @@ and handle_new_view t ~src (nv_view, nv_pre_prepares) =
           check_prepared t entry
         end)
       nv_pre_prepares;
-    try_execute t
+    try_execute t;
+    (* Restart the view-change timer for requests still on the waiting
+       ledger — if the new view is also commit-starved, escalate. *)
+    arm_watchdog t
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1337,6 +1557,15 @@ and finish_transfer t tr =
   end;
   t.stable_ckpt <- Int.max t.stable_ckpt tr.tr_seq;
   Log.set_low_watermark t.log tr.tr_seq;
+  (* The transferred state already reflects every request ordered at or
+     below [tr_seq], but we never walked those batches — entries on the
+     waiting ledger that they satisfied would sit there forever with
+     their pre-transfer timestamps and fire the view-change watchdog on
+     every re-arm, even while the view is healthy. The ledger is
+     starvation bookkeeping, not protocol state: drop it wholesale; any
+     request that is genuinely still unserved is re-added with a fresh
+     timestamp by the client's next retransmission. *)
+  Hashtbl.reset t.waiting;
   (* Snapshot the transferred state as our own checkpoint so we can serve
      transfers and votes for it. *)
   Statemgr.Merkle.update t.merkle t.pages (Statemgr.Pages.dirty t.pages);
@@ -1533,7 +1762,7 @@ let create ~cfg ~costs ~engine ~net ~id ~signer ~registry ~service:service_spec 
       costs;
       engine;
       net;
-      cpu = Simnet.Cpu.create engine;
+      cpu = Simnet.Cpu.create ~cores:cfg.Config.cores engine;
       id;
       rng;
       signer;
@@ -1551,10 +1780,12 @@ let create ~cfg ~costs ~engine ~net ~id ~signer ~registry ~service:service_spec 
       bodies = Hashtbl.create 256;
       pending = Queue.create ();
       in_flight = Hashtbl.create 64;
+      ro_replies = Hashtbl.create 64;
       waiting = Hashtbl.create 64;
       body_requests = Hashtbl.create 16;
       entry_requests = Hashtbl.create 16;
       checkpoints = Hashtbl.create 8;
+      pending_ckpts = Hashtbl.create 4;
       ckpt_votes = Hashtbl.create 8;
       vc_msgs = Hashtbl.create 4;
       view = 0;
@@ -1582,6 +1813,8 @@ let create ~cfg ~costs ~engine ~net ~id ~signer ~registry ~service:service_spec 
       n_undo = 0;
       vc_attempts = 0;
       n_demotions = 0;
+      n_spec_exec = 0;
+      n_rollbacks = 0;
       record_journal = false;
       exec_journal = [];
     }

@@ -73,6 +73,16 @@ val demotions : t -> int
     pathology: a lagging replica is effectively out of the group until
     the next checkpoint). *)
 
+val speculative_execs : t -> int
+(** Batches executed before their commit certificate landed: tentative
+    executions in serial mode, pipelined speculation when
+    [Config.pipeline_depth > 1]. *)
+
+val rollbacks : t -> int
+(** Rollbacks that actually undid speculative executions (a view change
+    or new-view installation struck while [last_executed] was ahead of
+    the committed prefix). *)
+
 val view_change_attempts : t -> int
 (** Consecutive view changes started without execution progress — the
     exponent of the current view-change timeout backoff; 0 after any

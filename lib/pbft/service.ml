@@ -19,7 +19,10 @@ type t = {
   page_size : int;
   app_pages : int;
   make : Statemgr.Pages.t -> first_page:int -> instance;
+  classify_readonly : string -> bool;
 }
+
+let never_readonly (_ : string) = false
 
 (* Joins are authorized when the identification buffer parses as
    "user:password" with a non-empty user; the identity is the user. Real
@@ -42,6 +45,7 @@ let null ?(reply_size = 1024) () =
           authorize_join = default_authorize;
           on_session_end = no_session_end;
         });
+    classify_readonly = never_readonly;
   }
 
 let counter () =
@@ -75,6 +79,7 @@ let counter () =
           authorize_join = default_authorize;
           on_session_end = no_session_end;
         });
+    classify_readonly = never_readonly;
   }
 
 (* The KV table lives in the region as a sorted association list rendered
@@ -156,6 +161,7 @@ let kv_store () =
           authorize_join = default_authorize;
           on_session_end = no_session_end;
         });
+    classify_readonly = never_readonly;
   }
 
 (* A per-session private KV: the §3.3.2 subsystem in action. *)
@@ -190,4 +196,5 @@ let session_kv () =
           authorize_join = default_authorize;
           on_session_end = (fun client -> Session_state.end_session store ~client);
         });
+    classify_readonly = never_readonly;
   }

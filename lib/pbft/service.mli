@@ -41,7 +41,18 @@ type t = {
   make : Statemgr.Pages.t -> first_page:int -> instance;
       (** bind an instance to the region; the service owns pages
           [first_page ..  first_page + app_pages - 1] *)
+  classify_readonly : string -> bool;
+      (** service-level proof that an operation cannot modify state (and
+          contains no non-deterministic functions), so callers — the
+          harness, gateways — may send it with [rq_readonly = true] and
+          ride the read-only fast path without opting in per call. Must
+          be sound: a misclassified write would execute unordered at
+          every replica. [never_readonly] is the safe default. *)
 }
+
+val never_readonly : string -> bool
+(** Classifier that opts nothing in — the default for services without a
+    statically analyzable operation language. *)
 
 val null : ?reply_size:int -> unit -> t
 (** The benchmarking service of §4.1: does nothing, replies with

@@ -18,6 +18,39 @@ let point_select_sql ~key = Printf.sprintf "SELECT COUNT(*), SUM(id) FROM lookup
 let range_select_sql ~lo ~hi =
   Printf.sprintf "SELECT COUNT(*) FROM lookup WHERE k >= %d AND k < %d" lo hi
 
+(* Planner-proven read-only classification: a statement batch may ride
+   the PBFT read-only fast path iff every statement is a SELECT and no
+   expression calls a non-deterministic function. NOW()/RANDOM() must be
+   excluded even inside SELECTs — on the fast path each replica evaluates
+   against its *local* clock and an empty nondet seed, so their results
+   would diverge and the client could never collect matching replies. *)
+let rec expr_deterministic (e : Ast.expr) =
+  match e with
+  | Ast.Lit _ | Ast.Col _ | Ast.Star -> true
+  | Ast.Binop (_, a, b) | Ast.Like (a, b) -> expr_deterministic a && expr_deterministic b
+  | Ast.Unop (_, a) | Ast.Is_null (a, _) -> expr_deterministic a
+  | Ast.Call (fn, args) ->
+    (match String.uppercase_ascii fn with "RANDOM" | "NOW" -> false | _ -> true)
+    && List.for_all expr_deterministic args
+
+let select_deterministic (s : Ast.select) =
+  List.for_all (fun (e, _) -> expr_deterministic e) s.Ast.sel_exprs
+  && (match s.Ast.sel_where with None -> true | Some e -> expr_deterministic e)
+  && List.for_all expr_deterministic s.Ast.sel_group
+  && List.for_all (fun (o : Ast.order_item) -> expr_deterministic o.Ast.ord_expr) s.Ast.sel_order
+
+let is_readonly_sql sql =
+  match Parser.parse sql with
+  | [] -> false
+  | stmts ->
+    List.for_all
+      (function Ast.Select s -> select_deterministic s | _ -> false)
+      stmts
+  | exception (Parser.Error _ | Lexer.Error _) ->
+    (* Unparseable text will produce an error reply either way; ordering
+       it keeps the error deterministic and identical across replicas. *)
+    false
+
 (* A VFS whose main file is a window onto the replica's PBFT state region:
    reads go straight to the pages, writes notify the state manager first
    (the §3.2 contract), and the commit-time sync is charged as disk cost
@@ -120,4 +153,5 @@ let service ?(acid = true) ?(app_pages = 128) ?(sync_latency = 0.4e-3) ?(schema 
               | Some _ | None -> None);
           on_session_end = (fun _ -> ());
         });
+    classify_readonly = is_readonly_sql;
   }

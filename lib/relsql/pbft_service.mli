@@ -18,6 +18,15 @@
     The service's operations are SQL strings; replies are rendered result
     sets or error text. *)
 
+val is_readonly_sql : string -> bool
+(** Planner-proven read-only classification: true iff the text parses and
+    every statement is a SELECT whose expressions are free of the
+    non-deterministic functions NOW() and RANDOM(). Such a batch is safe
+    on the PBFT read-only fast path (each replica executes it against its
+    current state without ordering); anything else — DML, DDL,
+    transactions, non-determinism, parse errors — must be ordered. The
+    built service installs this as its [classify_readonly]. *)
+
 val service :
   ?acid:bool ->
   ?app_pages:int ->

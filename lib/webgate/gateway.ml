@@ -182,6 +182,9 @@ module Browser = struct
     baddr : int;
     signer : Crypto.Keychain.signer;
     registry : Pbft.Replica.registry;
+    classify : string -> bool;
+        (** service-proven read-only classifier: ops it accepts ride the
+            read-only fast path without the caller opting in *)
     mutable cid : client_id option;
     mutable next_id : int;
     mutable out : outstanding option;
@@ -323,6 +326,7 @@ module Browser = struct
   let invoke t ?(readonly = false) op callback =
     (match t.out with Some _ -> failwith "Browser.invoke: request outstanding" | None -> ());
     let cid = match t.cid with Some c -> c | None -> failwith "Browser.invoke: not joined" in
+    let readonly = readonly || t.classify op in
     t.next_id <- t.next_id + 1;
     let rq =
       {
@@ -455,7 +459,8 @@ module Browser = struct
       end
     end
 
-  let create ~cfg ~costs ~engine ~net ~addr ~signer ~registry ?client_id () =
+  let create ~cfg ~costs ~engine ~net ~addr ~signer ~registry ?client_id
+      ?(classify_readonly = Pbft.Service.never_readonly) () =
     let t =
       {
         cfg;
@@ -467,6 +472,7 @@ module Browser = struct
         baddr = addr;
         signer;
         registry;
+        classify = classify_readonly;
         cid = client_id;
         next_id = 0;
         out = None;

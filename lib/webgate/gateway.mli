@@ -59,13 +59,21 @@ module Browser : sig
     signer:Crypto.Keychain.signer ->
     registry:Pbft.Replica.registry ->
     ?client_id:client_id ->
+    ?classify_readonly:(string -> bool) ->
     unit ->
     t
+  (** [classify_readonly] (default {!Pbft.Service.never_readonly}) is the
+      service's proof that an operation is read-only — e.g.
+      [Relsql.Pbft_service.is_readonly_sql] for the SQL service — letting
+      browser SELECTs ride the read-only fast path automatically. *)
 
   val join : t -> idbuf:string -> (client_id option -> unit) -> unit
   (** The §3.1 two-phase join, carried over JSON frames. *)
 
   val invoke : t -> ?readonly:bool -> string -> (string -> unit) -> unit
+  (** Ops accepted by [classify_readonly] are sent read-only even when
+      the caller does not pass [~readonly:true]. *)
+
   val client_id : t -> client_id option
   val completed : t -> int
   val shutdown : t -> unit

@@ -242,7 +242,8 @@ let test_log_watermark_gc () =
 let test_log_reply_cache () =
   let log = Log.create () in
   Log.cache_reply log 7
-    { Log.cr_id = 3; cr_result = "r"; cr_view = 0; cr_tentative = false; cr_timestamp = 1.0 };
+    { Log.cr_id = 3; cr_result = "r"; cr_view = 0; cr_tentative = false; cr_timestamp = 1.0;
+      cr_speculative = false };
   (match Log.cached_reply log 7 with
   | Some cr -> Alcotest.(check int) "id" 3 cr.Log.cr_id
   | None -> Alcotest.fail "missing");

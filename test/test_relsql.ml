@@ -794,6 +794,43 @@ let prop_planner_matches_scan =
           | _ -> false)
         stmts)
 
+(* The read-only classifier must be sound (never pass a write or a
+   non-deterministic expression: a misclassified op would execute
+   unordered at every replica and diverge) and useful (pass the plain
+   SELECTs the read-mix workloads actually issue). *)
+let test_is_readonly_sql () =
+  let ro = Relsql.Pbft_service.is_readonly_sql in
+  List.iter
+    (fun sql -> Alcotest.(check bool) ("read-only: " ^ sql) true (ro sql))
+    [
+      "SELECT COUNT(*), SUM(id) FROM lookup WHERE k = 3";
+      "SELECT * FROM votes";
+      "SELECT voter FROM votes WHERE choice = 'alice' ORDER BY voter LIMIT 5";
+      "SELECT k, COUNT(*) FROM lookup GROUP BY k";
+      "SELECT UPPER(voter) FROM votes";
+      (* batches are fine as long as every statement is a pure SELECT *)
+      "SELECT 1; SELECT 2";
+    ];
+  List.iter
+    (fun sql -> Alcotest.(check bool) ("ordered: " ^ sql) false (ro sql))
+    [
+      "INSERT INTO lookup (id, k, pad) VALUES (1, 2, 'w')";
+      "UPDATE votes SET choice = 'bob'";
+      "DELETE FROM votes WHERE id = 1";
+      "CREATE TABLE t (id INTEGER PRIMARY KEY)";
+      "BEGIN";
+      (* non-deterministic expressions diverge on the fast path *)
+      "SELECT RANDOM()";
+      "SELECT NOW()";
+      "SELECT * FROM votes WHERE ts < NOW()";
+      "SELECT id FROM votes ORDER BY RANDOM()";
+      (* a write hiding behind a batch of reads *)
+      "SELECT 1; DELETE FROM votes";
+      (* unparseable text orders, so the error reply is deterministic *)
+      "SELEC whoops";
+      "";
+    ]
+
 let () =
   Alcotest.run "relsql"
     [
@@ -865,6 +902,8 @@ let () =
           Alcotest.test_case "negative rowid order" `Quick test_index_scan_negative_rowid_order;
           qcheck prop_planner_matches_scan;
         ] );
+      ( "classifier",
+        [ Alcotest.test_case "planner-proven read-only SQL" `Quick test_is_readonly_sql ] );
       ( "transactions",
         [
           Alcotest.test_case "commit & rollback" `Quick test_txn_commit_rollback;

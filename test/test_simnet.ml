@@ -90,6 +90,60 @@ let test_cpu_idle_gap () =
   Simnet.Engine.run e;
   Alcotest.(check (float 1e-9)) "starts when scheduled" 2.5 !t_done
 
+(* Multi-core dispatch: earliest-free core, lowest index on ties — the
+   deterministic generalization of the single-core FIFO. *)
+let test_cpu_multicore_overlap () =
+  let e = Simnet.Engine.create ~seed:1 in
+  let cpu = Simnet.Cpu.create ~cores:2 e in
+  let t = Hashtbl.create 4 in
+  let item name cost = Simnet.Cpu.execute cpu ~cost (fun () -> Hashtbl.replace t name (Simnet.Engine.now e)) in
+  item "a" 1.0;
+  item "b" 1.0;
+  item "c" 0.5;
+  Simnet.Engine.run e;
+  (* a and b run concurrently on cores 0 and 1; c waits for the earliest
+     free core and finishes at 1.5 — not 2.5 as a single core would. *)
+  Alcotest.(check (float 1e-9)) "a overlaps" 1.0 (Hashtbl.find t "a");
+  Alcotest.(check (float 1e-9)) "b overlaps" 1.0 (Hashtbl.find t "b");
+  Alcotest.(check (float 1e-9)) "c queued behind earliest-free" 1.5 (Hashtbl.find t "c");
+  Alcotest.(check (float 1e-9)) "busy sums over cores" 2.5 (Simnet.Cpu.total_busy cpu);
+  Alcotest.(check (float 1e-9)) "utilization = busy / (elapsed x cores)"
+    (2.5 /. (1.5 *. 2.0))
+    (Simnet.Cpu.utilization cpu ~since:0.0)
+
+let test_cpu_split_serial_vs_parallel () =
+  let run cores =
+    let e = Simnet.Engine.create ~seed:1 in
+    let cpu = Simnet.Cpu.create ~cores e in
+    let t_done = ref 0.0 in
+    Simnet.Cpu.execute_split cpu ~costs:[ 0.5; 0.5; 0.5; 0.5 ] (fun () ->
+        t_done := Simnet.Engine.now e);
+    Simnet.Engine.run e;
+    !t_done
+  in
+  (* The same split work is the serial sum on one core and fully
+     overlapped on four. *)
+  Alcotest.(check (float 1e-9)) "1 core = serial sum" 2.0 (run 1);
+  Alcotest.(check (float 1e-9)) "4 cores overlap" 0.5 (run 4);
+  Alcotest.(check (float 1e-9)) "2 cores: two rounds" 1.0 (run 2)
+
+let test_cpu_multicore_deterministic () =
+  let once () =
+    let e = Simnet.Engine.create ~seed:7 in
+    let cpu = Simnet.Cpu.create ~cores:3 e in
+    let log = ref [] in
+    List.iteri
+      (fun i cost ->
+        Simnet.Cpu.execute cpu ~cost (fun () -> log := (i, Simnet.Engine.now e) :: !log))
+      [ 0.3; 0.1; 0.4; 0.1; 0.5; 0.9; 0.2; 0.6 ];
+    Simnet.Engine.run e;
+    List.rev !log
+  in
+  Alcotest.(check (list (pair int (float 1e-12)))) "same schedule twice" (once ()) (once ());
+  Alcotest.check_raises "cores must be positive"
+    (Invalid_argument "Cpu.create: cores must be at least 1")
+    (fun () -> ignore (Simnet.Cpu.create ~cores:0 (Simnet.Engine.create ~seed:1)))
+
 (* --- net --- *)
 
 let quiet_profile =
@@ -376,6 +430,11 @@ let () =
         [
           Alcotest.test_case "fifo & busy accounting" `Quick test_cpu_fifo_and_busy;
           Alcotest.test_case "idle gap" `Quick test_cpu_idle_gap;
+          Alcotest.test_case "multi-core overlap & utilization" `Quick test_cpu_multicore_overlap;
+          Alcotest.test_case "split work: serial vs parallel" `Quick
+            test_cpu_split_serial_vs_parallel;
+          Alcotest.test_case "multi-core determinism & validation" `Quick
+            test_cpu_multicore_deterministic;
         ] );
       ( "net",
         [

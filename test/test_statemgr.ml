@@ -304,6 +304,46 @@ let pages_vfs pages =
    through the real SQL pager), then roll back and check that the pages,
    the Merkle root, and the pager's view of the database (via refresh)
    all agree with the pre-speculation state. *)
+(* The PR 6 speculation invariant, as a property: executing a speculative
+   suffix against a COW undo snapshot, rolling it back, and re-executing
+   whatever order actually committed must leave the region with a Merkle
+   root identical to a replica that only ever executed the committed
+   order serially. Random write batches stand in for request execution —
+   the state layer cannot tell the difference. *)
+let prop_speculate_rollback_reexecute =
+  let num_pages = 8 and page_size = 128 in
+  let apply pages tree batch =
+    List.iter
+      (fun (page, off, byte) ->
+        let pos = ((page mod num_pages) * page_size) + (off mod page_size) in
+        let s = String.make 1 (Char.chr (byte mod 256)) in
+        Statemgr.Pages.notify_modify pages ~pos ~len:1;
+        Statemgr.Pages.write pages ~pos s)
+      batch;
+    Statemgr.Merkle.update tree pages (Statemgr.Pages.dirty pages);
+    Statemgr.Pages.clear_dirty pages
+  in
+  let batch_gen = QCheck.(small_list (triple small_nat small_nat small_nat)) in
+  QCheck.Test.make ~name:"speculate -> rollback -> re-execute = serial execution" ~count:200
+    QCheck.(triple batch_gen (small_list batch_gen) (small_list batch_gen))
+    (fun (prefix, speculated, committed) ->
+      (* Pipelined replica: prefix, snapshot, speculate, roll back,
+         execute the committed batches. *)
+      let pages = Statemgr.Pages.create ~page_size ~num_pages () in
+      let tree = Statemgr.Merkle.build pages in
+      apply pages tree prefix;
+      let undo = Statemgr.Checkpoint.take ~seqno:1 pages tree in
+      List.iter (apply pages tree) speculated;
+      Statemgr.Checkpoint.restore undo pages tree;
+      Statemgr.Pages.clear_dirty pages;
+      List.iter (apply pages tree) committed;
+      (* Serial replica: the committed order only, no speculation. *)
+      let pages' = Statemgr.Pages.create ~page_size ~num_pages () in
+      let tree' = Statemgr.Merkle.build pages' in
+      apply pages' tree' prefix;
+      List.iter (apply pages' tree') committed;
+      String.equal (Statemgr.Merkle.root tree) (Statemgr.Merkle.root tree'))
+
 let test_tentative_undo_cow () =
   let pages = Statemgr.Pages.create ~page_size:4096 ~num_pages:32 () in
   let pager = Relsql.Pager.open_pager (pages_vfs pages) in
@@ -383,5 +423,6 @@ let () =
             test_root_of_leaves_matches_tree;
           Alcotest.test_case "tentative-execution undo via COW (§2.2)" `Quick
             test_tentative_undo_cow;
+          qcheck prop_speculate_rollback_reexecute;
         ] );
     ]

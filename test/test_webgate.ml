@@ -80,7 +80,7 @@ let prop_json_pretty_roundtrip =
 
 (* --- browser through bridges --- *)
 
-let web_cluster cfg =
+let web_cluster ?classify_readonly cfg =
   let cluster = Pbft.Cluster.create ~seed:21 ~num_clients:1 ~service:(Pbft.Service.counter ()) cfg in
   Simnet.Trace.set_enabled (Pbft.Cluster.trace cluster) false;
   let engine = Pbft.Cluster.engine cluster in
@@ -92,6 +92,7 @@ let web_cluster cfg =
   let rng = Util.Rng.create 99 in
   let browser =
     Webgate.Gateway.Browser.create ~cfg ~costs:Pbft.Costmodel.default ~engine ~net ~addr:7777
+      ?classify_readonly
       ~signer:(Crypto.Keychain.make Crypto.Keychain.Simulated rng ~id:7777)
       ~registry:
         (* The browser library does not verify replica messages beyond
@@ -131,6 +132,26 @@ let test_browser_readonly () =
   Pbft.Cluster.run cluster ~seconds:15.0;
   Alcotest.(check string) "read-only over JSON" "1" !got
 
+let test_browser_classified_readonly () =
+  let cfg = { (Pbft.Config.default ~f:1) with Pbft.Config.dynamic_clients = true } in
+  (* The counter service's "get" is read-only; teach the browser to prove
+     it so the caller does not have to pass ~readonly:true. *)
+  let cluster, _bridges, browser = web_cluster ~classify_readonly:(String.equal "get") cfg in
+  let got = ref "" in
+  let ordered_after_incr = ref [||] in
+  Webgate.Gateway.Browser.join browser ~idbuf:"webuser:pw" (fun _ ->
+      Webgate.Gateway.Browser.invoke browser "incr" (fun _ ->
+          ordered_after_incr :=
+            Array.map Pbft.Replica.executed_requests (Pbft.Cluster.replicas cluster);
+          Webgate.Gateway.Browser.invoke browser "get" (fun r -> got := r)));
+  Pbft.Cluster.run cluster ~seconds:15.0;
+  Alcotest.(check string) "classified read over JSON" "1" !got;
+  (* The classified "get" must ride the fast path: no replica ordered and
+     executed it as a normal request. *)
+  let ordered_now = Array.map Pbft.Replica.executed_requests (Pbft.Cluster.replicas cluster) in
+  Alcotest.(check (array int)) "no ordered execution for the classified read"
+    !ordered_after_incr ordered_now
+
 let test_bridge_rejects_garbage () =
   let cfg = { (Pbft.Config.default ~f:1) with Pbft.Config.dynamic_clients = true } in
   let cluster, bridges, _browser = web_cluster cfg in
@@ -157,6 +178,8 @@ let () =
         [
           Alcotest.test_case "join + invoke over JSON (§3.3.3)" `Slow test_browser_join_and_invoke;
           Alcotest.test_case "read-only over JSON" `Slow test_browser_readonly;
+          Alcotest.test_case "classifier routes reads to fast path" `Slow
+            test_browser_classified_readonly;
           Alcotest.test_case "bridge rejects garbage" `Quick test_bridge_rejects_garbage;
         ] );
     ]

@@ -4,9 +4,10 @@
    virtual cost model.
 
    Usage:  dune exec bench/main.exe [-- section ... [--quick]]
-   Sections: micro bench digest sqlidx pipeline faults table1 figure1
-             figure2 figure3 figure4 figure5 acid recovery packet-loss
-             nondet wan sizes loss ablation pipesweep all (default)
+   Sections: micro bench digest sqlidx pipeline faults openloop table1
+             figure1 figure2 figure3 figure4 figure5 acid recovery
+             packet-loss nondet wan sizes loss ablation pipesweep all
+             (default)
    [sqlidx] compares the indexed point/range SELECT workloads against the
    forced-scan baseline and exits non-zero unless the indexed point
    stream clears 5x the baseline's virtual TPS.
@@ -151,7 +152,38 @@ let run_hostbench () =
   print_m pipe_deep;
   let read_mix = Harness.Hostbench.sql_read_mix ~seed:!seed ~duration:dur () in
   print_m read_mix;
-  let all = table1 @ [ sql; ckpt; idx_point; idx_range; forced; pipe_serial; pipe_deep; read_mix ] in
+  (* Representative open-loop front-door rows: steady Poisson load near
+     the closed-loop ceiling, and a bursty square wave that exercises the
+     deadline flush and queue growth. *)
+  let ol_base = Harness.Openloop.default_spec (Pbft.Config.default ~f:1) in
+  let ol_poisson =
+    Harness.Hostbench.measure_openloop ~name:"openloop:poisson12k"
+      {
+        ol_base with
+        Harness.Openloop.seed = !seed;
+        duration = dur;
+        arrival = Harness.Openloop.Poisson 12_000.0;
+      }
+  in
+  print_m ol_poisson;
+  let ol_bursty =
+    Harness.Hostbench.measure_openloop ~name:"openloop:bursty"
+      {
+        ol_base with
+        Harness.Openloop.seed = !seed;
+        duration = dur;
+        arrival =
+          Harness.Openloop.Bursty { base = 2_000.0; burst = 24_000.0; period = 0.2; duty = 0.25 };
+      }
+  in
+  print_m ol_bursty;
+  let all =
+    table1
+    @ [
+        sql; ckpt; idx_point; idx_range; forced; pipe_serial; pipe_deep; read_mix; ol_poisson;
+        ol_bursty;
+      ]
+  in
   let json = Harness.Hostbench.to_json ~now:(iso8601 ()) all in
   let oc = open_out "BENCH.json" in
   output_string oc json;
@@ -215,14 +247,18 @@ let run_faults () =
       (* Re-run the first failing scenario with the trace enabled so the
          dump actually contains the messages that led to the failure. *)
       let _, cluster =
-        match
+        let name = worst.Harness.Faults.fr_behavior in
+        let find pool pfx =
           List.find_opt
-            (fun b ->
-              String.equal (Pbft.Adversary.behavior_name b) worst.Harness.Faults.fr_behavior)
-            Harness.Faults.behaviors
+            (fun b -> String.equal (pfx ^ Pbft.Adversary.behavior_name b) name)
+            pool
+        in
+        match (find Harness.Faults.behaviors "", find Harness.Faults.gateway_behaviors "gateway-")
         with
-        | Some behavior -> Harness.Faults.run_behavior ~seed:!seed ~trace:true ~speculative behavior
-        | None -> Harness.Faults.run_vc_mid_speculation ~seed:!seed ~trace:true ()
+        | Some behavior, _ ->
+          Harness.Faults.run_behavior ~seed:!seed ~trace:true ~speculative behavior
+        | None, Some behavior -> Harness.Faults.run_gateway_behavior ~seed:!seed ~trace:true behavior
+        | None, None -> Harness.Faults.run_vc_mid_speculation ~seed:!seed ~trace:true ()
       in
       let oc = open_out "faults-trace.txt" in
       output_string oc
@@ -269,6 +305,95 @@ let run_pipeline () =
     exit 1
   end
 
+(* Open-loop overload sweep with the PR 7 acceptance gates: arrival rate
+   x gateway flush size over 10k sessions through the front door. The
+   saturated (peak) open-loop vTPS must clear the closed-loop Table-1
+   default row, p99 latency at 80% of the saturating rate must stay
+   bounded, and the per-request event/allocation budgets must hold — the
+   O(1) hot-path refactors are what keep them flat as sessions scale. *)
+let run_openloop () =
+  banner "Open-loop overload — arrival rate x gateway batch size";
+  let dur = if !quick then 0.3 else 1.0 in
+  let spec_at ~rate ~flush_bytes =
+    let base = Harness.Openloop.default_spec (Pbft.Config.default ~f:1) in
+    {
+      base with
+      Harness.Openloop.seed = !seed;
+      duration = dur;
+      arrival = Harness.Openloop.Poisson rate;
+      gateway = { base.Harness.Openloop.gateway with Webgate.Frontdoor.flush_bytes };
+    }
+  in
+  let show (m : Harness.Hostbench.measurement) =
+    Printf.printf
+      "  %-28s offered %8.0f/s  vTPS %8.1f  p50 %6.1fms  p99 %7.1fms  shed %6d  gw-peak %5d\n%!"
+      m.name m.offered_load m.virtual_tps (m.p50_latency *. 1e3) (m.p99_latency *. 1e3) m.shed
+      m.gw_queue_peak
+  in
+  let rates = [ 2_000.0; 8_000.0; 16_000.0; 32_000.0 ] in
+  let flushes = [ 4 * 1024; 16 * 1024 ] in
+  let sweep =
+    List.concat_map
+      (fun flush_bytes ->
+        List.map
+          (fun rate ->
+            let name = Printf.sprintf "openloop:r%.0f_f%dk" rate (flush_bytes / 1024) in
+            let m = Harness.Hostbench.measure_openloop ~name (spec_at ~rate ~flush_bytes) in
+            show m;
+            (rate, flush_bytes, m))
+          rates)
+      flushes
+  in
+  let sat_rate, sat_flush, sat =
+    match sweep with
+    | [] -> assert false
+    | first :: rest ->
+      List.fold_left
+        (fun ((_, _, (b : Harness.Hostbench.measurement)) as acc)
+             ((_, _, (m : Harness.Hostbench.measurement)) as cand) ->
+          if m.virtual_tps > b.virtual_tps then cand else acc)
+        first rest
+  in
+  let closed = Harness.Hostbench.table1_default ~seed:!seed ~duration:dur () in
+  Printf.printf "  saturated open-loop vTPS %.1f (rate %.0f/s, flush %dB); closed-loop Table-1 %.1f\n%!"
+    sat.Harness.Hostbench.virtual_tps sat_rate sat_flush closed.Harness.Hostbench.virtual_tps;
+  (* 80%-of-saturation run: the latency knee should not have been crossed,
+     so the tail must stay bounded and the per-request budgets flat. *)
+  let backoff =
+    Harness.Hostbench.measure_openloop ~name:"openloop:backoff80"
+      (spec_at ~rate:(0.8 *. sat_rate) ~flush_bytes:sat_flush)
+  in
+  show backoff;
+  Printf.printf "  backoff80: events/req %.1f  alloc/req %.0fB  sessions %d  evictions %d\n%!"
+    backoff.Harness.Hostbench.events_per_request backoff.Harness.Hostbench.alloc_per_request
+    backoff.Harness.Hostbench.sessions backoff.Harness.Hostbench.gw_evictions;
+  let p99_bound = 0.25 in
+  let events_budget = 200.0 in
+  let alloc_budget = 2_000_000.0 in
+  let failures = ref [] in
+  let gate cond msg = if not cond then failures := msg :: !failures in
+  gate
+    (sat.Harness.Hostbench.virtual_tps >= closed.Harness.Hostbench.virtual_tps)
+    (Printf.sprintf "saturated open-loop vTPS %.1f < closed-loop Table-1 default %.1f"
+       sat.Harness.Hostbench.virtual_tps closed.Harness.Hostbench.virtual_tps);
+  gate
+    (backoff.Harness.Hostbench.p99_latency <= p99_bound)
+    (Printf.sprintf "p99 at 80%% of saturation %.3fs > %.3fs bound"
+       backoff.Harness.Hostbench.p99_latency p99_bound);
+  gate
+    (backoff.Harness.Hostbench.events_per_request <= events_budget)
+    (Printf.sprintf "events/request %.1f > %.1f budget"
+       backoff.Harness.Hostbench.events_per_request events_budget);
+  gate
+    (backoff.Harness.Hostbench.alloc_per_request <= alloc_budget)
+    (Printf.sprintf "alloc/request %.0fB > %.0fB budget"
+       backoff.Harness.Hostbench.alloc_per_request alloc_budget);
+  match !failures with
+  | [] -> Printf.printf "  openloop gates: PASS\n%!"
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "FAIL: %s\n" f) fs;
+    exit 1
+
 let sections : (string * (unit -> unit)) list =
   [
     ("micro", run_micro);
@@ -277,6 +402,7 @@ let sections : (string * (unit -> unit)) list =
     ("sqlidx", run_sqlidx);
     ("pipeline", run_pipeline);
     ("faults", run_faults);
+    ("openloop", run_openloop);
     ( "figure1",
       fun () ->
         banner "Figure 1 — normal-case operation";

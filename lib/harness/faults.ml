@@ -287,9 +287,104 @@ let run_vc_mid_speculation ?(seed = 11) ?(trace = false) () =
   in
   (report, cluster)
 
+(* Gateway-fronted variants: the same faulty primary, but the load now
+   arrives open-loop through the front door — sessions multiplexed over
+   a handful of upstream connections, coalesced batches, admission
+   control live. The point under test: a mute or equivocating primary
+   behind a loaded gateway is still voted out, the door keeps shedding
+   rather than wedging while agreement stalls, and progress resumes
+   through the same door afterwards. *)
+let gateway_behaviors = [ Adversary.Mute; Adversary.Equivocate ]
+
+let run_gateway_behavior ?(seed = 11) ?(trace = false) behavior =
+  let cfg = base_cfg behavior in
+  (* Enough connections and offered load that the primary's pre-prepare
+     batches regularly hold several coalesced requests — the equivocation
+     rewrite needs a batch it can reorder. *)
+  let cluster =
+    Cluster.create ~seed ~num_clients:8
+      ~service:(Webgate.Frontdoor.wrap_service (Service.null ()))
+      cfg
+  in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) trace;
+  Array.iter (fun r -> Replica.set_record_journal r true) (Cluster.replicas cluster);
+  let engine = Cluster.engine cluster in
+  let net = Cluster.net cluster in
+  let gw_cfg =
+    {
+      Webgate.Frontdoor.connections = 8;
+      flush_bytes = 2 * 1024;
+      flush_deadline = 0.002;
+      max_queue = 4096;
+      max_sessions = 512;
+    }
+  in
+  let door =
+    Webgate.Frontdoor.create ~cfg:gw_cfg ~engine ~net ~clients:(Cluster.clients cluster) ()
+  in
+  let ol_spec =
+    {
+      (Openloop.default_spec cfg) with
+      Openloop.seed;
+      sessions = 400;
+      arrival = Openloop.Poisson 4_000.0;
+      op_bytes = 256;
+      gen_conns = 8;
+      gateway = gw_cfg;
+    }
+  in
+  let gen = Openloop.create_gen ~engine ~net ol_spec in
+  Cluster.run cluster ~seconds:0.3;
+  let baseline = Webgate.Frontdoor.completed door in
+  let adv_id = adversary_id behavior in
+  let adv =
+    Adversary.install ~net ~cfg (Cluster.replica cluster adv_id) behavior
+  in
+  Cluster.run cluster ~seconds:2.2;
+  let before_recovery = Webgate.Frontdoor.completed door in
+  Cluster.run cluster ~seconds:1.0;
+  Openloop.stop_generator gen;
+  Cluster.run cluster ~seconds:0.2;
+  let recovered = Webgate.Frontdoor.completed door - before_recovery in
+  let reps = Cluster.replicas cluster in
+  let correct = List.filter (fun r -> Replica.id r <> adv_id) (Array.to_list reps) in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 correct in
+  let final_view = List.fold_left (fun acc r -> Int.max acc (Replica.view r)) 0 correct in
+  let safety_failures = journals_agree correct @ states_agree correct in
+  let failures = ref safety_failures in
+  let expect what cond = if not cond then failures := what :: !failures in
+  expect "adversary never fired a mutation" (Adversary.mutations adv > 0);
+  expect "no gateway progress before the fault" (baseline > 0);
+  let live_progress = recovered > 0 in
+  expect "no gateway progress in the recovery window" live_progress;
+  expect "no view change elected a new primary" (final_view > 0);
+  Adversary.uninstall adv;
+  let report =
+    {
+      fr_behavior = "gateway-" ^ Adversary.behavior_name behavior;
+      fr_mutations = Adversary.mutations adv;
+      fr_view_changes = sum Replica.view_changes;
+      fr_state_transfers = sum Replica.state_transfers;
+      fr_demotions = sum Replica.demotions;
+      fr_rollbacks = sum Replica.rollbacks;
+      fr_spec_execs = sum Replica.speculative_execs;
+      fr_auth_failures = sum Replica.auth_failures;
+      fr_nondet_rejects = sum Replica.nondet_rejects;
+      fr_final_view = final_view;
+      fr_baseline = baseline;
+      fr_recovered = recovered;
+      fr_safe = safety_failures = [];
+      fr_live = live_progress;
+      fr_failures = List.rev !failures;
+    }
+  in
+  (report, cluster)
+
 let run_all ?(seed = 11) ?(speculative = false) () =
   List.map (fun b -> run_behavior ~seed ~speculative b) behaviors
-  @ if speculative then [ run_vc_mid_speculation ~seed () ] else []
+  @
+  if speculative then [ run_vc_mid_speculation ~seed () ]
+  else List.map (fun b -> run_gateway_behavior ~seed b) gateway_behaviors
 
 let render r =
   Printf.sprintf

@@ -49,6 +49,19 @@ val run_behavior :
     ([pipeline_depth = 4], [cores = 2]), so the adversary also faces
     replicas holding executed-but-uncommitted state. *)
 
+val gateway_behaviors : Pbft.Adversary.behavior list
+(** Behaviors re-run behind a loaded gateway front door (mute and
+    equivocating primary). *)
+
+val run_gateway_behavior :
+  ?seed:int -> ?trace:bool -> Pbft.Adversary.behavior -> report * Pbft.Cluster.t
+(** Run one behavior with the cluster behind the {!Webgate.Frontdoor}:
+    open-loop sessions through the door's coalescing/admission-control
+    path instead of direct closed-loop clients. Progress (baseline,
+    recovery) is measured at the door — the view change must still vote
+    the faulty primary out and requests must keep completing through the
+    gateway. Reported as ["gateway-<behavior>"]. *)
+
 val run_vc_mid_speculation : ?seed:int -> ?trace:bool -> unit -> report * Pbft.Cluster.t
 (** The speculation-specific scenario: commit datagrams are dropped on
     every link for a window, so pipelined replicas speculatively execute

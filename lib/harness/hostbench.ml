@@ -18,6 +18,24 @@ type measurement = {
   rollbacks : int;
   tentative_completed : int;
   core_utilization : float;
+  (* v5: latency distribution and overload/gateway telemetry. Closed-loop
+     workloads leave the gateway block zero. *)
+  p50_latency : float;
+  p95_latency : float;
+  p99_latency : float;
+  shed : int;
+  gw_evictions : int;
+  gw_queue_peak : int;
+  replica_queue_peak : int;
+  ro_cache_evictions : int;
+  sessions : int;
+  arrivals : int;
+  offered_load : float;
+  flushes_size : int;
+  flushes_deadline : int;
+  reply_cache_hits : int;
+  events_per_request : float;
+  alloc_per_request : float;
 }
 
 let measure ~name spec =
@@ -28,7 +46,9 @@ let measure ~name spec =
   let c0 = Statemgr.Pages.bytes_copied () in
   let p0 = Relsql.Database.pages_read_total () in
   let r0 = Relsql.Database.rows_scanned_total () in
+  let a0 = Gc.allocated_bytes () in
   let outcome, cluster = Scenario.run_cluster spec in
+  let alloc = Gc.allocated_bytes () -. a0 in
   let[@detlint.allow wall_clock] host_seconds = Unix.gettimeofday () -. t0 in
   let bytes_hashed = Crypto.Sha256.bytes_hashed () - h0 in
   let bytes_copied = Statemgr.Pages.bytes_copied () - c0 in
@@ -82,6 +102,93 @@ let measure ~name spec =
     rollbacks = outcome.Scenario.rollbacks;
     tentative_completed = outcome.Scenario.tentative_completed;
     core_utilization;
+    p50_latency = outcome.Scenario.p50_latency;
+    p95_latency = outcome.Scenario.p95_latency;
+    p99_latency = outcome.Scenario.p99_latency;
+    shed = outcome.Scenario.shed;
+    gw_evictions = outcome.Scenario.gw_evictions;
+    gw_queue_peak = outcome.Scenario.gw_queue_peak;
+    replica_queue_peak = outcome.Scenario.replica_queue_peak;
+    ro_cache_evictions = outcome.Scenario.ro_cache_evictions;
+    sessions = 0;
+    arrivals = 0;
+    offered_load = 0.0;
+    flushes_size = 0;
+    flushes_deadline = 0;
+    reply_cache_hits = 0;
+    events_per_request =
+      (if outcome.Scenario.completed > 0 then
+         float_of_int events /. float_of_int outcome.Scenario.completed
+       else 0.0);
+    alloc_per_request =
+      (if outcome.Scenario.completed > 0 then alloc /. float_of_int outcome.Scenario.completed
+       else 0.0);
+  }
+
+(* Open-loop front-door workload: same host-cost envelope, but driven by
+   the arrival-process generator through the gateway, so the latency
+   distribution and the gateway telemetry are the generator's view. *)
+let measure_openloop ~name spec =
+  let[@detlint.allow wall_clock] t0 = Unix.gettimeofday () in
+  let h0 = Crypto.Sha256.bytes_hashed () in
+  let c0 = Statemgr.Pages.bytes_copied () in
+  let outcome, cluster, _door, _gen = Openloop.run spec in
+  let[@detlint.allow wall_clock] host_seconds = Unix.gettimeofday () -. t0 in
+  let bytes_hashed = Crypto.Sha256.bytes_hashed () - h0 in
+  let bytes_copied = Statemgr.Pages.bytes_copied () - c0 in
+  let events = Simnet.Engine.events (Pbft.Cluster.engine cluster) in
+  let reps = Pbft.Cluster.replicas cluster in
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 reps in
+  let checkpoint_count = sum Pbft.Replica.checkpoints_taken in
+  let undo_snapshots = sum Pbft.Replica.undo_snapshots in
+  let snapshots = checkpoint_count + undo_snapshots in
+  let per_sec n = if host_seconds > 0.0 then float_of_int n /. host_seconds else 0.0 in
+  let base = outcome.Openloop.base in
+  let core_utilization =
+    if Array.length reps = 0 then 0.0
+    else
+      Array.fold_left
+        (fun acc r -> acc +. Simnet.Cpu.utilization (Pbft.Replica.cpu r) ~since:0.0)
+        0.0 reps
+      /. float_of_int (Array.length reps)
+  in
+  {
+    name;
+    host_seconds;
+    events;
+    events_per_sec = per_sec events;
+    bytes_hashed;
+    hashed_mb_per_sec = per_sec bytes_hashed /. 1e6;
+    virtual_tps = base.Scenario.tps;
+    completed = base.Scenario.completed;
+    checkpoint_count;
+    undo_snapshots;
+    bytes_copied;
+    bytes_copied_per_checkpoint =
+      (if snapshots > 0 then float_of_int bytes_copied /. float_of_int snapshots else 0.0);
+    deep_copy_bytes_per_checkpoint = 0.0;
+    pages_read = 0;
+    rows_scanned = 0;
+    speculative_executions = base.Scenario.speculative_execs;
+    rollbacks = base.Scenario.rollbacks;
+    tentative_completed = base.Scenario.tentative_completed;
+    core_utilization;
+    p50_latency = base.Scenario.p50_latency;
+    p95_latency = base.Scenario.p95_latency;
+    p99_latency = base.Scenario.p99_latency;
+    shed = base.Scenario.shed;
+    gw_evictions = base.Scenario.gw_evictions;
+    gw_queue_peak = base.Scenario.gw_queue_peak;
+    replica_queue_peak = base.Scenario.replica_queue_peak;
+    ro_cache_evictions = base.Scenario.ro_cache_evictions;
+    sessions = outcome.Openloop.sessions;
+    arrivals = outcome.Openloop.arrivals;
+    offered_load = outcome.Openloop.offered;
+    flushes_size = outcome.Openloop.flushes_size;
+    flushes_deadline = outcome.Openloop.flushes_deadline;
+    reply_cache_hits = outcome.Openloop.reply_cache_hits;
+    events_per_request = outcome.Openloop.events_per_request;
+    alloc_per_request = outcome.Openloop.alloc_per_request;
   }
 
 let base_cfg () = Pbft.Config.default ~f:1
@@ -207,12 +314,28 @@ let to_json ?(now = "unknown") ms =
         ("tentative_completed", Num (float_of_int m.tentative_completed));
         ("stable_completed", Num (float_of_int (m.completed - m.tentative_completed)));
         ("core_utilization", Num m.core_utilization);
+        ("p50_latency", Num m.p50_latency);
+        ("p95_latency", Num m.p95_latency);
+        ("p99_latency", Num m.p99_latency);
+        ("shed", Num (float_of_int m.shed));
+        ("gw_evictions", Num (float_of_int m.gw_evictions));
+        ("gw_queue_peak", Num (float_of_int m.gw_queue_peak));
+        ("replica_queue_peak", Num (float_of_int m.replica_queue_peak));
+        ("ro_cache_evictions", Num (float_of_int m.ro_cache_evictions));
+        ("sessions", Num (float_of_int m.sessions));
+        ("arrivals", Num (float_of_int m.arrivals));
+        ("offered_load", Num m.offered_load);
+        ("flushes_size", Num (float_of_int m.flushes_size));
+        ("flushes_deadline", Num (float_of_int m.flushes_deadline));
+        ("reply_cache_hits", Num (float_of_int m.reply_cache_hits));
+        ("events_per_request", Num m.events_per_request);
+        ("alloc_per_request", Num m.alloc_per_request);
       ]
   in
   pretty
     (Obj
        [
-         ("schema", Str "pbft-repro/bench/v4");
+         ("schema", Str "pbft-repro/bench/v5");
          ("generated", Str now);
          ("trace_digest", Str (trace_digest ()));
          ("workloads", Arr (List.map workload ms));

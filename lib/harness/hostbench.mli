@@ -38,11 +38,32 @@ type measurement = {
           (read-only fast path and tentative execution) *)
   core_utilization : float;
       (** run-average busy fraction of the replicas' virtual CPU cores *)
+  p50_latency : float;  (** request latency percentiles, virtual seconds *)
+  p95_latency : float;
+  p99_latency : float;
+  shed : int;  (** gateway admission-control rejections (0 closed-loop) *)
+  gw_evictions : int;  (** gateway session-LRU evictions *)
+  gw_queue_peak : int;  (** gateway pending-queue high-water mark *)
+  replica_queue_peak : int;  (** max replica CPU dispatch-queue high-water mark *)
+  ro_cache_evictions : int;  (** replica read-only reply-cache LRU evictions *)
+  sessions : int;  (** open-loop sessions simulated (0 closed-loop) *)
+  arrivals : int;  (** open-loop arrivals in the measured window *)
+  offered_load : float;  (** mean offered arrival rate, requests/s *)
+  flushes_size : int;  (** gateway batches flushed by the size trigger *)
+  flushes_deadline : int;  (** gateway batches flushed by the deadline trigger *)
+  reply_cache_hits : int;  (** retransmissions answered from the gateway reply cache *)
+  events_per_request : float;  (** simulation events per completed request *)
+  alloc_per_request : float;  (** host heap bytes allocated per completed request *)
 }
 
 val measure : name:string -> Scenario.spec -> measurement
 (** Run the scenario once, sampling host clock, engine event count and the
     process-wide SHA-256 byte counter around it. *)
+
+val measure_openloop : name:string -> Openloop.spec -> measurement
+(** Like {!measure} for an open-loop front-door workload: the latency
+    percentiles are the generator's enqueue-to-reply distribution and the
+    gateway telemetry block is live. *)
 
 val table1_workloads : ?seed:int -> ?duration:float -> unit -> measurement list
 (** One measurement per Table-1 row (the ten library configurations,

@@ -30,6 +30,7 @@ type outcome = {
   completed : int;
   mean_latency : float;
   p50_latency : float;
+  p95_latency : float;
   p99_latency : float;
   retransmissions : int;
   view_changes : int;
@@ -40,6 +41,11 @@ type outcome = {
   tentative_completed : int;
   auth_failures : int;
   nondet_rejects : int;
+  shed : int;
+  gw_evictions : int;
+  gw_queue_peak : int;
+  replica_queue_peak : int;
+  ro_cache_evictions : int;
 }
 
 let join_all cluster =
@@ -126,6 +132,9 @@ let run_cluster ?hook spec =
       p50_latency =
         (let s = Pbft.Client.latency_stats (Pbft.Cluster.client cluster 0) in
          if Util.Stats.count s > 0 then Util.Stats.percentile s 50.0 else 0.0);
+      p95_latency =
+        (let s = Pbft.Client.latency_stats (Pbft.Cluster.client cluster 0) in
+         if Util.Stats.count s > 0 then Util.Stats.percentile s 95.0 else 0.0);
       p99_latency =
         (let s = Pbft.Client.latency_stats (Pbft.Cluster.client cluster 0) in
          if Util.Stats.count s > 0 then Util.Stats.percentile s 99.0 else 0.0);
@@ -141,6 +150,16 @@ let run_cluster ?hook spec =
       tentative_completed = sum_tentative () - base_tentative;
       auth_failures = sum Pbft.Replica.auth_failures;
       nondet_rejects = sum Pbft.Replica.nondet_rejects;
+      (* Gateway counters are zero in a direct closed-loop run; the
+         open-loop front-door runner fills them in. *)
+      shed = 0;
+      gw_evictions = 0;
+      gw_queue_peak = 0;
+      replica_queue_peak =
+        Array.fold_left
+          (fun acc r -> Int.max acc (Simnet.Cpu.peak_queue_length (Pbft.Replica.cpu r)))
+          0 reps;
+      ro_cache_evictions = sum Pbft.Replica.ro_reply_evictions;
     }
   in
   (* Teardown: one-shot drop predicates armed by the hook but never

@@ -24,6 +24,7 @@ type outcome = {
   completed : int;
   mean_latency : float;
   p50_latency : float;
+  p95_latency : float;
   p99_latency : float;
   retransmissions : int;
   view_changes : int;
@@ -42,6 +43,17 @@ type outcome = {
           than waiting for f+1 stable replies, within the measured window *)
   auth_failures : int;
   nondet_rejects : int;
+  shed : int;
+      (** operations rejected by gateway admission control (0 without a
+          gateway in front) *)
+  gw_evictions : int;
+      (** gateway session records displaced by LRU capacity pressure *)
+  gw_queue_peak : int;
+      (** high-water mark of the gateway's pending queue *)
+  replica_queue_peak : int;
+      (** max over replicas of the CPU dispatch queue's high-water mark *)
+  ro_cache_evictions : int;
+      (** replica read-only reply-cache LRU evictions, summed *)
 }
 
 val run : ?hook:(Pbft.Cluster.t -> unit) -> spec -> outcome

@@ -5,6 +5,10 @@ type outstanding = {
   o_multicast : bool;
   o_start : float;
   o_replies : (replica_id, string * bool) Hashtbl.t;
+  o_counts : (string * bool, int) Hashtbl.t;
+      (** vote count per (result, tentative) key, maintained incrementally
+          so each incoming reply checks its own key in O(1) instead of
+          recounting every recorded reply *)
   o_partials : (replica_id, string * string) Hashtbl.t;
       (** replica -> (result it reported, its wire partial) *)
   o_callback : string -> string option -> unit;
@@ -167,6 +171,7 @@ let invoke_certified t ?(readonly = false) op callback =
       o_multicast = multicast;
       o_start = now t;
       o_replies = Hashtbl.create 8;
+      o_counts = Hashtbl.create 8;
       o_partials = Hashtbl.create 8;
       o_callback = callback;
       o_timer = None;
@@ -179,28 +184,39 @@ let invoke_certified t ?(readonly = false) op callback =
 let invoke t ?readonly op callback = invoke_certified t ?readonly op (fun r _ -> callback r)
 
 (* Quorum rules (§2.1): f+1 matching stable replies, or 2f+1 matching
-   tentative replies; read-only requests always need 2f+1. *)
-let check_quorum t o =
-  let counts = Hashtbl.create 8 in
-  (* Counting is order-free; the accepted-result pick below is not, so it
-     traverses keys in sorted order. *)
-  (Hashtbl.iter
-     (fun _ (result, tentative) ->
-       let key = (result, tentative) in
-       Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
-     o.o_replies
-   [@detlint.allow hashtbl_order]);
-  let stable_needed = quorum_f1 ~f:t.cfg.f in
-  let tentative_needed = quorum_2f1 ~f:t.cfg.f in
-  Util.Sorted_tbl.fold
-    (fun (result, tentative) c acc ->
-      match acc with
-      | Some _ -> acc
-      | None ->
-        if (tentative && c >= tentative_needed) || ((not tentative) && c >= stable_needed) then
-          Some (result, tentative)
-        else None)
-    counts None
+   tentative replies; read-only requests always need 2f+1.
+
+   A stable reply is strictly stronger evidence than a tentative one for
+   the same result (committed implies prepared), so it votes in both
+   tallies: without this, a client facing f mute replicas can sit on
+   2f tentative + 1 stable matching replies — enough honest agreement,
+   yet neither tally alone reaches its threshold — and wedge forever.
+
+   The counts are maintained incrementally as replies land, so only the
+   keys the newest reply voted for need checking — O(1) per reply where
+   the old recount was O(replies). No other key can cross its threshold
+   at this instant: a key that qualified on an earlier reply would have
+   completed the request then. *)
+let bump o key delta =
+  match Option.value ~default:0 (Hashtbl.find_opt o.o_counts key) + delta with
+  | 0 -> Hashtbl.remove o.o_counts key
+  | n -> Hashtbl.replace o.o_counts key n
+
+let record_vote o ((result, tentative) as key) =
+  bump o key 1;
+  if not tentative then bump o (result, true) 1
+
+let retract_vote o ((result, tentative) as key) =
+  bump o key (-1);
+  if not tentative then bump o (result, true) (-1)
+
+let count o key = Option.value ~default:0 (Hashtbl.find_opt o.o_counts key)
+
+let check_quorum t o ~key:(result, tentative) =
+  if (not tentative) && count o (result, false) >= quorum_f1 ~f:t.cfg.f then
+    Some (result, false)
+  else if count o (result, true) >= quorum_2f1 ~f:t.cfg.f then Some (result, true)
+  else None
 
 (* Combine the partials from replicas that reported the accepted result
    into one service certificate (§3.3.1). *)
@@ -226,11 +242,17 @@ let handle_reply t ~src ~r_view ~r_id ~r_replica ~r_result ~r_tentative ~r_parti
          from the same replica supersedes its tentative one. *)
       (match Hashtbl.find_opt o.o_replies src with
       | Some (_, false) -> ()
-      | Some (_, true) | None -> Hashtbl.replace o.o_replies src (r_result, r_tentative));
+      | Some ((_, true) as old) ->
+        retract_vote o old;
+        Hashtbl.replace o.o_replies src (r_result, r_tentative);
+        record_vote o (r_result, r_tentative)
+      | None ->
+        Hashtbl.replace o.o_replies src (r_result, r_tentative);
+        record_vote o (r_result, r_tentative));
       (match r_partial with
       | Some wire -> Hashtbl.replace o.o_partials src (r_result, wire)
       | None -> ());
-      match check_quorum t o with
+      match check_quorum t o ~key:(r_result, r_tentative) with
       | None -> ()
       | Some (result, tentative) ->
         (match o.o_timer with Some timer -> Simnet.Engine.cancel timer | None -> ());

@@ -8,6 +8,17 @@ type entry = {
   me_identity : string option;
 }
 
+(* Last-active order, oldest first. Client id breaks timestamp ties so
+   the order — and therefore the stale-eviction sequence every replica
+   executes — is total and deterministic. *)
+module Agenda = Set.Make (struct
+  type t = float * client_id
+
+  let compare (t1, c1) (t2, c2) =
+    let c = Float.compare t1 t2 in
+    if c <> 0 then c else Int.compare c1 c2
+end)
+
 type t = {
   max : int;
   dynamic : bool;
@@ -15,6 +26,10 @@ type t = {
   table : (client_id, entry) Hashtbl.t;
   by_addr : (int, client_id) Hashtbl.t;
   by_identity : (string, client_id) Hashtbl.t;
+  mutable agenda : Agenda.t;
+      (* entries ordered by me_last_active; kept in lockstep with [table]
+         so stale cleanup pops the oldest sessions in O(stale . log n)
+         instead of folding over the whole table *)
 }
 
 let create ~max_clients ~dynamic =
@@ -25,11 +40,16 @@ let create ~max_clients ~dynamic =
     table = Hashtbl.create 64;
     by_addr = Hashtbl.create 64;
     by_identity = Hashtbl.create 64;
+    agenda = Agenda.empty;
   }
 
 let add_entry t e =
+  (match Hashtbl.find_opt t.table e.me_client with
+  | Some old -> t.agenda <- Agenda.remove (old.me_last_active, old.me_client) t.agenda
+  | None -> ());
   Hashtbl.replace t.table e.me_client e;
   Hashtbl.replace t.by_addr e.me_addr e.me_client;
+  t.agenda <- Agenda.add (e.me_last_active, e.me_client) t.agenda;
   match e.me_identity with
   | Some id -> Hashtbl.replace t.by_identity id e.me_client
   | None -> ()
@@ -40,6 +60,7 @@ let remove_entry t c =
   | Some e ->
     Hashtbl.remove t.table c;
     Hashtbl.remove t.by_addr e.me_addr;
+    t.agenda <- Agenda.remove (e.me_last_active, c) t.agenda;
     (match e.me_identity with
     | Some id -> if Hashtbl.find_opt t.by_identity id = Some c then Hashtbl.remove t.by_identity id
     | None -> ());
@@ -61,16 +82,19 @@ type join_outcome =
   | Table_full
 
 let cleanup_stale t ~now ~stale_threshold =
-  (* Sorted traversal: the stale list reaches Join replies (terminated
-     sessions), so its order must not depend on bucket layout. *)
-  let stale =
-    Util.Sorted_tbl.fold
-      (fun c e acc -> if now -. e.me_last_active > stale_threshold then c :: acc else acc)
-      t.table []
-    |> List.rev
+  (* The agenda is ordered oldest-first, so this pops exactly the stale
+     prefix: O(stale . log n) where the old full-table fold was O(n). *)
+  let rec pop acc =
+    match Agenda.min_elt_opt t.agenda with
+    | Some (last, c) when now -. last > stale_threshold ->
+      ignore (remove_entry t c);
+      pop (c :: acc)
+    | Some _ | None -> acc
   in
-  List.iter (fun c -> ignore (remove_entry t c)) stale;
-  stale
+  (* Ascending client order, as the old sorted fold produced: the list
+     reaches Join replies (terminated sessions), so its order must stay
+     canonical. *)
+  List.sort Int.compare (pop [])
 
 let join t ~addr ~pubkey ~identity ~now ~stale_threshold =
   (* A live session for this identity is terminated: the attacker-facing
@@ -112,7 +136,12 @@ let leave t c = remove_entry t c
 
 let touch t c now =
   match Hashtbl.find_opt t.table c with
-  | Some e -> e.me_last_active <- now
+  | Some e ->
+    if not (Float.equal e.me_last_active now) then begin
+      t.agenda <- Agenda.remove (e.me_last_active, c) t.agenda;
+      e.me_last_active <- now;
+      t.agenda <- Agenda.add (now, c) t.agenda
+    end
   | None -> ()
 
 let count t = Hashtbl.length t.table
@@ -141,6 +170,7 @@ let load t s =
   Hashtbl.reset t.table;
   Hashtbl.reset t.by_addr;
   Hashtbl.reset t.by_identity;
+  t.agenda <- Agenda.empty;
   match
     Util.Codec.decode
       (fun r ->

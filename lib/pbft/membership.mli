@@ -20,7 +20,10 @@ type entry = {
   me_client : client_id;
   me_addr : int;  (** network address *)
   me_pubkey : string;  (** wire encoding of the client's verifier *)
-  mutable me_last_active : float;  (** primary-clock time of last executed request *)
+  mutable me_last_active : float;
+      (** primary-clock time of last executed request. Update only via
+          {!touch} — the staleness agenda is keyed by this value, so a
+          direct write would desynchronize O(stale) cleanup. *)
   me_identity : string option;  (** application identity (dynamic joins only) *)
 }
 
@@ -49,7 +52,9 @@ val join :
 
 val leave : t -> client_id -> bool
 val touch : t -> client_id -> float -> unit
-(** Record request execution time for staleness accounting. *)
+(** Record request execution time for staleness accounting. O(log n):
+    repositions the entry in the last-active agenda that {!join}'s
+    stale cleanup pops from. *)
 
 val count : t -> int
 val capacity : t -> int

@@ -43,9 +43,11 @@ type t = {
   bodies : (digest, Message.request) Hashtbl.t;
   pending : Message.request Queue.t;
   in_flight : (client_id * int, seqno) Hashtbl.t;  (** 0 until a pre-prepare assigns a sequence *)
-  ro_replies : (client_id, int * string) Hashtbl.t;
+  ro_replies : (client_id, int * string) Util.Lru.t;
       (** last read-only fast-path reply per client, resent on
-          retransmission instead of re-executing the read *)
+          retransmission instead of re-executing the read. Bounded LRU
+          (capacity [max_clients]) so churning clients cannot grow it
+          without limit; entries also die with their session. *)
   waiting : (client_id * int, float) Hashtbl.t;  (** backup-side requests awaiting execution *)
   body_requests : (digest, unit) Hashtbl.t;
   entry_requests : (seqno, unit) Hashtbl.t;
@@ -101,6 +103,7 @@ let nondet_rejects t = t.n_nondet_reject
 let checkpoints_taken t = t.n_ckpt
 let undo_snapshots t = t.n_undo
 let demotions t = t.n_demotions
+let ro_reply_evictions t = Util.Lru.evictions t.ro_replies
 let speculative_execs t = t.n_spec_exec
 let rollbacks t = t.n_rollbacks
 let view_change_attempts t = t.vc_attempts
@@ -352,9 +355,6 @@ and execute_request t rq ~nondet ~tentative ~speculative =
         ~readonly:rq.rq_readonly
   in
   Membership.touch t.membership rq.rq_client ts;
-  (match Membership.lookup t.membership rq.rq_client with
-  | Some e -> if rq.rq_id > 0 then e.me_last_active <- ts
-  | None -> ());
   Log.cache_reply t.log rq.rq_client
     { cr_id = rq.rq_id; cr_result = result; cr_view = t.view; cr_tentative = tentative;
       cr_timestamp = ts; cr_speculative = speculative };
@@ -399,6 +399,7 @@ and execute_system_op_body t ~ts body =
           List.iter
             (fun c ->
               Log.drop_client t.log c;
+              Util.Lru.remove t.ro_replies c;
               t.service.on_session_end c)
             terminated;
           sync_membership_to_pages t;
@@ -411,6 +412,7 @@ and execute_system_op_body t ~ts body =
       let ok = Membership.leave t.membership client in
       if ok then begin
         Log.drop_client t.log client;
+        Util.Lru.remove t.ro_replies client;
         t.service.on_session_end client;
         sync_membership_to_pages t
       end;
@@ -587,7 +589,21 @@ and advance_committed t =
         (match e.batch with
         | Some items ->
           List.iter
-            (fun it -> Hashtbl.remove t.waiting (Message.batch_item_client_id it))
+            (fun it ->
+              let ((client, id) as key) = Message.batch_item_client_id it in
+              Hashtbl.remove t.waiting key;
+              (* Serial tentative execution already sent the reply marked
+                 tentative and cached it that way; now that the commit
+                 certificate landed the cached copy is stable, so
+                 retransmissions must be answered with a stable reply —
+                 otherwise a client facing f mute replicas can collect
+                 2f tentative + 1 stale-stable replies forever and reach
+                 neither quorum. (The pipelined path is upgraded by
+                 [flush_speculative] below.) *)
+              match Log.cached_reply t.log client with
+              | Some cr when cr.cr_id = id && cr.cr_tentative && not cr.cr_speculative ->
+                Log.cache_reply t.log client { cr with cr_tentative = false }
+              | Some _ | None -> ())
             items
         | None -> ());
         flush_speculative t e;
@@ -909,7 +925,7 @@ and handle_request t ~src rq =
            behind the CPU is dropped (the pending reply will answer it);
            one arriving after completion is answered from the per-client
            read-only reply cache. *)
-        match Hashtbl.find_opt t.ro_replies client with
+        match Util.Lru.find t.ro_replies client with
         | Some (id, result) when id = rq.rq_id ->
           send_reply t rq ~result ~tentative:true ~already_charged:false
         | Some _ | None ->
@@ -920,7 +936,7 @@ and handle_request t ~src rq =
             in
             charge t cost (fun () ->
                 Hashtbl.remove t.in_flight (client, rq.rq_id);
-                Hashtbl.replace t.ro_replies client (rq.rq_id, result);
+                Util.Lru.put t.ro_replies client (rq.rq_id, result);
                 send_reply t rq ~result ~tentative:true ~already_charged:false)
           end
       end
@@ -1780,7 +1796,7 @@ let create ~cfg ~costs ~engine ~net ~id ~signer ~registry ~service:service_spec 
       bodies = Hashtbl.create 256;
       pending = Queue.create ();
       in_flight = Hashtbl.create 64;
-      ro_replies = Hashtbl.create 64;
+      ro_replies = Util.Lru.create ~capacity:(Int.max 1 cfg.max_clients);
       waiting = Hashtbl.create 64;
       body_requests = Hashtbl.create 16;
       entry_requests = Hashtbl.create 16;

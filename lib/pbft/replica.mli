@@ -73,6 +73,11 @@ val demotions : t -> int
     pathology: a lagging replica is effectively out of the group until
     the next checkpoint). *)
 
+val ro_reply_evictions : t -> int
+(** Read-only reply-cache entries displaced by LRU capacity pressure
+    (the cache is bounded at [Config.max_clients]; session termination
+    drops entries without counting here). *)
+
 val speculative_execs : t -> int
 (** Batches executed before their commit certificate landed: tentative
     executions in serial mode, pipelined speculation when

@@ -3,26 +3,45 @@ open Types
 (* The whole store serializes as one canonical sorted structure re-written
    on every mutation: small, simple, and exactly as deterministic as the
    rest of the execution path. The image lives behind a fixed-width
-   length header, mirroring the membership partition. *)
+   length header, mirroring the membership partition.
+
+   Hot-path shape: the decoded table is cached as a map keyed by
+   (client, key), so [get] is O(log n) instead of the old
+   decode-everything-then-scan O(n). The cache is invalidated by the
+   region's {!Statemgr.Pages.generation} counter, which every wholesale
+   page install (state transfer, checkpoint restore, speculation
+   rollback) bumps — the external rewrites the old per-call re-read
+   existed to observe. Mutations still re-encode the full canonical
+   image; writes are not the open-loop hot path, reads are. *)
+
+module M = Map.Make (struct
+  type t = client_id * string
+
+  let compare (c1, k1) (c2, k2) =
+    let c = Int.compare c1 c2 in
+    if c <> 0 then c else String.compare k1 k2
+end)
 
 type t = {
   pages : Statemgr.Pages.t;
   base : int;
   capacity : int;
-  mutable table : (client_id * string * string) list;  (** sorted *)
+  mutable map : string M.t;
+  mutable cached_gen : int;  (** Pages.generation the cache was decoded at; -1 = never *)
 }
 
 let pages_needed = 8
 
-let encode table =
+let encode map =
   Util.Codec.encode
     (fun w () ->
-      Util.Codec.W.list w
-        (fun w (c, k, v) ->
+      Util.Codec.W.varint w (M.cardinal map);
+      M.iter
+        (fun (c, k) v ->
           Util.Codec.W.varint w c;
           Util.Codec.W.lstring w k;
           Util.Codec.W.lstring w v)
-        table)
+        map)
     ()
 
 let decode image =
@@ -35,69 +54,86 @@ let decode image =
           (c, k, v)))
     image
 
-let load t =
+let reload t =
   let hdr = Statemgr.Pages.read t.pages ~pos:t.base ~len:8 in
-  match int_of_string_opt (String.trim hdr) with
+  (match int_of_string_opt (String.trim hdr) with
   | Some len when len > 0 -> begin
     match decode (Statemgr.Pages.read t.pages ~pos:(t.base + 8) ~len) with
-    | table -> t.table <- table
-    | exception Util.Codec.R.Truncated -> t.table <- []
+    | entries ->
+      t.map <- List.fold_left (fun m (c, k, v) -> M.add (c, k) v m) M.empty entries
+    | exception Util.Codec.R.Truncated -> t.map <- M.empty
   end
-  | Some _ | None -> t.table <- []
+  | Some _ | None -> t.map <- M.empty);
+  t.cached_gen <- Statemgr.Pages.generation t.pages
+
+(* Re-decode only when the region changed under us: state transfer and
+   rollback install pages wholesale and bump the generation; our own
+   [store] writes leave it alone and keep the cache authoritative. *)
+let refresh t =
+  if t.cached_gen <> Statemgr.Pages.generation t.pages then reload t
 
 let store t =
-  let image = encode t.table in
+  let image = encode t.map in
   let total = 8 + String.length image in
   if total > t.capacity then failwith "Session_state: partition full";
   Statemgr.Pages.notify_modify t.pages ~pos:t.base ~len:total;
   Statemgr.Pages.write t.pages ~pos:t.base (Printf.sprintf "%07d " (String.length image));
-  Statemgr.Pages.write t.pages ~pos:(t.base + 8) image
+  Statemgr.Pages.write t.pages ~pos:(t.base + 8) image;
+  t.cached_gen <- Statemgr.Pages.generation t.pages
 
 let create pages ~first_page ~pages:npages =
   let page_size = Statemgr.Pages.page_size pages in
   let t =
-    { pages; base = first_page * page_size; capacity = npages * page_size; table = [] }
+    {
+      pages;
+      base = first_page * page_size;
+      capacity = npages * page_size;
+      map = M.empty;
+      cached_gen = -1;
+    }
   in
-  load t;
+  reload t;
   t
 
 let get t ~client ~key =
-  (* Re-read through the region so external rewrites (state transfer)
-     are always visible. *)
-  load t;
-  List.find_map
-    (fun (c, k, v) -> if c = client && String.equal k key then Some v else None)
-    t.table
-
-(* Same order polymorphic compare produced on (int, string, string):
-   client id first, then key, then value. *)
-let cmp_entry (c1, k1, v1) (c2, k2, v2) =
-  let c = Int.compare c1 c2 in
-  if c <> 0 then c
-  else
-    let c = String.compare k1 k2 in
-    if c <> 0 then c else String.compare v1 v2
+  refresh t;
+  M.find_opt (client, key) t.map
 
 let set t ~client ~key value =
-  load t;
-  let rest = List.filter (fun (c, k, _) -> not (c = client && String.equal k key)) t.table in
-  t.table <- List.sort cmp_entry ((client, key, value) :: rest);
+  refresh t;
+  t.map <- M.add (client, key) value t.map;
   store t
 
 let remove t ~client ~key =
-  load t;
-  t.table <- List.filter (fun (c, k, _) -> not (c = client && String.equal k key)) t.table;
+  refresh t;
+  t.map <- M.remove (client, key) t.map;
   store t
+
+(* All entries of one client: the map is ordered by (client, key), so
+   this walks exactly the client's contiguous range. *)
+let client_range t ~client =
+  let rec take seq acc =
+    match seq () with
+    | Seq.Cons (((c, k), v), rest) when c = client -> take rest ((k, v) :: acc)
+    | Seq.Cons _ | Seq.Nil -> List.rev acc
+  in
+  take (M.to_seq_from (client, "") t.map) []
 
 let end_session t ~client =
-  load t;
-  t.table <- List.filter (fun (c, _, _) -> c <> client) t.table;
-  store t
+  refresh t;
+  let doomed = client_range t ~client in
+  if doomed <> [] then begin
+    t.map <- List.fold_left (fun m (k, _) -> M.remove (client, k) m) t.map doomed;
+    store t
+  end
 
 let session_keys t ~client =
-  load t;
-  List.filter_map (fun (c, k, _) -> if c = client then Some k else None) t.table
+  refresh t;
+  List.map fst (client_range t ~client)
 
 let sessions t =
-  load t;
-  List.sort_uniq Int.compare (List.map (fun (c, _, _) -> c) t.table)
+  refresh t;
+  List.rev (M.fold (fun (c, _) _ acc -> match acc with
+      | c' :: _ when c' = c -> acc
+      | _ -> c :: acc)
+      t.map [])

@@ -3,11 +3,12 @@ type t = {
   free_at : float array; (* one slot per virtual core *)
   mutable busy_accum : float;
   mutable queued : int;
+  mutable peak_queued : int;
 }
 
 let create ?(cores = 1) engine =
   if cores < 1 then invalid_arg "Cpu.create: cores must be at least 1";
-  { engine; free_at = Array.make cores 0.0; busy_accum = 0.0; queued = 0 }
+  { engine; free_at = Array.make cores 0.0; busy_accum = 0.0; queued = 0; peak_queued = 0 }
 
 let cores t = Array.length t.free_at
 
@@ -31,9 +32,13 @@ let dispatch t cost =
   t.busy_accum <- t.busy_accum +. cost;
   finish
 
+let note_queued t =
+  t.queued <- t.queued + 1;
+  if t.queued > t.peak_queued then t.peak_queued <- t.queued
+
 let execute t ~cost f =
   let finish = dispatch t cost in
-  t.queued <- t.queued + 1;
+  note_queued t;
   Engine.schedule_at t.engine ~time:finish (fun () ->
       t.queued <- t.queued - 1;
       f ())
@@ -43,13 +48,14 @@ let execute_split t ~costs f =
   | [] -> execute t ~cost:0.0 f
   | costs ->
       let finish = List.fold_left (fun acc c -> Float.max acc (dispatch t c)) 0.0 costs in
-      t.queued <- t.queued + 1;
+      note_queued t;
       Engine.schedule_at t.engine ~time:finish (fun () ->
           t.queued <- t.queued - 1;
           f ())
 
 let busy_until t = Array.fold_left Float.max t.free_at.(0) t.free_at
 let queue_length t = t.queued
+let peak_queue_length t = t.peak_queued
 let total_busy t = t.busy_accum
 
 let utilization t ~since =

@@ -42,5 +42,9 @@ val utilization : t -> since:float -> float
 
 val queue_length : t -> int
 
+val peak_queue_length : t -> int
+(** High-water mark of in-flight work items since creation — the backlog
+    depth overload reports surface (receive-buffer pressure, §2.4). *)
+
 val total_busy : t -> float
 (** Cumulative busy core-seconds since creation. *)

@@ -16,6 +16,10 @@ type t = {
   slots : Bytes.t option array; (* None = untouched zero page *)
   shared : bool array; (* slot aliased by a snapshot: copy before writing *)
   mutable dirty_set : (int, unit) Hashtbl.t;
+  mutable generation : int;
+      (* bumped on every wholesale page install (load_page/restore_page):
+         state transfer, checkpoint restore, speculation rollback. Caches
+         of decoded region contents compare it to skip re-decoding. *)
 }
 
 type snapshot = {
@@ -34,7 +38,10 @@ let create ?(strict = false) ~page_size ~num_pages () =
     slots = Array.make num_pages None;
     shared = Array.make num_pages false;
     dirty_set = Hashtbl.create 64;
+    generation = 0;
   }
+
+let generation t = t.generation
 
 let page_size t = t.page_size
 let num_pages t = t.num_pages
@@ -117,6 +124,7 @@ let load_page t i contents =
   if String.length contents <> t.page_size then invalid_arg "Pages.load_page: size mismatch";
   t.slots.(i) <- Some (Bytes.of_string contents);
   t.shared.(i) <- false;
+  t.generation <- t.generation + 1;
   Hashtbl.replace t.dirty_set i ()
 
 let dirty t = Util.Sorted_tbl.keys t.dirty_set
@@ -155,6 +163,7 @@ let restore_page t snap i =
        later write copies it rather than corrupting the snapshot. *)
     t.slots.(i) <- Some b;
     t.shared.(i) <- true);
+  t.generation <- t.generation + 1;
   Hashtbl.replace t.dirty_set i ()
 
 let copy t =

@@ -57,6 +57,14 @@ val clear_dirty : t -> unit
 val allocated_pages : t -> int
 (** Pages actually backed by memory (sparseness metric). *)
 
+val generation : t -> int
+(** Monotone counter bumped on every wholesale page install
+    ({!load_page}, {!restore_page}) — state transfer, checkpoint restore
+    and speculation rollback. In-process caches of decoded region
+    contents (e.g. the session-state store) compare it to decide whether
+    the region changed under them; ordinary {!write}s do not bump it,
+    because those flow through the cache's own store path. *)
+
 (** {2 Copy-on-write snapshots} *)
 
 type snapshot

@@ -1,0 +1,357 @@
+(* The gateway front door: a single well-known address that fans many
+   lightweight client sessions into a small pool of real PBFT client
+   connections.
+
+   Sessions speak a tiny binary frame protocol (far cheaper than the
+   browser gateway's JSON seam — this is the datacenter front door, not
+   the WAN edge). The door coalesces session operations into batches,
+   flushing a batch upstream when it reaches [flush_bytes] (size
+   trigger) or when the oldest queued operation has waited
+   [flush_deadline] (deadline trigger). Each upstream connection is an
+   ordinary {!Pbft.Client} obeying the one-outstanding-request rule, so
+   coalescing composes with the primary's own request batching: the
+   congestion window packs concurrent connection requests into
+   pre-prepare batches exactly as it packs independent clients.
+
+   Flow control is explicit. When the pending queue reaches [max_queue]
+   the door does not buffer blindly — it answers immediately with a
+   distinguishable shed status so an open-loop generator observes
+   backpressure instead of unbounded queueing (§2.4's lesson applied at
+   the front door). Session records live in a bounded LRU: under churn,
+   the coldest session is evicted; a retransmission from an evicted
+   session is simply re-admitted as a fresh record. *)
+
+let frontdoor_addr = 4000
+
+(* Binary frame conversion cost: a fraction of the JSON seam's. *)
+let frame_cost bytes = 2e-6 +. (5e-9 *. float_of_int bytes)
+
+(* --- session <-> door frames --- *)
+
+let encode_request ~session ~req_id ~op =
+  Util.Codec.encode
+    (fun w () ->
+      Util.Codec.W.varint w session;
+      Util.Codec.W.varint w req_id;
+      Util.Codec.W.lstring w op)
+    ()
+
+let decode_request wire =
+  match
+    Util.Codec.decode
+      (fun r ->
+        let session = Util.Codec.R.varint r in
+        let req_id = Util.Codec.R.varint r in
+        let op = Util.Codec.R.lstring r in
+        (session, req_id, op))
+      wire
+  with
+  | v -> Some v
+  | exception Util.Codec.R.Truncated -> None
+
+type status = Done | Shed
+
+let encode_reply ~status ~session ~req_id ~result =
+  Util.Codec.encode
+    (fun w () ->
+      Util.Codec.W.u8 w (match status with Done -> 0 | Shed -> 1);
+      Util.Codec.W.varint w session;
+      Util.Codec.W.varint w req_id;
+      Util.Codec.W.lstring w result)
+    ()
+
+let decode_reply wire =
+  match
+    Util.Codec.decode
+      (fun r ->
+        let status = match Util.Codec.R.u8 r with 0 -> Done | _ -> Shed in
+        let session = Util.Codec.R.varint r in
+        let req_id = Util.Codec.R.varint r in
+        let result = Util.Codec.R.lstring r in
+        (status, session, req_id, result))
+      wire
+  with
+  | v -> Some v
+  | exception Util.Codec.R.Truncated -> None
+
+(* --- coalesced upstream operations --- *)
+
+(* A coalesced op is a magic-tagged list of (session, op) pairs; the
+   service wrapper below unpacks it and runs each element against the
+   wrapped service, so any service composes with the door. *)
+
+let coalesce_magic = "GWB1"
+
+let encode_coalesced entries =
+  coalesce_magic
+  ^ Util.Codec.encode
+      (fun w l ->
+        Util.Codec.W.list w
+          (fun w (session, op) ->
+            Util.Codec.W.varint w session;
+            Util.Codec.W.lstring w op)
+          l)
+      entries
+
+let decode_coalesced op =
+  let mlen = String.length coalesce_magic in
+  if String.length op >= mlen && String.sub op 0 mlen = coalesce_magic then
+    match
+      Util.Codec.decode
+        (fun r ->
+          Util.Codec.R.list r (fun r ->
+              let session = Util.Codec.R.varint r in
+              let o = Util.Codec.R.lstring r in
+              (session, o)))
+        (String.sub op mlen (String.length op - mlen))
+    with
+    | l -> Some l
+    | exception Util.Codec.R.Truncated -> None
+  else None
+
+let encode_results results = Util.Codec.encode (fun w l -> Util.Codec.W.list w Util.Codec.W.lstring l) results
+
+let decode_results s =
+  match Util.Codec.decode (fun r -> Util.Codec.R.list r Util.Codec.R.lstring) s with
+  | l -> Some l
+  | exception Util.Codec.R.Truncated -> None
+
+(* Wrap a service so coalesced ops execute element-wise against it. The
+   session id rides along as the [client] of each inner execution, so
+   session-scoped services (session_kv) key their state by front-door
+   session rather than by upstream connection. Non-coalesced ops pass
+   through untouched. *)
+let wrap_service (inner : Pbft.Service.t) =
+  {
+    inner with
+    Pbft.Service.name = "gw:" ^ inner.Pbft.Service.name;
+    make =
+      (fun pages ~first_page ->
+        let instance = inner.Pbft.Service.make pages ~first_page in
+        {
+          instance with
+          Pbft.Service.execute =
+            (fun ~op ~client ~timestamp ~nondet ~readonly ->
+              match decode_coalesced op with
+              | None -> instance.Pbft.Service.execute ~op ~client ~timestamp ~nondet ~readonly
+              | Some entries ->
+                let cost = ref 1e-6 in
+                let results =
+                  List.map
+                    (fun (session, o) ->
+                      let result, c =
+                        instance.Pbft.Service.execute ~op:o ~client:session ~timestamp ~nondet
+                          ~readonly
+                      in
+                      cost := !cost +. c;
+                      result)
+                    entries
+                in
+                (encode_results results, !cost));
+        });
+  }
+
+(* --- the door --- *)
+
+type config = {
+  connections : int;  (** upstream PBFT client connections *)
+  flush_bytes : int;  (** size trigger: flush once this many op bytes are queued *)
+  flush_deadline : float;  (** deadline trigger: max queueing delay before a partial flush *)
+  max_queue : int;  (** admission bound: operations queued beyond this are shed *)
+  max_sessions : int;  (** LRU bound on live session records *)
+}
+
+type pending = {
+  pr_session : int;
+  pr_id : int;
+  pr_op : string;
+  pr_addr : int;  (** reply address — survives session eviction *)
+  pr_enq : float;
+}
+
+type session = { mutable s_last_reply : (int * string) option }
+
+type t = {
+  cfg : config;
+  engine : Simnet.Engine.t;
+  net : Simnet.Net.t;
+  cpu : Simnet.Cpu.t;
+  clients : Pbft.Client.t array;
+  free : int Queue.t;
+  pending : pending Queue.t;
+  mutable pending_bytes : int;
+  sessions : (int, session) Util.Lru.t;
+  mutable deadline_timer : Simnet.Engine.timer option;
+  latency : Util.Stats.t;
+  mutable n_completed : int;
+  mutable n_shed : int;
+  mutable n_rejected : int;
+  mutable n_cache_hits : int;
+  mutable n_flushes_size : int;
+  mutable n_flushes_deadline : int;
+  mutable queue_peak : int;
+  mutable alive : bool;
+}
+
+let now t = Simnet.Engine.now t.engine
+
+let send_reply t ~dst ~status ~session ~req_id ~result =
+  let frame = encode_reply ~status ~session ~req_id ~result in
+  Simnet.Cpu.execute t.cpu ~cost:(frame_cost (String.length frame)) (fun () ->
+      Simnet.Net.send t.net ~label:"gw-reply" ~src:frontdoor_addr ~dst frame)
+
+(* Dispatch one coalesced batch on one free connection. *)
+let rec dispatch t trigger =
+  match Queue.take_opt t.free with
+  | None -> ()
+  | Some idx ->
+    let rec take acc bytes =
+      if bytes >= t.cfg.flush_bytes then List.rev acc
+      else
+        match Queue.take_opt t.pending with
+        | None -> List.rev acc
+        | Some p ->
+          t.pending_bytes <- t.pending_bytes - String.length p.pr_op;
+          take (p :: acc) (bytes + String.length p.pr_op)
+    in
+    let batch = take [] 0 in
+    if batch = [] then Queue.push idx t.free
+    else begin
+      (match trigger with
+      | `Size -> t.n_flushes_size <- t.n_flushes_size + 1
+      | `Deadline -> t.n_flushes_deadline <- t.n_flushes_deadline + 1);
+      let op = encode_coalesced (List.map (fun p -> (p.pr_session, p.pr_op)) batch) in
+      Pbft.Client.invoke t.clients.(idx) op (fun encoded ->
+          if t.alive then begin
+            Queue.push idx t.free;
+            let results =
+              match decode_results encoded with
+              | Some rs when List.length rs = List.length batch -> rs
+              | Some _ | None -> List.map (fun _ -> encoded) batch
+            in
+            List.iter2
+              (fun p result ->
+                t.n_completed <- t.n_completed + 1;
+                Util.Stats.add t.latency (now t -. p.pr_enq);
+                (match Util.Lru.find t.sessions p.pr_session with
+                | Some s -> s.s_last_reply <- Some (p.pr_id, result)
+                | None -> ());
+                send_reply t ~dst:p.pr_addr ~status:Done ~session:p.pr_session ~req_id:p.pr_id
+                  ~result)
+              batch results;
+            (* Keep draining: a freed connection takes another full batch
+               if one is already queued; partial remainders wait for the
+               deadline timer. *)
+            if t.pending_bytes >= t.cfg.flush_bytes then dispatch_all t `Size
+          end)
+    end
+
+and dispatch_all t trigger =
+  let before = Queue.length t.pending in
+  dispatch t trigger;
+  if Queue.length t.pending < before && t.pending_bytes >= t.cfg.flush_bytes then
+    dispatch_all t trigger
+
+let rec arm_deadline t =
+  match t.deadline_timer with
+  | Some _ -> ()
+  | None ->
+    if not (Queue.is_empty t.pending) then
+      t.deadline_timer <-
+        Some
+          (Simnet.Engine.timer t.engine ~delay:t.cfg.flush_deadline (fun () ->
+               t.deadline_timer <- None;
+               if t.alive then begin
+                 if not (Queue.is_empty t.pending) then begin
+                   dispatch t `Deadline;
+                   while t.pending_bytes >= t.cfg.flush_bytes && not (Queue.is_empty t.free) do
+                     dispatch t `Size
+                   done
+                 end;
+                 arm_deadline t
+               end))
+
+let session_record t session =
+  match Util.Lru.find t.sessions session with
+  | Some s -> s
+  | None ->
+    let s = { s_last_reply = None } in
+    Util.Lru.put t.sessions session s;
+    s
+
+let on_frame t ~src wire =
+  if t.alive then
+    Simnet.Cpu.execute t.cpu ~cost:(frame_cost (String.length wire)) (fun () ->
+        match decode_request wire with
+        | None -> t.n_rejected <- t.n_rejected + 1
+        | Some (session, req_id, op) -> begin
+          let s = session_record t session in
+          match s.s_last_reply with
+          | Some (id, result) when id = req_id ->
+            (* Retransmission of an answered request: replay the cached
+               reply instead of re-executing. *)
+            t.n_cache_hits <- t.n_cache_hits + 1;
+            send_reply t ~dst:src ~status:Done ~session ~req_id ~result
+          | Some _ | None ->
+            if Queue.length t.pending >= t.cfg.max_queue then begin
+              t.n_shed <- t.n_shed + 1;
+              send_reply t ~dst:src ~status:Shed ~session ~req_id ~result:""
+            end
+            else begin
+              Queue.push
+                { pr_session = session; pr_id = req_id; pr_op = op; pr_addr = src; pr_enq = now t }
+                t.pending;
+              t.pending_bytes <- t.pending_bytes + String.length op;
+              t.queue_peak <- Int.max t.queue_peak (Queue.length t.pending);
+              if t.pending_bytes >= t.cfg.flush_bytes then dispatch_all t `Size;
+              arm_deadline t
+            end
+        end)
+
+let create ~cfg ~engine ~net ~clients () =
+  if Array.length clients < 1 then invalid_arg "Frontdoor.create: no upstream connections";
+  let t =
+    {
+      cfg;
+      engine;
+      net;
+      cpu = Simnet.Cpu.create engine;
+      clients;
+      free = Queue.create ();
+      pending = Queue.create ();
+      pending_bytes = 0;
+      sessions = Util.Lru.create ~capacity:cfg.max_sessions;
+      deadline_timer = None;
+      latency = Util.Stats.create ();
+      n_completed = 0;
+      n_shed = 0;
+      n_rejected = 0;
+      n_cache_hits = 0;
+      n_flushes_size = 0;
+      n_flushes_deadline = 0;
+      queue_peak = 0;
+      alive = true;
+    }
+  in
+  Array.iteri (fun i _ -> Queue.push i t.free) clients;
+  Simnet.Net.register net frontdoor_addr (fun ~src wire -> on_frame t ~src wire);
+  Simnet.Net.set_backlog_probe net frontdoor_addr (fun () -> Queue.length t.pending);
+  t
+
+let completed t = t.n_completed
+let shed t = t.n_shed
+let rejected t = t.n_rejected
+let reply_cache_hits t = t.n_cache_hits
+let flushes_size t = t.n_flushes_size
+let flushes_deadline t = t.n_flushes_deadline
+let queue_peak t = t.queue_peak
+let queue_depth t = Queue.length t.pending
+let session_evictions t = Util.Lru.evictions t.sessions
+let live_sessions t = Util.Lru.length t.sessions
+let latency_stats t = t.latency
+
+let shutdown t =
+  t.alive <- false;
+  (match t.deadline_timer with Some timer -> Simnet.Engine.cancel timer | None -> ());
+  t.deadline_timer <- None;
+  Simnet.Net.unregister t.net frontdoor_addr

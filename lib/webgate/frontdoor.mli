@@ -1,0 +1,102 @@
+(** The gateway front door: open-loop session fan-in, request coalescing,
+    and explicit flow control in front of a PBFT cluster.
+
+    Many lightweight client sessions (tens of thousands) send small
+    binary frames to one well-known address. The door coalesces queued
+    operations into batched upstream requests — flushed when
+    [flush_bytes] of operations accumulate (size trigger) or when the
+    oldest waits [flush_deadline] (deadline trigger) — and multiplexes
+    them over a small pool of real {!Pbft.Client} connections, composing
+    with the primary's own request batching. Admission control sheds
+    load with a distinguishable status instead of queueing without
+    bound, and session records live in a bounded LRU so the door's
+    memory is O(max_sessions) regardless of how many sessions ever
+    connect. *)
+
+val frontdoor_addr : int
+(** The door's network address (4000). *)
+
+val frame_cost : int -> float
+(** CPU seconds charged to convert one binary frame of the given size. *)
+
+(** {1 Session frames} *)
+
+val encode_request : session:int -> req_id:int -> op:string -> string
+val decode_request : string -> (int * int * string) option
+
+type status = Done | Shed  (** [Shed] marks an admission-control rejection. *)
+
+val encode_reply : status:status -> session:int -> req_id:int -> result:string -> string
+val decode_reply : string -> (status * int * int * string) option
+
+(** {1 Coalesced upstream operations} *)
+
+val encode_coalesced : (int * string) list -> string
+(** Pack [(session, op)] pairs into one upstream operation. *)
+
+val decode_coalesced : string -> (int * string) list option
+(** [None] when the operation is not a coalesced batch. *)
+
+val encode_results : string list -> string
+val decode_results : string -> string list option
+
+val wrap_service : Pbft.Service.t -> Pbft.Service.t
+(** Wrap a service so coalesced operations execute element-wise against
+    it (each element runs with its front-door session id as the service
+    [client], so session-scoped state keys by session). Ordinary
+    operations pass through unchanged. *)
+
+(** {1 The door} *)
+
+type config = {
+  connections : int;  (** upstream PBFT client connections *)
+  flush_bytes : int;  (** size trigger: flush once this many op bytes are queued *)
+  flush_deadline : float;  (** deadline trigger: max queueing delay before a partial flush *)
+  max_queue : int;  (** admission bound: operations queued beyond this are shed *)
+  max_sessions : int;  (** LRU bound on live session records *)
+}
+
+type t
+
+val create :
+  cfg:config ->
+  engine:Simnet.Engine.t ->
+  net:Simnet.Net.t ->
+  clients:Pbft.Client.t array ->
+  unit ->
+  t
+(** Register the door at {!frontdoor_addr}. [clients] are the upstream
+    connections (already created and keyed); the cluster's service must
+    be wrapped with {!wrap_service} for coalesced batches to execute.
+    Raises [Invalid_argument] if [clients] is empty. *)
+
+val completed : t -> int
+(** Operations answered with a quorum-accepted result. *)
+
+val shed : t -> int
+(** Operations rejected by admission control. *)
+
+val rejected : t -> int
+(** Malformed frames dropped. *)
+
+val reply_cache_hits : t -> int
+(** Retransmissions answered from the per-session last-reply cache. *)
+
+val flushes_size : t -> int
+val flushes_deadline : t -> int
+(** Upstream batches dispatched by each trigger. *)
+
+val queue_peak : t -> int
+(** High-water mark of the pending queue. *)
+
+val queue_depth : t -> int
+val session_evictions : t -> int
+(** Session records displaced by LRU capacity pressure ([max_sessions]). *)
+
+val live_sessions : t -> int
+
+val latency_stats : t -> Util.Stats.t
+(** Enqueue-to-reply latency of completed operations (virtual seconds);
+    shed operations are not recorded. *)
+
+val shutdown : t -> unit

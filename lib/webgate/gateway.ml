@@ -157,6 +157,9 @@ module Browser = struct
   type outstanding = {
     o_id : int;
     o_replies : (replica_id, string * bool) Hashtbl.t;
+    o_counts : (string * bool, int) Hashtbl.t;
+        (** per-(result, tentative) vote counts, maintained incrementally
+            so each reply checks one key instead of recounting all *)
     o_callback : string -> unit;
     mutable o_timer : Simnet.Engine.timer option;
     o_frame : Json.t;  (** retransmitted on timeout *)
@@ -346,30 +349,38 @@ module Browser = struct
       | _ -> assert false
     in
     let o =
-      { o_id = t.next_id; o_replies = Hashtbl.create 8; o_callback = callback; o_timer = None;
-        o_frame = frame }
+      { o_id = t.next_id; o_replies = Hashtbl.create 8; o_counts = Hashtbl.create 8;
+        o_callback = callback; o_timer = None; o_frame = frame }
     in
     t.out <- Some o;
     multicast_frame t frame;
     arm_retransmit t o
 
-  let check_quorum t o =
-    let counts = Hashtbl.create 8 in
-    Hashtbl.iter
-      (fun _ key ->
-        Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
-      o.o_replies;
-    Hashtbl.fold
-      (fun (result, tentative) c acc ->
-        match acc with
-        | Some _ -> acc
-        | None ->
-          if
-            (tentative && c >= quorum_2f1 ~f:t.cfg.Pbft.Config.f)
-            || ((not tentative) && c >= quorum_f1 ~f:t.cfg.Pbft.Config.f)
-          then Some result
-          else None)
-      counts None
+  let bump o key delta =
+    match Option.value ~default:0 (Hashtbl.find_opt o.o_counts key) + delta with
+    | 0 -> Hashtbl.remove o.o_counts key
+    | n -> Hashtbl.replace o.o_counts key n
+
+  (* A stable reply also votes in the tentative tally — committed implies
+     prepared — or 2f tentative + 1 stable matching replies (all that f
+     mute replicas leave) would reach neither threshold. *)
+  let record_vote o ((result, tentative) as key) =
+    bump o key 1;
+    if not tentative then bump o (result, true) 1
+
+  let retract_vote o ((result, tentative) as key) =
+    bump o key (-1);
+    if not tentative then bump o (result, true) (-1)
+
+  let count o key = Option.value ~default:0 (Hashtbl.find_opt o.o_counts key)
+
+  (* Only the keys the newest reply voted for can newly reach quorum, so
+     the check is O(1) per reply. *)
+  let check_quorum t o ~key:(result, tentative) =
+    if (not tentative) && count o (result, false) >= quorum_f1 ~f:t.cfg.Pbft.Config.f then
+      Some result
+    else if count o (result, true) >= quorum_2f1 ~f:t.cfg.Pbft.Config.f then Some result
+    else None
 
   (* --- incoming (replica -> browser boundary) --- *)
 
@@ -384,8 +395,14 @@ module Browser = struct
           let tentative = Json.to_bool_exn (Json.member "tentative" j) in
           (match Hashtbl.find_opt o.o_replies src with
           | Some (_, false) -> ()
-          | Some (_, true) | None -> Hashtbl.replace o.o_replies src (result, tentative));
-          match check_quorum t o with
+          | Some ((_, true) as old) ->
+            retract_vote o old;
+            Hashtbl.replace o.o_replies src (result, tentative);
+            record_vote o (result, tentative)
+          | None ->
+            Hashtbl.replace o.o_replies src (result, tentative);
+            record_vote o (result, tentative));
+          match check_quorum t o ~key:(result, tentative) with
           | None -> ()
           | Some result ->
             (match o.o_timer with Some timer -> Simnet.Engine.cancel timer | None -> ());

@@ -270,7 +270,7 @@ let test_hostbench_measure_and_json () =
   Alcotest.(check bool) "virtual tps positive" true (m.Harness.Hostbench.virtual_tps > 0.0);
   Alcotest.(check bool) "host time sane" true (m.Harness.Hostbench.host_seconds >= 0.0);
   let json = Webgate.Json.parse (Harness.Hostbench.to_json ~now:"test" [ m ]) in
-  Alcotest.(check string) "schema tag" "pbft-repro/bench/v4"
+  Alcotest.(check string) "schema tag" "pbft-repro/bench/v5"
     (Webgate.Json.to_string_exn (Webgate.Json.member "schema" json));
   Alcotest.(check bool) "checkpoints counted" true (m.Harness.Hostbench.checkpoint_count > 0);
   match Webgate.Json.member "workloads" json with
@@ -294,6 +294,22 @@ let test_hostbench_measure_and_json () =
         "tentative_completed";
         "stable_completed";
         "core_utilization";
+        "p50_latency";
+        "p95_latency";
+        "p99_latency";
+        "shed";
+        "gw_evictions";
+        "gw_queue_peak";
+        "replica_queue_peak";
+        "ro_cache_evictions";
+        "sessions";
+        "arrivals";
+        "offered_load";
+        "flushes_size";
+        "flushes_deadline";
+        "reply_cache_hits";
+        "events_per_request";
+        "alloc_per_request";
       ]
   | _ -> Alcotest.fail "workloads should hold the one measurement"
 

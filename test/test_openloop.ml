@@ -1,0 +1,221 @@
+(* Open-loop generator + gateway front door: flush triggers, determinism,
+   admission control, session churn and the reply cache. *)
+
+open Webgate
+
+(* --- frame & coalescing codecs --- *)
+
+let test_frame_roundtrips () =
+  let wire = Frontdoor.encode_request ~session:123456 ~req_id:42 ~op:"payload" in
+  Alcotest.(check (option (triple int int string)))
+    "request" (Some (123456, 42, "payload"))
+    (Frontdoor.decode_request wire);
+  Alcotest.(check (option (triple int int string))) "truncated request" None
+    (Frontdoor.decode_request (String.sub wire 0 (String.length wire - 2)));
+  (match Frontdoor.decode_reply (Frontdoor.encode_reply ~status:Frontdoor.Shed ~session:7 ~req_id:9 ~result:"") with
+  | Some (Frontdoor.Shed, 7, 9, "") -> ()
+  | Some _ | None -> Alcotest.fail "shed reply should roundtrip");
+  (match Frontdoor.decode_reply (Frontdoor.encode_reply ~status:Frontdoor.Done ~session:7 ~req_id:9 ~result:"ok") with
+  | Some (Frontdoor.Done, 7, 9, "ok") -> ()
+  | Some _ | None -> Alcotest.fail "done reply should roundtrip")
+
+let test_coalesced_roundtrip () =
+  let entries = [ (1, "alpha"); (99, ""); (100000, "gamma") ] in
+  Alcotest.(check (option (list (pair int string))))
+    "coalesced" (Some entries)
+    (Frontdoor.decode_coalesced (Frontdoor.encode_coalesced entries));
+  (* A plain operation must not parse as a batch. *)
+  Alcotest.(check (option (list (pair int string)))) "plain op passes through" None
+    (Frontdoor.decode_coalesced "ordinary-operation");
+  Alcotest.(check (option (list string)))
+    "results" (Some [ "a"; ""; "c" ])
+    (Frontdoor.decode_results (Frontdoor.encode_results [ "a"; ""; "c" ]))
+
+(* --- arrival processes --- *)
+
+let test_arrival_rates () =
+  Alcotest.(check (float 1e-9)) "poisson flat" 500.0
+    (Harness.Openloop.rate_at (Harness.Openloop.Poisson 500.0) 12.34);
+  let b = Harness.Openloop.Bursty { base = 100.0; burst = 900.0; period = 1.0; duty = 0.25 } in
+  Alcotest.(check (float 1e-9)) "burst phase" 900.0 (Harness.Openloop.rate_at b 0.1);
+  Alcotest.(check (float 1e-9)) "base phase" 100.0 (Harness.Openloop.rate_at b 0.5);
+  Alcotest.(check (float 1e-9)) "bursty mean" 300.0 (Harness.Openloop.mean_rate b);
+  let d = Harness.Openloop.Diurnal { mean = 200.0; amplitude = 0.5; period = 1.0 } in
+  Alcotest.(check (float 1e-9)) "diurnal mean" 200.0 (Harness.Openloop.mean_rate d);
+  Alcotest.(check (float 1e-6)) "diurnal peak" 300.0 (Harness.Openloop.rate_at d 0.25)
+
+(* --- deterministic flush boundaries --- *)
+
+(* A bursty arrival process exercises both flush triggers: the burst
+   phase accumulates [flush_bytes] quickly (size flush), the quiet phase
+   leaves partial batches to the deadline timer. Two runs of the same
+   spec must produce bit-identical message traces — the size/deadline
+   race is resolved by the virtual clock, never by host state. *)
+let small_spec () =
+  let cfg = Pbft.Config.default ~f:1 in
+  {
+    (Harness.Openloop.default_spec cfg) with
+    Harness.Openloop.sessions = 200;
+    arrival = Harness.Openloop.Bursty { base = 150.0; burst = 4000.0; period = 0.1; duty = 0.3 };
+    warmup = 0.05;
+    duration = 0.35;
+    op_bytes = 128;
+    gen_conns = 8;
+    gateway =
+      {
+        Frontdoor.connections = 4;
+        flush_bytes = 1024;
+        flush_deadline = 0.003;
+        max_queue = 4096;
+        max_sessions = 256;
+      };
+  }
+
+let trace_digest cluster =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (e : Simnet.Trace.entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.9f|%d|%d|%s|%d|%s\n" e.time e.src e.dst e.label e.size e.detail))
+    (Simnet.Trace.entries (Pbft.Cluster.trace cluster));
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let test_flush_triggers_deterministic () =
+  let run () =
+    let o, cluster, door, gen = Harness.Openloop.run (small_spec ()) in
+    Harness.Openloop.stop_generator gen;
+    let d = trace_digest cluster in
+    Frontdoor.shutdown door;
+    (o, d)
+  in
+  let o1, d1 = run () in
+  let o2, d2 = run () in
+  Alcotest.(check bool) "size flushes occur" true (o1.Harness.Openloop.flushes_size > 0);
+  Alcotest.(check bool) "deadline flushes occur" true (o1.Harness.Openloop.flushes_deadline > 0);
+  Alcotest.(check bool) "requests complete" true (o1.Harness.Openloop.base.Harness.Scenario.completed > 0);
+  Alcotest.(check string) "bit-identical trace" d1 d2;
+  Alcotest.(check int) "same completions"
+    o1.Harness.Openloop.base.Harness.Scenario.completed
+    o2.Harness.Openloop.base.Harness.Scenario.completed;
+  Alcotest.(check int) "same size flushes" o1.Harness.Openloop.flushes_size
+    o2.Harness.Openloop.flushes_size;
+  Alcotest.(check int) "same deadline flushes" o1.Harness.Openloop.flushes_deadline
+    o2.Harness.Openloop.flushes_deadline
+
+(* --- admission control --- *)
+
+let test_shed_is_distinguishable () =
+  (* A queue bound far below the offered load forces shedding; the
+     generator must observe the distinct Shed status (not timeouts, not
+     garbled results) and the counts must reconcile with the door's. *)
+  let spec =
+    {
+      (small_spec ()) with
+      Harness.Openloop.arrival = Harness.Openloop.Poisson 20000.0;
+      duration = 0.3;
+      gateway =
+        {
+          (small_spec ()).Harness.Openloop.gateway with
+          Frontdoor.connections = 2;
+          max_queue = 32;
+        };
+      sessions = 300;
+    }
+  in
+  let o, _cluster, door, gen = Harness.Openloop.run spec in
+  Harness.Openloop.stop_generator gen;
+  Alcotest.(check bool) "door sheds" true (Frontdoor.shed door > 0);
+  Alcotest.(check bool) "generator sees shed replies" true (o.Harness.Openloop.gen_shed > 0);
+  Alcotest.(check bool) "still completes under overload" true
+    (o.Harness.Openloop.base.Harness.Scenario.completed > 0);
+  Alcotest.(check int) "no malformed frames" 0 (Frontdoor.rejected door);
+  Alcotest.(check bool) "shed observed <= shed sent" true
+    (o.Harness.Openloop.gen_shed <= Frontdoor.shed door);
+  Frontdoor.shutdown door
+
+(* --- session churn --- *)
+
+let test_eviction_readmission () =
+  (* Far more sessions than LRU slots: records churn out constantly. A
+     retransmission from an evicted session must be re-admitted as a
+     fresh record and answered — eviction loses the reply cache, never
+     the ability to make progress. *)
+  let spec =
+    {
+      (small_spec ()) with
+      Harness.Openloop.arrival = Harness.Openloop.Poisson 1200.0;
+      sessions = 256;
+      duration = 0.5;
+      retransmit = Some 0.06;
+      gateway = { (small_spec ()).Harness.Openloop.gateway with Frontdoor.max_sessions = 32 };
+    }
+  in
+  let o, _cluster, door, gen = Harness.Openloop.run spec in
+  Harness.Openloop.stop_generator gen;
+  Alcotest.(check bool) "sessions evicted" true (Frontdoor.session_evictions door > 0);
+  Alcotest.(check int) "live sessions bounded" 32 (Frontdoor.live_sessions door);
+  Alcotest.(check bool) "progress continues under churn" true
+    (o.Harness.Openloop.base.Harness.Scenario.completed > 200);
+  Alcotest.(check int) "evicted retransmissions accepted, not rejected" 0
+    (Frontdoor.rejected door);
+  Frontdoor.shutdown door
+
+(* --- reply cache --- *)
+
+let test_reply_cache_replays () =
+  let cfg = Pbft.Config.default ~f:1 in
+  let cluster =
+    Pbft.Cluster.create ~seed:42 ~num_clients:2
+      ~service:(Frontdoor.wrap_service (Pbft.Service.counter ())) cfg
+  in
+  Simnet.Trace.set_enabled (Pbft.Cluster.trace cluster) false;
+  let net = Pbft.Cluster.net cluster in
+  let door =
+    Frontdoor.create
+      ~cfg:
+        {
+          Frontdoor.connections = 2;
+          flush_bytes = 64;
+          flush_deadline = 0.002;
+          max_queue = 64;
+          max_sessions = 16;
+        }
+      ~engine:(Pbft.Cluster.engine cluster) ~net ~clients:(Pbft.Cluster.clients cluster) ()
+  in
+  let session_addr = 7777 in
+  let replies = ref [] in
+  Simnet.Net.register net session_addr (fun ~src:_ wire -> replies := wire :: !replies);
+  let frame = Frontdoor.encode_request ~session:5 ~req_id:1 ~op:"incr" in
+  Simnet.Net.send net ~src:session_addr ~dst:Frontdoor.frontdoor_addr frame;
+  Pbft.Cluster.run cluster ~seconds:1.0;
+  Alcotest.(check int) "executed once" 1 (Frontdoor.completed door);
+  Alcotest.(check int) "one reply" 1 (List.length !replies);
+  (* The identical frame again: answered from the session's last-reply
+     cache without re-executing. *)
+  Simnet.Net.send net ~src:session_addr ~dst:Frontdoor.frontdoor_addr frame;
+  Pbft.Cluster.run cluster ~seconds:0.5;
+  Alcotest.(check int) "cache hit" 1 (Frontdoor.reply_cache_hits door);
+  Alcotest.(check int) "not re-executed" 1 (Frontdoor.completed door);
+  match List.rev_map Frontdoor.decode_reply !replies with
+  | [ Some (Frontdoor.Done, 5, 1, r1); Some (Frontdoor.Done, 5, 1, r2) ] ->
+    Alcotest.(check string) "replayed result identical" r1 r2
+  | _ -> Alcotest.fail "expected two well-formed Done replies for req 1"
+
+let () =
+  Alcotest.run "openloop"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "frames roundtrip" `Quick test_frame_roundtrips;
+          Alcotest.test_case "coalescing roundtrip" `Quick test_coalesced_roundtrip;
+        ] );
+      ("arrivals", [ Alcotest.test_case "rates & means" `Quick test_arrival_rates ]);
+      ( "gateway",
+        [
+          Alcotest.test_case "flush triggers deterministic" `Slow
+            test_flush_triggers_deterministic;
+          Alcotest.test_case "shed is distinguishable" `Slow test_shed_is_distinguishable;
+          Alcotest.test_case "eviction & readmission" `Slow test_eviction_readmission;
+          Alcotest.test_case "reply cache replays" `Quick test_reply_cache_replays;
+        ] );
+    ]

@@ -216,6 +216,29 @@ let test_membership_serialize_roundtrip () =
   | Membership.Joined { client; _ } -> Alcotest.(check int) "next id preserved" 3 client
   | Membership.Table_full -> Alcotest.fail "full"
 
+let test_membership_stale_cleanup_order () =
+  (* The last-active agenda must pop the entire stale set in one join,
+     in a canonical deterministic order (Join replies carry the list on
+     the wire), and touch must reposition entries so a recently active
+     session survives the sweep. *)
+  let m = Membership.create ~max_clients:4 ~dynamic:true in
+  let j addr identity now =
+    Membership.join m ~addr ~pubkey:"p" ~identity ~now ~stale_threshold:5.0
+  in
+  ignore (j 1001 "a" 0.0);
+  ignore (j 1002 "b" 1.0);
+  ignore (j 1003 "c" 2.0);
+  ignore (j 1004 "d" 3.0);
+  (* Client 1 was the oldest but a touch makes it the freshest. *)
+  Membership.touch m 1 9.0;
+  (* now=10: clients 2,3,4 (last active 1,2,3) are stale; 1 is not. *)
+  match j 1005 "e" 10.0 with
+  | Membership.Joined { client; terminated } ->
+    Alcotest.(check (list int)) "whole stale set, canonical order" [ 4; 3; 2 ] terminated;
+    Alcotest.(check int) "new id" 5 client;
+    Alcotest.(check bool) "touched session survives" true (Membership.lookup m 1 <> None)
+  | Membership.Table_full -> Alcotest.fail "cleanup should have made room"
+
 (* --- log --- *)
 
 let test_log_transitions () =
@@ -653,6 +676,33 @@ let test_session_state_unit () =
   Alcotest.(check (option string)) "persistent in region" (Some "pears")
     (Session_state.get store2 ~client:2 ~key:"cart")
 
+let test_session_state_cache_follows_generation () =
+  (* The store memoizes the decoded image keyed on [Pages.generation]:
+     out-of-band page replacement (state transfer via [load_page],
+     rollback via [restore_page]) bumps the generation, so a stale
+     decode must never be served afterwards. *)
+  let pages = Statemgr.Pages.create ~page_size:4096 ~num_pages:8 () in
+  let store = Session_state.create pages ~first_page:0 ~pages:8 in
+  Session_state.set store ~client:1 ~key:"k" "old";
+  Alcotest.(check (option string)) "warm cache" (Some "old")
+    (Session_state.get store ~client:1 ~key:"k");
+  let snap = Statemgr.Pages.snapshot pages in
+  (* A state transfer lands a different image over the same handle. *)
+  let pages2 = Statemgr.Pages.create ~page_size:4096 ~num_pages:8 () in
+  let store2 = Session_state.create pages2 ~first_page:0 ~pages:8 in
+  Session_state.set store2 ~client:1 ~key:"k" "transferred";
+  for i = 0 to 7 do
+    Statemgr.Pages.load_page pages i (Statemgr.Pages.page pages2 i)
+  done;
+  Alcotest.(check (option string)) "sees transferred image" (Some "transferred")
+    (Session_state.get store ~client:1 ~key:"k");
+  (* A rollback restores the snapshot: the cache must follow again. *)
+  for i = 0 to 7 do
+    Statemgr.Pages.restore_page pages snap i
+  done;
+  Alcotest.(check (option string)) "sees rolled-back image" (Some "old")
+    (Session_state.get store ~client:1 ~key:"k")
+
 let test_session_state_cleared_on_takeover () =
   (* A re-join under the same identity terminates the old session; the
      middleware must wipe its session-mapped state (§3.3.2). *)
@@ -855,6 +905,8 @@ let () =
           Alcotest.test_case "table full & stale cleanup" `Quick test_membership_full_and_cleanup;
           Alcotest.test_case "leave" `Quick test_membership_leave;
           Alcotest.test_case "serialize roundtrip" `Quick test_membership_serialize_roundtrip;
+          Alcotest.test_case "stale cleanup order & touch" `Quick
+            test_membership_stale_cleanup_order;
         ] );
       ( "log",
         [
@@ -891,6 +943,8 @@ let () =
       ( "session-state",
         [
           Alcotest.test_case "store semantics (§3.3.2)" `Quick test_session_state_unit;
+          Alcotest.test_case "cache follows page generation" `Quick
+            test_session_state_cache_follows_generation;
           Alcotest.test_case "wiped on identity takeover" `Slow
             test_session_state_cleared_on_takeover;
           Alcotest.test_case "survives state transfer" `Slow test_session_state_survives_transfer;

@@ -354,6 +354,59 @@ let prop_hex_roundtrip =
   QCheck.Test.make ~name:"hex roundtrip" ~count:500 QCheck.string (fun s ->
       Util.Hexdump.to_string (Util.Hexdump.of_string s) = s)
 
+(* --- Lru --- *)
+
+let test_lru_basic () =
+  let l = Util.Lru.create ~capacity:2 in
+  Util.Lru.put l "a" 1;
+  Util.Lru.put l "b" 2;
+  Alcotest.(check (option int)) "find a" (Some 1) (Util.Lru.find l "a");
+  Alcotest.(check int) "length" 2 (Util.Lru.length l);
+  Alcotest.(check int) "capacity" 2 (Util.Lru.capacity l);
+  Alcotest.(check bool) "mem" true (Util.Lru.mem l "b");
+  Util.Lru.put l "a" 10;
+  Alcotest.(check (option int)) "replace" (Some 10) (Util.Lru.peek l "a");
+  Alcotest.(check int) "replace keeps length" 2 (Util.Lru.length l);
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Lru.create: capacity must be at least 1") (fun () ->
+      ignore (Util.Lru.create ~capacity:0 : (int, int) Util.Lru.t))
+
+let test_lru_eviction_order () =
+  let l = Util.Lru.create ~capacity:3 in
+  Util.Lru.put l 1 "one";
+  Util.Lru.put l 2 "two";
+  Util.Lru.put l 3 "three";
+  (* Touch 1 so 2 becomes the coldest entry. *)
+  ignore (Util.Lru.find l 1);
+  Alcotest.(check (option int)) "lru" (Some 2) (Util.Lru.lru l);
+  Alcotest.(check (option int)) "mru" (Some 1) (Util.Lru.mru l);
+  let evicted = ref [] in
+  Util.Lru.put l 4 "four" ~on_evict:(fun k v -> evicted := (k, v) :: !evicted);
+  Alcotest.(check (list (pair int string))) "2 displaced" [ (2, "two") ] !evicted;
+  Alcotest.(check bool) "2 gone" false (Util.Lru.mem l 2);
+  Alcotest.(check int) "one eviction" 1 (Util.Lru.evictions l)
+
+let test_lru_peek_does_not_refresh () =
+  let l = Util.Lru.create ~capacity:2 in
+  Util.Lru.put l 1 ();
+  Util.Lru.put l 2 ();
+  (* peek must not promote 1, so it is still the one displaced. *)
+  ignore (Util.Lru.peek l 1);
+  Util.Lru.put l 3 ();
+  Alcotest.(check bool) "1 evicted despite peek" false (Util.Lru.mem l 1);
+  Alcotest.(check bool) "2 kept" true (Util.Lru.mem l 2)
+
+let test_lru_remove_and_evict () =
+  let l = Util.Lru.create ~capacity:4 in
+  List.iter (fun k -> Util.Lru.put l k (k * k)) [ 1; 2; 3 ];
+  Util.Lru.remove l 2;
+  Alcotest.(check int) "length after remove" 2 (Util.Lru.length l);
+  Alcotest.(check int) "remove does not count" 0 (Util.Lru.evictions l);
+  Alcotest.(check (option (pair int int))) "forced evict" (Some (1, 1)) (Util.Lru.evict_lru l);
+  Alcotest.(check int) "forced evict counts" 1 (Util.Lru.evictions l);
+  Alcotest.(check (option (pair int int))) "last" (Some (3, 9)) (Util.Lru.evict_lru l);
+  Alcotest.(check (option (pair int int))) "empty" None (Util.Lru.evict_lru l)
+
 let () =
   Alcotest.run "util"
     [
@@ -401,5 +454,12 @@ let () =
           Alcotest.test_case "known vectors" `Quick test_hex_known;
           Alcotest.test_case "errors" `Quick test_hex_errors;
           qcheck prop_hex_roundtrip;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "basic" `Quick test_lru_basic;
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "peek does not refresh" `Quick test_lru_peek_does_not_refresh;
+          Alcotest.test_case "remove & forced evict" `Quick test_lru_remove_and_evict;
         ] );
     ]

@@ -4,7 +4,8 @@
    virtual cost model.
 
    Usage:  dune exec bench/main.exe [-- section ... [--quick]]
-   Sections: micro bench digest sqlidx pipeline faults openloop table1
+   Sections: micro bench digest sqlidx pipeline faults openloop shards
+             table1
              figure1 figure2 figure3 figure4 figure5 acid recovery
              packet-loss nondet wan sizes loss ablation pipesweep all
              (default)
@@ -394,6 +395,80 @@ let run_openloop () =
     List.iter (fun f -> Printf.eprintf "FAIL: %s\n" f) fs;
     exit 1
 
+(* Sharded PBFT with the PR 8 acceptance gates: virtual TPS versus shard
+   count on a purely shardable workload (1/2/4 shards, the 2-shard run
+   must clear 1.7x the single-shard baseline), a cross-shard mix row for
+   the 2PC tax, and the Byzantine-coordinator-mid-2PC scenario (no shard
+   may commit; every prepared shard rolls back via its COW undo
+   snapshot). Writes BENCH-shards.json. *)
+let run_shards () =
+  banner "Sharded PBFT — vTPS vs shard count";
+  let dur = if !quick then 0.8 else 2.0 in
+  let spec shards =
+    {
+      (Harness.Shards.default_spec ~shards ()) with
+      Harness.Shards.seed = !seed;
+      duration = dur;
+      warmup = (if !quick then 0.25 else 0.5);
+    }
+  in
+  let show (m : Harness.Hostbench.measurement) =
+    Printf.printf
+      "  %-24s vTPS %9.1f  p99 %6.1fms  shed %6d  cross %d/%d  shard vTPS [%s]\n%!" m.name
+      m.virtual_tps (m.p99_latency *. 1e3) m.shed m.cross_commits m.cross_aborts
+      (String.concat "; "
+         (Array.to_list (Array.map (fun t -> Printf.sprintf "%.0f" t) m.shard_tps)))
+  in
+  let sweep =
+    List.map
+      (fun shards ->
+        let m =
+          Harness.Hostbench.measure_shards
+            ~name:(Printf.sprintf "shards:%d" shards)
+            (spec shards)
+        in
+        show m;
+        m)
+      [ 1; 2; 4 ]
+  in
+  (* The 2PC tax, informational: same 2-shard deployment with 10% of
+     operations becoming cross-shard transfers. *)
+  let crossed =
+    Harness.Hostbench.measure_shards ~name:"shards:2_cross10"
+      { (spec 2) with Harness.Shards.cross_fraction = 0.1 }
+  in
+  show crossed;
+  let vtps n =
+    match List.nth_opt sweep n with
+    | Some (m : Harness.Hostbench.measurement) -> m.virtual_tps
+    | None -> 0.0
+  in
+  let ratio2 = if vtps 0 > 0.0 then vtps 1 /. vtps 0 else 0.0 in
+  let ratio4 = if vtps 0 > 0.0 then vtps 2 /. vtps 0 else 0.0 in
+  Printf.printf "  scaling: 2 shards %.2fx, 4 shards %.2fx the single-shard baseline\n%!" ratio2
+    ratio4;
+  let byz = Harness.Shards.byzantine_coordinator () in
+  print_string (Harness.Shards.render_byz byz);
+  let json = Harness.Hostbench.to_json ~now:(iso8601 ()) (sweep @ [ crossed ]) in
+  let oc = open_out "BENCH-shards.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote BENCH-shards.json (%d workloads)\n%!" (List.length sweep + 1);
+  let failures = ref [] in
+  let gate cond msg = if not cond then failures := msg :: !failures in
+  gate (ratio2 >= 1.7)
+    (Printf.sprintf "2-shard vTPS is %.2fx the single-shard baseline (need >= 1.7x)" ratio2);
+  gate
+    (byz.Harness.Shards.bz_failures = [])
+    (Printf.sprintf "Byzantine-coordinator scenario: %s"
+       (String.concat "; " byz.Harness.Shards.bz_failures));
+  match !failures with
+  | [] -> Printf.printf "  shards gates: PASS\n%!"
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "FAIL: %s\n" f) fs;
+    exit 1
+
 let sections : (string * (unit -> unit)) list =
   [
     ("micro", run_micro);
@@ -403,6 +478,7 @@ let sections : (string * (unit -> unit)) list =
     ("pipeline", run_pipeline);
     ("faults", run_faults);
     ("openloop", run_openloop);
+    ("shards", run_shards);
     ( "figure1",
       fun () ->
         banner "Figure 1 — normal-case operation";

@@ -36,6 +36,14 @@ type measurement = {
   reply_cache_hits : int;
   events_per_request : float;
   alloc_per_request : float;
+  (* v6: sharded-deployment telemetry. Single-group workloads report one
+     shard and no cross-shard traffic. *)
+  shards : int;
+  shard_tps : float array;
+  shard_queue_peak : int array;
+  cross_commits : int;
+  cross_aborts : int;
+  cross_timeouts : int;
 }
 
 let measure ~name spec =
@@ -123,6 +131,12 @@ let measure ~name spec =
     alloc_per_request =
       (if outcome.Scenario.completed > 0 then alloc /. float_of_int outcome.Scenario.completed
        else 0.0);
+    shards = outcome.Scenario.shards;
+    shard_tps = outcome.Scenario.shard_tps;
+    shard_queue_peak = outcome.Scenario.shard_queue_peak;
+    cross_commits = outcome.Scenario.cross_shard_commits;
+    cross_aborts = outcome.Scenario.cross_shard_aborts;
+    cross_timeouts = 0;
   }
 
 (* Open-loop front-door workload: same host-cost envelope, but driven by
@@ -189,6 +203,97 @@ let measure_openloop ~name spec =
     reply_cache_hits = outcome.Openloop.reply_cache_hits;
     events_per_request = outcome.Openloop.events_per_request;
     alloc_per_request = outcome.Openloop.alloc_per_request;
+    shards = base.Scenario.shards;
+    shard_tps = base.Scenario.shard_tps;
+    shard_queue_peak = base.Scenario.shard_queue_peak;
+    cross_commits = base.Scenario.cross_shard_commits;
+    cross_aborts = base.Scenario.cross_shard_aborts;
+    cross_timeouts = 0;
+  }
+
+(* Sharded deployment (PR 8): the host-cost envelope around a
+   Shards.run, with the per-shard telemetry block live. *)
+let measure_shards ~name spec =
+  let[@detlint.allow wall_clock] t0 = Unix.gettimeofday () in
+  let h0 = Crypto.Sha256.bytes_hashed () in
+  let c0 = Statemgr.Pages.bytes_copied () in
+  let a0 = Gc.allocated_bytes () in
+  let outcome, d = Shards.run spec in
+  let alloc = Gc.allocated_bytes () -. a0 in
+  let[@detlint.allow wall_clock] host_seconds = Unix.gettimeofday () -. t0 in
+  let bytes_hashed = Crypto.Sha256.bytes_hashed () - h0 in
+  let bytes_copied = Statemgr.Pages.bytes_copied () - c0 in
+  let events = Simnet.Engine.events (Shards.engine d) in
+  let all_reps =
+    Array.to_list
+      (Array.init spec.Shards.shards (fun s -> Pbft.Cluster.replicas (Shards.cluster d s)))
+    |> Array.concat
+  in
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 all_reps in
+  let checkpoint_count = sum Pbft.Replica.checkpoints_taken in
+  let undo_snapshots = sum Pbft.Replica.undo_snapshots in
+  let snapshots = checkpoint_count + undo_snapshots in
+  let per_sec n = if host_seconds > 0.0 then float_of_int n /. host_seconds else 0.0 in
+  let core_utilization =
+    if Array.length all_reps = 0 then 0.0
+    else
+      Array.fold_left
+        (fun acc r -> acc +. Simnet.Cpu.utilization (Pbft.Replica.cpu r) ~since:0.0)
+        0.0 all_reps
+      /. float_of_int (Array.length all_reps)
+  in
+  {
+    name;
+    host_seconds;
+    events;
+    events_per_sec = per_sec events;
+    bytes_hashed;
+    hashed_mb_per_sec = per_sec bytes_hashed /. 1e6;
+    virtual_tps = outcome.Shards.so_vtps;
+    completed = outcome.Shards.so_completed;
+    checkpoint_count;
+    undo_snapshots;
+    bytes_copied;
+    bytes_copied_per_checkpoint =
+      (if snapshots > 0 then float_of_int bytes_copied /. float_of_int snapshots else 0.0);
+    deep_copy_bytes_per_checkpoint = 0.0;
+    pages_read = 0;
+    rows_scanned = 0;
+    speculative_executions = sum Pbft.Replica.speculative_execs;
+    rollbacks = sum Pbft.Replica.rollbacks;
+    tentative_completed = 0;
+    core_utilization;
+    p50_latency = outcome.Shards.so_p50;
+    p95_latency = outcome.Shards.so_p95;
+    p99_latency = outcome.Shards.so_p99;
+    shed = outcome.Shards.so_shed;
+    gw_evictions = Webgate.Router.session_evictions (Shards.router d);
+    gw_queue_peak = Array.fold_left Int.max 0 outcome.Shards.so_shard_queue_peak;
+    replica_queue_peak =
+      Array.fold_left
+        (fun acc r -> Int.max acc (Simnet.Cpu.peak_queue_length (Pbft.Replica.cpu r)))
+        0 all_reps;
+    ro_cache_evictions = sum Pbft.Replica.ro_reply_evictions;
+    sessions = spec.Shards.sessions;
+    arrivals = 0;
+    offered_load = 0.0;
+    flushes_size = 0;
+    flushes_deadline = 0;
+    reply_cache_hits = outcome.Shards.so_cache_hits;
+    events_per_request =
+      (if outcome.Shards.so_completed > 0 then
+         float_of_int events /. float_of_int outcome.Shards.so_completed
+       else 0.0);
+    alloc_per_request =
+      (if outcome.Shards.so_completed > 0 then
+         alloc /. float_of_int outcome.Shards.so_completed
+       else 0.0);
+    shards = spec.Shards.shards;
+    shard_tps = outcome.Shards.so_shard_tps;
+    shard_queue_peak = outcome.Shards.so_shard_queue_peak;
+    cross_commits = outcome.Shards.so_cross_commits;
+    cross_aborts = outcome.Shards.so_cross_aborts;
+    cross_timeouts = outcome.Shards.so_cross_timeouts;
   }
 
 let base_cfg () = Pbft.Config.default ~f:1
@@ -330,12 +435,19 @@ let to_json ?(now = "unknown") ms =
         ("reply_cache_hits", Num (float_of_int m.reply_cache_hits));
         ("events_per_request", Num m.events_per_request);
         ("alloc_per_request", Num m.alloc_per_request);
+        ("shards", Num (float_of_int m.shards));
+        ("shard_tps", Arr (Array.to_list (Array.map (fun t -> Num t) m.shard_tps)));
+        ( "shard_queue_peak",
+          Arr (Array.to_list (Array.map (fun q -> Num (float_of_int q)) m.shard_queue_peak)) );
+        ("cross_commits", Num (float_of_int m.cross_commits));
+        ("cross_aborts", Num (float_of_int m.cross_aborts));
+        ("cross_timeouts", Num (float_of_int m.cross_timeouts));
       ]
   in
   pretty
     (Obj
        [
-         ("schema", Str "pbft-repro/bench/v5");
+         ("schema", Str "pbft-repro/bench/v6");
          ("generated", Str now);
          ("trace_digest", Str (trace_digest ()));
          ("workloads", Arr (List.map workload ms));

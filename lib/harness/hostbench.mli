@@ -54,6 +54,12 @@ type measurement = {
   reply_cache_hits : int;  (** retransmissions answered from the gateway reply cache *)
   events_per_request : float;  (** simulation events per completed request *)
   alloc_per_request : float;  (** host heap bytes allocated per completed request *)
+  shards : int;  (** replica groups serving the workload (1 single-group) *)
+  shard_tps : float array;  (** per-shard completed ops per virtual second *)
+  shard_queue_peak : int array;  (** per-shard front-door queue high-water marks *)
+  cross_commits : int;  (** 2PC transactions committed on every participant *)
+  cross_aborts : int;  (** 2PC transactions aborted (vote or timeout) *)
+  cross_timeouts : int;  (** of [cross_aborts], coordinator-timeout triggered *)
 }
 
 val measure : name:string -> Scenario.spec -> measurement
@@ -64,6 +70,12 @@ val measure_openloop : name:string -> Openloop.spec -> measurement
 (** Like {!measure} for an open-loop front-door workload: the latency
     percentiles are the generator's enqueue-to-reply distribution and the
     gateway telemetry block is live. *)
+
+val measure_shards : name:string -> Shards.spec -> measurement
+(** Like {!measure} for a sharded deployment driven by closed-loop edge
+    sessions through the {!Webgate.Router}: the per-shard telemetry block
+    ([shards], [shard_tps], [shard_queue_peak], cross-shard counters) is
+    live. *)
 
 val table1_workloads : ?seed:int -> ?duration:float -> unit -> measurement list
 (** One measurement per Table-1 row (the ten library configurations,

@@ -231,9 +231,10 @@ let run ?hook spec =
   let reps = Pbft.Cluster.replicas cluster in
   let sum f = Array.fold_left (fun acc r -> acc + f r) 0 reps in
   let pct p = if Util.Stats.count g.latency > 0 then Util.Stats.percentile g.latency p else 0.0 in
+  let tps_value = if span > 0.0 then float_of_int completed /. span else 0.0 in
   let base =
     {
-      Scenario.tps = (if span > 0.0 then float_of_int completed /. span else 0.0);
+      Scenario.tps = tps_value;
       completed;
       mean_latency = (if Util.Stats.count g.latency > 0 then Util.Stats.mean g.latency else 0.0);
       p50_latency = pct 50.0;
@@ -259,6 +260,11 @@ let run ?hook spec =
           (fun acc r -> Int.max acc (Simnet.Cpu.peak_queue_length (Pbft.Replica.cpu r)))
           0 reps;
       ro_cache_evictions = sum Pbft.Replica.ro_reply_evictions;
+      shards = 1;
+      shard_tps = [| tps_value |];
+      shard_queue_peak = [| Webgate.Frontdoor.queue_peak door |];
+      cross_shard_commits = 0;
+      cross_shard_aborts = 0;
     }
   in
   let outcome =

@@ -46,6 +46,13 @@ type outcome = {
   gw_queue_peak : int;
   replica_queue_peak : int;
   ro_cache_evictions : int;
+  (* Sharded-deployment telemetry (PR 8): single-group drivers report
+     themselves as one shard with no cross-shard traffic. *)
+  shards : int;
+  shard_tps : float array;
+  shard_queue_peak : int array;
+  cross_shard_commits : int;
+  cross_shard_aborts : int;
 }
 
 let join_all cluster =
@@ -124,9 +131,10 @@ let run_cluster ?hook spec =
   let span = Simnet.Engine.now engine -. measure_start in
   let reps = Pbft.Cluster.replicas cluster in
   let sum f = Array.fold_left (fun acc r -> acc + f r) 0 reps in
+  let tps_value = if span > 0.0 then float_of_int measured /. span else 0.0 in
   let outcome =
     {
-      tps = (if span > 0.0 then float_of_int measured /. span else 0.0);
+      tps = tps_value;
       completed = measured;
       mean_latency = (if Util.Stats.count all > 0 then Util.Stats.mean all else 0.0);
       p50_latency =
@@ -160,6 +168,11 @@ let run_cluster ?hook spec =
           (fun acc r -> Int.max acc (Simnet.Cpu.peak_queue_length (Pbft.Replica.cpu r)))
           0 reps;
       ro_cache_evictions = sum Pbft.Replica.ro_reply_evictions;
+      shards = 1;
+      shard_tps = [| tps_value |];
+      shard_queue_peak = [| 0 |];
+      cross_shard_commits = 0;
+      cross_shard_aborts = 0;
     }
   in
   (* Teardown: one-shot drop predicates armed by the hook but never

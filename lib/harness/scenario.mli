@@ -54,6 +54,18 @@ type outcome = {
       (** max over replicas of the CPU dispatch queue's high-water mark *)
   ro_cache_evictions : int;
       (** replica read-only reply-cache LRU evictions, summed *)
+  shards : int;
+      (** replica groups serving the workload; 1 for every single-group
+          driver, the topology's shard count for {!Shards.run} *)
+  shard_tps : float array;
+      (** per-shard completed operations per virtual second; a one-element
+          array mirroring [tps] in single-group runs *)
+  shard_queue_peak : int array;
+      (** per-shard front-door pending-queue high-water marks *)
+  cross_shard_commits : int;
+      (** 2PC transactions committed on every participant (0 single-group) *)
+  cross_shard_aborts : int;
+      (** 2PC transactions aborted — vote-aborts and coordinator timeouts *)
 }
 
 val run : ?hook:(Pbft.Cluster.t -> unit) -> spec -> outcome

@@ -183,6 +183,13 @@ let invoke_certified t ?(readonly = false) op callback =
 
 let invoke t ?readonly op callback = invoke_certified t ?readonly op (fun r _ -> callback r)
 
+(* The request id a 2PC coordinator needs to let third parties check the
+   certificate: [invoke_certified] assigns ids densely, so the id this
+   call will use is known before it runs. *)
+let invoke_attested t ?readonly op callback =
+  let rq_id = t.next_rq_id + 1 in
+  invoke_certified t ?readonly op (fun result cert -> callback ~rq_id result cert)
+
 (* Quorum rules (§2.1): f+1 matching stable replies, or 2f+1 matching
    tentative replies; read-only requests always need 2f+1.
 

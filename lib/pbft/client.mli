@@ -59,6 +59,13 @@ val invoke_certified : t -> ?readonly:bool -> string -> (string -> string option
     key (§3.3.1) the callback also receives the combined reply
     certificate — verifiable offline with {!Certificate.verify}. *)
 
+val invoke_attested :
+  t -> ?readonly:bool -> string -> (rq_id:int -> string -> string option -> unit) -> unit
+(** {!invoke_certified} plus the request id the call was assigned —
+    everything a cross-shard coordinator must forward for another
+    replica group to verify the vote ({!Certificate.verify} binds
+    (client, rq_id, result)). *)
+
 val completed : t -> int
 
 val tentative_completed : t -> int

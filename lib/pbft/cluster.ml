@@ -20,11 +20,19 @@ let clients t = t.cls
 let client t i = t.cls.(i)
 
 let create ?(seed = 1) ?(profile = Simnet.Net.lan_profile) ?(costs = Costmodel.default)
-    ?(num_clients = 12) ?(service = Service.null ()) ?(threshold_replies = false)
+    ?(num_clients = 12) ?(service = Service.null ()) ?(threshold_replies = false) ?engine ?net
     (cfg : Config.t) =
   (match Config.validate cfg with Ok () -> () | Error e -> invalid_arg ("Cluster.create: " ^ e));
-  let engine = Simnet.Engine.create ~seed in
-  let net = Simnet.Net.create engine profile in
+  (* A sharded deployment builds several groups on one shared engine,
+     each with its own net (a private address space); a standalone
+     cluster builds both itself. *)
+  let engine =
+    match (engine, net) with
+    | Some e, _ -> e
+    | None, Some n -> Simnet.Net.engine n
+    | None, None -> Simnet.Engine.create ~seed
+  in
+  let net = match net with Some n -> n | None -> Simnet.Net.create engine profile in
   let rng = Util.Rng.split (Simnet.Engine.rng engine) in
   (* Simulated keys regardless of auth mode: the cost model charges the
      virtual price of the real arithmetic; tests exercise Real mode

@@ -13,13 +13,21 @@ val create :
   ?num_clients:int ->
   ?service:Service.t ->
   ?threshold_replies:bool ->
+  ?engine:Simnet.Engine.t ->
+  ?net:Simnet.Net.t ->
   Config.t ->
   t
 (** Build engine, network, registry, [cfg.n] replicas and [num_clients]
     clients (default 12). In static mode the clients are pre-registered
     and their MAC session keys installed out of band (the a-priori key
     distribution PBFT assumes); in dynamic mode clients start outside the
-    membership and must {!Client.join}. *)
+    membership and must {!Client.join}.
+
+    [engine]/[net] let a multi-group (sharded) deployment place several
+    clusters on one shared engine, each in its own network address
+    space; when [net] is given its engine wins, when only [engine] is
+    given a fresh net is created on it, and [seed] only matters when the
+    cluster creates the engine itself. *)
 
 val engine : t -> Simnet.Engine.t
 val net : t -> Simnet.Net.t

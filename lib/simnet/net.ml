@@ -35,6 +35,7 @@ type link_fault = {
 
 type t = {
   engine : Engine.t;
+  name : string;
   trace : Trace.t;
   rng : Util.Rng.t;
   mutable prof : profile;
@@ -50,10 +51,11 @@ type t = {
   mutable bytes : int;
 }
 
-let create engine ?trace prof =
+let create engine ?(name = "") ?trace prof =
   let trace = match trace with Some tr -> tr | None -> Trace.create () in
   {
     engine;
+    name;
     trace;
     rng = Util.Rng.split (Engine.rng engine);
     prof;
@@ -70,6 +72,7 @@ let create engine ?trace prof =
   }
 
 let engine t = t.engine
+let name t = t.name
 let trace t = t.trace
 let register t a h = Hashtbl.replace t.handlers a h
 let unregister t a = Hashtbl.remove t.handlers a

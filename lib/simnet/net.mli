@@ -43,8 +43,13 @@ val wan_profile : profile
 
 type t
 
-val create : Engine.t -> ?trace:Trace.t -> profile -> t
+val create : Engine.t -> ?name:string -> ?trace:Trace.t -> profile -> t
+(** Several nets may share one engine — a sharded deployment gives each
+    replica group its own address space plus an edge net for sessions.
+    [name] labels the net in multi-net trace dumps (default [""]). *)
+
 val engine : t -> Engine.t
+val name : t -> string
 val trace : t -> Trace.t
 
 val register : t -> addr -> (src:addr -> string -> unit) -> unit

@@ -1,0 +1,516 @@
+type config = {
+  topology : Relsql.Shard.topology;
+  flush_bytes : int;
+  flush_deadline : float;
+  max_queue : int;
+  max_sessions : int;
+  prepare_timeout : float;
+  tx_ttl : float;
+}
+
+type pending = {
+  pr_session : int;
+  pr_id : int;
+  pr_op : string;
+  pr_addr : int;
+  pr_enq : float;
+  pr_readonly : bool;
+}
+
+type lane = {
+  l_shard : int;
+  l_data : Pbft.Client.t array;
+  l_control : Pbft.Client.t;
+  l_free : int Queue.t;
+  l_pending : pending Queue.t;
+  mutable l_pending_bytes : int;
+  mutable l_inflight : int;  (** outstanding data-connection batches *)
+  mutable l_control_busy : bool;
+  mutable l_blocked : bool;  (** involved in the in-flight cross-shard tx *)
+  mutable l_timer : Simnet.Engine.timer option;
+  mutable l_completed : int;
+  mutable l_queue_peak : int;
+}
+
+type xpending = {
+  xp_session : int;
+  xp_id : int;
+  xp_addr : int;
+  xp_enq : float;
+  xp_route : int list;
+  xp_route_key : string;
+  xp_plan : (int * string) list;
+}
+
+type xstate = {
+  x : xpending;
+  x_tx : int;
+  mutable x_sent : bool;  (** prepares dispatched (lanes were quiesced) *)
+  mutable x_awaiting : int;  (** prepare votes not yet in *)
+  mutable x_votes : Relsql.Twopc.vote list;
+  mutable x_aborting : bool;
+  mutable x_aborts_sent : int list;  (** shards already sent their Abort *)
+  mutable x_acks : int;  (** commit or abort acknowledgements received *)
+  mutable x_timer : Simnet.Engine.timer option;
+}
+
+(* The session's replay cache is keyed on (route, request id): a cross-
+   shard reply cached under route "0,2" can never answer a single-shard
+   retransmission that reused the same id after a session reset. *)
+type session = { mutable s_last_reply : (string * int * string) option }
+
+type t = {
+  cfg : config;
+  engine : Simnet.Engine.t;
+  net : Simnet.Net.t;
+  cpu : Simnet.Cpu.t;
+  classify : string -> bool;
+  lanes : lane array;
+  xq : xpending Queue.t;
+  mutable current : xstate option;
+  mutable next_tx : int;
+  sessions : (int, session) Util.Lru.t;
+  latency : Util.Stats.t;
+  mutable n_completed : int;
+  mutable n_shed : int;
+  mutable n_rejected : int;
+  mutable n_cache_hits : int;
+  mutable n_cross_commits : int;
+  mutable n_cross_aborts : int;
+  mutable n_cross_timeouts : int;
+  mutable xq_peak : int;
+  mutable alive : bool;
+}
+
+let now t = Simnet.Engine.now t.engine
+
+let send_reply t ~dst ~status ~session ~req_id ~result =
+  let frame = Frontdoor.encode_reply ~status ~session ~req_id ~result in
+  Simnet.Cpu.execute t.cpu ~cost:(Frontdoor.frame_cost (String.length frame)) (fun () ->
+      Simnet.Net.send t.net ~label:"gw-reply" ~src:Frontdoor.frontdoor_addr ~dst frame)
+
+let session_record t session =
+  match Util.Lru.find t.sessions session with
+  | Some s -> s
+  | None ->
+    let s = { s_last_reply = None } in
+    Util.Lru.put t.sessions session s;
+    s
+
+let cache_reply t ~session ~route_key ~req_id ~result =
+  match Util.Lru.find t.sessions session with
+  | Some s -> s.s_last_reply <- Some (route_key, req_id, result)
+  | None -> ()
+
+(* --- single-shard lanes (the per-shard Frontdoor path) --- *)
+
+let rec lane_dispatch t lane trigger =
+  ignore trigger;
+  if t.alive && not lane.l_blocked then
+    match Queue.take_opt lane.l_free with
+    | None -> ()
+    | Some idx ->
+      (* A batch is a contiguous same-classification run: mixing one
+         write into a read batch would drag every read through full
+         agreement. *)
+      let rec take acc bytes ro =
+        if bytes >= t.cfg.flush_bytes then List.rev acc
+        else
+          match Queue.peek_opt lane.l_pending with
+          | None -> List.rev acc
+          | Some p ->
+            let same = match acc with [] -> true | _ -> Bool.equal p.pr_readonly ro in
+            if same then begin
+              ignore (Queue.pop lane.l_pending);
+              lane.l_pending_bytes <- lane.l_pending_bytes - String.length p.pr_op;
+              take (p :: acc) (bytes + String.length p.pr_op) p.pr_readonly
+            end
+            else List.rev acc
+      in
+      let batch = take [] 0 false in
+      match batch with
+      | [] -> Queue.push idx lane.l_free
+      | _ -> begin
+        let ro = List.for_all (fun p -> p.pr_readonly) batch in
+        lane.l_inflight <- lane.l_inflight + 1;
+        let op =
+          match batch with
+          | [ p ] -> p.pr_op (* untouched single-op dispatch *)
+          | _ -> Frontdoor.encode_coalesced (List.map (fun p -> (p.pr_session, p.pr_op)) batch)
+        in
+        let route_key = string_of_int lane.l_shard in
+        Pbft.Client.invoke lane.l_data.(idx) ~readonly:ro op (fun encoded ->
+            if t.alive then begin
+              Queue.push idx lane.l_free;
+              lane.l_inflight <- lane.l_inflight - 1;
+              let results =
+                match batch with
+                | [ _ ] -> [ encoded ]
+                | _ -> (
+                  match Frontdoor.decode_results encoded with
+                  | Some rs when List.length rs = List.length batch -> rs
+                  | Some _ | None -> List.map (fun _ -> encoded) batch)
+              in
+              List.iter2
+                (fun p result ->
+                  t.n_completed <- t.n_completed + 1;
+                  lane.l_completed <- lane.l_completed + 1;
+                  Util.Stats.add t.latency (now t -. p.pr_enq);
+                  cache_reply t ~session:p.pr_session ~route_key ~req_id:p.pr_id ~result;
+                  send_reply t ~dst:p.pr_addr ~status:Frontdoor.Done ~session:p.pr_session
+                    ~req_id:p.pr_id ~result)
+                batch results;
+              if lane.l_blocked then maybe_begin_prepares t
+              else if lane.l_pending_bytes >= t.cfg.flush_bytes then lane_dispatch t lane `Size
+            end)
+      end
+
+and lane_dispatch_all t lane trigger =
+  let before = Queue.length lane.l_pending in
+  lane_dispatch t lane trigger;
+  if Queue.length lane.l_pending < before && lane.l_pending_bytes >= t.cfg.flush_bytes then
+    lane_dispatch_all t lane trigger
+
+and arm_lane_deadline t lane =
+  match lane.l_timer with
+  | Some _ -> ()
+  | None ->
+    if not (Queue.is_empty lane.l_pending) then
+      lane.l_timer <-
+        Some
+          (Simnet.Engine.timer t.engine ~delay:t.cfg.flush_deadline (fun () ->
+               lane.l_timer <- None;
+               if t.alive then begin
+                 if not (Queue.is_empty lane.l_pending) then lane_dispatch_all t lane `Deadline;
+                 arm_lane_deadline t lane
+               end))
+
+(* --- the cross-shard coordinator --- *)
+
+and lane_quiet lane = lane.l_inflight = 0 && not lane.l_control_busy
+
+and resolve_cross t xs =
+  (match xs.x_timer with Some timer -> Simnet.Engine.cancel timer | None -> ());
+  xs.x_timer <- None;
+  List.iter
+    (fun s ->
+      let lane = t.lanes.(s) in
+      lane.l_blocked <- false;
+      lane_dispatch_all t lane `Size;
+      arm_lane_deadline t lane)
+    xs.x.xp_route;
+  t.current <- None;
+  try_start_cross t
+
+and send_abort_to t xs lane =
+  if not (List.mem lane.l_shard xs.x_aborts_sent) && not lane.l_control_busy then begin
+    xs.x_aborts_sent <- lane.l_shard :: xs.x_aborts_sent;
+    lane.l_control_busy <- true;
+    let op = Relsql.Twopc.encode_op (Relsql.Twopc.Abort { tx = xs.x_tx; reason = "coordinator" }) in
+    Pbft.Client.invoke lane.l_control op (fun _ ->
+        if t.alive then begin
+          lane.l_control_busy <- false;
+          (* The shard has rolled back; release it for single-shard
+             traffic now rather than holding it for the slowest
+             participant (which may be mid-view-change for seconds). *)
+          lane.l_blocked <- false;
+          lane_dispatch_all t lane `Size;
+          arm_lane_deadline t lane;
+          xs.x_acks <- xs.x_acks + 1;
+          if xs.x_acks >= List.length xs.x.xp_route then resolve_cross t xs
+        end)
+  end
+
+and start_abort t xs ~reason ~timed_out =
+  if not xs.x_aborting then begin
+    xs.x_aborting <- true;
+    (match xs.x_timer with Some timer -> Simnet.Engine.cancel timer | None -> ());
+    xs.x_timer <- None;
+    t.n_cross_aborts <- t.n_cross_aborts + 1;
+    if timed_out then t.n_cross_timeouts <- t.n_cross_timeouts + 1;
+    let result = "error:2pc-aborted:" ^ reason in
+    cache_reply t ~session:xs.x.xp_session ~route_key:xs.x.xp_route_key ~req_id:xs.x.xp_id ~result;
+    Util.Stats.add t.latency (now t -. xs.x.xp_enq);
+    send_reply t ~dst:xs.x.xp_addr ~status:Frontdoor.Done ~session:xs.x.xp_session
+      ~req_id:xs.x.xp_id ~result;
+    (* Shards whose control connection is free get their Abort now; one
+       still awaiting a prepare reply (a stalled or Byzantine group) gets
+       it when that reply finally lands — and the agreed deadline inside
+       the shard bounds the wait even if it never does. *)
+    List.iter (fun s -> send_abort_to t xs t.lanes.(s)) xs.x.xp_route
+  end
+
+and commit_cross t xs =
+  (match xs.x_timer with Some timer -> Simnet.Engine.cancel timer | None -> ());
+  xs.x_timer <- None;
+  let votes = xs.x_votes in
+  let op = Relsql.Twopc.encode_op (Relsql.Twopc.Commit { tx = xs.x_tx; votes }) in
+  List.iter
+    (fun s ->
+      let lane = t.lanes.(s) in
+      lane.l_control_busy <- true;
+      Pbft.Client.invoke lane.l_control op (fun _ ->
+          if t.alive then begin
+            lane.l_control_busy <- false;
+            lane.l_completed <- lane.l_completed + 1;
+            xs.x_acks <- xs.x_acks + 1;
+            if xs.x_acks >= List.length xs.x.xp_route then begin
+              t.n_cross_commits <- t.n_cross_commits + 1;
+              t.n_completed <- t.n_completed + 1;
+              (* Assemble the session-visible reply from the votes: each
+                 shard's script results, in shard order. *)
+              let part v =
+                let prefix = Relsql.Twopc.prepared_prefix xs.x_tx in
+                let r = v.Relsql.Twopc.v_result in
+                let body =
+                  if String.length r >= String.length prefix then
+                    String.sub r (String.length prefix) (String.length r - String.length prefix)
+                  else r
+                in
+                Printf.sprintf "s%d=%s" v.Relsql.Twopc.v_shard body
+              in
+              let sorted =
+                List.sort
+                  (fun a b -> Int.compare a.Relsql.Twopc.v_shard b.Relsql.Twopc.v_shard)
+                  votes
+              in
+              let result = String.concat ";" (List.map part sorted) in
+              cache_reply t ~session:xs.x.xp_session ~route_key:xs.x.xp_route_key
+                ~req_id:xs.x.xp_id ~result;
+              Util.Stats.add t.latency (now t -. xs.x.xp_enq);
+              send_reply t ~dst:xs.x.xp_addr ~status:Frontdoor.Done ~session:xs.x.xp_session
+                ~req_id:xs.x.xp_id ~result;
+              resolve_cross t xs
+            end
+          end))
+    xs.x.xp_route
+
+and maybe_begin_prepares t =
+  match t.current with
+  | Some xs when (not xs.x_sent) && List.for_all (fun s -> lane_quiet t.lanes.(s)) xs.x.xp_route
+    ->
+    xs.x_sent <- true;
+    xs.x_awaiting <- List.length xs.x.xp_plan;
+    let deadline = now t +. t.cfg.tx_ttl in
+    List.iter
+      (fun (shard, script) ->
+        let lane = t.lanes.(shard) in
+        lane.l_control_busy <- true;
+        let op =
+          Relsql.Twopc.encode_op
+            (Relsql.Twopc.Prepare
+               { tx = xs.x_tx; deadline; shards = xs.x.xp_route; script })
+        in
+        Pbft.Client.invoke_attested lane.l_control op (fun ~rq_id result cert ->
+            if t.alive then begin
+              lane.l_control_busy <- false;
+              xs.x_awaiting <- xs.x_awaiting - 1;
+              if xs.x_aborting then
+                (* Late vote for a transaction the coordinator already
+                   gave up on: the now-free connection carries the Abort. *)
+                send_abort_to t xs lane
+              else if
+                Relsql.Twopc.(
+                  String.length result >= String.length (prepared_prefix xs.x_tx)
+                  && String.equal
+                       (String.sub result 0 (String.length (prepared_prefix xs.x_tx)))
+                       (prepared_prefix xs.x_tx))
+              then begin
+                let cid =
+                  match Pbft.Client.client_id lane.l_control with Some c -> c | None -> 0
+                in
+                xs.x_votes <-
+                  {
+                    Relsql.Twopc.v_shard = shard;
+                    v_client = cid;
+                    v_rq_id = rq_id;
+                    v_result = result;
+                    v_cert = (match cert with Some c -> c | None -> "");
+                  }
+                  :: xs.x_votes;
+                if xs.x_awaiting = 0 then commit_cross t xs
+              end
+              else start_abort t xs ~reason:("vote:" ^ result) ~timed_out:false
+            end))
+      xs.x.xp_plan;
+    xs.x_timer <-
+      Some
+        (Simnet.Engine.timer t.engine ~delay:t.cfg.prepare_timeout (fun () ->
+             xs.x_timer <- None;
+             if t.alive then start_abort t xs ~reason:"timeout" ~timed_out:true))
+  | Some _ | None -> ()
+
+and try_start_cross t =
+  match t.current with
+  | Some _ -> ()
+  | None -> (
+    match Queue.take_opt t.xq with
+    | None -> ()
+    | Some xp ->
+      t.next_tx <- t.next_tx + 1;
+      let xs =
+        {
+          x = xp;
+          x_tx = t.next_tx;
+          x_sent = false;
+          x_awaiting = 0;
+          x_votes = [];
+          x_aborting = false;
+          x_aborts_sent = [];
+          x_acks = 0;
+          x_timer = None;
+        }
+      in
+      t.current <- Some xs;
+      List.iter
+        (fun s ->
+          let lane = t.lanes.(s) in
+          lane.l_blocked <- true;
+          (match lane.l_timer with Some timer -> Simnet.Engine.cancel timer | None -> ());
+          lane.l_timer <- None)
+        xp.xp_route;
+      maybe_begin_prepares t)
+
+(* --- admission --- *)
+
+let admit_single t lane p =
+  if Queue.length lane.l_pending >= t.cfg.max_queue then begin
+    t.n_shed <- t.n_shed + 1;
+    send_reply t ~dst:p.pr_addr ~status:Frontdoor.Shed ~session:p.pr_session ~req_id:p.pr_id
+      ~result:""
+  end
+  else begin
+    Queue.push p lane.l_pending;
+    lane.l_pending_bytes <- lane.l_pending_bytes + String.length p.pr_op;
+    lane.l_queue_peak <- Int.max lane.l_queue_peak (Queue.length lane.l_pending);
+    if lane.l_pending_bytes >= t.cfg.flush_bytes then lane_dispatch_all t lane `Size;
+    arm_lane_deadline t lane
+  end
+
+let admit_cross t xp =
+  if Queue.length t.xq >= t.cfg.max_queue then begin
+    t.n_shed <- t.n_shed + 1;
+    send_reply t ~dst:xp.xp_addr ~status:Frontdoor.Shed ~session:xp.xp_session ~req_id:xp.xp_id
+      ~result:""
+  end
+  else begin
+    Queue.push xp t.xq;
+    t.xq_peak <- Int.max t.xq_peak (Queue.length t.xq);
+    try_start_cross t
+  end
+
+let on_frame t ~src wire =
+  if t.alive then
+    Simnet.Cpu.execute t.cpu ~cost:(Frontdoor.frame_cost (String.length wire)) (fun () ->
+        match Frontdoor.decode_request wire with
+        | None -> t.n_rejected <- t.n_rejected + 1
+        | Some (session, req_id, op) -> begin
+          let s = session_record t session in
+          let route = Relsql.Shard.classify t.cfg.topology op in
+          let route_key = Relsql.Shard.route_key route in
+          match s.s_last_reply with
+          | Some (key, id, result) when id = req_id && String.equal key route_key ->
+            t.n_cache_hits <- t.n_cache_hits + 1;
+            send_reply t ~dst:src ~status:Frontdoor.Done ~session ~req_id ~result
+          | Some _ | None -> (
+            match route with
+            | Relsql.Shard.Single shard ->
+              admit_single t t.lanes.(shard)
+                {
+                  pr_session = session;
+                  pr_id = req_id;
+                  pr_op = op;
+                  pr_addr = src;
+                  pr_enq = now t;
+                  pr_readonly = t.classify op;
+                }
+            | Relsql.Shard.Cross shards ->
+              admit_cross t
+                {
+                  xp_session = session;
+                  xp_id = req_id;
+                  xp_addr = src;
+                  xp_enq = now t;
+                  xp_route = shards;
+                  xp_route_key = route_key;
+                  xp_plan = Relsql.Shard.plan t.cfg.topology op;
+                })
+        end)
+
+let create ~cfg ~engine ~net ~classify ~lanes () =
+  if Array.length lanes <> Relsql.Shard.shards cfg.topology then
+    invalid_arg "Router.create: one lane per shard required";
+  let mk_lane i (data, control) =
+    if Array.length data < 1 then invalid_arg "Router.create: lane without data connections";
+    let free = Queue.create () in
+    Array.iteri (fun j _ -> Queue.push j free) data;
+    {
+      l_shard = i;
+      l_data = data;
+      l_control = control;
+      l_free = free;
+      l_pending = Queue.create ();
+      l_pending_bytes = 0;
+      l_inflight = 0;
+      l_control_busy = false;
+      l_blocked = false;
+      l_timer = None;
+      l_completed = 0;
+      l_queue_peak = 0;
+    }
+  in
+  let t =
+    {
+      cfg;
+      engine;
+      net;
+      cpu = Simnet.Cpu.create engine;
+      classify;
+      lanes = Array.mapi mk_lane lanes;
+      xq = Queue.create ();
+      current = None;
+      next_tx = 0;
+      sessions = Util.Lru.create ~capacity:cfg.max_sessions;
+      latency = Util.Stats.create ();
+      n_completed = 0;
+      n_shed = 0;
+      n_rejected = 0;
+      n_cache_hits = 0;
+      n_cross_commits = 0;
+      n_cross_aborts = 0;
+      n_cross_timeouts = 0;
+      xq_peak = 0;
+      alive = true;
+    }
+  in
+  Simnet.Net.register net Frontdoor.frontdoor_addr (fun ~src wire -> on_frame t ~src wire);
+  Simnet.Net.set_backlog_probe net Frontdoor.frontdoor_addr (fun () ->
+      Array.fold_left (fun acc l -> acc + Queue.length l.l_pending) (Queue.length t.xq) t.lanes);
+  t
+
+let completed t = t.n_completed
+let shard_completed t = Array.map (fun l -> l.l_completed) t.lanes
+let cross_commits t = t.n_cross_commits
+let cross_aborts t = t.n_cross_aborts
+let cross_timeouts t = t.n_cross_timeouts
+let shed t = t.n_shed
+let rejected t = t.n_rejected
+let reply_cache_hits t = t.n_cache_hits
+let queue_peaks t = Array.map (fun l -> l.l_queue_peak) t.lanes
+let cross_queue_peak t = t.xq_peak
+let session_evictions t = Util.Lru.evictions t.sessions
+let latency_stats t = t.latency
+
+let shutdown t =
+  t.alive <- false;
+  Array.iter
+    (fun l ->
+      (match l.l_timer with Some timer -> Simnet.Engine.cancel timer | None -> ());
+      l.l_timer <- None)
+    t.lanes;
+  (match t.current with
+  | Some xs ->
+    (match xs.x_timer with Some timer -> Simnet.Engine.cancel timer | None -> ());
+    xs.x_timer <- None
+  | None -> ());
+  Simnet.Net.unregister t.net Frontdoor.frontdoor_addr

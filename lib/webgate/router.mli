@@ -1,0 +1,78 @@
+(** The sharded front door: one well-known edge address that routes
+    session operations across N independent PBFT replica groups.
+
+    Single-shard operations take the {!Frontdoor} path per shard — a
+    private lane with its own coalescing queue, size/deadline flush
+    triggers and upstream connection pool — dispatched untouched to the
+    owning group's ordered or read-only fast path (a lane batch rides
+    the fast path only when every operation in it is provably
+    read-only). Cross-shard operations run the {!Relsql.Twopc} protocol
+    with the router as the *untrusted* coordinator: involved lanes are
+    blocked and drained (so a shard is single-occupancy before its
+    prepare arrives), each group prepares its slice of the transaction
+    as an ordered op whose agreed reply — with its f+1 threshold
+    certificate when the deployment deals service keys — is the shard's
+    vote, and the commit sent to every group carries all votes for the
+    groups themselves to verify. On a vote-abort, a prepare timeout, or
+    a Byzantine participant the router aborts everywhere; each shard's
+    copy-on-write undo snapshot makes that roll-back cheap, and the
+    agreed prepare deadline bounds the damage a crashed or malicious
+    coordinator (including this router, were it compromised) can do.
+
+    Cross-shard transactions serialize through the router one at a
+    time: with blocked, quiesced lanes there is nothing to overlap
+    them with, and single-shard traffic on uninvolved lanes keeps
+    flowing — the scaling story the sharded bench measures.
+
+    A session's cached last reply is keyed on (route, request id), not
+    the request id alone: a single-shard retransmission must never
+    match a stale cross-shard reply that happened to reuse the id. *)
+
+type config = {
+  topology : Relsql.Shard.topology;
+  flush_bytes : int;
+  flush_deadline : float;
+  max_queue : int;  (** per-lane (and cross-queue) admission bound *)
+  max_sessions : int;
+  prepare_timeout : float;  (** coordinator patience before aborting a 2PC round *)
+  tx_ttl : float;  (** agreed prepare deadline delta carried in the prepare op *)
+}
+
+type t
+
+val create :
+  cfg:config ->
+  engine:Simnet.Engine.t ->
+  net:Simnet.Net.t ->
+  classify:(string -> bool) ->
+  lanes:(Pbft.Client.t array * Pbft.Client.t) array ->
+  unit ->
+  t
+(** [net] is the edge net sessions reach the router on (bound at
+    {!Frontdoor.frontdoor_addr}, same frame codec). [lanes.(s)] is shard
+    [s]'s upstream pool: (data connections, control connection) — all
+    clients of group [s] on that group's own net. [classify] is the
+    service's read-only proof. Raises [Invalid_argument] if the lane
+    count differs from the topology's shard count. *)
+
+val completed : t -> int
+val shard_completed : t -> int array
+(** Session operations completed per shard; a cross-shard commit counts
+    once for every participant. *)
+
+val cross_commits : t -> int
+val cross_aborts : t -> int
+val cross_timeouts : t -> int
+(** Of {!cross_aborts}, those triggered by the coordinator's prepare
+    timer rather than a participant's vote. *)
+
+val shed : t -> int
+val rejected : t -> int
+val reply_cache_hits : t -> int
+val queue_peaks : t -> int array
+(** Per-lane pending-queue high-water marks. *)
+
+val cross_queue_peak : t -> int
+val session_evictions : t -> int
+val latency_stats : t -> Util.Stats.t
+val shutdown : t -> unit

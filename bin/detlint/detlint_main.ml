@@ -1,15 +1,19 @@
-(* detlint: determinism & replay-safety lint over the middleware.
+(* detlint: determinism & trust-boundary lint over the middleware.
 
-   Exit codes: 0 clean, 1 unsuppressed findings, 2 configuration or
-   parse errors. *)
+   Exit codes: 0 clean, 1 unsuppressed findings or stale allow entries,
+   2 configuration or parse errors. *)
 
 let usage () =
   prerr_endline
-    "usage: detlint [--json] [-o FILE] [--root DIR] [--allow FILE] [--list-rules] [DIR...]\n\n\
-     Lints every .ml under DIR... (default: lib) for determinism and\n\
-     replay-safety hazards. --json emits one JSON object per finding.\n\
-     Exemptions: [@detlint.allow <rule>] attributes in source, or\n\
-     entries in <root>/detlint.allow (override with --allow).";
+    "usage: detlint [--trust | --all] [--json] [-o FILE] [--root DIR] [--allow FILE] \
+     [--list-rules] [DIR...]\n\n\
+     Lints every .ml under DIR... (default: lib). The default pass checks\n\
+     determinism and replay-safety; --trust runs the taint pass proving\n\
+     every wire-decode -> state-write flow crosses a cryptographic\n\
+     sanitizer; --all runs both. --json emits one JSON object per finding.\n\
+     Exemptions: [@detlint.allow <rule>] / [@trustlint.allow \"why\"]\n\
+     attributes in source, or entries in <root>/detlint.allow (override\n\
+     with --allow). Stale allow entries fail the run.";
   exit 2
 
 let () =
@@ -18,10 +22,17 @@ let () =
   let root = ref "." in
   let allow = ref None in
   let dirs = ref [] in
+  let passes = ref [ Detlint.Driver.Determinism ] in
   let rec parse = function
     | [] -> ()
     | "--json" :: rest ->
       json := true;
+      parse rest
+    | "--trust" :: rest ->
+      passes := [ Detlint.Driver.Trust ];
+      parse rest
+    | "--all" :: rest ->
+      passes := [ Detlint.Driver.Determinism; Detlint.Driver.Trust ];
       parse rest
     | "-o" :: f :: rest ->
       out_file := Some f;
@@ -44,7 +55,7 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   let dirs = match List.rev !dirs with [] -> None | ds -> Some ds in
   let outcome =
-    try Detlint.Driver.run ?dirs ?allow_file:!allow ~root:!root ()
+    try Detlint.Driver.run ~passes:!passes ?dirs ?allow_file:!allow ~root:!root ()
     with Detlint.Allowlist.Malformed msg ->
       prerr_endline msg;
       exit 2
@@ -59,13 +70,16 @@ let () =
   List.iter (fun e -> Printf.eprintf "detlint: error: %s\n" e) outcome.errors;
   List.iter
     (fun (e : Detlint.Allowlist.entry) ->
-      Printf.eprintf "detlint: warning: stale allow entry (line %d): %s %s — %s\n" e.al_line
-        e.al_rule e.al_path e.al_why)
+      Printf.eprintf "detlint: stale allow entry (line %d): %s %s — %s\n" e.al_line e.al_rule
+        e.al_path e.al_why)
     outcome.stale_allows;
   if outcome.errors <> [] then exit 2;
-  if outcome.findings <> [] then begin
-    Printf.eprintf "detlint: %d finding(s) in %d file(s) scanned (%d suppressed)\n"
-      (List.length outcome.findings) outcome.files_scanned outcome.suppressed;
+  if outcome.findings <> [] || outcome.stale_allows <> [] then begin
+    Printf.eprintf
+      "detlint: %d finding(s), %d stale allow entr(ies) in %d file(s) scanned (%d suppressed)\n"
+      (List.length outcome.findings)
+      (List.length outcome.stale_allows)
+      outcome.files_scanned outcome.suppressed;
     exit 1
   end;
   if not !json then

@@ -17,6 +17,8 @@ val compute : keys:(int * Mac.key) list -> string -> t
     the session key shared with that replica. *)
 
 val check : key:Mac.key -> replica:int -> string -> t -> bool
+[@@trust.sanitizer
+  "authenticator entry check: true vouches that this replica's tag verifies the payload"]
 (** [check ~key ~replica msg t] verifies the tag addressed to [replica];
     false if the entry is missing or does not verify. *)
 
@@ -24,4 +26,6 @@ val wire_size : t -> int
 (** Bytes this authenticator occupies on the wire. *)
 
 val encode : Util.Codec.W.t -> t -> unit
+
 val decode : Util.Codec.R.t -> t
+[@@trust.source "authenticator vector parsed from wire bytes"]

@@ -25,6 +25,7 @@ val sign : signer -> string -> string
 (** Signature bytes over the message. *)
 
 val verify : verifier -> string -> signature:string -> bool
+[@@trust.sanitizer "public-key signature check: true vouches for the signed bytes"]
 
 val signature_size : verifier -> int
 (** Nominal wire size of one signature (for the network size model). *)

@@ -36,6 +36,8 @@ val combine : public -> string -> partial list -> Bignum.Nat.t option
     (which reveals that some partial was corrupt). *)
 
 val verify : public -> string -> Bignum.Nat.t -> bool
+[@@trust.sanitizer
+  "threshold RSA verification: true vouches that f+1 shareholders signed the message"]
 (** Standard RSA verification: [s^e = H(msg)² (mod n)]. *)
 
 val threshold_of : public -> int
@@ -44,8 +46,14 @@ val parties_of : public -> int
 (** {2 Wire encodings} (for embedding in protocol messages) *)
 
 val partial_to_string : partial -> string
+
 val partial_of_string : string -> partial option
+[@@trust.source "threshold partial signature parsed from wire bytes"]
+
 val signature_to_string : Bignum.Nat.t -> string
+
 val signature_of_string : string -> Bignum.Nat.t option
+[@@trust.source "threshold signature parsed from wire bytes"]
+
 val public_to_string : public -> string
 val public_of_string : string -> public option

@@ -10,9 +10,20 @@ let lint_source ~rel src =
   let lines = Array.of_list (String.split_on_char '\n' src) in
   Rules.lint_structure ~rel ~lines str
 
+let lint_trust_source ?(interfaces = []) ~rel src =
+  let harvested =
+    List.concat_map
+      (fun (irel, isrc) ->
+        Trust.harvest_interface ~rel:irel (Trust.parse_interface ~filename:irel isrc))
+      interfaces
+  in
+  let str = parse_string ~filename:rel src in
+  let lines = Array.of_list (String.split_on_char '\n' src) in
+  Taint.lint_structure ~rel ~lines ~specs:(harvested @ Trust.conventions) str
+
 (* Deterministic directory walk: sorted entries, dotfiles and build
    artefacts skipped. *)
-let rec walk dir acc =
+let rec walk ~ext dir acc =
   let entries = Sys.readdir dir in
   Array.sort String.compare entries;
   Array.fold_left
@@ -20,10 +31,12 @@ let rec walk dir acc =
       if String.length name = 0 || name.[0] = '.' || String.equal name "_build" then acc
       else
         let path = Filename.concat dir name in
-        if Sys.is_directory path then walk path acc
-        else if Filename.check_suffix name ".ml" then path :: acc
+        if Sys.is_directory path then walk ~ext path acc
+        else if Filename.check_suffix name ext then path :: acc
         else acc)
     acc entries
+
+type pass = Determinism | Trust
 
 type outcome = {
   files_scanned : int;
@@ -42,26 +55,65 @@ let relativize ~root path =
   in
   String.concat "/" (String.split_on_char Filename.dir_sep.[0] rel)
 
-let run ?(dirs = [ "lib" ]) ?allow_file ~root () =
+let collect ~ext ~root dirs =
+  List.concat_map
+    (fun d ->
+      let dir = Filename.concat root d in
+      if Sys.file_exists dir && Sys.is_directory dir then List.rev (walk ~ext dir []) else [])
+    dirs
+  |> List.sort String.compare
+
+(* The trust pass's declaration layer: [@@trust.*] attributes harvested
+   off every interface under the scanned dirs, plus the convention
+   table. Interfaces that fail to parse are reported like sources. *)
+let harvest_specs ~root ~errors dirs =
+  let specs =
+    List.concat_map
+      (fun path ->
+        let rel = relativize ~root path in
+        match Trust.parse_interface ~filename:rel (read_file path) with
+        | sg -> Trust.harvest_interface ~rel sg
+        | exception exn -> (
+          match Location.error_of_exn exn with
+          | Some (`Ok report) ->
+            errors := Format.asprintf "%s: %a" rel Location.print_report report :: !errors;
+            []
+          | Some `Already_displayed | None -> raise exn))
+      (collect ~ext:".mli" ~root dirs)
+  in
+  specs @ Trust.conventions
+
+(* Which pass can produce a given rule — an allow entry is only stale
+   with respect to runs that could have matched it. *)
+let pass_of_rule = function
+  | Finding.Tainted_sink -> Trust
+  | _ -> Determinism
+
+let run ?(passes = [ Determinism ]) ?(dirs = [ "lib" ]) ?allow_file ~root () =
   let allow_path =
     match allow_file with Some f -> f | None -> Filename.concat root "detlint.allow"
   in
   let allow = if Sys.file_exists allow_path then Allowlist.load allow_path else Allowlist.empty in
-  let files =
-    List.concat_map
-      (fun d ->
-        let dir = Filename.concat root d in
-        if Sys.file_exists dir && Sys.is_directory dir then List.rev (walk dir []) else [])
-      dirs
-    |> List.sort String.compare
-  in
+  let files = collect ~ext:".ml" ~root dirs in
   let findings = ref [] in
   let errors = ref [] in
   let suppressed = ref 0 in
+  let specs =
+    if List.mem Trust passes then harvest_specs ~root ~errors dirs else Trust.conventions
+  in
   List.iter
     (fun path ->
       let rel = relativize ~root path in
-      match lint_source ~rel (read_file path) with
+      match
+        let src = read_file path in
+        let str = parse_string ~filename:rel src in
+        let lines = Array.of_list (String.split_on_char '\n' src) in
+        List.concat_map
+          (function
+            | Determinism -> Rules.lint_structure ~rel ~lines str
+            | Trust -> Taint.lint_structure ~rel ~lines ~specs str)
+          passes
+      with
       | fs ->
         List.iter
           (fun f -> if Allowlist.suppresses allow f then incr suppressed else findings := f :: !findings)
@@ -76,6 +128,12 @@ let run ?(dirs = [ "lib" ]) ?allow_file ~root () =
     files_scanned = List.length files;
     findings = List.sort Finding.compare !findings;
     suppressed = !suppressed;
-    stale_allows = Allowlist.stale allow;
+    stale_allows =
+      List.filter
+        (fun (e : Allowlist.entry) ->
+          match Finding.rule_of_name e.al_rule with
+          | Some r -> List.mem (pass_of_rule r) passes
+          | None -> true)
+        (Allowlist.stale allow);
     errors = List.rev !errors;
   }

@@ -1,9 +1,19 @@
-(** Walking the tree, parsing, and assembling the report. *)
+(** Walking the tree, parsing, and assembling the report for both
+    passes: the syntactic determinism rules ({!Rules}) and the
+    trustlint taint analysis ({!Taint}). *)
 
 val lint_source : rel:string -> string -> Finding.t list
-(** Parse one compilation unit from a string (fixtures, tests) and lint
-    it under the classification its pseudo-path [rel] implies. Raises
-    the parser's exceptions on syntax errors. *)
+(** Parse one compilation unit from a string (fixtures, tests) and run
+    the determinism rules under the classification its pseudo-path
+    [rel] implies. Raises the parser's exceptions on syntax errors. *)
+
+val lint_trust_source :
+  ?interfaces:(string * string) list -> rel:string -> string -> Finding.t list
+(** Same, for the trust pass: [interfaces] is a list of
+    [(pseudo-path, .mli source)] pairs whose [@@trust.*] attributes are
+    harvested and layered over the convention table. *)
+
+type pass = Determinism | Trust
 
 type outcome = {
   files_scanned : int;
@@ -13,8 +23,11 @@ type outcome = {
   errors : string list;  (** unparseable files *)
 }
 
-val run : ?dirs:string list -> ?allow_file:string -> root:string -> unit -> outcome
+val run :
+  ?passes:pass list -> ?dirs:string list -> ?allow_file:string -> root:string -> unit -> outcome
 (** Lint every [.ml] under [root]/[dirs] (default [["lib"]]), in sorted
-    path order. [allow_file] defaults to [root]/detlint.allow and is
-    optional on disk; a malformed allow file raises
-    {!Allowlist.Malformed}. *)
+    path order, with the requested passes (default
+    [[Determinism]]). When the trust pass runs, every [.mli] under the
+    same dirs is harvested for [@@trust.*] declarations first.
+    [allow_file] defaults to [root]/detlint.allow and is optional on
+    disk; a malformed allow file raises {!Allowlist.Malformed}. *)

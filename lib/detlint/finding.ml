@@ -7,6 +7,8 @@ type rule =
   | Marshal_obj
   | Float_format
   | Catch_all
+  | Dispatch_catch_all
+  | Tainted_sink
 
 let rule_name = function
   | Hashtbl_order -> "hashtbl_order"
@@ -17,6 +19,8 @@ let rule_name = function
   | Marshal_obj -> "marshal_obj"
   | Float_format -> "float_format"
   | Catch_all -> "catch_all"
+  | Dispatch_catch_all -> "dispatch_catch_all"
+  | Tainted_sink -> "tainted_sink"
 
 let all_rules =
   [
@@ -28,6 +32,8 @@ let all_rules =
     Marshal_obj;
     Float_format;
     Catch_all;
+    Dispatch_catch_all;
+    Tainted_sink;
   ]
 
 let rule_of_name s = List.find_opt (fun r -> String.equal (rule_name r) s) all_rules
@@ -39,6 +45,7 @@ type t = {
   col : int;
   snippet : string;
   message : string;
+  origin : (int * int) option;
 }
 
 let compare a b =
@@ -68,10 +75,20 @@ let json_escape s =
   Buffer.contents buf
 
 let to_json f =
-  Printf.sprintf {|{"rule":"%s","file":"%s","line":%d,"col":%d,"snippet":"%s","message":"%s"}|}
+  let origin =
+    match f.origin with
+    | Some (l, c) -> Printf.sprintf {|,"src_line":%d,"src_col":%d|} l c
+    | None -> ""
+  in
+  Printf.sprintf {|{"rule":"%s","file":"%s","line":%d,"col":%d,"snippet":"%s","message":"%s"%s}|}
     (rule_name f.rule) (json_escape f.file) f.line f.col (json_escape f.snippet)
-    (json_escape f.message)
+    (json_escape f.message) origin
 
 let to_human f =
-  Printf.sprintf "%s:%d:%d: [%s] %s\n    %s" f.file f.line f.col (rule_name f.rule) f.message
-    f.snippet
+  let origin =
+    match f.origin with
+    | Some (l, c) -> Printf.sprintf " (tainted at %s:%d:%d)" f.file l c
+    | None -> ""
+  in
+  Printf.sprintf "%s:%d:%d: [%s] %s%s\n    %s" f.file f.line f.col (rule_name f.rule) f.message
+    origin f.snippet

@@ -9,6 +9,12 @@ type rule =
   | Marshal_obj  (** [Marshal.*] / [Obj.*] *)
   | Float_format  (** float-to-text formatting inside digest/trace/wire code *)
   | Catch_all  (** [try ... with _ ->] that can swallow nondet-validation failures *)
+  | Dispatch_catch_all
+      (** unguarded [_] case in a protocol-message dispatch match, where a
+          newly added constructor would be silently dropped *)
+  | Tainted_sink
+      (** wire-decoded data reaches a state-mutation sink without crossing a
+          cryptographic sanitizer (the trustlint pass, see {!Taint}) *)
 
 val rule_name : rule -> string
 val rule_of_name : string -> rule option
@@ -21,6 +27,9 @@ type t = {
   col : int;  (** 0-based *)
   snippet : string;  (** the offending source line, trimmed *)
   message : string;
+  origin : (int * int) option;
+      (** for [Tainted_sink]: (line, col) of the source call the taint
+          originates from; [None] for the syntactic rules *)
 }
 
 val compare : t -> t -> int

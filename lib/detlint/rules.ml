@@ -50,6 +50,30 @@ let float_format_modules =
     "lib/harness/hostbench.ml";
   ]
 
+(* Protocol-dispatch constructor names: the [Pbft.Message] payload
+   constructors plus the [Relsql.Twopc] operation constructors. A match
+   that handles three or more of these is a message-dispatch match; an
+   unguarded [_] case there silently drops any constructor added later
+   (dispatch_catch_all). *)
+let dispatch_constructors =
+  [
+    "Request_msg"; "Pre_prepare"; "Prepare"; "Commit"; "Reply"; "Checkpoint_msg"; "View_change";
+    "New_view"; "Session_key"; "Join_request"; "Join_challenge"; "Join_response"; "Join_reply";
+    "Leave_msg"; "Fetch_meta"; "State_meta"; "Fetch_pages"; "State_pages"; "Fetch_body"; "Body";
+    "Fetch_entry"; "Entry"; "Status"; "Abort";
+  ]
+
+(* The rule is scoped to the libraries that dispatch protocol messages;
+   elsewhere a trailing wildcard over a Message value is how
+   uninterested consumers (harness reporting, the gateway's
+   frame filter) are *supposed* to look. *)
+let dispatch_dirs = [ "pbft"; "relsql" ]
+
+let in_dispatch_scope rel =
+  match String.split_on_char '/' rel with
+  | "lib" :: d :: _ -> List.mem d dispatch_dirs
+  | _ -> false
+
 (* Identifier components that suggest a digest/key/MAC-like value flows
    through a polymorphic [=]: "batch_digest" splits to {batch, digest}. *)
 let hazard_components =
@@ -191,6 +215,7 @@ type ctx = {
   replay : bool;
   strict_poly : bool;
   float_fmt : bool;
+  dispatch : bool;
   mutable allows : string list list;  (* stack of active allow-sets *)
   mutable out : Finding.t list;
 }
@@ -205,7 +230,8 @@ let emit ctx rule (loc : Location.t) message =
     let p = loc.loc_start in
     let line = p.pos_lnum and col = p.pos_cnum - p.pos_bol in
     ctx.out <-
-      { Finding.rule; file = ctx.rel; line; col; snippet = snippet_at ctx line; message }
+      { Finding.rule; file = ctx.rel; line; col; snippet = snippet_at ctx line; message;
+        origin = None }
       :: ctx.out
   end
 
@@ -284,6 +310,45 @@ let check_expr ctx (e : expression) =
       "float conversion in a format string inside a digest/trace/wire path; decimal rendering \
        choices here become protocol — annotate deliberate, pinned formats with [@detlint.allow \
        float_format]"
+  | (Pexp_match (_, cases) | Pexp_function cases) when ctx.dispatch ->
+    (* Message-dispatch exhaustiveness: a match (or [function]) handling
+       >= 3 protocol constructors must enumerate what it ignores instead
+       of hiding it behind [_], so adding a constructor is a compile
+       error here, not a silently dropped message. *)
+    let rec heads (p : pattern) acc =
+      match p.ppat_desc with
+      | Ppat_construct (lid, _) -> (
+        match List.rev (flatten_lid lid.txt) with h :: _ -> h :: acc | [] -> acc)
+      | Ppat_or (a, b) -> heads a (heads b acc)
+      | Ppat_alias (p, _) | Ppat_constraint (p, _) -> heads p acc
+      | _ -> acc
+    in
+    let rec wild (p : pattern) =
+      match p.ppat_desc with
+      | Ppat_any -> true
+      | Ppat_or (a, b) -> wild a || wild b
+      | Ppat_alias (p, _) | Ppat_constraint (p, _) -> wild p
+      | _ -> false
+    in
+    let dispatch_heads =
+      List.concat_map (fun (c : case) -> heads c.pc_lhs []) cases
+      |> List.filter (fun h -> List.mem h dispatch_constructors)
+      |> List.sort_uniq String.compare
+    in
+    if List.length dispatch_heads >= 3 then
+      List.iter
+        (fun (c : case) ->
+          let handler_allows = allow_attr_rules c.pc_rhs.pexp_attributes in
+          if
+            c.pc_guard = None && wild c.pc_lhs
+            && not
+                 (List.mem (Finding.rule_name Finding.Dispatch_catch_all) handler_allows)
+          then
+            emit ctx Finding.Dispatch_catch_all c.pc_lhs.ppat_loc
+              "unguarded _ in a protocol-message dispatch match silently drops any constructor \
+               added later; enumerate the ignored constructors (| A _ | B _ -> ()) so new \
+               messages fail to compile until routed")
+        cases
   | Pexp_try (_, cases) ->
     List.iter
       (fun (c : case) ->
@@ -311,6 +376,7 @@ let lint_structure ~rel ~lines (str : structure) =
       replay = is_replay_critical rel;
       strict_poly = List.mem rel strict_poly_modules || declares_hazardous_type str;
       float_fmt = List.mem rel float_format_modules;
+      dispatch = in_dispatch_scope rel;
       allows = [];
       out = [];
     }

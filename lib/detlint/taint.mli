@@ -1,0 +1,28 @@
+(** trustlint: the taint pass proving every wire-decode → state-write
+    flow crosses a cryptographic sanitizer.
+
+    Sources, sanitizers, and sinks come from {!Trust} (interface
+    attributes + convention table). Taint propagates intraprocedurally
+    through lets, tuples/records/constructors, pattern matches,
+    pipelines, and closures; calls to functions bound in the same
+    compilation unit are inlined (bounded depth, recursion guard) so the
+    repo's [let cost, ok = check_auth ... in ... if ok then ...] idiom
+    carries the verdict. A sanitizer's boolean vouches for the origins
+    it inspected; testing it ([if]/[when], through [not]/[&&]/[||])
+    kills those origins in the guarded branch. Any sink reached by a
+    live origin is a {!Finding.Tainted_sink}.
+
+    Suppression: [[@trustlint.allow "covering check ..."]] on the
+    enclosing expression or binding (the payload string should name the
+    cryptographic check that discharges the flow), or
+    [[@detlint.allow tainted_sink]], or a [tainted_sink] entry in the
+    checked-in allow file. *)
+
+val lint_structure :
+  rel:string ->
+  lines:string array ->
+  specs:Trust.spec list ->
+  Parsetree.structure ->
+  Finding.t list
+(** Findings for one parsed [.ml], sorted and de-duplicated, attribute
+    suppression already applied. *)

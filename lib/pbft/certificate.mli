@@ -31,4 +31,6 @@ val combine :
 
 val verify :
   Crypto.Threshold.public -> client:client_id -> rq_id:int -> result:string -> string -> bool
+[@@trust.sanitizer
+  "reply-certificate check: true vouches that f+1 replicas signed this (client, rq_id, result)"]
 (** Third-party verification of a certificate. *)

@@ -422,7 +422,16 @@ let on_datagram t ~src wire =
                 | Message.Join_challenge jc ->
                   if jc.jc_addr = t.caddr then handle_join_challenge t ~src jc.jc_nonce
                 | Message.Join_reply jl -> handle_join_reply t ~src (jl.jl_client, jl.jl_ok)
-                | _ -> ()
+                (* Replica-to-replica traffic; a client is never a valid
+                   destination. Enumerated so that a new message kind fails
+                   to compile until someone decides whether clients see it. *)
+                | Message.Request_msg _ | Message.Pre_prepare _ | Message.Prepare _
+                | Message.Commit _ | Message.Checkpoint_msg _ | Message.View_change _
+                | Message.New_view _ | Message.Session_key _ | Message.Join_request _
+                | Message.Join_response _ | Message.Leave_msg _ | Message.Fetch_meta _
+                | Message.State_meta _ | Message.Fetch_pages _ | Message.State_pages _
+                | Message.Fetch_body _ | Message.Body _ | Message.Fetch_entry _
+                | Message.Entry _ | Message.Status _ -> ()
               end))
   end
 

@@ -36,8 +36,12 @@ val entry : t -> seqno -> entry
 (** Get-or-create the log slot. *)
 
 val find : t -> seqno -> entry option
+
 val record_prepare : entry -> replica_id -> unit
+[@@trust.sink "agreement-log prepare-vote increment"]
+
 val record_commit : entry -> replica_id -> unit
+[@@trust.sink "agreement-log commit-vote increment"]
 
 val reset_votes : entry -> unit
 (** Clear the prepare/commit vote sets and certificates — used when a
@@ -69,5 +73,9 @@ type cached_reply = {
 }
 
 val cached_reply : t -> client_id -> cached_reply option
+
 val cache_reply : t -> client_id -> cached_reply -> unit
+[@@trust.sink "per-client reply-cache insert"]
+
 val drop_client : t -> client_id -> unit
+[@@trust.sink "reply-cache removal"]

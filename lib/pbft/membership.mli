@@ -47,10 +47,12 @@ type join_outcome =
 val join :
   t -> addr:int -> pubkey:string -> identity:string -> now:float -> stale_threshold:float ->
   join_outcome
+[@@trust.sink "membership-table mutation (client admission)"]
 (** Deterministic join executed as an ordered system request; [now] is the
     primary's request timestamp, not local time. *)
 
 val leave : t -> client_id -> bool
+[@@trust.sink "membership-table mutation (client removal)"]
 val touch : t -> client_id -> float -> unit
 (** Record request execution time for staleness accounting. O(log n):
     repositions the entry in the last-active agenda that {!join}'s
@@ -65,4 +67,5 @@ val serialize : t -> string
 (** Canonical encoding written into the state region after mutations. *)
 
 val load : t -> string -> unit
+[@@trust.sink "membership-table replacement from a serialized image"]
 (** Replace the table contents from a serialized image (state transfer). *)

@@ -96,8 +96,13 @@ type payload =
 type t = { payload : payload; auth : auth }
 
 val encode : t -> string
+
 val decode : string -> t option
-(** [None] on malformed input (treated as an authentication failure). *)
+[@@trust.source "protocol message decoded off the wire"]
+(** [None] on malformed input (treated as an authentication failure).
+    A decoded message is *untrusted* until {!auth} has been verified —
+    the trustlint source annotation enforces that no replica/client
+    state is touched before the MAC/signature check. *)
 
 val payload_bytes : payload -> string
 (** Canonical encoding of the payload alone — the byte string that is

@@ -389,8 +389,12 @@ and execute_system_op_body t ~ts body =
         "join-denied"
       | Some identity -> begin
         match
-          Membership.join t.membership ~addr ~pubkey ~identity ~now:ts
-            ~stale_threshold:t.cfg.session_stale_threshold
+          (Membership.join t.membership ~addr ~pubkey ~identity ~now:ts
+             ~stale_threshold:t.cfg.session_stale_threshold)
+          [@trustlint.allow
+            "the join executes only as an agreed, ordered system operation: \
+             check_auth verified the Join_request's session-key MAC at intake \
+             and authorize_join vouched for the identification buffer"]
         with
         | Membership.Table_full ->
           send_join_reply t ~addr ~client:0 ~ok:false;
@@ -409,9 +413,18 @@ and execute_system_op_body t ~ts body =
     end
     else if kind = Char.code 'L' then begin
       let client = Util.Codec.R.varint r in
-      let ok = Membership.leave t.membership client in
+      let ok =
+        (Membership.leave t.membership client)
+        [@trustlint.allow
+          "the leave executes only as an agreed, ordered system operation: \
+           check_auth verified the departing client's own MAC at intake, so \
+           only the session owner can order its removal"]
+      in
       if ok then begin
-        Log.drop_client t.log client;
+        (Log.drop_client t.log client)
+        [@trustlint.allow
+          "part of the same agreed leave: dropping the departing client's \
+           reply-cache entry is the ordered session teardown"];
         Util.Lru.remove t.ro_replies client;
         t.service.on_session_end client;
         sync_membership_to_pages t

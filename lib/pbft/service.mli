@@ -16,12 +16,13 @@ open Types
 
 type instance = {
   execute :
-    op:string ->
+    (op:string ->
     client:client_id ->
     timestamp:float ->
     nondet:string ->
     readonly:bool ->
-    string * float;
+    string * float)
+    [@trust.sink "service execution against the replicated state region"];
       (** run one operation; returns the reply body and the virtual cost
           (CPU plus durability work) the execution incurred *)
   authorize_join : idbuf:string -> string option;

@@ -60,7 +60,11 @@ let reload t =
   | Some len when len > 0 -> begin
     match decode (Statemgr.Pages.read t.pages ~pos:(t.base + 8) ~len) with
     | entries ->
-      t.map <- List.fold_left (fun m (c, k, v) -> M.add (c, k) v m) M.empty entries
+      (t.map <- List.fold_left (fun m (c, k, v) -> M.add (c, k) v m) M.empty entries)
+      [@trustlint.allow
+        "the image is read back from the replicated state region, which only \
+         ordered executions write and which state transfer repopulates solely \
+         under quorum-certified checkpoint digests (Statemgr merkle proofs)"]
     | exception Util.Codec.R.Truncated -> t.map <- M.empty
   end
   | Some _ | None -> t.map <- M.empty);

@@ -22,10 +22,13 @@ val create : Statemgr.Pages.t -> first_page:int -> pages:int -> t
     restart / state transfer). *)
 
 val get : t -> client:client_id -> key:string -> string option
+
 val set : t -> client:client_id -> key:string -> string -> unit
+[@@trust.sink "session-state write into the replicated region"]
 (** Raises [Failure] if the partition is full. *)
 
 val remove : t -> client:client_id -> key:string -> unit
+[@@trust.sink "session-state removal in the replicated region"]
 
 val end_session : t -> client:client_id -> unit
 (** Drop everything the session stored — invoked by the middleware when a

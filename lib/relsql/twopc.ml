@@ -122,7 +122,12 @@ let wrap ~verify ?(vote_verify_cost = 1e-4) ?(max_recent_aborts = 512) (inner : 
         let aborted_fifo : int Queue.t = Queue.create () in
         let remember_abort tx =
           if not (Hashtbl.mem aborted tx) then begin
-            Hashtbl.replace aborted tx ();
+            (Hashtbl.replace aborted tx ())
+            [@trustlint.allow
+              "2PC ops reach execute only as agreed, ordered requests whose \
+               MAC Replica.check_auth verified at intake; the abort set is \
+               deterministic replicated bookkeeping, FIFO-bounded by \
+               max_recent_aborts"];
             Queue.push tx aborted_fifo;
             if Queue.length aborted_fifo > max_recent_aborts then
               Hashtbl.remove aborted (Queue.pop aborted_fifo)
@@ -161,8 +166,13 @@ let wrap ~verify ?(vote_verify_cost = 1e-4) ?(max_recent_aborts = 512) (inner : 
               incr n_prepares;
               let snapshot = Statemgr.Pages.snapshot pages in
               let reply, cost =
-                instance.Pbft.Service.execute ~op:script ~client ~timestamp ~nondet
-                  ~readonly:false
+                (instance.Pbft.Service.execute ~op:script ~client ~timestamp ~nondet
+                   ~readonly:false)
+                [@trustlint.allow
+                  "the prepare script is the body of an agreed request: \
+                   Replica.check_auth verified its MAC and three-phase \
+                   agreement fixed its order before execute ran; the page \
+                   snapshot keeps it abortable"]
               in
               if has_prefix ~prefix:"error:" reply then begin
                 (* The script failed; the database rolled its own
@@ -178,10 +188,15 @@ let wrap ~verify ?(vote_verify_cost = 1e-4) ?(max_recent_aborts = 512) (inner : 
               end
               else begin
                 let p_reply = prepared_prefix tx ^ reply in
-                prepared :=
-                  Some
-                    { p_tx = tx; p_deadline = deadline; p_shards = shards;
-                      p_snapshot = snapshot; p_reply };
+                (prepared :=
+                   Some
+                     { p_tx = tx; p_deadline = deadline; p_shards = shards;
+                       p_snapshot = snapshot; p_reply })
+                [@trustlint.allow
+                  "records the prepare lock for an agreed, MAC-verified \
+                   request; released only by an agreed commit (vote \
+                   certificates re-checked by [verify]), an agreed abort, or \
+                   the agreed deadline"];
                 (p_reply, cost)
               end
             end

@@ -50,7 +50,9 @@ type op =
   | Abort of { tx : int; reason : string }
 
 val encode_op : op -> string
+
 val decode_op : string -> op option
+[@@trust.source "2PC operation decoded from an ordered op authored by the untrusted coordinator"]
 (** [None] when the string does not carry the 2PC magic or is malformed. *)
 
 val is_twopc_op : string -> bool

@@ -47,6 +47,7 @@ val page_bytes : t -> int -> Bytes.t option
     shared with live snapshots. Intended for zero-copy hashing. *)
 
 val load_page : t -> int -> string -> unit
+[@@trust.sink "wholesale page install into the replicated state region"]
 (** Install page contents wholesale (state transfer); marks it dirty. *)
 
 val dirty : t -> int list

@@ -24,6 +24,7 @@ val peek : ('k, 'v) t -> 'k -> 'v option
 val mem : ('k, 'v) t -> 'k -> bool
 
 val put : ?on_evict:('k -> 'v -> unit) -> ('k, 'v) t -> 'k -> 'v -> unit
+[@@trust.sink "bounded-cache insert (reply caches, session records)"]
 (** Insert or replace, refreshing recency. When the table is full and
     the key is new, the least-recently-used entry is evicted first and
     [on_evict] (default: ignore) observes it. *)

@@ -22,12 +22,16 @@ val frame_cost : int -> float
 (** {1 Session frames} *)
 
 val encode_request : session:int -> req_id:int -> op:string -> string
+
 val decode_request : string -> (int * int * string) option
+[@@trust.source "edge-session frame decoded off the wire (unauthenticated until the replicas' MAC check)"]
 
 type status = Done | Shed  (** [Shed] marks an admission-control rejection. *)
 
 val encode_reply : status:status -> session:int -> req_id:int -> result:string -> string
+
 val decode_reply : string -> (status * int * int * string) option
+[@@trust.source "gateway reply frame decoded off the wire"]
 
 (** {1 Coalesced upstream operations} *)
 
@@ -35,10 +39,13 @@ val encode_coalesced : (int * string) list -> string
 (** Pack [(session, op)] pairs into one upstream operation. *)
 
 val decode_coalesced : string -> (int * string) list option
+[@@trust.source "coalesced batch unpacked from an ordered operation"]
 (** [None] when the operation is not a coalesced batch. *)
 
 val encode_results : string list -> string
+
 val decode_results : string -> string list option
+[@@trust.source "per-session results unpacked from an upstream reply"]
 
 val wrap_service : Pbft.Service.t -> Pbft.Service.t
 (** Wrap a service so coalesced operations execute element-wise against

@@ -359,7 +359,12 @@ module Browser = struct
   let bump o key delta =
     match Option.value ~default:0 (Hashtbl.find_opt o.o_counts key) + delta with
     | 0 -> Hashtbl.remove o.o_counts key
-    | n -> Hashtbl.replace o.o_counts key n
+    | n ->
+      (Hashtbl.replace o.o_counts key n)
+      [@trustlint.allow
+        "per-replica vote tally at the keyless browser seam: a result is \
+         released only once check_quorum sees f+1 (stable) or 2f+1 \
+         (tentative) matching replies from distinct replicas"]
 
   (* A stable reply also votes in the tentative tally — committed implies
      prepared — or 2f tentative + 1 stable matching replies (all that f
@@ -397,10 +402,18 @@ module Browser = struct
           | Some (_, false) -> ()
           | Some ((_, true) as old) ->
             retract_vote o old;
-            Hashtbl.replace o.o_replies src (result, tentative);
+            (Hashtbl.replace o.o_replies src (result, tentative))
+            [@trustlint.allow
+              "records this replica's latest vote, keyed by its link-level \
+               source; votes only become a result through check_quorum's \
+               f+1/2f+1 matching-reply thresholds"];
             record_vote o (result, tentative)
           | None ->
-            Hashtbl.replace o.o_replies src (result, tentative);
+            (Hashtbl.replace o.o_replies src (result, tentative))
+            [@trustlint.allow
+              "records this replica's first vote, keyed by its link-level \
+               source; votes only become a result through check_quorum's \
+               f+1/2f+1 matching-reply thresholds"];
             record_vote o (result, tentative));
           match check_quorum t o ~key:(result, tentative) with
           | None -> ()
@@ -415,7 +428,11 @@ module Browser = struct
       match t.joining with
       | None -> ()
       | Some js ->
-        Hashtbl.replace js.j_challenges src (Json.bytes_exn (Json.member "nonce" j));
+        (Hashtbl.replace js.j_challenges src (Json.bytes_exn (Json.member "nonce" j)))
+        [@trustlint.allow
+          "join-challenge nonce tally: phase 2 starts only after f+1 \
+           distinct replicas report the same nonce, and the join itself is \
+           finalized by f+1 matching join-replies"];
         let counts = Hashtbl.create 4 in
         Hashtbl.iter
           (fun _ c ->
@@ -431,7 +448,10 @@ module Browser = struct
       | None -> ()
       | Some js ->
         if Json.to_bool_exn (Json.member "ok" j) then begin
-          Hashtbl.replace js.j_replies src (Json.to_int_exn (Json.member "client" j));
+          (Hashtbl.replace js.j_replies src (Json.to_int_exn (Json.member "client" j)))
+          [@trustlint.allow
+            "join-reply tally: the client id is adopted only when f+1 \
+             distinct replicas report the same id"];
           let counts = Hashtbl.create 4 in
           Hashtbl.iter
             (fun _ c ->

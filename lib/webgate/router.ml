@@ -94,12 +94,22 @@ let session_record t session =
   | Some s -> s
   | None ->
     let s = { s_last_reply = None } in
-    Util.Lru.put t.sessions session s;
+    (Util.Lru.put t.sessions session s)
+    [@trustlint.allow
+      "admission record for a not-yet-trusted edge session (§gateway trust \
+       model): the router never trusts the op itself — replicas MAC-verify \
+       every operation before execution — and the LRU bound caps what an \
+       unauthenticated peer can pin"];
     s
 
 let cache_reply t ~session ~route_key ~req_id ~result =
   match Util.Lru.find t.sessions session with
-  | Some s -> s.s_last_reply <- Some (route_key, req_id, result)
+  | Some s ->
+    (s.s_last_reply <- Some (route_key, req_id, result))
+    [@trustlint.allow
+      "the result was produced by the shard lane's Pbft.Client, which \
+       surfaces a reply only after f+1 matching replies whose MACs \
+       verify_reply_auth checked"]
   | None -> ()
 
 (* --- single-shard lanes (the per-shard Frontdoor path) --- *)
@@ -122,7 +132,11 @@ let rec lane_dispatch t lane trigger =
             let same = match acc with [] -> true | _ -> Bool.equal p.pr_readonly ro in
             if same then begin
               ignore (Queue.pop lane.l_pending);
-              lane.l_pending_bytes <- lane.l_pending_bytes - String.length p.pr_op;
+              (lane.l_pending_bytes <- lane.l_pending_bytes - String.length p.pr_op)
+              [@trustlint.allow
+                "flow-control accounting over the router's own admitted \
+                 frames; drives batching and shedding only, never replicated \
+                 state"];
               take (p :: acc) (bytes + String.length p.pr_op) p.pr_readonly
             end
             else List.rev acc
@@ -132,7 +146,11 @@ let rec lane_dispatch t lane trigger =
       | [] -> Queue.push idx lane.l_free
       | _ -> begin
         let ro = List.for_all (fun p -> p.pr_readonly) batch in
-        lane.l_inflight <- lane.l_inflight + 1;
+        (lane.l_inflight <- lane.l_inflight + 1)
+        [@trustlint.allow
+          "in-flight accounting for the router's own dispatches (the lane \
+           was selected by routing the unverified op, which is admission \
+           control's job); replicas MAC-verify the op before execution"];
         let op =
           match batch with
           | [ p ] -> p.pr_op (* untouched single-op dispatch *)
@@ -142,7 +160,11 @@ let rec lane_dispatch t lane trigger =
         Pbft.Client.invoke lane.l_data.(idx) ~readonly:ro op (fun encoded ->
             if t.alive then begin
               Queue.push idx lane.l_free;
-              lane.l_inflight <- lane.l_inflight - 1;
+              (lane.l_inflight <- lane.l_inflight - 1)
+              [@trustlint.allow
+                "in-flight accounting for the router's own dispatches; the \
+                 completed call went through Pbft.Client's f+1 \
+                 MAC-verified-reply quorum"];
               let results =
                 match batch with
                 | [ _ ] -> [ encoded ]
@@ -381,8 +403,15 @@ let admit_single t lane p =
   end
   else begin
     Queue.push p lane.l_pending;
-    lane.l_pending_bytes <- lane.l_pending_bytes + String.length p.pr_op;
-    lane.l_queue_peak <- Int.max lane.l_queue_peak (Queue.length lane.l_pending);
+    (lane.l_pending_bytes <- lane.l_pending_bytes + String.length p.pr_op)
+    [@trustlint.allow
+      "flow-control accounting must act before any crypto by design: the \
+       byte count drives batching and shedding at this router only, never \
+       replicated state"];
+    (lane.l_queue_peak <- Int.max lane.l_queue_peak (Queue.length lane.l_pending))
+    [@trustlint.allow
+      "queue-depth telemetry over the router's own admission queue; reported \
+       in stats only"];
     if lane.l_pending_bytes >= t.cfg.flush_bytes then lane_dispatch_all t lane `Size;
     arm_lane_deadline t lane
   end

@@ -126,6 +126,182 @@ let test_json_shape () =
   | _ -> Alcotest.fail "finding JSON did not parse as an object"
   | exception Webgate.Json.Parse_error e -> Alcotest.fail ("finding JSON unparseable: " ^ e)
 
+(* --- trustlint: the taint pass, fixture per verdict --- *)
+
+(* A minimal trust vocabulary declared the same way the repo declares
+   its own: [@@trust.*] attributes on a pseudo-interface. *)
+let wire_mli =
+  ( "lib/pbft/wire.mli",
+    "val decode : string -> string\n\
+     [@@trust.source \"frame decoded off the wire\"]\n\
+     val verify : string -> bool\n\
+     [@@trust.sanitizer \"MAC check over the frame\"]\n\
+     val store : string -> unit\n\
+     [@@trust.sink \"state write\"]\n" )
+
+let tlint ?(interfaces = [ wire_mli ]) ?(rel = "lib/pbft/fixture.ml") src =
+  Driver.lint_trust_source ~interfaces ~rel src
+
+let tainted fs = List.filter (fun (f : Finding.t) -> f.Finding.rule = Finding.Tainted_sink) fs
+
+let test_trust_self_test () =
+  (* The analyzer's acceptance fixture: one unverified decode -> state
+     write, reported exactly once, with source and sink spans intact. *)
+  let fs =
+    tainted (tlint "let f s =\n  let m = Wire.decode s in\n  Wire.store m\n")
+  in
+  Alcotest.(check int) "exactly one finding" 1 (List.length fs);
+  let f = List.hd fs in
+  Alcotest.(check int) "sink line" 3 f.Finding.line;
+  Alcotest.(check int) "sink col" 2 f.Finding.col;
+  Alcotest.(check (option (pair int int))) "source span" (Some (2, 10)) f.Finding.origin;
+  (* ... and the JSON carries the source span for tooling. *)
+  match Webgate.Json.parse (Finding.to_json f) with
+  | Webgate.Json.Obj kvs ->
+    Alcotest.(check bool) "src_line key" true (List.mem_assoc "src_line" kvs);
+    Alcotest.(check bool) "src_col key" true (List.mem_assoc "src_col" kvs)
+  | _ -> Alcotest.fail "finding JSON did not parse as an object"
+
+let test_trust_sanitizer_kills () =
+  let fs =
+    tainted
+      (tlint
+         "let f s =\n  let m = Wire.decode s in\n  if Wire.verify m then Wire.store m\n")
+  in
+  Alcotest.(check int) "guarded flow clean" 0 (List.length fs);
+  (* The verdict only vouches on the branch where the check held. *)
+  let fs =
+    tainted
+      (tlint
+         "let f s =\n\
+         \  let m = Wire.decode s in\n\
+         \  if Wire.verify m then () else Wire.store m\n")
+  in
+  Alcotest.(check int) "else-branch still tainted" 1 (List.length fs);
+  (* [not] swaps the polarity back. *)
+  let fs =
+    tainted
+      (tlint
+         "let f s =\n\
+         \  let m = Wire.decode s in\n\
+         \  if not (Wire.verify m) then () else Wire.store m\n")
+  in
+  Alcotest.(check int) "negated guard, else branch vouched" 0 (List.length fs)
+
+let test_trust_propagation () =
+  (* Tuples. *)
+  let fs = tainted (tlint "let f s = let m, _n = (Wire.decode s, 0) in Wire.store m") in
+  Alcotest.(check int) "through tuples" 1 (List.length fs);
+  (* Records, construction and projection. *)
+  let fs =
+    tainted
+      (tlint "type r = { v : string }\nlet f s = let r = { v = Wire.decode s } in Wire.store r.v")
+  in
+  Alcotest.(check int) "through records" 1 (List.length fs);
+  (* Pattern matches. *)
+  let fs =
+    tainted (tlint "let f s = match Wire.decode s with \"\" -> () | m -> Wire.store m")
+  in
+  Alcotest.(check int) "through match arms" 1 (List.length fs);
+  (* Pipelines. *)
+  let fs = tainted (tlint "let f s = s |> Wire.decode |> Wire.store") in
+  Alcotest.(check int) "through |>" 1 (List.length fs);
+  (* Helper calls: the source is inside a local function, the sink in
+     its caller — the summary layer inlines the definition. *)
+  let fs =
+    tainted (tlint "let parse s = Wire.decode s\nlet f s = Wire.store (parse s)")
+  in
+  Alcotest.(check int) "through local helpers" 1 (List.length fs);
+  (* A clean value through the same shapes stays clean. *)
+  let fs = tainted (tlint "let f s = Wire.store s") in
+  Alcotest.(check int) "undecoded input unflagged" 0 (List.length fs)
+
+let test_trust_conventions () =
+  (* The convention table scopes raw codec reads to wire-decoding
+     files: the same source text is a finding in the replica... *)
+  let src = "let f t wire =\n  let r = Util.Codec.R.of_string wire in\n  Hashtbl.replace t r ()\n" in
+  let fs = tainted (tlint ~interfaces:[] ~rel:"lib/pbft/replica.ml" src) in
+  Alcotest.(check int) "codec read in replica flagged" 1 (List.length fs);
+  (* ... and silent where codec reads parse trusted local images. *)
+  let fs = tainted (tlint ~interfaces:[] ~rel:"lib/relsql/pager.ml" src) in
+  Alcotest.(check int) "codec read in pager unflagged" 0 (List.length fs);
+  (* The replica's intake idiom: check_auth's verdict covers the sink. *)
+  let fs =
+    tainted
+      (tlint ~interfaces:[] ~rel:"lib/pbft/replica.ml"
+         "let f t wire =\n\
+         \  let r = Util.Codec.R.of_string wire in\n\
+         \  if check_auth t r then Hashtbl.replace t r ()\n")
+  in
+  Alcotest.(check int) "check_auth covers the write" 0 (List.length fs)
+
+let test_trust_suppression () =
+  let fs =
+    tainted
+      (tlint
+         "let f s =\n\
+         \  let m = Wire.decode s in\n\
+         \  (Wire.store m) [@trustlint.allow \"covered by the upstream MAC check\"]\n")
+  in
+  Alcotest.(check int) "[@trustlint.allow] suppresses" 0 (List.length fs);
+  (* The allow file speaks trustlint too, and entries are pass-aware:
+     a tainted_sink entry is only stale for runs that include Trust. *)
+  let allows =
+    Allowlist.of_string "tainted_sink lib/pbft/fixture.ml covered by Mac.verify at intake\n"
+  in
+  let fs = tainted (tlint "let f s = let m = Wire.decode s in Wire.store m") in
+  Alcotest.(check bool) "allow-file entry suppresses" true
+    (Allowlist.suppresses allows (List.hd fs))
+
+let test_dispatch_catch_all () =
+  let positive =
+    "let route = function\n\
+    \  | Prepare p -> ignore p\n\
+    \  | Commit c -> ignore c\n\
+    \  | Reply r -> ignore r\n\
+    \  | _ -> ()\n"
+  in
+  let fs = lint positive in
+  Alcotest.(check bool) "wildcard in dispatch flagged" true (has Finding.Dispatch_catch_all fs);
+  (* Two protocol heads don't make a dispatch. *)
+  let fs = lint "let f = function Some x -> x | _ -> 0" in
+  Alcotest.(check bool) "ordinary match unflagged" false (has Finding.Dispatch_catch_all fs);
+  (* Enumerating the ignored constructors is the fix. *)
+  let fs =
+    lint
+      "let route = function\n\
+      \  | Prepare p -> ignore p\n\
+      \  | Commit c -> ignore c\n\
+      \  | Reply _ | Status _ -> ()\n"
+  in
+  Alcotest.(check bool) "enumerated remainder clean" false (has Finding.Dispatch_catch_all fs);
+  (* Outside the protocol layers the rule stays quiet. *)
+  let fs = lint ~rel:"lib/harness/fixture.ml" positive in
+  Alcotest.(check bool) "non-protocol dir unflagged" false (has Finding.Dispatch_catch_all fs)
+
+(* --- adversary cross-check (static finding <-> dynamic defense) --- *)
+
+let test_adversary_cross_check () =
+  (* Statically: a replica intake that skips check_auth is exactly the
+     shape trustlint exists to flag. *)
+  let fs =
+    tainted
+      (tlint ~interfaces:[] ~rel:"lib/pbft/replica.ml"
+         "let on_datagram t wire =\n\
+         \  let r = Util.Codec.R.of_string wire in\n\
+         \  Hashtbl.replace t r ()\n")
+  in
+  Alcotest.(check int) "unverified intake flagged" 1 (List.length fs);
+  (* Dynamically: the real replica keeps check_auth on that path, so an
+     adversary corrupting MACs is rejected at intake (auth_failures)
+     while the cluster stays safe and live. *)
+  let report, _cluster = Harness.Faults.run_behavior Pbft.Adversary.Corrupt_macs in
+  Alcotest.(check bool) "corrupted MACs rejected at intake" true
+    (report.Harness.Faults.fr_auth_failures > 0);
+  Alcotest.(check (list string)) "scenario failures" [] report.Harness.Faults.fr_failures;
+  Alcotest.(check bool) "safety held" true report.Harness.Faults.fr_safe;
+  Alcotest.(check bool) "liveness held" true report.Harness.Faults.fr_live
+
 (* --- end to end: the repository itself lints clean --- *)
 
 let test_repo_clean () =
@@ -133,7 +309,7 @@ let test_repo_clean () =
      (source_tree ../lib) dependency materialises the sources next to
      it; under `dune exec` from the checkout the root is ".". *)
   let root = if Sys.file_exists "lib" then "." else ".." in
-  let outcome = Driver.run ~root () in
+  let outcome = Driver.run ~passes:[ Driver.Determinism; Driver.Trust ] ~root () in
   Alcotest.(check bool) "scanned a real tree" true (outcome.Driver.files_scanned > 40);
   Alcotest.(check (list string)) "no parse errors" [] outcome.Driver.errors;
   List.iter (fun f -> Printf.eprintf "unexpected: %s\n" (Finding.to_human f)) outcome.Driver.findings;
@@ -161,6 +337,16 @@ let () =
           Alcotest.test_case "attributes" `Quick test_attribute_suppression;
           Alcotest.test_case "allow file" `Quick test_allow_file;
           Alcotest.test_case "json findings" `Quick test_json_shape;
+        ] );
+      ( "trustlint",
+        [
+          Alcotest.test_case "analyzer self-test" `Quick test_trust_self_test;
+          Alcotest.test_case "sanitizer verdicts" `Quick test_trust_sanitizer_kills;
+          Alcotest.test_case "taint propagation" `Quick test_trust_propagation;
+          Alcotest.test_case "convention scoping" `Quick test_trust_conventions;
+          Alcotest.test_case "suppression" `Quick test_trust_suppression;
+          Alcotest.test_case "dispatch catch-all" `Quick test_dispatch_catch_all;
+          Alcotest.test_case "adversary cross-check" `Quick test_adversary_cross_check;
         ] );
       ("repo", [ Alcotest.test_case "repository lints clean" `Quick test_repo_clean ]);
     ]

@@ -5,7 +5,7 @@
 
    Usage:  dune exec bench/main.exe [-- section ... [--quick]]
    Sections: micro bench digest sqlidx pipeline faults openloop shards
-             table1
+             churn table1
              figure1 figure2 figure3 figure4 figure5 acid recovery
              packet-loss nondet wan sizes loss ablation pipesweep all
              (default)
@@ -254,12 +254,17 @@ let run_faults () =
             (fun b -> String.equal (pfx ^ Pbft.Adversary.behavior_name b) name)
             pool
         in
-        match (find Harness.Faults.behaviors "", find Harness.Faults.gateway_behaviors "gateway-")
-        with
-        | Some behavior, _ ->
-          Harness.Faults.run_behavior ~seed:!seed ~trace:true ~speculative behavior
-        | None, Some behavior -> Harness.Faults.run_gateway_behavior ~seed:!seed ~trace:true behavior
-        | None, None -> Harness.Faults.run_vc_mid_speculation ~seed:!seed ~trace:true ()
+        if String.equal name "crash-restart" || String.equal name "crash-restart-spec" then
+          Harness.Faults.run_crash_restart ~seed:!seed ~trace:true ~speculative ()
+        else
+          match
+            (find Harness.Faults.behaviors "", find Harness.Faults.gateway_behaviors "gateway-")
+          with
+          | Some behavior, _ ->
+            Harness.Faults.run_behavior ~seed:!seed ~trace:true ~speculative behavior
+          | None, Some behavior ->
+            Harness.Faults.run_gateway_behavior ~seed:!seed ~trace:true behavior
+          | None, None -> Harness.Faults.run_vc_mid_speculation ~seed:!seed ~trace:true ()
       in
       let oc = open_out "faults-trace.txt" in
       output_string oc
@@ -469,6 +474,93 @@ let run_shards () =
     List.iter (fun f -> Printf.eprintf "FAIL: %s\n" f) fs;
     exit 1
 
+(* Long-horizon churn with the PR 10 acceptance gates: a rolling
+   crash/repair plan (every 4th crash takes the current primary) under
+   continuous light load, with proactive key refresh running on the
+   virtual clock throughout. Availability must clear the 99% floor,
+   every rejoin must go through the Merkle-diff transfer, and the diff
+   must move strictly fewer pages than a full transfer would. Writes
+   BENCH-churn.json. *)
+let run_churn () =
+  banner "Availability under churn — rolling crash/restart plan";
+  let base = Harness.Churn.default_spec () in
+  let spec =
+    if !quick then { base with Harness.Churn.seed = !seed; horizon = 60.0; crash_period = 12.0 }
+    else
+      (* Full mode: a virtual hour of churn — a crash every 2.5 minutes
+         (24 in all, every 4th taking the current primary), 20-second
+         repair windows, proactive key refresh every 10 minutes. Load is
+         moderate (~16 req/s): enough that checkpoints advance while a
+         victim is down, so every rejoin has a real Merkle diff to
+         move, while keeping the hour to a couple of host minutes. *)
+      {
+        base with
+        Harness.Churn.seed = !seed;
+        num_clients = 4;
+        think_time = 0.25;
+        horizon = 3_600.0;
+        crash_period = 150.0;
+        downtime = 20.0;
+        bucket = 10.0;
+        cfg = { base.Harness.Churn.cfg with Pbft.Config.key_refresh_period = 600.0 };
+      }
+  in
+  let m, outcome = Harness.Hostbench.measure_churn ~name:"churn:rolling" spec in
+  Printf.printf
+    "  %-24s host %7.3fs  crashes %d  restarts %d  avail %.4f  mean_rec %.3fs  max_rec %.3fs\n%!"
+    m.Harness.Hostbench.name m.host_seconds m.crashes m.restarts m.availability m.mean_recovery
+    m.max_recovery;
+  Printf.printf "  %-24s rejoin transfers %d  demotion transfers %d  pages %d/%d (diff/full)\n%!"
+    "" m.rejoin_transfers m.demotion_transfers m.transfer_pages_fetched m.transfer_pages_full;
+  let json = Harness.Hostbench.to_json ~now:(iso8601 ()) [ m ] in
+  let oc = open_out "BENCH-churn.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote BENCH-churn.json\n%!";
+  (* Full mode only: a short availability-vs-crash-rate sweep on the
+     60 s spec, for the EXPERIMENTS.md table. Informative, not gated —
+     the floor above is the contract. *)
+  if not !quick then
+    List.iter
+      (fun period ->
+        let o =
+          Harness.Churn.run
+            { base with Harness.Churn.seed = !seed; horizon = 60.0; crash_period = period }
+        in
+        Printf.printf
+          "  crash every %5.1fs: avail %.4f  crashes %d  mean_rec %.3fs  max_rec %.3fs\n%!"
+          period o.Harness.Churn.ch_availability o.Harness.Churn.ch_crashes
+          o.Harness.Churn.ch_mean_recovery o.Harness.Churn.ch_max_recovery)
+      [ 30.0; 12.0; 6.0 ];
+  let failures = ref [] in
+  let gate cond msg = if not cond then failures := msg :: !failures in
+  gate
+    (m.Harness.Hostbench.availability >= 0.99)
+    (Printf.sprintf "availability %.4f under churn is below the 0.99 floor"
+       m.Harness.Hostbench.availability);
+  gate
+    (m.Harness.Hostbench.restarts = m.Harness.Hostbench.crashes && m.Harness.Hostbench.crashes > 0)
+    (Printf.sprintf "crash plan incomplete: %d crashes, %d restarts" m.Harness.Hostbench.crashes
+       m.Harness.Hostbench.restarts);
+  gate
+    (m.Harness.Hostbench.rejoin_transfers >= m.Harness.Hostbench.restarts)
+    (Printf.sprintf "only %d rejoin transfers for %d restarts" m.Harness.Hostbench.rejoin_transfers
+       m.Harness.Hostbench.restarts);
+  gate
+    (m.Harness.Hostbench.transfer_pages_full > 0
+    && m.Harness.Hostbench.transfer_pages_fetched < m.Harness.Hostbench.transfer_pages_full)
+    (Printf.sprintf "Merkle diff saved nothing: fetched %d of %d pages"
+       m.Harness.Hostbench.transfer_pages_fetched m.Harness.Hostbench.transfer_pages_full);
+  List.iter
+    (fun f -> gate false (Printf.sprintf "churn run: %s" f))
+    outcome.Harness.Churn.ch_failures;
+  match !failures with
+  | [] -> Printf.printf "  churn gates: PASS\n%!"
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "FAIL: %s\n" f) fs;
+    exit 1
+
 let sections : (string * (unit -> unit)) list =
   [
     ("micro", run_micro);
@@ -479,6 +571,7 @@ let sections : (string * (unit -> unit)) list =
     ("faults", run_faults);
     ("openloop", run_openloop);
     ("shards", run_shards);
+    ("churn", run_churn);
     ( "figure1",
       fun () ->
         banner "Figure 1 — normal-case operation";

@@ -83,5 +83,15 @@ let verifier_of_string s =
   | 1, id, body -> Some (Sim_verifier (id, body))
   | _ -> None
 
+(* Proactive session-key refresh (epoch rollover) must not disturb the
+   deterministic RNG stream that every replica shares with the rest of
+   the simulation, so epoch keys are *derived*, not drawn: a keyed hash
+   of the signer's own deterministic signature over the (peer, epoch)
+   label. Same signer + peer + epoch → same key, and nobody without the
+   signing secret can predict it. *)
+let derive_session_key signer ~peer ~epoch =
+  let tag = sign signer (Printf.sprintf "session-key|%d|%d" peer epoch) in
+  String.sub (Sha256.digest ("sk|" ^ tag)) 0 16
+
 let signer_id = function Real_signer (id, _) | Sim_signer (id, _) -> id
 let verifier_id = function Real_verifier (id, _) | Sim_verifier (id, _) -> id

@@ -36,5 +36,12 @@ val verifier_to_string : verifier -> string
 
 val verifier_of_string : string -> verifier option
 
+val derive_session_key : signer -> peer:int -> epoch:int -> string
+(** Deterministic per-epoch MAC session key for the channel this signer
+    shares with [peer]: a keyed hash of the signer's signature over the
+    (peer, epoch) label, truncated to MAC-key size. Proactive key refresh
+    derives epoch [e+1] keys without consuming any simulation randomness,
+    keeping refresh-free runs bit-identical. *)
+
 val signer_id : signer -> int
 val verifier_id : verifier -> int

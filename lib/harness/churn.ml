@@ -1,0 +1,232 @@
+open Pbft
+
+(* Long-horizon churn driver: a rolling crash/repair plan over virtual
+   hours-to-days, the regime the paper's §2.3 recovery discussion is
+   really about. One replica at a time is crashed, left down for a
+   repair window, and restarted to rejoin via its disk checkpoint plus
+   Merkle-diff transfer, while closed-loop clients keep the service
+   under continuous light load. Availability is measured the way an
+   operator would: the fraction of fixed-size time buckets in which at
+   least one client request completed. *)
+
+type spec = {
+  cfg : Config.t;
+  seed : int;
+  num_clients : int;
+  think_time : float;  (** per-client delay between requests *)
+  op_bytes : int;
+  warmup : float;
+  horizon : float;  (** measured virtual seconds *)
+  crash_period : float;  (** virtual seconds between crash events *)
+  downtime : float;  (** repair time before the victim restarts *)
+  primary_every : int;  (** every k-th crash targets the current primary *)
+  bucket : float;  (** availability sampling bucket *)
+}
+
+let default_spec () =
+  let cfg = Config.default ~f:1 in
+  let cfg =
+    {
+      cfg with
+      Config.view_change_timeout = 0.25;
+      (* Rejoin re-keys immediately (Key_request) instead of stalling on
+         the 2 s rebroadcast, and live replicas proactively roll their
+         session keys on the virtual clock. *)
+      rejoin_key_refresh = true;
+      key_refresh_period = 5.0;
+      (* §2.4 remedy, required under churn: every request is big, and a
+         crash window plus a view change can leave a healthy replica
+         holding committed batches whose bodies it never saw (the
+         clients were answered and will not retransmit). Without peer
+         fetch it wedges on the first such entry; once two replicas
+         straggle, checkpoints can never reach 2f+1 votes, the log
+         window fills, and the whole service halts. *)
+      fetch_missing_bodies = true;
+    }
+  in
+  {
+    cfg;
+    seed = 7;
+    num_clients = 4;
+    think_time = 0.02;
+    op_bytes = 64;
+    warmup = 0.5;
+    horizon = 180.0;
+    crash_period = 15.0;
+    downtime = 1.0;
+    primary_every = 4;
+    bucket = 0.25;
+  }
+
+type outcome = {
+  ch_horizon : float;
+  ch_events : int;  (** simulation events processed over the whole run *)
+  ch_crashes : int;
+  ch_restarts : int;
+  ch_availability : float;  (** fraction of buckets with client progress *)
+  ch_mean_recovery : float;  (** crash to rejoin-complete, mean seconds *)
+  ch_max_recovery : float;
+  ch_unrecovered : int;  (** incidents whose rejoin never completed *)
+  ch_completed : int;
+  ch_tps : float;
+  ch_demotion_transfers : int;
+  ch_rejoin_transfers : int;
+  ch_pages_fetched : int;
+  ch_pages_full : int;
+  ch_view_changes : int;
+  ch_key_epoch : int;  (** max proactive-refresh epoch reached *)
+  ch_final_view : int;
+  ch_failures : string list;  (** safety violations found at end of run *)
+}
+
+let run spec =
+  let cfg = spec.cfg in
+  let n = cfg.Config.n in
+  (* A state-writing workload: rotating puts keep dirtying pages, so
+     every rejoin's Merkle diff has a real suffix to fetch. *)
+  let cluster =
+    Cluster.create ~seed:spec.seed ~num_clients:spec.num_clients
+      ~service:(Service.kv_store ()) cfg
+  in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  Array.iter (fun r -> Replica.set_record_journal r true) (Cluster.replicas cluster);
+  let engine = Cluster.engine cluster in
+  let stop = ref false in
+  Array.iteri
+    (fun i cl ->
+      let seq = ref 0 in
+      let rec loop _ =
+        if not !stop then begin
+          incr seq;
+          (* Values carry the write sequence so every put changes page
+             bytes — a constant value would leave nothing for the
+             Merkle diff to move once all keys exist. *)
+          Client.invoke cl
+            (Printf.sprintf "put c%d-%d v%d.%s" i (!seq mod 128) !seq
+               (String.make spec.op_bytes 'v'))
+            (fun _ ->
+              if spec.think_time > 0.0 then
+                Simnet.Engine.schedule engine ~delay:spec.think_time (fun () -> loop "")
+              else loop "")
+        end
+      in
+      loop "")
+    (Cluster.clients cluster);
+  (* Availability sampler: one bucket per tick, available iff at least
+     one request completed since the previous tick. *)
+  let buckets_total = ref 0 and buckets_ok = ref 0 in
+  let last_completed = ref 0 in
+  ignore
+    (Simnet.Engine.periodic engine ~interval:spec.bucket (fun () ->
+         let now = Simnet.Engine.now engine in
+         let completed = Cluster.total_completed cluster in
+         if now > spec.warmup && now <= spec.warmup +. spec.horizon then begin
+           incr buckets_total;
+           if completed > !last_completed then incr buckets_ok
+         end;
+         last_completed := completed));
+  (* The crash plan. Victims rotate over the backups so the service
+     keeps its primary most of the time, with every [primary_every]-th
+     crash deliberately taking the current primary down to exercise
+     failover under churn. One replica is down at a time (f = 1). *)
+  let crashes = ref 0 and restarts = ref 0 in
+  let retired = ref [] in
+  (* (crash_time, rejoining incarnation) per incident *)
+  let incidents = ref [] in
+  let live_view () =
+    Array.fold_left
+      (fun acc r -> if Replica.view r > acc then Replica.view r else acc)
+      0 (Cluster.replicas cluster)
+  in
+  let crash_k k =
+    let primary = live_view () mod n in
+    let victim =
+      if spec.primary_every > 0 && (k + 1) mod spec.primary_every = 0 then primary
+      else (primary + 1 + (k mod (n - 1))) mod n
+    in
+    let t_crash = Simnet.Engine.now engine in
+    Cluster.crash_replica cluster victim;
+    incr crashes;
+    Simnet.Engine.schedule engine ~delay:spec.downtime (fun () ->
+        (* The dead incarnation's counters freeze at restart (the array
+           entry is replaced); bank them for the end-of-run totals. *)
+        retired := Cluster.replica cluster victim :: !retired;
+        Cluster.restart_replica cluster victim;
+        let fresh = Cluster.replica cluster victim in
+        Replica.set_record_journal fresh true;
+        incidents := (t_crash, fresh) :: !incidents;
+        incr restarts)
+  in
+  let rec plan k =
+    let t_k = spec.warmup +. (spec.crash_period *. float_of_int (k + 1)) in
+    (* Leave the tail of the horizon crash-free so the last incident can
+       finish rejoining before the safety checks run. *)
+    if t_k +. spec.downtime +. (3.0 *. spec.crash_period /. 4.0) <= spec.warmup +. spec.horizon
+    then begin
+      Simnet.Engine.schedule engine ~delay:(t_k -. Simnet.Engine.now engine) (fun () ->
+          crash_k k);
+      plan (k + 1)
+    end
+  in
+  Cluster.run cluster ~seconds:spec.warmup;
+  let base_completed = Cluster.total_completed cluster in
+  plan 0;
+  Cluster.run cluster ~seconds:spec.horizon;
+  let completed = Cluster.total_completed cluster - base_completed in
+  stop := true;
+  Cluster.run cluster ~seconds:0.3;
+  let live = Array.to_list (Cluster.replicas cluster) in
+  let everyone = live @ !retired in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 everyone in
+  let final_view = List.fold_left (fun acc r -> Int.max acc (Replica.view r)) 0 live in
+  let recoveries, unrecovered =
+    List.fold_left
+      (fun (ds, bad) (t_crash, rep) ->
+        match Replica.recovery_completed_at rep with
+        | Some t -> ((t -. t_crash) :: ds, bad)
+        | None -> (ds, bad + 1))
+      ([], 0) !incidents
+  in
+  let failures = ref (Faults.journals_agree live @ Faults.states_agree live) in
+  let expect what cond = if not cond then failures := what :: !failures in
+  expect "no client progress over the horizon" (completed > 0);
+  expect "crash plan never fired" (!crashes > 0);
+  expect "an incident never completed its rejoin" (unrecovered = 0);
+  expect "restarts did not match crashes" (!restarts = !crashes);
+  expect "no rejoin used the Merkle-diff transfer" (sum Replica.rejoin_transfers > 0);
+  {
+    ch_horizon = spec.horizon;
+    ch_events = Simnet.Engine.events engine;
+    ch_crashes = !crashes;
+    ch_restarts = !restarts;
+    ch_availability =
+      (if !buckets_total > 0 then float_of_int !buckets_ok /. float_of_int !buckets_total
+       else 0.0);
+    ch_mean_recovery =
+      (match recoveries with
+      | [] -> 0.0
+      | ds -> List.fold_left ( +. ) 0.0 ds /. float_of_int (List.length ds));
+    ch_max_recovery = List.fold_left Float.max 0.0 recoveries;
+    ch_unrecovered = unrecovered;
+    ch_completed = completed;
+    ch_tps = (if spec.horizon > 0.0 then float_of_int completed /. spec.horizon else 0.0);
+    ch_demotion_transfers = sum Replica.demotion_transfers;
+    ch_rejoin_transfers = sum Replica.rejoin_transfers;
+    ch_pages_fetched = sum Replica.transfer_pages_fetched;
+    ch_pages_full = sum Replica.transfer_pages_full;
+    ch_view_changes = sum Replica.view_changes;
+    ch_key_epoch = List.fold_left (fun acc r -> Int.max acc (Replica.key_epoch r)) 0 live;
+    ch_final_view = final_view;
+    ch_failures = List.rev !failures;
+  }
+
+let render o =
+  Printf.sprintf
+    "churn %.0fs: avail=%.4f crashes=%d restarts=%d mean_rec=%.3fs max_rec=%.3fs \
+     rejoin_tr=%d pages=%d/%d vc=%d view=%d epoch=%d tps=%.0f%s"
+    o.ch_horizon o.ch_availability o.ch_crashes o.ch_restarts o.ch_mean_recovery
+    o.ch_max_recovery o.ch_rejoin_transfers o.ch_pages_fetched o.ch_pages_full
+    o.ch_view_changes o.ch_final_view o.ch_key_epoch o.ch_tps
+    (match o.ch_failures with
+    | [] -> ""
+    | fs -> "\n    " ^ String.concat "\n    " fs)

@@ -1,0 +1,64 @@
+(** Long-horizon churn scenarios: rolling crash/repair plans on the
+    virtual clock, measuring availability, recovery time and the
+    Merkle-diff transfer cost of each rejoin (§2.3).
+
+    One replica at a time is crashed (losing all volatile state), left
+    down for a repair window, then restarted: the revived instance
+    reloads its latest stable checkpoint from disk, re-keys via
+    [rejoin_key_refresh], and rejoins through a Merkle-diff state
+    transfer. Victims rotate over the backups, with every
+    [primary_every]-th crash taking the current primary so failover
+    under churn is exercised too. Live replicas proactively roll their
+    MAC session keys every [key_refresh_period] virtual seconds
+    throughout. All runs are seeded and deterministic. *)
+
+type spec = {
+  cfg : Pbft.Config.t;
+  seed : int;
+  num_clients : int;
+  think_time : float;  (** per-client delay between requests *)
+  op_bytes : int;  (** kv value size; ops are rotating "put" writes *)
+  warmup : float;
+  horizon : float;  (** measured virtual seconds *)
+  crash_period : float;  (** virtual seconds between crash events *)
+  downtime : float;  (** repair time before the victim restarts *)
+  primary_every : int;  (** every k-th crash targets the current primary *)
+  bucket : float;  (** availability sampling bucket, seconds *)
+}
+
+val default_spec : unit -> spec
+(** f=1, 4 closed-loop clients with 20 ms think time, 180 s horizon,
+    a crash every 15 s with 1 s repair, every 4th crash on the primary,
+    [rejoin_key_refresh] on and a 5 s proactive key-refresh period. *)
+
+type outcome = {
+  ch_horizon : float;
+  ch_events : int;  (** simulation events processed over the whole run *)
+  ch_crashes : int;
+  ch_restarts : int;
+  ch_availability : float;
+      (** fraction of [bucket]-sized windows in which at least one
+          client request completed *)
+  ch_mean_recovery : float;
+      (** mean seconds from crash to the incarnation's rejoin-transfer
+          completion *)
+  ch_max_recovery : float;
+  ch_unrecovered : int;  (** incidents whose rejoin never completed *)
+  ch_completed : int;
+  ch_tps : float;
+  ch_demotion_transfers : int;
+  ch_rejoin_transfers : int;
+  ch_pages_fetched : int;  (** pages actually moved (Merkle diff) *)
+  ch_pages_full : int;  (** pages a full transfer would have moved *)
+  ch_view_changes : int;
+  ch_key_epoch : int;  (** max proactive-refresh epoch reached *)
+  ch_final_view : int;
+  ch_failures : string list;
+      (** safety violations (journal/state disagreement) plus liveness
+          expectations that did not hold; empty on a clean run *)
+}
+
+val run : spec -> outcome
+
+val render : outcome -> string
+(** One status line, with failure reasons appended. *)

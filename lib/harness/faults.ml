@@ -10,7 +10,10 @@ type report = {
   fr_behavior : string;
   fr_mutations : int;  (** adversary activity: datagrams rewritten/dropped, votes injected *)
   fr_view_changes : int;
-  fr_state_transfers : int;
+  fr_demotion_transfers : int;  (** transfers by running replicas that fell behind (§2.4) *)
+  fr_rejoin_transfers : int;  (** transfers by the crash/restart rejoin path *)
+  fr_pages_fetched : int;  (** distinct pages pulled by completed transfers (Merkle diff) *)
+  fr_pages_full : int;  (** pages the same transfers would pull without the diff *)
   fr_demotions : int;
   fr_rollbacks : int;  (** speculative executions undone by a view change *)
   fr_spec_execs : int;  (** batches executed before their commit certificate *)
@@ -181,7 +184,10 @@ let run_behavior ?(seed = 11) ?(trace = false) ?(speculative = false) behavior =
       fr_behavior = Adversary.behavior_name behavior;
       fr_mutations = Adversary.mutations adv;
       fr_view_changes = sum Replica.view_changes;
-      fr_state_transfers = sum Replica.state_transfers;
+      fr_demotion_transfers = sum Replica.demotion_transfers;
+      fr_rejoin_transfers = sum Replica.rejoin_transfers;
+      fr_pages_fetched = sum Replica.transfer_pages_fetched;
+      fr_pages_full = sum Replica.transfer_pages_full;
       fr_demotions = sum Replica.demotions;
       fr_rollbacks = sum Replica.rollbacks;
       fr_spec_execs = sum Replica.speculative_execs;
@@ -271,7 +277,122 @@ let run_vc_mid_speculation ?(seed = 11) ?(trace = false) () =
       fr_behavior = "vc-mid-speculation";
       fr_mutations = 0;
       fr_view_changes = sum Replica.view_changes;
-      fr_state_transfers = sum Replica.state_transfers;
+      fr_demotion_transfers = sum Replica.demotion_transfers;
+      fr_rejoin_transfers = sum Replica.rejoin_transfers;
+      fr_pages_fetched = sum Replica.transfer_pages_fetched;
+      fr_pages_full = sum Replica.transfer_pages_full;
+      fr_demotions = sum Replica.demotions;
+      fr_rollbacks = sum Replica.rollbacks;
+      fr_spec_execs = sum Replica.speculative_execs;
+      fr_auth_failures = sum Replica.auth_failures;
+      fr_nondet_rejects = sum Replica.nondet_rejects;
+      fr_final_view = final_view;
+      fr_baseline = baseline;
+      fr_recovered = recovered;
+      fr_safe = safety_failures = [];
+      fr_live = live_progress;
+      fr_failures = List.rev !failures;
+    }
+  in
+  (report, cluster)
+
+(* Crash/restart: the view-0 primary loses all volatile state mid-run,
+   the survivors elect view 1 and keep committing, and the restarted
+   instance must reload its disk checkpoint, re-key (§2.3 Key_request),
+   rejoin via Merkle-diff state transfer — fetching strictly fewer pages
+   than a full transfer would — and catch up to the working view. No
+   adversary is installed: the crash itself is the fault, and all four
+   replicas are correct for the safety predicates. *)
+let run_crash_restart ?(seed = 11) ?(trace = false) ?(speculative = false) () =
+  let cfg = Config.default ~f:1 in
+  let cfg = { cfg with Config.view_change_timeout = 0.25; rejoin_key_refresh = true } in
+  let cfg = if speculative then { cfg with Config.pipeline_depth = 4; cores = 2 } else cfg in
+  let victim = 0 in
+  (* A state-writing service, so the post-crash suffix actually dirties
+     pages and the Merkle diff has something to prune: the restarted
+     replica must fetch the pages written while it was down, and only
+     those. *)
+  let cluster = Cluster.create ~seed ~num_clients:8 ~service:(Service.kv_store ()) cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) trace;
+  Array.iter (fun r -> Replica.set_record_journal r true) (Cluster.replicas cluster);
+  let stop = ref false in
+  Array.iteri
+    (fun i cl ->
+      let seq = ref 0 in
+      let rec loop _ =
+        if not !stop then begin
+          incr seq;
+          (* The value must change every write — rewriting a key with
+             identical bytes would leave the pages (and the Merkle diff)
+             unchanged once every key has been touched. *)
+          Client.invoke cl
+            (Printf.sprintf "put c%d-%d v%d.%s" i (!seq mod 128) !seq (String.make 56 'v'))
+            loop
+        end
+      in
+      loop "")
+    (Cluster.clients cluster);
+  (* Healthy phase: session keys, a progress baseline, and — crucially —
+     at least one stable checkpoint on the victim's disk. *)
+  Cluster.run cluster ~seconds:0.3;
+  let baseline = Cluster.total_completed cluster in
+  let disk_ckpt = Replica.stable_checkpoint (Cluster.replica cluster victim) in
+  Cluster.crash_replica cluster victim;
+  (* Downtime: the survivors must vote the dead primary out and keep
+     committing with only 2f+1 replicas up. *)
+  Cluster.run cluster ~seconds:1.0;
+  let during_downtime = Cluster.total_completed cluster - baseline in
+  Cluster.restart_replica cluster victim;
+  let restarted = Cluster.replica cluster victim in
+  Replica.set_record_journal restarted true;
+  (* Recovery window: the restarted instance re-keys, state-transfers and
+     rejoins while the workload continues. *)
+  Cluster.run cluster ~seconds:2.2;
+  let before_recovery = Cluster.total_completed cluster in
+  Cluster.run cluster ~seconds:1.0;
+  stop := true;
+  Cluster.run cluster ~seconds:0.2;
+  let recovered = Cluster.total_completed cluster - before_recovery in
+  let correct = Array.to_list (Cluster.replicas cluster) in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 correct in
+  let final_view = List.fold_left (fun acc r -> Int.max acc (Replica.view r)) 0 correct in
+  let safety_failures = journals_agree correct @ states_agree correct in
+  let failures = ref safety_failures in
+  let expect what cond = if not cond then failures := what :: !failures in
+  expect "no progress before the crash" (baseline > 0);
+  expect "victim had no stable checkpoint to persist" (disk_ckpt > 0);
+  expect "no progress while the victim was down" (during_downtime > 0);
+  let live_progress = recovered > 0 in
+  expect "no progress in the recovery window" live_progress;
+  expect "crash of the primary never forced a view change" (final_view > 0);
+  expect "restarted replica never started a rejoin transfer"
+    (Replica.rejoin_transfers restarted > 0);
+  expect "rejoin transfer never completed"
+    (Replica.recovery_completed_at restarted <> None);
+  (* The acceptance criterion: the Merkle diff must have pruned the
+     fetch — some pages moved (the kv suffix written during downtime),
+     but strictly fewer than a full transfer of every leaf. *)
+  expect "rejoin moved no pages despite a written suffix"
+    (Replica.transfer_pages_fetched restarted > 0);
+  expect "rejoin fetched as many pages as a full transfer"
+    (Replica.transfer_pages_full restarted > 0
+    && Replica.transfer_pages_fetched restarted < Replica.transfer_pages_full restarted);
+  expect "restarted replica never caught up to the working view"
+    (Replica.view restarted = final_view);
+  (* Satellite regression: rejoin must reset the view-change watchdog
+     backoff, or the revived replica re-enters agreement with a stale
+     exponential timeout. *)
+  expect "restarted replica kept stale view-change backoff"
+    (Replica.view_change_attempts restarted = 0);
+  let report =
+    {
+      fr_behavior = (if speculative then "crash-restart-spec" else "crash-restart");
+      fr_mutations = 0;
+      fr_view_changes = sum Replica.view_changes;
+      fr_demotion_transfers = sum Replica.demotion_transfers;
+      fr_rejoin_transfers = sum Replica.rejoin_transfers;
+      fr_pages_fetched = sum Replica.transfer_pages_fetched;
+      fr_pages_full = sum Replica.transfer_pages_full;
       fr_demotions = sum Replica.demotions;
       fr_rollbacks = sum Replica.rollbacks;
       fr_spec_execs = sum Replica.speculative_execs;
@@ -364,7 +485,10 @@ let run_gateway_behavior ?(seed = 11) ?(trace = false) behavior =
       fr_behavior = "gateway-" ^ Adversary.behavior_name behavior;
       fr_mutations = Adversary.mutations adv;
       fr_view_changes = sum Replica.view_changes;
-      fr_state_transfers = sum Replica.state_transfers;
+      fr_demotion_transfers = sum Replica.demotion_transfers;
+      fr_rejoin_transfers = sum Replica.rejoin_transfers;
+      fr_pages_fetched = sum Replica.transfer_pages_fetched;
+      fr_pages_full = sum Replica.transfer_pages_full;
       fr_demotions = sum Replica.demotions;
       fr_rollbacks = sum Replica.rollbacks;
       fr_spec_execs = sum Replica.speculative_execs;
@@ -382,17 +506,20 @@ let run_gateway_behavior ?(seed = 11) ?(trace = false) behavior =
 
 let run_all ?(seed = 11) ?(speculative = false) () =
   List.map (fun b -> run_behavior ~seed ~speculative b) behaviors
+  @ [ run_crash_restart ~seed ~speculative () ]
   @
   if speculative then [ run_vc_mid_speculation ~seed () ]
   else List.map (fun b -> run_gateway_behavior ~seed b) gateway_behaviors
 
 let render r =
   Printf.sprintf
-    "%-20s %-4s mutations=%-5d vc=%-3d transfers=%-2d demotions=%-2d spec=%-5d rollbacks=%-2d \
-     auth_fail=%-4d nondet_rej=%-4d view=%-2d baseline=%-5d recovered=%-5d%s"
+    "%-20s %-4s mutations=%-5d vc=%-3d dem_tr=%-2d rejoin_tr=%-2d pages=%d/%-4d demotions=%-2d \
+     spec=%-5d rollbacks=%-2d auth_fail=%-4d nondet_rej=%-4d view=%-2d baseline=%-5d \
+     recovered=%-5d%s"
     r.fr_behavior
     (if r.fr_safe && r.fr_live && r.fr_failures = [] then "ok" else "FAIL")
-    r.fr_mutations r.fr_view_changes r.fr_state_transfers r.fr_demotions r.fr_spec_execs
+    r.fr_mutations r.fr_view_changes r.fr_demotion_transfers r.fr_rejoin_transfers
+    r.fr_pages_fetched r.fr_pages_full r.fr_demotions r.fr_spec_execs
     r.fr_rollbacks r.fr_auth_failures r.fr_nondet_rejects r.fr_final_view r.fr_baseline
     r.fr_recovered
     (match r.fr_failures with

@@ -21,7 +21,15 @@ type report = {
   fr_behavior : string;
   fr_mutations : int;
   fr_view_changes : int;
-  fr_state_transfers : int;
+  fr_demotion_transfers : int;
+      (** state transfers by running replicas that fell behind (§2.4) *)
+  fr_rejoin_transfers : int;
+      (** state transfers by the crash/restart rejoin path *)
+  fr_pages_fetched : int;
+      (** distinct pages actually pulled by completed transfers — the
+          Merkle-diff cost *)
+  fr_pages_full : int;
+      (** pages the same transfers would have pulled without the diff *)
   fr_demotions : int;
   fr_rollbacks : int;
   fr_spec_execs : int;
@@ -62,6 +70,16 @@ val run_gateway_behavior :
     the faulty primary out and requests must keep completing through the
     gateway. Reported as ["gateway-<behavior>"]. *)
 
+val run_crash_restart :
+  ?seed:int -> ?trace:bool -> ?speculative:bool -> unit -> report * Pbft.Cluster.t
+(** Crash the view-0 primary mid-run, let the survivors elect view 1 and
+    keep committing, then restart it: the revived instance must reload
+    its disk checkpoint, re-key ([rejoin_key_refresh]), rejoin via a
+    Merkle-diff state transfer that fetches strictly fewer pages than a
+    full transfer, catch up to the working view with the watchdog
+    backoff reset, and leave journals and states in agreement. Reported
+    as ["crash-restart"] (["crash-restart-spec"] with [speculative]). *)
+
 val run_vc_mid_speculation : ?seed:int -> ?trace:bool -> unit -> report * Pbft.Cluster.t
 (** The speculation-specific scenario: commit datagrams are dropped on
     every link for a window, so pipelined replicas speculatively execute
@@ -71,8 +89,17 @@ val run_vc_mid_speculation : ?seed:int -> ?trace:bool -> unit -> report * Pbft.C
     agreement. *)
 
 val run_all : ?seed:int -> ?speculative:bool -> unit -> (report * Pbft.Cluster.t) list
-(** The behavior suite; with [speculative] the pipelined variants plus
-    {!run_vc_mid_speculation} appended. *)
+(** The behavior suite plus {!run_crash_restart}; with [speculative] the
+    pipelined variants plus {!run_vc_mid_speculation} appended. *)
+
+val journals_agree : Pbft.Replica.t list -> string list
+(** Pairwise committed-journal agreement over common sequence numbers;
+    returns human-readable conflicts (empty = safe). Exposed for reuse
+    by long-horizon drivers ({!Churn}). *)
+
+val states_agree : Pbft.Replica.t list -> string list
+(** Pairwise Merkle-root agreement between replicas at the same executed
+    sequence number; returns mismatches (empty = safe). *)
 
 val render : report -> string
 (** One status line per scenario, with failure reasons appended. *)

@@ -44,6 +44,19 @@ type measurement = {
   cross_commits : int;
   cross_aborts : int;
   cross_timeouts : int;
+  (* v7: crash/restart and state-transfer telemetry. The transfer block
+     splits §2.4 demotions from crash/restart rejoins and exposes the
+     Merkle-diff page savings; the churn block is zero everywhere except
+     the churn workload. *)
+  demotion_transfers : int;
+  rejoin_transfers : int;
+  transfer_pages_fetched : int;
+  transfer_pages_full : int;
+  crashes : int;
+  restarts : int;
+  availability : float;
+  mean_recovery : float;
+  max_recovery : float;
 }
 
 let measure ~name spec =
@@ -137,6 +150,15 @@ let measure ~name spec =
     cross_commits = outcome.Scenario.cross_shard_commits;
     cross_aborts = outcome.Scenario.cross_shard_aborts;
     cross_timeouts = 0;
+    demotion_transfers = outcome.Scenario.demotion_transfers;
+    rejoin_transfers = outcome.Scenario.rejoin_transfers;
+    transfer_pages_fetched = outcome.Scenario.transfer_pages_fetched;
+    transfer_pages_full = outcome.Scenario.transfer_pages_full;
+    crashes = 0;
+    restarts = 0;
+    availability = 0.0;
+    mean_recovery = 0.0;
+    max_recovery = 0.0;
   }
 
 (* Open-loop front-door workload: same host-cost envelope, but driven by
@@ -209,6 +231,15 @@ let measure_openloop ~name spec =
     cross_commits = base.Scenario.cross_shard_commits;
     cross_aborts = base.Scenario.cross_shard_aborts;
     cross_timeouts = 0;
+    demotion_transfers = base.Scenario.demotion_transfers;
+    rejoin_transfers = base.Scenario.rejoin_transfers;
+    transfer_pages_fetched = base.Scenario.transfer_pages_fetched;
+    transfer_pages_full = base.Scenario.transfer_pages_full;
+    crashes = 0;
+    restarts = 0;
+    availability = 0.0;
+    mean_recovery = 0.0;
+    max_recovery = 0.0;
   }
 
 (* Sharded deployment (PR 8): the host-cost envelope around a
@@ -294,7 +325,85 @@ let measure_shards ~name spec =
     cross_commits = outcome.Shards.so_cross_commits;
     cross_aborts = outcome.Shards.so_cross_aborts;
     cross_timeouts = outcome.Shards.so_cross_timeouts;
+    demotion_transfers = sum Pbft.Replica.demotion_transfers;
+    rejoin_transfers = sum Pbft.Replica.rejoin_transfers;
+    transfer_pages_fetched = sum Pbft.Replica.transfer_pages_fetched;
+    transfer_pages_full = sum Pbft.Replica.transfer_pages_full;
+    crashes = 0;
+    restarts = 0;
+    availability = 0.0;
+    mean_recovery = 0.0;
+    max_recovery = 0.0;
   }
+
+(* Churn workload (PR 10): the host-cost envelope around a long-horizon
+   crash/repair plan. Latency and gateway telemetry are not meaningful
+   here (closed-loop light load); the transfer and churn blocks are. *)
+let measure_churn ~name spec =
+  let[@detlint.allow wall_clock] t0 = Unix.gettimeofday () in
+  let h0 = Crypto.Sha256.bytes_hashed () in
+  let c0 = Statemgr.Pages.bytes_copied () in
+  let o = Churn.run spec in
+  let[@detlint.allow wall_clock] host_seconds = Unix.gettimeofday () -. t0 in
+  let bytes_hashed = Crypto.Sha256.bytes_hashed () - h0 in
+  let bytes_copied = Statemgr.Pages.bytes_copied () - c0 in
+  let per_sec n = if host_seconds > 0.0 then float_of_int n /. host_seconds else 0.0 in
+  {
+    name;
+    host_seconds;
+    events = o.Churn.ch_events;
+    events_per_sec = per_sec o.Churn.ch_events;
+    bytes_hashed;
+    hashed_mb_per_sec = per_sec bytes_hashed /. 1e6;
+    virtual_tps = o.Churn.ch_tps;
+    completed = o.Churn.ch_completed;
+    checkpoint_count = 0;
+    undo_snapshots = 0;
+    bytes_copied;
+    bytes_copied_per_checkpoint = 0.0;
+    deep_copy_bytes_per_checkpoint = 0.0;
+    pages_read = 0;
+    rows_scanned = 0;
+    speculative_executions = 0;
+    rollbacks = 0;
+    tentative_completed = 0;
+    core_utilization = 0.0;
+    p50_latency = 0.0;
+    p95_latency = 0.0;
+    p99_latency = 0.0;
+    shed = 0;
+    gw_evictions = 0;
+    gw_queue_peak = 0;
+    replica_queue_peak = 0;
+    ro_cache_evictions = 0;
+    sessions = 0;
+    arrivals = 0;
+    offered_load = 0.0;
+    flushes_size = 0;
+    flushes_deadline = 0;
+    reply_cache_hits = 0;
+    events_per_request =
+      (if o.Churn.ch_completed > 0 then
+         float_of_int o.Churn.ch_events /. float_of_int o.Churn.ch_completed
+       else 0.0);
+    alloc_per_request = 0.0;
+    shards = 1;
+    shard_tps = [| o.Churn.ch_tps |];
+    shard_queue_peak = [| 0 |];
+    cross_commits = 0;
+    cross_aborts = 0;
+    cross_timeouts = 0;
+    demotion_transfers = o.Churn.ch_demotion_transfers;
+    rejoin_transfers = o.Churn.ch_rejoin_transfers;
+    transfer_pages_fetched = o.Churn.ch_pages_fetched;
+    transfer_pages_full = o.Churn.ch_pages_full;
+    crashes = o.Churn.ch_crashes;
+    restarts = o.Churn.ch_restarts;
+    availability = o.Churn.ch_availability;
+    mean_recovery = o.Churn.ch_mean_recovery;
+    max_recovery = o.Churn.ch_max_recovery;
+  },
+  o
 
 let base_cfg () = Pbft.Config.default ~f:1
 
@@ -442,12 +551,21 @@ let to_json ?(now = "unknown") ms =
         ("cross_commits", Num (float_of_int m.cross_commits));
         ("cross_aborts", Num (float_of_int m.cross_aborts));
         ("cross_timeouts", Num (float_of_int m.cross_timeouts));
+        ("demotion_transfers", Num (float_of_int m.demotion_transfers));
+        ("rejoin_transfers", Num (float_of_int m.rejoin_transfers));
+        ("transfer_pages_fetched", Num (float_of_int m.transfer_pages_fetched));
+        ("transfer_pages_full", Num (float_of_int m.transfer_pages_full));
+        ("crashes", Num (float_of_int m.crashes));
+        ("restarts", Num (float_of_int m.restarts));
+        ("availability", Num m.availability);
+        ("mean_recovery", Num m.mean_recovery);
+        ("max_recovery", Num m.max_recovery);
       ]
   in
   pretty
     (Obj
        [
-         ("schema", Str "pbft-repro/bench/v6");
+         ("schema", Str "pbft-repro/bench/v7");
          ("generated", Str now);
          ("trace_digest", Str (trace_digest ()));
          ("workloads", Arr (List.map workload ms));

@@ -60,6 +60,18 @@ type measurement = {
   cross_commits : int;  (** 2PC transactions committed on every participant *)
   cross_aborts : int;  (** 2PC transactions aborted (vote or timeout) *)
   cross_timeouts : int;  (** of [cross_aborts], coordinator-timeout triggered *)
+  demotion_transfers : int;  (** §2.4 fell-behind transfers, summed over replicas *)
+  rejoin_transfers : int;  (** crash/restart rejoin transfers, summed over replicas *)
+  transfer_pages_fetched : int;
+      (** pages actually moved by completed transfers — the Merkle-diff cost *)
+  transfer_pages_full : int;
+      (** pages the same transfers would move without the diff (every leaf) *)
+  crashes : int;  (** replica crashes scheduled (churn workload only) *)
+  restarts : int;  (** replica restarts completed (churn workload only) *)
+  availability : float;
+      (** fraction of sampling buckets with client progress (churn only) *)
+  mean_recovery : float;  (** mean crash-to-rejoin seconds (churn only) *)
+  max_recovery : float;  (** worst crash-to-rejoin seconds (churn only) *)
 }
 
 val measure : name:string -> Scenario.spec -> measurement
@@ -76,6 +88,12 @@ val measure_shards : name:string -> Shards.spec -> measurement
     sessions through the {!Webgate.Router}: the per-shard telemetry block
     ([shards], [shard_tps], [shard_queue_peak], cross-shard counters) is
     live. *)
+
+val measure_churn : name:string -> Churn.spec -> measurement * Churn.outcome
+(** Like {!measure} for a long-horizon {!Churn} run: the transfer and
+    churn telemetry blocks are live; latency/gateway blocks are zero
+    (the light closed-loop load is not a latency experiment). The raw
+    churn outcome rides along for its safety-failure list. *)
 
 val table1_workloads : ?seed:int -> ?duration:float -> unit -> measurement list
 (** One measurement per Table-1 row (the ten library configurations,

@@ -245,7 +245,10 @@ let run ?hook spec =
           (fun acc cl -> acc + Pbft.Client.retransmissions cl)
           0 (Pbft.Cluster.clients cluster);
       view_changes = sum Pbft.Replica.view_changes;
-      state_transfers = sum Pbft.Replica.state_transfers;
+      demotion_transfers = sum Pbft.Replica.demotion_transfers;
+      rejoin_transfers = sum Pbft.Replica.rejoin_transfers;
+      transfer_pages_fetched = sum Pbft.Replica.transfer_pages_fetched;
+      transfer_pages_full = sum Pbft.Replica.transfer_pages_full;
       demotions = sum Pbft.Replica.demotions;
       rollbacks = sum Pbft.Replica.rollbacks;
       speculative_execs = sum Pbft.Replica.speculative_execs;

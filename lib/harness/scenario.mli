@@ -28,7 +28,17 @@ type outcome = {
   p99_latency : float;
   retransmissions : int;
   view_changes : int;
-  state_transfers : int;
+  demotion_transfers : int;
+      (** state transfers started by running replicas that fell behind a
+          stable checkpoint (§2.4), summed over replicas *)
+  rejoin_transfers : int;
+      (** state transfers started by the crash/restart rejoin path *)
+  transfer_pages_fetched : int;
+      (** distinct pages actually pulled by completed transfers — the
+          Merkle-diff cost *)
+  transfer_pages_full : int;
+      (** pages the same transfers would have pulled without the Merkle
+          diff (every leaf) — the savings baseline *)
   demotions : int;
       (** replicas that fell behind a stable checkpoint and re-joined via
           state transfer (the §2.4 demotion pathology) *)

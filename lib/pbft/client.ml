@@ -431,7 +431,7 @@ let on_datagram t ~src wire =
                 | Message.Join_response _ | Message.Leave_msg _ | Message.Fetch_meta _
                 | Message.State_meta _ | Message.Fetch_pages _ | Message.State_pages _
                 | Message.Fetch_body _ | Message.Body _ | Message.Fetch_entry _
-                | Message.Entry _ | Message.Status _ -> ()
+                | Message.Entry _ | Message.Status _ | Message.Key_request _ -> ()
               end))
   end
 

@@ -104,7 +104,20 @@ let run t ~seconds =
 let run_until_quiet ?(max_seconds = 60.0) t =
   Simnet.Engine.run ~until:(Simnet.Engine.now t.engine +. max_seconds) t.engine
 
-let restart_replica t i = t.reps.(i) <- Replica.restart t.reps.(i)
+let restart_replica t i =
+  t.reps.(i) <- Replica.restart t.reps.(i);
+  (* Static mode: the restarted replica lost the client-chosen session
+     keys along with the rest of its volatile state; redistribute them
+     out of band exactly as the initial configuration did. (Dynamic-mode
+     clients live in the membership table, which reloads from the
+     restored checkpoint.) *)
+  if (not t.cfg.dynamic_clients) && t.cfg.use_macs then
+    Array.iter
+      (fun cl ->
+        Replica.install_session_key t.reps.(i) ~addr:(Client.addr cl)
+          (Client.session_key_for cl i))
+      t.cls
+let crash_replica t i = Replica.crash t.reps.(i)
 
 let total_completed t = Array.fold_left (fun acc c -> acc + Client.completed c) 0 t.cls
 let threshold_public t = t.tpk

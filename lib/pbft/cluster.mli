@@ -46,7 +46,15 @@ val run_until_quiet : ?max_seconds:float -> t -> unit
 
 val restart_replica : t -> replica_id -> unit
 (** Stop-and-restart the given replica (§2.3); the array entry is
-    replaced with the recovering instance. *)
+    replaced with the recovering instance. If the replica was previously
+    {!crash_replica}ed (or had a stable checkpoint), the new instance
+    reloads the disk image and rejoins via Merkle-diff transfer. *)
+
+val crash_replica : t -> replica_id -> unit
+(** Crash the given replica in place: it goes silent and loses all
+    volatile state, keeping only its disk checkpoint. The array entry is
+    unchanged (still addressable for counters) until {!restart_replica}
+    revives it. *)
 
 val total_completed : t -> int
 (** Sum of completed requests across clients. *)

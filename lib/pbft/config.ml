@@ -31,6 +31,8 @@ type t = {
   sign_bits : int;
   pipeline_depth : int;
   cores : int;
+  rejoin_key_refresh : bool;
+  key_refresh_period : float;
 }
 
 let default ~f =
@@ -62,6 +64,8 @@ let default ~f =
     sign_bits = 512;
     pipeline_depth = 1;
     cores = 1;
+    rejoin_key_refresh = false;
+    key_refresh_period = 0.0;
   }
 
 let robust ~f =
@@ -80,6 +84,7 @@ let validate t =
   else if t.max_clients < 1 then Error "max_clients must be at least 1"
   else if t.pipeline_depth < 1 then Error "pipeline_depth must be at least 1"
   else if t.cores < 1 then Error "cores must be at least 1"
+  else if t.key_refresh_period < 0.0 then Error "key_refresh_period must be non-negative"
   else Ok ()
 
 let name t =

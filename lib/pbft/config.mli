@@ -80,6 +80,18 @@ type t = {
           MAC generation/verification fan-out and Merkle leaf hashing are
           charged as overlapping per-piece work instead of one serial
           lump *)
+  rejoin_key_refresh : bool;
+      (** remedy for §2.3: a restarted replica multicasts a signed
+          {!Message.Key_request} so peers re-send their session keys
+          immediately, instead of recovery stalling until the next blind
+          [authenticator_rebroadcast]. Off by default — the paper's PBFT
+          stalls. *)
+  key_refresh_period : float;
+      (** period of proactive session-key refresh on the virtual clock:
+          each replica re-derives its outbound MAC keys for a new epoch
+          and rebroadcasts them (bounding how long a stolen key is
+          useful). 0 (default) disables; the previous epoch's key is kept
+          verifiable so in-flight authenticators survive the rollover *)
 }
 
 val default : f:int -> t

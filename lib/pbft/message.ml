@@ -68,6 +68,7 @@ type payload =
   | Fetch_entry of { fe_seq : seqno; fe_replica : replica_id }
   | Entry of { en_seq : seqno; en_view : view; en_batch : batch_item list; en_nondet : string }
   | Status of { st_replica : replica_id; st_view : view; st_last_exec : seqno }
+  | Key_request of { kq_replica : replica_id }
 
 type t = { payload : payload; auth : auth }
 
@@ -255,6 +256,9 @@ let enc_payload w = function
     W.varint w st.st_replica;
     W.varint w st.st_view;
     W.varint w st.st_last_exec
+  | Key_request kq ->
+    W.u8 w 24;
+    W.varint w kq.kq_replica
 
 let dec_payload r =
   match R.u8 r with
@@ -384,6 +388,7 @@ let dec_payload r =
     let st_view = R.varint r in
     let st_last_exec = R.varint r in
     Status { st_replica; st_view; st_last_exec }
+  | 24 -> Key_request { kq_replica = R.varint r }
   | _ -> raise R.Truncated
 
 let enc_auth w = function
@@ -565,6 +570,7 @@ let label = function
   | Fetch_entry _ -> "fetch-entry"
   | Entry _ -> "entry"
   | Status _ -> "status"
+  | Key_request _ -> "key-request"
 
 let describe = function
   | Request_msg rq -> Printf.sprintf "client=%d id=%d%s" rq.rq_client rq.rq_id
@@ -593,3 +599,4 @@ let describe = function
   | Fetch_entry f -> Printf.sprintf "n=%d from=%d" f.fe_seq f.fe_replica
   | Entry e -> Printf.sprintf "n=%d v=%d batch=%d" e.en_seq e.en_view (List.length e.en_batch)
   | Status st -> Printf.sprintf "from=%d v=%d le=%d" st.st_replica st.st_view st.st_last_exec
+  | Key_request kq -> Printf.sprintf "from=%d" kq.kq_replica

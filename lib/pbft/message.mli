@@ -92,6 +92,11 @@ type payload =
       (** periodic liveness gossip: peers that are ahead respond by
           retransmitting the protocol messages the sender is missing —
           the lost-message recovery of the PBFT implementation *)
+  | Key_request of { kq_replica : replica_id }
+      (** a restarted replica lost the session keys its peers chose for it
+          (§2.3); this signed request asks each peer to re-send its
+          {!Session_key} immediately instead of stalling until the next
+          periodic rebroadcast *)
 
 type t = { payload : payload; auth : auth }
 

@@ -8,7 +8,13 @@ type registry = {
 
 (* State-transfer progress: which checkpoint we are pulling, from whom,
    and which pages are still outstanding. *)
+type transfer_kind =
+  | Demotion  (** a running replica fell behind the stable checkpoint (§2.4) *)
+  | Rejoin  (** a restarted replica catching up from its disk checkpoint *)
+
 type transfer = {
+  tr_kind : transfer_kind;
+  tr_attempt : int;  (** rejoin ring-rotation attempt (which peer we asked) *)
   tr_seq : seqno;
   tr_peer : replica_id;
   tr_digest : digest option;
@@ -40,6 +46,9 @@ type t = {
   (* Transient MAC session keys — lost on restart (§2.3). *)
   keys_i_chose : (int, Crypto.Mac.key) Hashtbl.t;
   keys_peers_chose : (int, Crypto.Mac.key) Hashtbl.t;
+  keys_peers_prev : (int, Crypto.Mac.key) Hashtbl.t;
+      (** previous-epoch key per sender, kept verifiable across a proactive
+          refresh so in-flight authenticators survive the rollover *)
   bodies : (digest, Message.request) Hashtbl.t;
   pending : Message.request Queue.t;
   in_flight : (client_id * int, seqno) Hashtbl.t;  (** 0 until a pre-prepare assigns a sequence *)
@@ -70,7 +79,26 @@ type t = {
   mutable watchdog : Simnet.Engine.timer option;
   mutable rebroadcast : Simnet.Engine.timer option;
   mutable status_timer : Simnet.Engine.timer option;
+  mutable refresh_timer : Simnet.Engine.timer option;
+  mutable key_epoch : int;  (** proactive-refresh epoch for keys I chose *)
   mutable transfer : transfer option;
+  mutable disk : Statemgr.Checkpoint.t option;
+      (** simulated persistent storage: the newest stable checkpoint,
+          written at crash time and reloaded by [restart] so rejoin only
+          fetches pages that diverged after the crash *)
+  mutable last_new_view : Message.payload option;
+      (** the New_view this replica emitted as primary of the current
+          view, replayed to peers whose status gossip shows an older view
+          (a rejoined replica cannot otherwise enter the current view) *)
+  peer_views : int array;
+      (** newest installed view each peer has advertised in status
+          gossip. A replica adopts view [v] once f+1 distinct peers
+          advertise [>= v]: at least one of them is honest, and jumping
+          forward only affects liveness (safety lives in the quorum
+          certificates). Without this a rejoined replica restarts at the
+          view in its disk checkpoint era and has to climb to the
+          cluster's view one watchdog timeout at a time, dragging the
+          group through spurious view changes at every rejoin. *)
   mutable pp_scheduled : bool;
   mutable recovering : bool;
   mutable recovery_done : float option;
@@ -84,6 +112,10 @@ type t = {
   mutable n_undo : int;  (** undo snapshots taken for tentative execution *)
   mutable vc_attempts : int;  (** consecutive view changes without execution progress *)
   mutable n_demotions : int;  (** checkpoint-lag demotions into state transfer (§2.4) *)
+  mutable n_demotion_transfers : int;  (** transfers started because we fell behind while running *)
+  mutable n_rejoin_transfers : int;  (** transfers started by the crash/restart rejoin path *)
+  mutable n_pages_fetched : int;  (** pages actually pulled over the wire by finished transfers *)
+  mutable n_pages_full : int;  (** pages a full (non-diff) transfer would have pulled *)
   mutable n_spec_exec : int;  (** batches executed before their commit certificate landed *)
   mutable n_rollbacks : int;  (** rollbacks that actually undid speculative executions *)
   mutable record_journal : bool;
@@ -107,6 +139,11 @@ let ro_reply_evictions t = Util.Lru.evictions t.ro_replies
 let speculative_execs t = t.n_spec_exec
 let rollbacks t = t.n_rollbacks
 let view_change_attempts t = t.vc_attempts
+let demotion_transfers t = t.n_demotion_transfers
+let rejoin_transfers t = t.n_rejoin_transfers
+let transfer_pages_fetched t = t.n_pages_fetched
+let transfer_pages_full t = t.n_pages_full
+let key_epoch t = t.key_epoch
 let signer t = t.signer
 let session_key_for t peer = Hashtbl.find_opt t.keys_i_chose peer
 let set_record_journal t v = t.record_journal <- v
@@ -219,9 +256,17 @@ let check_auth t ~src (msg : Message.t) =
     | Some v -> (t.costs.sig_verify, Crypto.Keychain.verify v pb ~signature:s)
   end
   | Message.Authenticated a -> begin
+    let check key = Crypto.Authenticator.check ~key ~replica:t.id pb a in
     match Hashtbl.find_opt t.keys_peers_chose src with
+    | Some key when check key -> (t.costs.mac_verify, true)
+    | Some _ -> begin
+      (* Proactive-refresh rollover window: messages in flight across the
+         epoch boundary still carry the previous key's tag. *)
+      match Hashtbl.find_opt t.keys_peers_prev src with
+      | Some key -> (t.costs.mac_verify, check key)
+      | None -> (t.costs.mac_verify, false)
+    end
     | None -> (0.0, false)
-    | Some key -> (t.costs.mac_verify, Crypto.Authenticator.check ~key ~replica:t.id pb a)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -269,34 +314,77 @@ let multicast_replicas t ?(already_charged = false) payload =
 (* ------------------------------------------------------------------ *)
 (* Session keys.                                                        *)
 
-let install_session_key t ~addr key = Hashtbl.replace t.keys_peers_chose addr key
+let install_session_key t ~addr key =
+  (match Hashtbl.find_opt t.keys_peers_chose addr with
+  | Some old when not (String.equal old key) ->
+    (* Epoch rollover: keep the outgoing key verifiable until traffic
+       MACed under it drains. *)
+    Hashtbl.replace t.keys_peers_prev addr old
+  | Some _ | None -> ());
+  Hashtbl.replace t.keys_peers_chose addr key
+
+let send_session_key t peer =
+  let key =
+    match Hashtbl.find_opt t.keys_i_chose peer with
+    | Some k -> k
+    | None ->
+      (* Epoch 0 keys are drawn from the deterministic RNG stream exactly
+         as they always were; refreshed epochs are derived from signer
+         material instead, so enabling refresh consumes no randomness. *)
+      let k =
+        if t.key_epoch > 0 then
+          Crypto.Keychain.derive_session_key t.signer ~peer ~epoch:t.key_epoch
+        else Crypto.Mac.fresh_key t.rng
+      in
+      Hashtbl.replace t.keys_i_chose peer k;
+      k
+  in
+  let payload = Message.Session_key { sk_sender = t.id; sk_target = peer; sk_key_box = key } in
+  (* Key establishment always uses signatures (the MAC keys are what
+     is being distributed). *)
+  let pb = Message.payload_bytes payload in
+  let auth = Message.Signed (Crypto.Keychain.sign t.signer pb) in
+  let wire = Message.encode_wire ~payload_bytes:pb auth in
+  let label = Message.label payload in
+  let detail () = Message.describe payload in
+  charge t (t.costs.sign +. send_cost t (String.length pb + 80)) (fun () ->
+      send_wire t ~dst:peer ~already_charged:true ~label ~detail wire)
 
 let broadcast_session_keys t =
+  List.iter (fun peer -> if peer <> t.id then send_session_key t peer) (replica_addrs t)
+
+(* Proactive key refresh (on the virtual clock): advance the epoch,
+   re-derive every outbound session key, and rebroadcast. Bounds the
+   useful lifetime of a stolen authenticator key without perturbing the
+   RNG stream (epoch keys are derived, not drawn). *)
+let refresh_session_keys t =
+  t.key_epoch <- t.key_epoch + 1;
   List.iter
     (fun peer ->
-      if peer <> t.id then begin
-        let key =
-          match Hashtbl.find_opt t.keys_i_chose peer with
-          | Some k -> k
-          | None ->
-            let k = Crypto.Mac.fresh_key t.rng in
-            Hashtbl.replace t.keys_i_chose peer k;
-            k
-        in
-        let payload =
-          Message.Session_key { sk_sender = t.id; sk_target = peer; sk_key_box = key }
-        in
-        (* Key establishment always uses signatures (the MAC keys are what
-           is being distributed). *)
-        let pb = Message.payload_bytes payload in
-        let auth = Message.Signed (Crypto.Keychain.sign t.signer pb) in
-        let wire = Message.encode_wire ~payload_bytes:pb auth in
-        let label = Message.label payload in
-        let detail () = Message.describe payload in
-        charge t (t.costs.sign +. send_cost t (String.length pb + 80)) (fun () ->
-            send_wire t ~dst:peer ~already_charged:true ~label ~detail wire)
-      end)
-    (replica_addrs t)
+      if peer <> t.id then
+        Hashtbl.replace t.keys_i_chose peer
+          (Crypto.Keychain.derive_session_key t.signer ~peer ~epoch:t.key_epoch))
+    (replica_addrs t);
+  broadcast_session_keys t
+
+(* §2.3 remedy (gated by [rejoin_key_refresh]): a restarted replica lost
+   every key its peers chose for it, so it multicasts a signed
+   Key_request; each peer answers with its Session_key immediately
+   instead of recovery stalling until the next blind rebroadcast. *)
+let request_session_keys t =
+  let payload = Message.Key_request { kq_replica = t.id } in
+  let pb = Message.payload_bytes payload in
+  let auth = Message.Signed (Crypto.Keychain.sign t.signer pb) in
+  let wire = Message.encode_wire ~payload_bytes:pb auth in
+  let label = Message.label payload in
+  let detail () = Message.describe payload in
+  charge t
+    (t.costs.sign +. send_cost t ((String.length pb + 80) * Int.max 1 (t.cfg.n - 1)))
+    (fun () ->
+      List.iter
+        (fun peer ->
+          if peer <> t.id then send_wire t ~dst:peer ~already_charged:true ~label ~detail wire)
+        (replica_addrs t))
 
 (* ------------------------------------------------------------------ *)
 (* Watchdog (view-change timer).                                        *)
@@ -326,7 +414,13 @@ and check_watchdog t =
   let[@detlint.allow hashtbl_order] oldest =
     Hashtbl.fold (fun _ ts acc -> Float.min ts acc) t.waiting infinity
   in
-  if oldest +. vc_timeout t <= now t +. 1e-9 && not t.in_view_change then
+  if t.recovering then
+    (* A replaying replica cannot tell starvation from its own lag: its
+       waiting ledger fills with requests the group already served while
+       it was down. Keep the timer ticking but leave escalation to the
+       2f+1 healthy replicas; we adopt whatever view they install. *)
+    arm_watchdog t
+  else if oldest +. vc_timeout t <= now t +. 1e-9 && not t.in_view_change then
     start_view_change t (t.view + 1)
   else arm_watchdog t
 
@@ -532,6 +626,73 @@ and check_ckpt_stable t seq =
            pipeline against it can propose again. *)
         if is_primary t then try_emit_pre_prepare t
       end;
+      (* Recovery ends when the group certifies state we executed
+         ourselves: our checkpoint digest sits inside a 2f+1 quorum at
+         or beyond the rejoin point. Until then the replica stays in
+         recovery mode (§2.5 lenient replay validation, body fetching
+         for the replay region). The flag is volatile and set only by
+         [restart], so healthy replicas never enter here. *)
+      if
+        t.recovering && t.last_executed >= seq
+        && match Hashtbl.find_opt votes t.id with
+           | Some d -> String.equal d digest
+           | None -> false
+      then t.recovering <- false;
+      (* The quorum is a commit proof for the whole prefix. A replica
+         that executed through [seq] tentatively while its committed
+         prefix is stuck below — the commit certificates for a gap the
+         log has since truncated can never arrive — would otherwise
+         speculate unboundedly far ahead of a frozen [last_committed_exec]
+         and lose the entire span to the next view change's rollback. If
+         our state at the boundary matches the certified digest, the
+         tentative prefix IS the committed history: finalize it. If it
+         does not match, we diverged — discard the speculation and let
+         the demotion branch below transfer the certified state. *)
+      if t.last_committed_exec < seq && t.last_executed >= seq then begin
+        let mine =
+          match Hashtbl.find_opt t.pending_ckpts seq with
+          | Some ck -> Some ck
+          | None -> Hashtbl.find_opt t.checkpoints seq
+        in
+        match mine with
+        | Some ck when String.equal (Statemgr.Checkpoint.root ck) digest ->
+          let lo = t.last_committed_exec in
+          t.last_committed_exec <- seq;
+          List.iter
+            (fun (e : Log.entry) ->
+              if e.seq > lo && e.seq <= seq && (e.executed || e.tentatively_executed) then begin
+                if not e.executed then journal_commit t e.seq e.batch_digest;
+                e.executed <- true;
+                (match e.batch with
+                | Some items ->
+                  List.iter
+                    (fun it ->
+                      let ((client, id) as key) = Message.batch_item_client_id it in
+                      Hashtbl.remove t.waiting key;
+                      match Log.cached_reply t.log client with
+                      | Some cr when cr.cr_id = id && cr.cr_tentative && not cr.cr_speculative ->
+                        Log.cache_reply t.log client { cr with cr_tentative = false }
+                      | Some _ | None -> ())
+                    items
+                | None -> ());
+                flush_speculative t e
+              end)
+            (Log.entries_between t.log ~lo ~hi:seq);
+          (match Hashtbl.find_opt t.pending_ckpts seq with
+          | Some pck ->
+            Hashtbl.remove t.pending_ckpts seq;
+            announce_checkpoint t ~seq pck
+          | None -> ());
+          advance_committed t;
+          (* The undo snapshot predates the finalized prefix; a later
+             rollback restoring it would drag committed state backwards.
+             The certified checkpoint is the new rollback floor for
+             whatever speculation still runs ahead of it. *)
+          if t.last_committed_exec < t.last_executed then t.undo <- Some ck
+        | Some _ ->
+          rollback_tentative t
+        | None -> ()
+      end;
       (* A replica that is behind this stable checkpoint — because it
          lagged or is stuck on a missing big-request body (§2.4) — now
          recovers by state transfer. *)
@@ -544,19 +705,34 @@ and check_ckpt_stable t seq =
         match holder with
         | Some peer ->
           t.n_demotions <- t.n_demotions + 1;
-          start_state_transfer t ~seq ~peer ~digest:(Some digest)
+          start_state_transfer t ~kind:Demotion ~seq ~peer ~digest:(Some digest) ()
         | None -> ()
       end
     | Some _ | None -> ())
 
-and start_state_transfer t ~seq ~peer ~digest =
+and start_state_transfer t ~kind ?(attempt = 0) ~seq ~peer ~digest () =
   t.transfer <-
     Some
-      { tr_seq = seq; tr_peer = peer; tr_digest = digest; tr_leaves = [||]; tr_wanted = [];
-        tr_received = [] };
+      { tr_kind = kind; tr_attempt = attempt; tr_seq = seq; tr_peer = peer; tr_digest = digest;
+        tr_leaves = [||]; tr_wanted = []; tr_received = [] };
   t.n_transfers <- t.n_transfers + 1;
-  send_to t ~dst:peer (Message.Fetch_meta { fm_seq = seq; fm_replica = t.id });
+  (match kind with
+  | Demotion -> t.n_demotion_transfers <- t.n_demotion_transfers + 1
+  | Rejoin -> t.n_rejoin_transfers <- t.n_rejoin_transfers + 1);
+  (* fm_seq = 0 asks for the peer's latest stable checkpoint (the rejoin
+     path, which does not know how far the group has advanced). *)
+  send_to t ~dst:peer (Message.Fetch_meta { fm_seq = Int.max 0 seq; fm_replica = t.id });
   arm_transfer_retry t
+
+(* Rejoin after restart: pull the latest stable checkpoint from peers in
+   ring order, starting just after ourselves and rotating on a peer that
+   turns out to be no further along than our disk image. *)
+and start_rejoin_transfer t ~attempt =
+  if t.alive && t.transfer = None then begin
+    let peer = (t.id + 1 + attempt) mod t.cfg.n in
+    if peer <> t.id then
+      start_state_transfer t ~kind:Rejoin ~attempt ~seq:(-1) ~peer ~digest:None ()
+  end
 
 (* Fetches are plain datagrams; when they or their replies are lost — or
    cannot be authenticated yet, the §2.3 stall — the transfer must be
@@ -684,8 +860,14 @@ and try_execute t =
           if missing <> [] then begin
             entry.missing_bodies <- missing;
             (* §2.4 remedy, off by default: ask peers for the bodies
-               instead of stalling until the next checkpoint. *)
-            if t.cfg.fetch_missing_bodies then
+               instead of stalling until the next checkpoint. A
+               recovering replica fetches regardless of the gate — its
+               bodies table died with the old incarnation and the
+               clients that multicast those bodies were answered long
+               ago and will never retransmit, so for the replay region
+               between the rejoin checkpoint and the live head the
+               stall is not a lag, it is a permanent wedge. *)
+            if t.cfg.fetch_missing_bodies || t.recovering then
               List.iter
                 (fun d ->
                   if not (Hashtbl.mem t.body_requests d) then begin
@@ -1141,7 +1323,51 @@ and maybe_fill_gap t ~src ~seen_seq =
   end
 
 and handle_status t ~src (st_view, st_last_exec) =
-  ignore st_view;
+  (* A rejoined replica stuck in an old view cannot accept the current
+     view's traffic. If we are the primary that installed this view,
+     replay our New_view so it can catch up (benign runs never take this
+     branch: views always match). *)
+  (if st_view < t.view then
+     match t.last_new_view with
+     | Some (Message.New_view nv as p) when nv.nv_view = t.view && is_primary t ->
+       send_to t ~dst:src p
+     | Some _ | None -> ());
+  (* The decentralized converse: adopt the cluster's view once f+1
+     distinct peers advertise an installed view above ours. The
+     New_view replay above only works while the installing primary is
+     alive and still holds the certificate (it is volatile state, gone
+     if that primary has itself restarted since); without a fallback a
+     rejoined replica climbs from its pre-crash view one watchdog
+     backoff at a time, pushing View_changes at the group all the way
+     up. Any f+1 set contains an honest replica, so the advertised
+     view is real; jumping forward is a liveness action only. *)
+  if src >= 0 && src < Array.length t.peer_views && src <> t.id then begin
+    if st_view > t.peer_views.(src) then t.peer_views.(src) <- st_view;
+    let supported =
+      (* Largest view at least f+1 peers advertise: the (f+1)-th
+         highest entry of the per-peer maxima. *)
+      let vs = Array.copy t.peer_views in
+      vs.(t.id) <- 0;
+      Array.sort (fun a b -> Int.compare b a) vs;
+      vs.(quorum_f1 ~f:t.cfg.f - 1)
+    in
+    if supported > t.view then begin
+      (* Same precaution as installing a New_view: tentative executions
+         from the old view may be re-ordered by the new primary's
+         re-proposals, so fall back to the committed prefix first. *)
+      if t.last_executed > t.last_committed_exec then rollback_tentative t;
+      t.view <- supported;
+      t.in_view_change <- false;
+      t.vc_target <- supported;
+      t.vc_attempts <- 0;
+      (match t.watchdog with
+      | Some timer ->
+        Simnet.Engine.cancel timer;
+        t.watchdog <- None
+      | None -> ());
+      arm_watchdog t
+    end
+  end;
   if st_last_exec < t.last_executed then begin
     if st_last_exec < t.stable_ckpt then
       (* The gap starts below our stable checkpoint: the log is gone, so
@@ -1254,7 +1480,17 @@ and rollback_tentative t =
   t.last_executed <- t.last_committed_exec
 
 and start_view_change t v =
-  if v > t.vc_target then begin
+  (* §2.3: a recovering replica abstains from view changes — it counts
+     against f until recovery completes. Its log died with the crash, so
+     a View_change it sent now would carry an amnesiac (empty) prepared
+     set; a new-view certificate built from 2f+1 votes that include it
+     no longer intersects every commit quorum in an honest replica that
+     prepared the batch, and a committed — client-visible — request can
+     be silently re-proposed as null. The healthy 2f+1 replicas carry
+     the view change alone; we adopt the outcome from the New_view
+     message or from f+1 status gossip. *)
+  if t.recovering then ()
+  else if v > t.vc_target then begin
     t.vc_target <- v;
     t.in_view_change <- true;
     t.n_vc <- t.n_vc + 1;
@@ -1305,6 +1541,20 @@ and start_view_change t v =
 and record_view_change t ~src payload =
   match payload with
   | Message.View_change vc ->
+    (* A replica targets one view at a time, so its newest View_change
+       supersedes any vote it cast for another view. Without this,
+       votes from an old incident (a rejoined replica escalating while
+       it caught up, or a previous incarnation entirely) linger in
+       these tables and later combine with one fresh timeout to fake an
+       f+1 join quorum — the group then cascades through every view the
+       stale voter ever named. *)
+    List.iter
+      (fun v ->
+        if v <> vc.vc_new_view then
+          match Hashtbl.find_opt t.vc_msgs v with
+          | Some tbl -> Hashtbl.remove tbl src
+          | None -> ())
+      (Util.Sorted_tbl.keys t.vc_msgs);
     let tbl =
       match Hashtbl.find_opt t.vc_msgs vc.vc_new_view with
       | Some tbl -> tbl
@@ -1355,7 +1605,11 @@ and handle_view_change t ~src payload =
   | Message.View_change _ | _ -> ()
 
 and check_new_view t v =
-  if primary_of_view ~n:t.cfg.n v = t.id && t.vc_target <= v then begin
+  (* Same abstention while recovering: do not step up as the new view's
+     primary mid-replay — proposals would issue from a state the group
+     has moved past. The healthy replicas' escalation timers carry them
+     to v+1 if we stay silent. *)
+  if primary_of_view ~n:t.cfg.n v = t.id && t.vc_target <= v && not t.recovering then begin
     match Hashtbl.find_opt t.vc_msgs v with
     | Some tbl when Hashtbl.length tbl >= quorum_2f1 ~f:t.cfg.f && t.view < v ->
       (* Compute the re-proposal set O from the 2f+1 view-change messages.
@@ -1414,8 +1668,8 @@ and check_new_view t v =
             tbl None
         with
         | Some (peer, d) ->
-          start_state_transfer t ~seq:min_s ~peer
-            ~digest:(if String.equal d "" then None else Some d)
+          start_state_transfer t ~kind:Demotion ~seq:min_s ~peer
+            ~digest:(if String.equal d "" then None else Some d) ()
         | None -> ()
       end;
       (* Install the re-proposed batches locally. The prepared predicate
@@ -1432,9 +1686,12 @@ and check_new_view t v =
           entry.batch_digest <- Message.batch_digest batch;
           Log.record_prepare entry t.id)
         reproposals;
-      multicast_replicas t
-        (Message.New_view
-           { nv_view = v; nv_view_change_digests = vc_digests; nv_pre_prepares = reproposals });
+      let nv_payload =
+        Message.New_view
+          { nv_view = v; nv_view_change_digests = vc_digests; nv_pre_prepares = reproposals }
+      in
+      t.last_new_view <- Some nv_payload;
+      multicast_replicas t nv_payload;
       try_emit_pre_prepare t;
       (* PBFT restarts the view-change timer when a view is installed: the
          starved requests are already on the waiting ledger (so client
@@ -1501,6 +1758,19 @@ and handle_fetch_meta t ~src seq =
 
 and handle_state_meta t ~src (seq, leaves) =
   match t.transfer with
+  | Some tr when tr.tr_seq < 0 && tr.tr_peer = src && seq <= t.last_executed ->
+    (* The serving peer's newest stable checkpoint is no further along
+       than the state we reloaded from disk. Installing it would rewind a
+       checkpoint registration onto newer state — corruption — so abandon
+       this peer and rotate; if a full rotation finds nobody ahead, we
+       are current and the checkpoint gossip will demote us later if that
+       ever changes. *)
+    t.transfer <- None;
+    if tr.tr_attempt < t.cfg.n - 2 then start_rejoin_transfer t ~attempt:(tr.tr_attempt + 1)
+    else begin
+      if t.recovering && t.recovery_done = None then t.recovery_done <- Some (now t);
+      try_execute t
+    end
   | Some tr when (tr.tr_seq = seq || tr.tr_seq < 0) && tr.tr_peer = src ->
     (* A Byzantine peer must not be able to poison the transfer: when the
        target digest is quorum-certified, the claimed page digests must
@@ -1577,6 +1847,13 @@ and finish_transfer t tr =
   Statemgr.Merkle.update t.merkle t.pages (List.map fst tr.tr_received);
   Statemgr.Pages.clear_dirty t.pages;
   load_membership_from_pages t;
+  (* Merkle-diff accounting: what crossed the wire vs what a full (every
+     leaf) transfer would have pulled. Retries can deliver duplicates, so
+     count distinct pages. *)
+  t.n_pages_fetched <-
+    t.n_pages_fetched
+    + List.length (List.sort_uniq Int.compare (List.map fst tr.tr_received));
+  t.n_pages_full <- t.n_pages_full + Array.length tr.tr_leaves;
   t.transfer <- None;
   t.undo <- None;
   if tr.tr_seq > t.last_executed then begin
@@ -1602,6 +1879,11 @@ and finish_transfer t tr =
   let ck = Statemgr.Checkpoint.take ~seqno:tr.tr_seq t.pages t.merkle in
   t.n_ckpt <- t.n_ckpt + 1;
   Hashtbl.replace t.checkpoints tr.tr_seq ck;
+  (* Catching up by transfer is execution progress: reset the view-change
+     backoff so the next watchdog arming starts from the base timeout —
+     without this a rejoined replica inherits pre-crash-style escalation
+     and times out its healthy primary. *)
+  t.vc_attempts <- 0;
   if t.recovering && t.recovery_done = None then t.recovery_done <- Some (now t);
   try_execute t
 
@@ -1737,6 +2019,10 @@ and dispatch t ~src (msg : Message.t) =
   | Message.New_view nv -> handle_new_view t ~src (nv.nv_view, nv.nv_pre_prepares)
   | Message.Session_key sk ->
     if sk.sk_target = t.id then install_session_key t ~addr:sk.sk_sender sk.sk_key_box
+  | Message.Key_request kq ->
+    (* A restarted peer lost the key we chose for it; re-send immediately
+       (the signed request was verified by check_auth). *)
+    if kq.kq_replica = src && src < t.cfg.n && src <> t.id then send_session_key t src
   | Message.Join_request j -> handle_join_request t ~src (j.j_addr, j.j_pubkey, j.j_nonce)
   | Message.Join_response jr ->
     handle_join_response t ~src (jr.jr_addr, jr.jr_proof, jr.jr_pubkey, jr.jr_idbuf)
@@ -1806,6 +2092,7 @@ let create ~cfg ~costs ~engine ~net ~id ~signer ~registry ~service:service_spec 
       log = Log.create ();
       keys_i_chose = Hashtbl.create 16;
       keys_peers_chose = Hashtbl.create 16;
+      keys_peers_prev = Hashtbl.create 16;
       bodies = Hashtbl.create 256;
       pending = Queue.create ();
       in_flight = Hashtbl.create 64;
@@ -1828,7 +2115,12 @@ let create ~cfg ~costs ~engine ~net ~id ~signer ~registry ~service:service_spec 
       watchdog = None;
       rebroadcast = None;
       status_timer = None;
+      refresh_timer = None;
+      key_epoch = 0;
       transfer = None;
+      disk = None;
+      last_new_view = None;
+      peer_views = Array.make cfg.Config.n 0;
       pp_scheduled = false;
       recovering = false;
       recovery_done = None;
@@ -1842,6 +2134,10 @@ let create ~cfg ~costs ~engine ~net ~id ~signer ~registry ~service:service_spec 
       n_undo = 0;
       vc_attempts = 0;
       n_demotions = 0;
+      n_demotion_transfers = 0;
+      n_rejoin_transfers = 0;
+      n_pages_fetched = 0;
+      n_pages_full = 0;
       n_spec_exec = 0;
       n_rollbacks = 0;
       record_journal = false;
@@ -1871,6 +2167,11 @@ let create ~cfg ~costs ~engine ~net ~id ~signer ~registry ~service:service_spec 
         (Simnet.Engine.periodic engine ~interval:cfg.authenticator_rebroadcast (fun () ->
              if t.alive then broadcast_session_keys t))
   end;
+  if cfg.use_macs && cfg.key_refresh_period > 0.0 then
+    t.refresh_timer <-
+      Some
+        (Simnet.Engine.periodic engine ~interval:cfg.key_refresh_period (fun () ->
+             if t.alive then refresh_session_keys t));
   t
 
 let shutdown t =
@@ -1878,27 +2179,64 @@ let shutdown t =
   Simnet.Net.unregister t.net t.id;
   (match t.watchdog with Some timer -> Simnet.Engine.cancel timer | None -> ());
   (match t.rebroadcast with Some timer -> Simnet.Engine.cancel timer | None -> ());
-  (match t.status_timer with Some timer -> Simnet.Engine.cancel timer | None -> ())
+  (match t.status_timer with Some timer -> Simnet.Engine.cancel timer | None -> ());
+  (match t.refresh_timer with Some timer -> Simnet.Engine.cancel timer | None -> ())
+
+(* Crash: kill the process, keeping only what survives on disk — the
+   newest checkpoint at or below the stable point. Everything else (log,
+   votes, session keys, caches, tallies, speculative state) is volatile
+   and dies here. *)
+let crash t =
+  (match
+     List.fold_left
+       (fun acc s -> if s > 0 && s <= t.stable_ckpt then Some s else acc)
+       None
+       (Util.Sorted_tbl.keys t.checkpoints)
+   with
+  | Some seq -> (
+    match Hashtbl.find_opt t.checkpoints seq with
+    | Some ck -> t.disk <- Some ck
+    | None -> ())
+  | None -> ());
+  if t.alive then shutdown t
 
 let restart t =
-  shutdown t;
+  crash t;
   let fresh =
     create ~cfg:t.cfg ~costs:t.costs ~engine:t.engine ~net:t.net ~id:t.id ~signer:t.signer
       ~registry:t.registry ~service:t.service_spec ?threshold:t.threshold ()
   in
   fresh.recovering <- true;
-  (* Ask peers for their latest stable checkpoint. The choice of peer is
-     arbitrary; take the next replica in ring order. *)
-  let peer = (t.id + 1) mod t.cfg.n in
+  fresh.disk <- t.disk;
+  (match t.disk with
+  | Some ck when Statemgr.Checkpoint.seqno ck > 0 ->
+    (* Reload the persisted checkpoint in place: only pages that differ
+       from the genesis image are restored, the Merkle tree follows, and
+       the rejoin transfer below then diffs against *this* state —
+       fetching only pages that diverged after the crash. *)
+    let seq = Statemgr.Checkpoint.seqno ck in
+    Statemgr.Merkle.update fresh.merkle fresh.pages (Statemgr.Pages.dirty fresh.pages);
+    Statemgr.Checkpoint.restore ck fresh.pages fresh.merkle;
+    load_membership_from_pages fresh;
+    fresh.last_executed <- seq;
+    fresh.last_committed_exec <- seq;
+    fresh.seq_counter <- seq;
+    fresh.stable_ckpt <- seq;
+    Log.set_low_watermark fresh.log seq;
+    (* Re-register the reloaded state as our own checkpoint so we can
+       vote for it and serve transfers from it. *)
+    let own = Statemgr.Checkpoint.take ~seqno:seq fresh.pages fresh.merkle in
+    fresh.n_ckpt <- fresh.n_ckpt + 1;
+    Hashtbl.replace fresh.checkpoints seq own
+  | Some _ | None -> ());
+  (* §2.3: without the gated remedy, recovery stalls until the peers'
+     periodic key rebroadcast; with it, a signed Key_request makes them
+     re-send their session keys immediately. *)
+  if t.cfg.use_macs && t.cfg.rejoin_key_refresh then
+    Simnet.Engine.schedule t.engine ~delay:0.0 (fun () ->
+        if fresh.alive then request_session_keys fresh);
+  (* Catch up from peers in ring order (Merkle-diff against the reloaded
+     disk state). *)
   Simnet.Engine.schedule t.engine ~delay:0.001 (fun () ->
-      if fresh.alive && fresh.transfer = None then begin
-        fresh.transfer <-
-          Some
-            { tr_seq = -1; tr_peer = peer; tr_digest = None; tr_leaves = [||]; tr_wanted = [];
-              tr_received = [] };
-        fresh.n_transfers <- fresh.n_transfers + 1;
-        (* fm_seq = 0 asks for the peer's latest stable checkpoint. *)
-        send_to fresh ~dst:peer (Message.Fetch_meta { fm_seq = 0; fm_replica = fresh.id });
-        arm_transfer_retry fresh
-      end);
+      if fresh.alive && fresh.transfer = None then start_rejoin_transfer fresh ~attempt:0);
   fresh

@@ -51,7 +51,28 @@ val last_executed : t -> seqno
 val stable_checkpoint : t -> seqno
 val executed_requests : t -> int
 val view_changes : t -> int
+
 val state_transfers : t -> int
+(** All state transfers started, demotion and rejoin alike (the sum of
+    {!demotion_transfers} and {!rejoin_transfers}). *)
+
+val demotion_transfers : t -> int
+(** Transfers started because this (running) replica fell behind a
+    stable checkpoint (§2.4). *)
+
+val rejoin_transfers : t -> int
+(** Transfers started by the crash/restart rejoin path, including ring
+    rotations past peers that were not ahead of the disk image. *)
+
+val transfer_pages_fetched : t -> int
+(** Distinct pages actually pulled over the wire by completed transfers —
+    the Merkle-diff cost. *)
+
+val transfer_pages_full : t -> int
+(** Pages a full (every-leaf) transfer would have pulled for the same
+    completed transfers — the baseline the Merkle diff is saving
+    against. *)
+
 val auth_failures : t -> int
 (** Messages dropped for failed/unavailable authentication — nonzero on a
     recovering replica before the key rebroadcast arrives (§2.3). *)
@@ -125,11 +146,24 @@ val shutdown : t -> unit
 (** Stop the replica: unregister from the network and cancel timers. The
     object becomes inert (messages to its address vanish, like UDP). *)
 
+val crash : t -> unit
+(** Crash the replica: shut it down, persisting only the newest stable
+    checkpoint as the simulated disk image. All volatile state — log,
+    quorum tallies, session keys, caches, speculative state — is lost;
+    a later {!restart} reloads the disk image. *)
+
 val restart : t -> t
 (** Build a fresh replica with the same identity and configuration but
     empty transient state, re-registered on the network — the paper's
-    stop-and-restart recovery experiment (§2.3). The service state is
-    rebuilt through a state transfer from peers. *)
+    stop-and-restart recovery experiment (§2.3). State reloads from the
+    disk checkpoint persisted by {!crash} (if any) and catches the rest
+    up with a Merkle-diff state transfer that fetches only pages that
+    diverged after the crash; with [Config.rejoin_key_refresh] the
+    replica also re-establishes session keys immediately instead of
+    stalling on the lost authenticator vector. *)
+
+val key_epoch : t -> int
+(** Current proactive key-refresh epoch (0 until the first refresh). *)
 
 val is_recovering : t -> bool
 val recovery_completed_at : t -> float option

@@ -270,7 +270,7 @@ let test_hostbench_measure_and_json () =
   Alcotest.(check bool) "virtual tps positive" true (m.Harness.Hostbench.virtual_tps > 0.0);
   Alcotest.(check bool) "host time sane" true (m.Harness.Hostbench.host_seconds >= 0.0);
   let json = Webgate.Json.parse (Harness.Hostbench.to_json ~now:"test" [ m ]) in
-  Alcotest.(check string) "schema tag" "pbft-repro/bench/v6"
+  Alcotest.(check string) "schema tag" "pbft-repro/bench/v7"
     (Webgate.Json.to_string_exn (Webgate.Json.member "schema" json));
   Alcotest.(check bool) "checkpoints counted" true (m.Harness.Hostbench.checkpoint_count > 0);
   match Webgate.Json.member "workloads" json with

@@ -558,7 +558,12 @@ let test_cluster_restart_recovery () =
   Cluster.run cluster ~seconds:3.0;
   stop := true;
   let r2 = Cluster.replica cluster 2 in
-  Alcotest.(check bool) "recovering flag" true (Replica.is_recovering r2);
+  (* Recovery mode is a window, not a permanent mark: [restart] raises
+     the flag and a 2f+1 checkpoint quorum covering self-executed state
+     lowers it. Three virtual seconds is ample to catch up here, so the
+     flag must be down again — a replica stuck recovering would abstain
+     from every future view change. *)
+  Alcotest.(check bool) "recovering flag lowered" false (Replica.is_recovering r2);
   (match Replica.recovery_completed_at r2 with
   | Some t ->
     Alcotest.(check bool) "recovered within two rebroadcast periods" true (t -. 1.0 < 1.2)
@@ -648,6 +653,434 @@ let test_nondet_delta_blocks_replay () =
   let rejects_skip, behind_skip, head_skip = run (Config.Delta_skip_on_recovery 1.0) in
   Alcotest.(check int) "skip accepts replays" 0 rejects_skip;
   Alcotest.(check bool) "skip recovers" true (head_skip - behind_skip <= 10)
+
+(* --- crash / restart / Merkle-diff rejoin (PR 10) --- *)
+
+(* Shared driver: a single closed-loop client keeps the committed batch
+   sequence independent of message interleavings (one request in flight
+   at a time, batches of one), so runs with and without a crash commit
+   the exact same batches and the final store is byte-identical. The
+   kv values embed the write counter so every put changes page bytes. *)
+let crash_cfg () =
+  {
+    (Config.default ~f:1) with
+    (* Short enough that stable checkpoints form under a ~120-op
+       workload (the rejoin needs one on disk), roomy enough that
+       healthy backups never hit the §2.4 lag demotion — a demotion
+       transfer skips execution, which would leave journal gaps. *)
+    Config.checkpoint_interval = 16;
+    log_window = 64;
+    view_change_timeout = 0.25;
+    rejoin_key_refresh = true;
+  }
+
+(* [total] is a multiple of the checkpoint interval on purpose: the
+   final checkpoint then sits exactly at the head of history, so however
+   late the victim rejoins there is always a stable checkpoint quorum
+   covering everything it missed. (A replica stranded between the last
+   checkpoint and the head after traffic stops has nothing to pull it
+   forward — the §2.4 demotion only triggers on checkpoint gossip.) *)
+let run_single_client_workload ?(total = 160) ?(crash = None) cfg =
+  let cluster = Cluster.create ~seed:123 ~num_clients:1 ~service:(Service.kv_store ()) cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  Array.iter (fun r -> Replica.set_record_journal r true) (Cluster.replicas cluster);
+  let engine = Cluster.engine cluster in
+  let cl = Cluster.client cluster 0 in
+  let seq = ref 0 in
+  let rec loop _ =
+    if !seq < total then begin
+      incr seq;
+      Client.invoke cl
+        (Printf.sprintf "put k%d v%d.%s" (!seq mod 8) !seq (String.make 24 'v'))
+        (fun _ -> Simnet.Engine.schedule engine ~delay:0.01 (fun () -> loop ""))
+    end
+  in
+  loop "";
+  (match crash with
+  | Some (victim, crash_at, downtime) ->
+    Simnet.Engine.schedule engine ~delay:crash_at (fun () -> Cluster.crash_replica cluster victim);
+    Simnet.Engine.schedule engine ~delay:(crash_at +. downtime) (fun () ->
+        Cluster.restart_replica cluster victim;
+        Replica.set_record_journal (Cluster.replica cluster victim) true)
+  | None -> ());
+  Cluster.run cluster ~seconds:20.0;
+  Alcotest.(check int) "workload drained" total !seq;
+  cluster
+
+let test_restart_merkle_diff_fewer_pages () =
+  (* The acceptance property: a crashed replica rejoins by fetching only
+     the pages that diverged from its reloaded disk checkpoint —
+     strictly fewer than the full page set. *)
+  let cluster = run_single_client_workload ~crash:(Some (2, 0.6, 0.2)) (crash_cfg ()) in
+  let r2 = Cluster.replica cluster 2 in
+  Alcotest.(check int) "one rejoin transfer" 1 (Replica.rejoin_transfers r2);
+  (match Replica.recovery_completed_at r2 with
+  | None -> Alcotest.fail "rejoin never completed"
+  | Some _ -> ());
+  let fetched = Replica.transfer_pages_fetched r2 and full = Replica.transfer_pages_full r2 in
+  Alcotest.(check bool) "diff moved pages" true (fetched > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "diff beats full transfer (%d < %d)" fetched full)
+    true
+    (fetched < full);
+  (* PR 6 regression extended to the restart path: the rejoin resets the
+     view-change watchdog backoff. *)
+  Alcotest.(check int) "watchdog backoff reset" 0 (Replica.view_change_attempts r2)
+
+let prop_crash_restart_equivalent =
+  (* Crash one backup at an arbitrary point in the three-phase/checkpoint
+     flow, restart it after an arbitrary repair window, and the final
+     Merkle root and exec journal must be bit-identical to a run that
+     never crashed. *)
+  (* The store is compared bit-for-bit across runs. The journals are
+     compared bit-for-bit against the never-crashed peers of the same
+     run: batch digests cover the client-side request timestamps, and a
+     crash changes how much verification work every peer does, which
+     shifts the virtual clock under the CPU cost model — so two separate
+     runs legitimately commit different bytes while agreeing on every
+     operation and on the final state. *)
+  let baseline =
+    lazy
+      (let cluster = run_single_client_workload (crash_cfg ()) in
+       let r0 = Cluster.replica cluster 0 in
+       ( Replica.last_executed r0,
+         Statemgr.Merkle.root (Statemgr.Merkle.build (Replica.pages r0)) ))
+  in
+  let gen =
+    QCheck.Gen.(
+      triple (int_range 1 3) (float_range 0.05 1.2) (float_range 0.05 0.5))
+  in
+  QCheck.Test.make ~name:"crash at an arbitrary phase is invisible after rejoin" ~count:10
+    (QCheck.make ~print:QCheck.Print.(triple int float float) gen)
+    (fun (victim, crash_at, downtime) ->
+      let base_exec, base_root = Lazy.force baseline in
+      let cluster =
+        run_single_client_workload ~crash:(Some (victim, crash_at, downtime)) (crash_cfg ())
+      in
+      let rv = Cluster.replica cluster victim in
+      let live = Array.to_list (Cluster.replicas cluster) in
+      let root r = Statemgr.Merkle.root (Statemgr.Merkle.build (Replica.pages r)) in
+      (* No replica — restarted one included — may have committed a
+         different batch at any sequence the others also journaled, nor
+         diverged in state at equal execution points. *)
+      (match Harness.Faults.journals_agree live @ Harness.Faults.states_agree live with
+      | [] -> ()
+      | fs -> QCheck.Test.fail_reportf "%s" (String.concat "; " fs));
+      (* Every replica converges to the exact bytes of the run that
+         never crashed: same number of committed batches, same Merkle
+         root — so the crash left no trace in the replicated state. *)
+      List.iter
+        (fun r ->
+          if Replica.last_executed r <> base_exec then
+            QCheck.Test.fail_reportf
+              "replica %d executed %d batches, baseline %d (view=%d recovering=%b recovered=%s \
+               rejoin=%d dem=%d auth=%d nondet_rej=%d vc=%d)"
+              (Replica.id r) (Replica.last_executed r) base_exec (Replica.view r)
+              (Replica.is_recovering r)
+              (match Replica.recovery_completed_at r with
+              | None -> "no"
+              | Some t -> Printf.sprintf "%.3f" t)
+              (Replica.rejoin_transfers r) (Replica.demotion_transfers r)
+              (Replica.auth_failures r) (Replica.nondet_rejects r)
+              (Replica.view_change_attempts r);
+          if not (String.equal (root r) base_root) then
+            QCheck.Test.fail_reportf "replica %d Merkle root diverged from never-crashed run"
+              (Replica.id r))
+        live;
+      (match Replica.recovery_completed_at rv with
+      | None -> QCheck.Test.fail_reportf "victim never completed its rejoin"
+      | Some _ -> ());
+      true)
+
+let test_restart_client_keys_reinstalled () =
+  (* Regression: a restarted replica loses the statically-configured
+     client session keys with the rest of its volatile state. Unless the
+     cluster re-installs them out of band on restart, every client
+     request authenticates against a missing key forever — silent until
+     the replica becomes primary. After rejoin, continued client traffic
+     must produce zero new auth failures on the restarted replica. *)
+  let cfg = crash_cfg () in
+  let cluster = Cluster.create ~seed:31 ~num_clients:2 ~service:(Service.kv_store ()) cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  let engine = Cluster.engine cluster in
+  let stop = ref false in
+  Array.iteri
+    (fun i cl ->
+      let seq = ref 0 in
+      let rec loop _ =
+        if not !stop then begin
+          incr seq;
+          Client.invoke cl
+            (Printf.sprintf "put c%d-%d v%d" i (!seq mod 8) !seq)
+            (fun _ -> Simnet.Engine.schedule engine ~delay:0.01 (fun () -> loop ""))
+        end
+      in
+      loop "")
+    (Cluster.clients cluster);
+  Cluster.run cluster ~seconds:0.5;
+  Cluster.crash_replica cluster 1;
+  Cluster.run cluster ~seconds:0.2;
+  Cluster.restart_replica cluster 1;
+  Cluster.run cluster ~seconds:1.0;
+  let r1 = Cluster.replica cluster 1 in
+  (match Replica.recovery_completed_at r1 with
+  | None -> Alcotest.fail "rejoin never completed"
+  | Some _ -> ());
+  (* Quiesce past the rejoin's transient in-flight window, then continued
+     traffic must verify cleanly. *)
+  let before = Replica.auth_failures r1 in
+  Cluster.run cluster ~seconds:1.5;
+  stop := true;
+  Cluster.run cluster ~seconds:0.5;
+  Alcotest.(check int) "no auth failures on post-rejoin client traffic" before
+    (Replica.auth_failures r1);
+  Alcotest.(check int) "caught up with peers" (Replica.last_executed (Cluster.replica cluster 0))
+    (Replica.last_executed r1)
+
+let test_restart_exactly_once_counter () =
+  (* Regression for the reply cache: requests executed before the crash
+     must not re-execute after the restart (the restarted replica's
+     counter state comes from its disk checkpoint + transfer, and client
+     retransmissions are absorbed). The counter's final value equals the
+     number of completed invocations exactly. *)
+  let cfg = crash_cfg () in
+  let cluster = Cluster.create ~seed:32 ~num_clients:2 ~service:(Service.counter ()) cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  let engine = Cluster.engine cluster in
+  let stop = ref false in
+  let completed = ref 0 and last = ref "" in
+  Array.iter
+    (fun cl ->
+      let rec loop r =
+        if not (String.equal r "") then begin
+          incr completed;
+          last := r
+        end;
+        if not !stop then
+          Simnet.Engine.schedule engine ~delay:0.01 (fun () ->
+              if not !stop then Client.invoke cl "incr" loop)
+      in
+      loop "")
+    (Cluster.clients cluster);
+  Cluster.run cluster ~seconds:0.7;
+  Cluster.crash_replica cluster 2;
+  Cluster.run cluster ~seconds:0.3;
+  Cluster.restart_replica cluster 2;
+  Cluster.run cluster ~seconds:1.5;
+  stop := true;
+  Cluster.run cluster ~seconds:1.0;
+  Alcotest.(check bool) "made progress" true (!completed > 20);
+  Alcotest.(check string) "counter equals completions (exactly-once)"
+    (string_of_int !completed) !last;
+  let r2 = Cluster.replica cluster 2 in
+  Alcotest.(check int) "restarted replica caught up"
+    (Replica.last_executed (Cluster.replica cluster 0))
+    (Replica.last_executed r2)
+
+let test_restart_dynamic_membership_reload () =
+  (* Regression: the membership/redirection table is volatile, decoded
+     from the state region. A restarted replica must rebuild it from the
+     reloaded checkpoint (and the transfer), or it drops every request
+     from clients that joined before the crash. *)
+  let cfg = { (crash_cfg ()) with Config.dynamic_clients = true } in
+  let cluster = Cluster.create ~seed:33 ~num_clients:1 ~service:(Service.counter ()) cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  let c = Cluster.client cluster 0 in
+  let results = ref [] in
+  let invoke_n n k =
+    let rec go i =
+      if i < n then Client.invoke c "incr" (fun r -> results := r :: !results; go (i + 1))
+      else k ()
+    in
+    go 0
+  in
+  Client.join c ~idbuf:"alice:pw" (function
+    | Some _ -> invoke_n 20 (fun () -> ())
+    | None -> Alcotest.fail "join denied");
+  Cluster.run cluster ~seconds:5.0;
+  Alcotest.(check int) "pre-crash ops executed" 20 (List.length !results);
+  Cluster.crash_replica cluster 2;
+  Cluster.run cluster ~seconds:0.3;
+  Cluster.restart_replica cluster 2;
+  Cluster.run cluster ~seconds:2.0;
+  let r2 = Cluster.replica cluster 2 in
+  Alcotest.(check int) "membership reloaded from checkpoint" 1
+    (Membership.count (Replica.membership r2));
+  invoke_n 20 (fun () -> ());
+  Cluster.run cluster ~seconds:5.0;
+  Alcotest.(check int) "post-restart ops executed" 40 (List.length !results);
+  Alcotest.(check string) "counter continued exactly-once" "40" (List.hd !results);
+  Alcotest.(check int) "restarted replica executed them too"
+    (Replica.last_executed (Cluster.replica cluster 0))
+    (Replica.last_executed r2)
+
+let test_restart_mid_speculation_safe () =
+  (* Regression: pending speculative state (executed-but-uncommitted
+     batches) dies with the crash; the restarted replica must come back
+     through the committed checkpoint + transfer without tentative state
+     leaking into its store. *)
+  let cfg =
+    { (crash_cfg ()) with Config.pipeline_depth = 4; cores = 2 }
+  in
+  let cluster = run_single_client_workload ~crash:(Some (2, 0.6, 0.2)) cfg in
+  let live = Array.to_list (Cluster.replicas cluster) in
+  (match Harness.Faults.journals_agree live @ Harness.Faults.states_agree live with
+  | [] -> ()
+  | fs -> Alcotest.failf "%s" (String.concat "; " fs));
+  let r2 = Cluster.replica cluster 2 in
+  Alcotest.(check int) "caught up after speculative crash"
+    (Replica.last_executed (Cluster.replica cluster 0))
+    (Replica.last_executed r2)
+
+let test_restart_recovery_mode_ends () =
+  (* Regression (stale volatile flag): [restart] sets [recovering] and
+     nothing ever cleared it, so a rejoined replica stayed in recovery
+     mode forever — permanently lenient §2.5 replay validation and a
+     watchdog that could never escalate. Recovery must end once a
+     checkpoint quorum certifies state the replica executed itself. *)
+  let cluster = run_single_client_workload ~crash:(Some (2, 0.6, 0.2)) (crash_cfg ()) in
+  let r2 = Cluster.replica cluster 2 in
+  (match Replica.recovery_completed_at r2 with
+  | None -> Alcotest.fail "rejoin never completed"
+  | Some _ -> ());
+  Alcotest.(check bool) "recovery mode ended" false (Replica.is_recovering r2)
+
+let test_restart_replays_lost_bodies () =
+  (* Regression (§2.4 wedge on the rejoin path): every request is big by
+     default, and the bodies table dies with the crash. The batches the
+     victim must replay between its rejoin checkpoint and the live head
+     reference bodies whose client multicasts it slept through — and
+     those clients were answered long ago, so nothing retransmits. A
+     recovering replica must fetch the bodies from its peers; before it
+     did, it sat wedged on the first missing body until a checkpoint
+     quorum demoted it into a full state transfer (a journal hole), and
+     at low checkpoint rates it wedged for good, escalating view
+     changes the whole time. A clean rejoin replays everything itself:
+     one rejoin transfer, no demotion rescue, no view changes. *)
+  let cluster = run_single_client_workload ~crash:(Some (2, 0.6, 0.2)) (crash_cfg ()) in
+  let r2 = Cluster.replica cluster 2 in
+  (* At most one demotion: a checkpoint quorum can race past the victim
+     while it replays (a §2.4 lag, repaired by transfer). Pre-fix the
+     victim could not execute the replay region at all — every batch
+     stalled on a body it had no way to obtain — and lurched from
+     demotion to demotion without ever replaying an entry itself. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "at most one demotion (%d)" (Replica.demotion_transfers r2))
+    true
+    (Replica.demotion_transfers r2 <= 1);
+  Alcotest.(check int) "one rejoin transfer" 1 (Replica.rejoin_transfers r2);
+  Alcotest.(check int) "replayed to the head"
+    (Replica.last_executed (Cluster.replica cluster 0))
+    (Replica.last_executed r2);
+  Alcotest.(check int) "no view changes anywhere" 0
+    (Array.fold_left (fun acc r -> acc + Replica.view_changes r) 0 (Cluster.replicas cluster))
+
+let test_restart_no_view_thrash_two_incidents () =
+  (* Regression (stale view-change votes): a rejoining replica's solo
+     View_change votes used to linger in every peer's per-view tables;
+     the next incident's first fresh vote then combined with them into a
+     fake f+1 join quorum and the group cascaded through every view the
+     first victim had named. Two sequential backup incidents must leave
+     the view untouched. *)
+  let cfg = crash_cfg () in
+  let cluster = Cluster.create ~seed:123 ~num_clients:1 ~service:(Service.kv_store ()) cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  let engine = Cluster.engine cluster in
+  let cl = Cluster.client cluster 0 in
+  let seq = ref 0 in
+  let rec loop _ =
+    if !seq < 160 then begin
+      incr seq;
+      Client.invoke cl
+        (Printf.sprintf "put k%d v%d.%s" (!seq mod 8) !seq (String.make 24 'v'))
+        (fun _ -> Simnet.Engine.schedule engine ~delay:0.02 (fun () -> loop ""))
+    end
+  in
+  loop "";
+  List.iter
+    (fun (victim, crash_at, downtime) ->
+      Simnet.Engine.schedule engine ~delay:crash_at (fun () -> Cluster.crash_replica cluster victim);
+      Simnet.Engine.schedule engine ~delay:(crash_at +. downtime) (fun () ->
+          Cluster.restart_replica cluster victim))
+    [ (2, 0.5, 0.3); (3, 1.6, 0.3) ];
+  Cluster.run cluster ~seconds:20.0;
+  Alcotest.(check int) "workload drained" 160 !seq;
+  Array.iter
+    (fun r ->
+      Alcotest.(check int)
+        (Printf.sprintf "replica %d stayed in view 0" (Replica.id r))
+        0 (Replica.view r))
+    (Cluster.replicas cluster);
+  let r0 = Cluster.replica cluster 0 in
+  Array.iter
+    (fun r ->
+      Alcotest.(check int)
+        (Printf.sprintf "replica %d at head" (Replica.id r))
+        (Replica.last_executed r0) (Replica.last_executed r))
+    (Cluster.replicas cluster)
+
+let test_restart_primary_relearns_its_view () =
+  (* Regression (stale view at rejoin): a restarted replica comes back
+     in view 0 and must relearn the cluster's view. The old path — the
+     installing primary replays its New_view — is itself volatile: here
+     the current view's installer is the replica that restarts, so
+     nobody holds the certificate and only the f+1 status-gossip
+     adoption can teach it. Without adoption the group wedges (its
+     primary leads a view it does not know it leads) until watchdogs
+     force yet another view change. *)
+  let cfg = crash_cfg () in
+  let cluster = Cluster.create ~seed:123 ~num_clients:1 ~service:(Service.kv_store ()) cfg in
+  Simnet.Trace.set_enabled (Cluster.trace cluster) false;
+  let engine = Cluster.engine cluster in
+  let cl = Cluster.client cluster 0 in
+  let phase2 = ref 0 and phase1 = ref 0 in
+  let invoke_n counter n k =
+    let rec go _ =
+      if !counter < n then begin
+        incr counter;
+        Client.invoke cl
+          (Printf.sprintf "put p%d v%d.%s" (!counter mod 8) !counter (String.make 24 'v'))
+          (fun _ -> Simnet.Engine.schedule engine ~delay:0.01 (fun () -> go ""))
+      end
+      else k ()
+    in
+    go ""
+  in
+  (* Phase 1: crash the view-0 primary mid-traffic; the group fails over
+     to view 1 (primary = replica 1) and the old primary rejoins. *)
+  Simnet.Engine.schedule engine ~delay:0.2 (fun () -> Cluster.crash_replica cluster 0);
+  Simnet.Engine.schedule engine ~delay:0.6 (fun () -> Cluster.restart_replica cluster 0);
+  invoke_n phase1 48 (fun () -> ());
+  Cluster.run cluster ~seconds:8.0;
+  Alcotest.(check int) "phase 1 drained" 48 !phase1;
+  Alcotest.(check int) "failed over to view 1" 1 (Replica.view (Cluster.replica cluster 2));
+  (* Phase 2: with traffic quiescent, bounce the view-1 primary itself.
+     No view change happens (nothing is starved), so when it returns the
+     cluster is still in view 1 — a view only status gossip can teach
+     it, its own New_view certificate having died with the crash. *)
+  Cluster.crash_replica cluster 1;
+  Cluster.run cluster ~seconds:0.3;
+  Cluster.restart_replica cluster 1;
+  Cluster.run cluster ~seconds:2.0;
+  Alcotest.(check int) "restarted primary adopted view 1" 1 (Replica.view (Cluster.replica cluster 1));
+  (* It must now actually lead: traffic flows without a further view
+     change. *)
+  invoke_n phase2 32 (fun () -> ());
+  Cluster.run cluster ~seconds:8.0;
+  Alcotest.(check int) "phase 2 drained under the rejoined primary" 32 !phase2;
+  Array.iter
+    (fun r ->
+      Alcotest.(check int)
+        (Printf.sprintf "replica %d still in view 1" (Replica.id r))
+        1 (Replica.view r))
+    (Cluster.replicas cluster);
+  let r0 = Cluster.replica cluster 0 in
+  Array.iter
+    (fun r ->
+      Alcotest.(check int)
+        (Printf.sprintf "replica %d at head" (Replica.id r))
+        (Replica.last_executed r0) (Replica.last_executed r))
+    (Cluster.replicas cluster)
 
 (* --- session state (§3.3.2) --- *)
 
@@ -939,6 +1372,28 @@ let () =
             test_cluster_overload_recv_buffer_drops;
           Alcotest.test_case "restart recovery (§2.3)" `Slow test_cluster_restart_recovery;
           Alcotest.test_case "nondet replay policies (§2.5)" `Slow test_nondet_delta_blocks_replay;
+        ] );
+      ( "crash-restart",
+        [
+          Alcotest.test_case "Merkle-diff rejoin fetches fewer pages" `Slow
+            test_restart_merkle_diff_fewer_pages;
+          qcheck prop_crash_restart_equivalent;
+          Alcotest.test_case "client session keys reinstalled" `Slow
+            test_restart_client_keys_reinstalled;
+          Alcotest.test_case "exactly-once across restart" `Slow
+            test_restart_exactly_once_counter;
+          Alcotest.test_case "membership reloaded on restart" `Slow
+            test_restart_dynamic_membership_reload;
+          Alcotest.test_case "crash mid-speculation stays safe" `Slow
+            test_restart_mid_speculation_safe;
+          Alcotest.test_case "recovery mode ends after catch-up" `Slow
+            test_restart_recovery_mode_ends;
+          Alcotest.test_case "lost bodies refetched on rejoin (§2.4)" `Slow
+            test_restart_replays_lost_bodies;
+          Alcotest.test_case "no view thrash across two incidents" `Slow
+            test_restart_no_view_thrash_two_incidents;
+          Alcotest.test_case "restarted primary relearns its view" `Slow
+            test_restart_primary_relearns_its_view;
         ] );
       ( "session-state",
         [
